@@ -1,0 +1,160 @@
+// Ablations called out by the paper:
+//
+//  E6 (footnote 6): the customized attack re-connects key-gates that were
+//     falsely paired with regular drivers to random TIE cells; without
+//     this post-processing the logical CCR drops well below 50% (paper:
+//     29.3% at M6, 17.6% at M4) — which *over*-states security, so the
+//     paper reports the stronger attack.
+//  E7 (Fig. 2 motivation): naive TIE placement and unlifted key-nets leak
+//     the key; each secure-flow ingredient (randomize+fix TIE cells, lift
+//     key-nets) is required.
+#include "bench_common.hpp"
+
+#include "phys/router.hpp"
+
+namespace splitlock::bench {
+namespace {
+
+constexpr const char* kBenchName = "b14";
+
+// --- E6: attack post-processing --------------------------------------------
+
+struct PostprocRow {
+  double with_pp_logical = 0.0;
+  double without_pp_logical = 0.0;
+};
+
+const PostprocRow& RunPostprocCached(int split_layer) {
+  static std::map<int, PostprocRow> cache;
+  auto it = cache.find(split_layer);
+  if (it != cache.end()) return it->second;
+
+  const FlowScore& base = RunItcFlowCached(kBenchName, split_layer);
+  attack::ProximityOptions no_pp;
+  no_pp.postprocess_key_gates = false;
+  const attack::ProximityResult raw =
+      attack::RunProximityAttack(base.flow.feol, no_pp);
+  PostprocRow row;
+  row.with_pp_logical = base.score.ccr.key_logical_ccr_percent;
+  row.without_pp_logical =
+      attack::ComputeCcr(base.flow.feol, raw.assignment)
+          .key_logical_ccr_percent;
+  return cache.emplace(split_layer, row).first->second;
+}
+
+// --- E7: layout policy ------------------------------------------------------
+
+struct PolicyRow {
+  size_t key_nets = 0;
+  size_t exposed_in_feol = 0;   // unbroken key-nets, read directly
+  double logical_ccr = 0.0;     // over the broken remainder
+  double physical_ccr = 0.0;
+};
+
+PolicyRow RunPolicy(bool randomize_ties, bool lift) {
+  const Netlist original =
+      circuits::MakeItc99(kBenchName, ReproScale());
+  core::FlowOptions options = DefaultFlowOptions(4, 2019);
+  options.randomize_tie_placement = randomize_ties;
+  options.lift_key_nets = lift;
+  const core::FlowResult flow = core::RunSecureFlow(original, options);
+  PolicyRow row;
+  const std::vector<NetId> key_nets =
+      phys::KeyNetsOf(*flow.physical.netlist);
+  row.key_nets = key_nets.size();
+  for (NetId kn : key_nets) {
+    if (!flow.feol.net_broken[kn]) ++row.exposed_in_feol;
+  }
+  const attack::ProximityResult atk =
+      attack::RunProximityAttack(flow.feol);
+  const attack::CcrReport ccr =
+      attack::ComputeCcr(flow.feol, atk.assignment);
+  row.logical_ccr = ccr.key_logical_ccr_percent;
+  row.physical_ccr = ccr.key_physical_ccr_percent;
+  return row;
+}
+
+const PolicyRow& RunPolicyCached(int which) {
+  static std::map<int, PolicyRow> cache;
+  auto it = cache.find(which);
+  if (it != cache.end()) return it->second;
+  PolicyRow row;
+  switch (which) {
+    case 0: row = RunPolicy(false, false); break;  // naive (Fig. 2a)
+    case 1: row = RunPolicy(true, false); break;   // scattered (Fig. 2b)
+    default: row = RunPolicy(true, true); break;   // secure (Fig. 2c)
+  }
+  return cache.emplace(which, row).first->second;
+}
+
+void PrintTables() {
+  PrintHeader("Ablation E6 (footnote 6): key-gate post-processing in the "
+              "attack, b14");
+  std::printf("%-10s | %26s | %29s\n", "split", "logical CCR with postproc",
+              "logical CCR without postproc");
+  PrintRule(74);
+  for (int split : {4, 6}) {
+    const PostprocRow& row = RunPostprocCached(split);
+    std::printf("M%-9d | %26.1f | %29.1f\n", split, row.with_pp_logical,
+                row.without_pp_logical);
+  }
+  std::printf("(paper: without post-processing logical CCR drops to 17.6%% "
+              "at M4 and 29.3%% at M6)\n");
+
+  PrintHeader("Ablation E7 (Fig. 2): which ingredient hides the key, b14 "
+              "at M4");
+  std::printf("%-22s | %10s | %14s | %13s | %14s\n", "layout policy",
+              "key nets", "read in FEOL", "logical CCR", "physical CCR");
+  PrintRule(86);
+  const char* names[3] = {"naive (Fig. 2a)", "scattered (Fig. 2b)",
+                          "secure (Fig. 2c)"};
+  for (int p = 0; p < 3; ++p) {
+    const PolicyRow& row = RunPolicyCached(p);
+    std::printf("%-22s | %10zu | %14zu | %13.1f | %14.1f\n", names[p],
+                row.key_nets, row.exposed_in_feol, row.logical_ccr,
+                row.physical_ccr);
+  }
+  std::printf(
+      "\nexpected shape: the naive layout leaves most key-nets readable in\n"
+      "the FEOL; randomization alone still leaks routing hints; the full\n"
+      "secure flow reduces the attacker to ~50%% logical / ~0%% physical.\n");
+}
+
+}  // namespace
+}  // namespace splitlock::bench
+
+int main(int argc, char** argv) {
+  using namespace splitlock::bench;
+  for (int split : {4, 6}) {
+    benchmark::RegisterBenchmark(
+        ("AblationPostproc/M" + std::to_string(split)).c_str(),
+        [split](benchmark::State& st) {
+          for (auto _ : st) {
+            const PostprocRow& row = RunPostprocCached(split);
+            st.counters["with_pp"] = row.with_pp_logical;
+            st.counters["without_pp"] = row.without_pp_logical;
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  for (int p = 0; p < 3; ++p) {
+    benchmark::RegisterBenchmark(
+        ("AblationTiePolicy/" + std::to_string(p)).c_str(),
+        [p](benchmark::State& st) {
+          for (auto _ : st) {
+            const PolicyRow& row = RunPolicyCached(p);
+            st.counters["exposed"] =
+                static_cast<double>(row.exposed_in_feol);
+            st.counters["logical_ccr"] = row.logical_ccr;
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTables();
+  return 0;
+}

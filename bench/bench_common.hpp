@@ -1,0 +1,89 @@
+// Shared helpers for the table/figure regeneration harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper: it runs
+// the real flow (lock -> layout -> split -> attack) on the benchmark suite,
+// prints the paper-formatted table with measured numbers next to the
+// paper's published reference values, and registers one single-iteration
+// google-benchmark per row so the numbers also surface as benchmark
+// counters. Design sizes follow REPRO_SCALE (see util/env.hpp).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/suites.hpp"
+#include "core/flow.hpp"
+#include "util/env.hpp"
+
+namespace splitlock::bench {
+
+// One secure-flow run plus its attack scorecard.
+struct FlowScore {
+  core::FlowResult flow;
+  attack::AttackScore score;
+};
+
+inline core::FlowOptions DefaultFlowOptions(int split_layer, uint64_t seed) {
+  core::FlowOptions options;
+  options.key_bits = 128;
+  options.split_layer = split_layer;
+  options.seed = seed;
+  return options;
+}
+
+// Runs the secure flow + proximity attack on an ITC'99 benchmark at the
+// configured scale. Results are memoized per (name, split) so that bench
+// binaries can reference the same run from several rows.
+inline const FlowScore& RunItcFlowCached(const std::string& name,
+                                         int split_layer) {
+  static std::map<std::pair<std::string, int>, FlowScore> cache;
+  const auto key = std::make_pair(name, split_layer);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const Netlist original = circuits::MakeItc99(name, ReproScale());
+  const core::FlowOptions options = DefaultFlowOptions(split_layer, 2019);
+  FlowScore entry{core::RunSecureFlow(original, options), {}};
+  const attack::ProximityResult atk =
+      attack::RunProximityAttack(entry.flow.feol);
+  entry.score = attack::ScoreAttack(entry.flow.feol, atk.assignment,
+                                    ReproPatterns(), options.seed);
+  return cache.emplace(key, std::move(entry)).first->second;
+}
+
+// Table printing -----------------------------------------------------------
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n");
+  PrintRule(78);
+  std::printf("%s\n", title);
+  std::printf("(design scale %.2f of published gate counts; set "
+              "REPRO_SCALE=1.0 for full size)\n",
+              ReproScale());
+  PrintRule(78);
+}
+
+// A "measured vs paper" cell: 51.3 (52) — measured first, reference in
+// parentheses. Reference < 0 means the paper did not report the value.
+inline std::string Cell(double measured, double paper) {
+  char buf[64];
+  if (paper < 0) {
+    std::snprintf(buf, sizeof(buf), "%6.1f (  na)", measured);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%6.1f (%4.0f)", measured, paper);
+  }
+  return buf;
+}
+
+}  // namespace splitlock::bench

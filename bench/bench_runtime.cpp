@@ -1,0 +1,60 @@
+// Sec. IV runtime discussion: per-stage flow runtimes across the suite.
+//
+// The paper reports 5-18h per ITC'99 benchmark dominated by the DC
+// re-synthesis runs (their flow is parallel over partitions but bounded by
+// license count). This harness reports the equivalent breakdown for this
+// library's flow: lock (synthesis stage) vs physical design (layout stage),
+// at the configured REPRO_SCALE.
+#include "bench_common.hpp"
+
+namespace splitlock::bench {
+namespace {
+
+void PrintTable() {
+  PrintHeader("Flow runtime per benchmark (seconds)");
+  std::printf("%-6s | %10s | %12s | %14s | %12s\n", "", "gates",
+              "lock (s)", "layout+split (s)", "total (s)");
+  PrintRule(68);
+  double total = 0.0;
+  for (const auto& info : circuits::Itc99Suite()) {
+    const FlowScore& r = RunItcFlowCached(info.name, 4);
+    const double lock_s = r.flow.times.lock_s;
+    const double layout_s = r.flow.times.place_s;
+    std::printf("%-6s | %10zu | %12.2f | %14.2f | %12.2f\n",
+                info.name.c_str(),
+                r.flow.physical.netlist->NumLogicGates(), lock_s, layout_s,
+                lock_s + layout_s);
+    total += lock_s + layout_s;
+  }
+  PrintRule(68);
+  std::printf("suite total: %.1f s (paper: 5-18 h per benchmark on a\n"
+              "128-core Xeon, dominated by Design Compiler re-synthesis)\n",
+              total);
+}
+
+void RunRow(benchmark::State& state, const std::string& name) {
+  for (auto _ : state) {
+    const FlowScore& r = RunItcFlowCached(name, 4);
+    state.counters["lock_s"] = r.flow.times.lock_s;
+    state.counters["layout_s"] = r.flow.times.place_s;
+  }
+}
+
+}  // namespace
+}  // namespace splitlock::bench
+
+int main(int argc, char** argv) {
+  using namespace splitlock::bench;
+  for (const auto& info : splitlock::circuits::Itc99Suite()) {
+    benchmark::RegisterBenchmark(
+        ("Runtime/" + info.name).c_str(),
+        [name = info.name](benchmark::State& st) { RunRow(st, name); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTable();
+  return 0;
+}

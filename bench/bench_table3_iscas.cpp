@@ -1,0 +1,162 @@
+// Table III: PNR, CCR, HD, OER (%) for ISCAS benchmarks split at M4 —
+// prior art [22] (routing perturbation), [12] (concerted wire lifting),
+// [13] (BEOL restore) versus the proposed keyed scheme.
+//
+// Paper reference averages: [22] PNR 88.3 / CCR 73.3 / HD 29.1 / OER 99.9;
+// [12] PNR 30.3 / CCR 0 / HD 41.1 / OER 100; [13] CCR 0 / HD 41.7 /
+// OER 99.9; Proposed PNR 27.5 / CCR 1.1 (physical, key-nets) / HD 42.8 /
+// OER 99.8. All four defenses are attacked with the same proximity attack.
+#include "bench_common.hpp"
+
+#include "defense/defenses.hpp"
+#include "sim/metrics.hpp"
+
+namespace splitlock::bench {
+namespace {
+
+struct Row {
+  double pnr = 0.0;
+  double ccr = 0.0;
+  double hd = 0.0;
+  double oer = 0.0;
+};
+
+// Published per-benchmark "Proposed" reference values (Table III).
+const std::map<std::string, Row> kPaperProposed = {
+    {"c432", {28, 2, 42.5, 98.3}},  {"c880", {29, 1, 35.7, 100}},
+    {"c1355", {31, 0, 32.3, 100}},  {"c1908", {26, 1, 34.4, 100}},
+    {"c3540", {16, 2, 37.8, 100}},  {"c5315", {31, 1, 45.2, 100}},
+    {"c7552", {31, 1, 71.7, 100}},
+};
+
+Row ScoreDefense(const defense::DefenseResult& d, uint64_t seed) {
+  const attack::ProximityResult atk = attack::RunProximityAttack(d.feol);
+  Row row;
+  row.pnr = attack::ComputePnrPercent(d.feol, atk.assignment);
+  row.ccr = attack::ComputeCcr(d.feol, atk.assignment).regular_ccr_percent;
+  const Netlist recovered =
+      split::BuildRecoveredNetlist(d.feol, atk.assignment);
+  const FunctionalDiff diff =
+      CompareFunctional(d.Reference(), recovered, ReproPatterns(), seed);
+  row.hd = diff.hd_percent;
+  row.oer = diff.oer_percent;
+  return row;
+}
+
+// Memoized per-benchmark results for all four defenses.
+struct AllRows {
+  Row wang22;
+  Row patnaik12;
+  Row patnaik13;
+  Row proposed;
+};
+
+const AllRows& RunBenchmarkCached(const std::string& name) {
+  static std::map<std::string, AllRows> cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+
+  const Netlist original = circuits::MakeIscas(name);
+  core::FlowOptions options = DefaultFlowOptions(4, 2019);
+  AllRows rows;
+  rows.wang22 =
+      ScoreDefense(defense::ApplyRoutingPerturbation(original, options), 1);
+  rows.patnaik12 =
+      ScoreDefense(defense::ApplyConcertedWireLifting(original, options), 2);
+  rows.patnaik13 =
+      ScoreDefense(defense::ApplyBeolRestore(original, options), 3);
+
+  // Proposed: the full keyed secure flow. ISCAS designs are small, so the
+  // paper's cost amortization argument does not apply (footnote 7); the
+  // lock still embeds all 128 bits.
+  core::FlowOptions ours = options;
+  ours.lock.require_area_gain = false;
+  const core::FlowResult flow = core::RunSecureFlow(original, ours);
+  const attack::ProximityResult atk = attack::RunProximityAttack(flow.feol);
+  const attack::AttackScore score = attack::ScoreAttack(
+      flow.feol, atk.assignment, ReproPatterns(), ours.seed);
+  rows.proposed.pnr = score.pnr_percent;
+  // CCR for "proposed" refers to the *physical* key-net CCR (Sec. IV-A).
+  rows.proposed.ccr = score.ccr.key_physical_ccr_percent;
+  rows.proposed.hd = score.functional.hd_percent;
+  rows.proposed.oer = score.functional.oer_percent;
+  return cache.emplace(name, rows).first->second;
+}
+
+void PrintTable() {
+  PrintHeader(
+      "Table III - PNR/CCR/HD/OER (%) for ISCAS split at M4: [22] vs [12] "
+      "vs [13] vs Proposed");
+  std::printf("%-6s | %-27s | %-27s | %-27s | %-27s\n", "",
+              "[22] PNR/CCR/HD/OER", "[12] PNR/CCR/HD/OER",
+              "[13] PNR/CCR/HD/OER", "ours PNR/CCR/HD/OER");
+  PrintRule(126);
+  Row sums[4];
+  int count = 0;
+  for (const auto& info : circuits::IscasSuite()) {
+    const AllRows& rows = RunBenchmarkCached(info.name);
+    const Row* all[4] = {&rows.wang22, &rows.patnaik12, &rows.patnaik13,
+                         &rows.proposed};
+    std::printf("%-6s |", info.name.c_str());
+    for (int d = 0; d < 4; ++d) {
+      std::printf(" %5.1f %5.1f %5.1f %5.1f %s", all[d]->pnr, all[d]->ccr,
+                  all[d]->hd, all[d]->oer, d == 3 ? "\n" : "|");
+      sums[d].pnr += all[d]->pnr;
+      sums[d].ccr += all[d]->ccr;
+      sums[d].hd += all[d]->hd;
+      sums[d].oer += all[d]->oer;
+    }
+    ++count;
+  }
+  PrintRule(126);
+  std::printf("%-6s |", "avg");
+  const double paper_avgs[4][4] = {{88.3, 73.3, 29.1, 99.9},
+                                   {30.3, 0.0, 41.1, 100},
+                                   {-1, 0.0, 41.7, 99.9},
+                                   {27.5, 1.1, 42.8, 99.8}};
+  for (int d = 0; d < 4; ++d) {
+    std::printf(" %5.1f %5.1f %5.1f %5.1f %s", sums[d].pnr / count,
+                sums[d].ccr / count, sums[d].hd / count, sums[d].oer / count,
+                d == 3 ? "\n" : "|");
+  }
+  std::printf("%-6s |", "paper");
+  for (int d = 0; d < 4; ++d) {
+    std::printf(" %5.1f %5.1f %5.1f %5.1f %s", paper_avgs[d][0],
+                paper_avgs[d][1], paper_avgs[d][2], paper_avgs[d][3],
+                d == 3 ? "\n" : "|");
+  }
+  std::printf(
+      "\nnotes: CCR for [22]/[12]/[13] is the regular-net CCR of broken\n"
+      "connections; CCR for 'ours' is the physical key-net CCR. expected\n"
+      "shape: [22] leaves high structural recovery (PNR/CCR); lifting-based\n"
+      "schemes and ours push CCR to ~0 and PNR to ~30 with OER ~100.\n");
+}
+
+void RunRow(benchmark::State& state, const std::string& name) {
+  for (auto _ : state) {
+    const AllRows& rows = RunBenchmarkCached(name);
+    state.counters["ours_pnr"] = rows.proposed.pnr;
+    state.counters["ours_key_physical_ccr"] = rows.proposed.ccr;
+    state.counters["ours_hd"] = rows.proposed.hd;
+    state.counters["ours_oer"] = rows.proposed.oer;
+  }
+}
+
+}  // namespace
+}  // namespace splitlock::bench
+
+int main(int argc, char** argv) {
+  using namespace splitlock::bench;
+  for (const auto& info : splitlock::circuits::IscasSuite()) {
+    benchmark::RegisterBenchmark(
+        ("Table3/" + info.name).c_str(),
+        [name = info.name](benchmark::State& st) { RunRow(st, name); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTable();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Why each defense ingredient matters (the Fig. 2 progression).
+//
+// Attacks the same locked design under three layout policies:
+//   (a) naive     — TIE cells placed next to their key-gates, key-nets
+//                   routed like regular nets (Fig. 2(a));
+//   (b) scattered — TIE cells randomized + fixed, key-nets still routed
+//                   in/through the FEOL (Fig. 2(b));
+//   (c) secure    — randomized TIE cells AND key-nets lifted to the BEOL
+//                   through stacked vias (Fig. 2(c)/(d)).
+// For each, reports how much of the key an FEOL attacker learns.
+#include <cstdio>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/random_circuit.hpp"
+#include "core/flow.hpp"
+#include "phys/router.hpp"
+
+namespace {
+
+struct PolicyResult {
+  const char* name;
+  size_t key_bits_exposed_in_feol;  // unbroken key-nets: read directly
+  size_t key_connections_attacked;
+  double logical_ccr;
+  double physical_ccr;
+};
+
+PolicyResult RunPolicy(const char* name, const splitlock::Netlist& original,
+                       bool randomize_ties, bool lift) {
+  using namespace splitlock;
+  core::FlowOptions options;
+  options.key_bits = 64;
+  options.split_layer = 4;
+  options.seed = 7;
+  options.randomize_tie_placement = randomize_ties;
+  options.lift_key_nets = lift;
+  const core::FlowResult flow = core::RunSecureFlow(original, options);
+
+  // Key-nets fully routed in the FEOL are read off directly.
+  size_t exposed = 0;
+  for (NetId kn : phys::KeyNetsOf(*flow.physical.netlist)) {
+    if (!flow.feol.net_broken[kn]) ++exposed;
+  }
+  const attack::ProximityResult atk = attack::RunProximityAttack(flow.feol);
+  const attack::CcrReport ccr = attack::ComputeCcr(flow.feol, atk.assignment);
+  return PolicyResult{name, exposed, ccr.key_connections,
+                      ccr.key_logical_ccr_percent,
+                      ccr.key_physical_ccr_percent};
+}
+
+}  // namespace
+
+int main() {
+  using namespace splitlock;
+  circuits::CircuitSpec spec;
+  spec.name = "attack_demo";
+  spec.num_inputs = 48;
+  spec.num_outputs = 24;
+  spec.num_gates = 1500;
+  spec.seed = 7;
+  const Netlist original = circuits::GenerateCircuit(spec);
+  std::printf("design: %zu gates, 64 key bits, split at M4\n\n",
+              original.NumLogicGates());
+
+  const PolicyResult results[] = {
+      RunPolicy("naive (Fig. 2a)", original, false, false),
+      RunPolicy("scattered (Fig. 2b)", original, true, false),
+      RunPolicy("secure (Fig. 2c)", original, true, true),
+  };
+
+  std::printf("%-22s %18s %14s %15s %16s\n", "layout policy",
+              "key bits in FEOL", "key stubs", "logical CCR %",
+              "physical CCR %");
+  for (const PolicyResult& r : results) {
+    std::printf("%-22s %18zu %14zu %15.1f %16.1f\n", r.name,
+                r.key_bits_exposed_in_feol, r.key_connections_attacked,
+                r.logical_ccr, r.physical_ccr);
+  }
+  std::printf(
+      "\nreading: the naive layout leaks most key bits outright (key-nets\n"
+      "never leave the FEOL); scattering the TIE cells forces the nets to\n"
+      "break but routing fragments still help the attacker; only lifting\n"
+      "whole key-nets to the BEOL reduces the attack to coin flipping.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Full secure flow on an ITC'99-scale design (b14 equivalent).
+//
+// Reproduces the paper's headline experiment on one benchmark: lock with
+// 128 key bits, generate the secure layout, split at M4 and M6, attack
+// both, and report Table I / Table II style numbers plus the Fig. 5 style
+// layout cost against the unprotected baseline.
+//
+// Usage: itc_flow [benchmark] [scale]
+//   benchmark: b14 | b15 | b17 | b20 | b21 | b22   (default b14)
+//   scale:     gate-count multiplier                (default REPRO_SCALE/2)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/suites.hpp"
+#include "core/flow.hpp"
+#include "util/env.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splitlock;
+
+  const std::string name = argc > 1 ? argv[1] : "b14";
+  const double scale =
+      argc > 2 ? std::atof(argv[2]) : ReproScale() / 2.0;
+  const Netlist original = circuits::MakeItc99(name, scale);
+  std::printf("%s (scale %.2f): %zu gates, %zu PIs, %zu POs\n", name.c_str(),
+              scale, original.NumLogicGates(), original.inputs().size(),
+              original.outputs().size());
+
+  for (const int split_layer : {4, 6}) {
+    core::FlowOptions options;
+    options.key_bits = 128;
+    options.split_layer = split_layer;
+    options.seed = 2019;
+    const core::FlowResult flow = core::RunSecureFlow(original, options);
+
+    // Unprotected baseline for the cost comparison.
+    const core::PhysicalBundle baseline =
+        core::BuildPhysical(original, options);
+    const core::CostDelta delta =
+        core::CompareCost(baseline.cost, flow.physical.cost);
+
+    const attack::ProximityResult atk =
+        attack::RunProximityAttack(flow.feol);
+    const attack::AttackScore score = attack::ScoreAttack(
+        flow.feol, atk.assignment, ReproPatterns(), options.seed);
+
+    std::printf("\n--- split at M%d (key-nets lifted to M%d) ---\n",
+                split_layer, options.EffectiveLiftLayer());
+    std::printf("broken connections: %zu (of which %zu key)\n",
+                flow.feol.sink_stubs.size(), score.ccr.key_connections);
+    std::printf("CCR  key logical %5.1f %%  key physical %5.1f %%  "
+                "regular %5.1f %%\n",
+                score.ccr.key_logical_ccr_percent,
+                score.ccr.key_physical_ccr_percent,
+                score.ccr.regular_ccr_percent);
+    std::printf("HD   %5.1f %%   OER %5.1f %%   PNR %5.1f %%\n",
+                score.functional.hd_percent, score.functional.oer_percent,
+                score.pnr_percent);
+    std::printf("cost vs unprotected: area %+5.1f %%  power %+5.1f %%  "
+                "timing %+5.1f %%\n",
+                delta.area_percent, delta.power_percent,
+                delta.timing_percent);
+    std::printf("flow runtime: lock %.1f s, layout %.1f s\n",
+                flow.times.lock_s, flow.times.place_s);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: lock a design, lay it out securely, split it, attack it.
+//
+// This walks the library's public API end to end on a mid-size synthetic
+// circuit:
+//   1. generate a circuit,
+//   2. run the secure split-manufacturing flow (ATPG-based locking with a
+//      128-bit key, randomized TIE cells, key-nets lifted to the BEOL),
+//   3. split at M4,
+//   4. run the state-of-the-art proximity attack against the FEOL,
+//   5. print the security scorecard (CCR / HD / OER / PNR).
+#include <cstdio>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/random_circuit.hpp"
+#include "core/flow.hpp"
+
+int main() {
+  using namespace splitlock;
+
+  // 1. A 2000-gate synthetic design (deterministic in the seed).
+  circuits::CircuitSpec spec;
+  spec.name = "quickstart";
+  spec.num_inputs = 64;
+  spec.num_outputs = 32;
+  spec.num_gates = 2000;
+  spec.seed = 2019;
+  const Netlist original = circuits::GenerateCircuit(spec);
+  std::printf("design: %zu gates, %zu PIs, %zu POs\n",
+              original.NumLogicGates(), original.inputs().size(),
+              original.outputs().size());
+
+  // 2. Secure flow: lock the FEOL, unlock at the BEOL.
+  core::FlowOptions options;
+  options.key_bits = 128;
+  options.split_layer = 4;  // FEOL keeps M1..M4; key-nets lifted to M5/M6
+  options.seed = 2019;
+  const core::FlowResult flow = core::RunSecureFlow(original, options);
+  std::printf(
+      "locked:  %zu key bits (%zu from failing patterns, %zu padded), "
+      "LEC %s\n",
+      flow.lock.key.size(), flow.lock.pattern_bits, flow.lock.padding_bits,
+      flow.lock.lec_equivalent ? "equivalent" : "FAILED");
+  std::printf("layout:  die %.0f um^2, power %.1f uW, critical path %.0f ps\n",
+              flow.physical.cost.die_area_um2, flow.physical.cost.power_uw,
+              flow.physical.cost.critical_path_ps);
+  std::printf("lifted:  %zu key-nets through %zu stacked vias\n",
+              flow.physical.lift.key_nets_lifted,
+              flow.physical.lift.stacked_vias);
+
+  // 3. The split handed to the untrusted FEOL foundry.
+  std::printf("split:   M%d, %zu broken connections (%zu broken nets)\n",
+              flow.feol.split_layer, flow.feol.sink_stubs.size(),
+              flow.feol.driver_stubs.size());
+
+  // 4. Proximity attack (Wang et al. style, with key-gate post-processing).
+  const attack::ProximityResult attack_result =
+      attack::RunProximityAttack(flow.feol);
+
+  // 5. Scorecard.
+  const attack::AttackScore score =
+      attack::ScoreAttack(flow.feol, attack_result.assignment, 100000, 1);
+  std::printf("\nattack scorecard (lower CCR / higher OER = stronger defense)\n");
+  std::printf("  regular nets CCR:   %5.1f %%\n",
+              score.ccr.regular_ccr_percent);
+  std::printf("  key-nets CCR:       logical %5.1f %%  physical %5.1f %%\n",
+              score.ccr.key_logical_ccr_percent,
+              score.ccr.key_physical_ccr_percent);
+  std::printf("  netlist recovery:   PNR %5.1f %%\n", score.pnr_percent);
+  std::printf("  functional damage:  HD %5.1f %%   OER %5.1f %%\n",
+              score.functional.hd_percent, score.functional.oer_percent);
+  std::printf("\nthe key stays indistinguishable from random guessing: the\n"
+              "attacker's logical CCR sits near 50%% and the recovered "
+              "netlist is wrong on essentially every pattern.\n");
+  return flow.lock.lec_equivalent ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+#include "atpg/cube.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <unordered_set>
+
+namespace splitlock::atpg {
+
+int Cube::CareCount() const { return std::popcount(care); }
+
+std::optional<std::vector<uint64_t>> EnumerateConeMinterms(const Netlist& nl,
+                                                           const Cut& cut,
+                                                           bool polarity,
+                                                           size_t limit) {
+  const size_t k = cut.leaves.size();
+  if (k > 20) return std::nullopt;
+  const uint64_t total = 1ULL << k;
+
+  // Lane patterns: leaf i takes bit i of the global pattern index. The low
+  // six index bits vary within a word; higher bits select the word.
+  static constexpr uint64_t kLaneMasks[6] = {
+      0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+      0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+  std::vector<uint64_t> values(nl.NumNets(), 0);
+  std::vector<uint64_t> minterms;
+  const uint64_t words = (total + 63) / 64;
+  uint64_t fanin_words[4];
+  for (uint64_t w = 0; w < words; ++w) {
+    for (size_t i = 0; i < k; ++i) {
+      const uint64_t word =
+          i < 6 ? kLaneMasks[i]
+                : (((w >> (i - 6)) & 1) != 0 ? ~0ULL : 0ULL);
+      values[cut.leaves[i]] = word;
+    }
+    for (GateId g : cut.cone) {
+      const Gate& gate = nl.gate(g);
+      const size_t n = gate.fanins.size();
+      for (size_t i = 0; i < n; ++i) fanin_words[i] = values[gate.fanins[i]];
+      values[gate.out] =
+          EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
+    }
+    uint64_t hits = values[cut.root];
+    if (!polarity) hits = ~hits;
+    const uint64_t lanes = total - w * 64 >= 64 ? 64 : total - w * 64;
+    if (lanes < 64) hits &= (1ULL << lanes) - 1;
+    while (hits != 0) {
+      const int lane = std::countr_zero(hits);
+      hits &= hits - 1;
+      minterms.push_back(w * 64 + static_cast<uint64_t>(lane));
+      if (minterms.size() > limit) return std::nullopt;
+    }
+  }
+  return minterms;
+}
+
+std::vector<Cube> MintermsToCubes(const std::vector<uint64_t>& minterms,
+                                  size_t num_vars) {
+  if (minterms.empty()) return {};
+  const uint64_t full_care =
+      num_vars >= 64 ? ~0ULL : ((1ULL << num_vars) - 1);
+
+  struct CubeLess {
+    bool operator()(const Cube& a, const Cube& b) const {
+      return a.care != b.care ? a.care < b.care : a.value < b.value;
+    }
+  };
+
+  // Iterative Quine-McCluskey merge: combine cube pairs with identical care
+  // masks whose values differ in exactly one care bit.
+  std::set<Cube, CubeLess> current;
+  for (uint64_t m : minterms) current.insert(Cube{full_care, m & full_care});
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<Cube, CubeLess> next;
+    std::set<Cube, CubeLess> merged;
+    std::vector<Cube> list(current.begin(), current.end());
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].care != list[j].care) continue;
+        const uint64_t diff = list[i].value ^ list[j].value;
+        if (std::popcount(diff) != 1) continue;
+        next.insert(Cube{list[i].care & ~diff, list[i].value & ~diff});
+        merged.insert(list[i]);
+        merged.insert(list[j]);
+      }
+    }
+    for (const Cube& c : list) {
+      if (merged.count(c) == 0) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+
+  // Greedy cover of the minterms by prime cubes.
+  std::unordered_set<uint64_t> uncovered(minterms.begin(), minterms.end());
+  std::vector<Cube> cover;
+  while (!uncovered.empty()) {
+    size_t best_i = 0;
+    size_t best_count = 0;
+    for (size_t i = 0; i < primes.size(); ++i) {
+      size_t count = 0;
+      for (uint64_t m : uncovered) {
+        if (primes[i].Covers(m)) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_i = i;
+      }
+    }
+    // Every uncovered minterm is itself a prime or covered by one.
+    if (best_count == 0) break;
+    cover.push_back(primes[best_i]);
+    for (auto it = uncovered.begin(); it != uncovered.end();) {
+      it = primes[best_i].Covers(*it) ? uncovered.erase(it) : ++it;
+    }
+  }
+  return cover;
+}
+
+bool CubesCoverExactly(const std::vector<Cube>& cubes,
+                       const std::vector<uint64_t>& minterms,
+                       size_t num_vars) {
+  const uint64_t total = 1ULL << num_vars;
+  std::unordered_set<uint64_t> want(minterms.begin(), minterms.end());
+  for (uint64_t m = 0; m < total; ++m) {
+    bool covered = false;
+    for (const Cube& c : cubes) {
+      if (c.Covers(m)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered != (want.count(m) != 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace splitlock::atpg

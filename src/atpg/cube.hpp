@@ -1,0 +1,55 @@
+// Failing-pattern enumeration and cube compaction.
+//
+// For a stuck-at-v fault at the root of a cut, the *failing patterns* are
+// exactly the cut-input assignments under which the cone computes !v (the
+// fault is excited and, because the restore circuitry re-creates the value
+// at the fault site, excitation is equivalent to failure). This module
+// enumerates that on-set exhaustively (64 patterns per simulation word) and
+// compacts it into prime cubes via Quine-McCluskey-style merging plus a
+// greedy cover. The resulting cubes are the comparator patterns of the
+// restore circuitry (Fig. 4(b): failing patterns with don't-cares).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/cut.hpp"
+#include "netlist/netlist.hpp"
+
+namespace splitlock::atpg {
+
+// A cube over the cut leaves: bit i of `care` set means leaf i is a care
+// literal with required value bit i of `value`. Supports up to 64 leaves.
+struct Cube {
+  uint64_t care = 0;
+  uint64_t value = 0;
+
+  bool Covers(uint64_t minterm) const {
+    return ((minterm ^ value) & care) == 0;
+  }
+  int CareCount() const;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+};
+
+// Exhaustively evaluates the cone over its cut leaves and returns the
+// minterms (as leaf-indexed bit vectors) on which the cone output equals
+// `polarity`. Returns nullopt when the on-set exceeds `limit` (the fault is
+// then too expensive to restore) or the cut has more than 20 leaves.
+std::optional<std::vector<uint64_t>> EnumerateConeMinterms(const Netlist& nl,
+                                                           const Cut& cut,
+                                                           bool polarity,
+                                                           size_t limit);
+
+// Compacts minterms into a small prime-cube cover (exact cover of exactly
+// the given minterm set; cubes never cover anything outside it).
+std::vector<Cube> MintermsToCubes(const std::vector<uint64_t>& minterms,
+                                  size_t num_vars);
+
+// Verification helper: true iff the cube list covers exactly `minterms`
+// over a space of `num_vars` variables.
+bool CubesCoverExactly(const std::vector<Cube>& cubes,
+                       const std::vector<uint64_t>& minterms, size_t num_vars);
+
+}  // namespace splitlock::atpg

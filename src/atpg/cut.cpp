@@ -1,0 +1,116 @@
+#include "atpg/cut.hpp"
+
+#include <limits>
+#include <set>
+#include <unordered_set>
+
+namespace splitlock::atpg {
+namespace {
+
+// A net can be expanded (replaced by its driver's fanins) when its driver
+// is plain logic. Constants expand to zero leaves.
+bool Expandable(const Netlist& nl, NetId n) {
+  const GateId d = nl.DriverOf(n);
+  if (d == kNullId) return false;
+  const Gate& g = nl.gate(d);
+  if (g.HasFlag(kFlagDontTouch)) return false;
+  switch (g.op) {
+    case GateOp::kInput:
+    case GateOp::kKeyIn:
+    case GateOp::kDeleted:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+Cut ExtractCut(const Netlist& nl, NetId root, size_t max_leaves) {
+  Cut failed;
+  if (!Expandable(nl, root)) return failed;
+
+  // Seed the frontier with the root driver's fanins (the trivial cut), then
+  // greedily expand the leaf whose expansion grows the frontier least,
+  // while the bound holds. std::set keeps iteration deterministic.
+  std::set<NetId> frontier;
+  for (NetId f : nl.gate(nl.DriverOf(root)).fanins) frontier.insert(f);
+  if (frontier.size() > max_leaves) return failed;
+
+  for (;;) {
+    NetId best = kNullId;
+    int best_growth = std::numeric_limits<int>::max();
+    for (NetId n : frontier) {
+      if (!Expandable(nl, n)) continue;
+      const Gate& d = nl.gate(nl.DriverOf(n));
+      int growth = -1;  // n itself leaves the frontier
+      for (NetId f : d.fanins) {
+        if (frontier.count(f) == 0 && f != n) ++growth;
+      }
+      if (growth < best_growth) {
+        best_growth = growth;
+        best = n;
+      }
+    }
+    if (best == kNullId) break;
+    if (frontier.size() + best_growth > max_leaves) break;
+    const Gate& d = nl.gate(nl.DriverOf(best));
+    frontier.erase(best);
+    for (NetId f : d.fanins) frontier.insert(f);
+  }
+  if (frontier.size() > max_leaves) return failed;
+
+  Cut cut;
+  cut.root = root;
+  cut.leaves.assign(frontier.begin(), frontier.end());
+
+  // Collect cone gates: DFS from the root's driver, stopping at leaves.
+  std::unordered_set<NetId> leaf_set(cut.leaves.begin(), cut.leaves.end());
+  std::unordered_set<GateId> cone_set;
+  std::vector<GateId> stack{nl.DriverOf(root)};
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    if (cone_set.count(g) != 0) continue;
+    cone_set.insert(g);
+    for (NetId n : nl.gate(g).fanins) {
+      if (leaf_set.count(n) != 0) continue;
+      const GateId d = nl.DriverOf(n);
+      if (d != kNullId) stack.push_back(d);
+    }
+  }
+  // Topo-sort the cone using the global order.
+  cut.cone.reserve(cone_set.size());
+  for (GateId g : nl.TopoOrder()) {
+    if (cone_set.count(g) != 0) cut.cone.push_back(g);
+  }
+  return cut;
+}
+
+Cut CutFromCone(const Netlist& nl, NetId root,
+                std::span<const GateId> cone_gates, size_t max_leaves) {
+  Cut failed;
+  if (cone_gates.empty()) return failed;
+  std::unordered_set<GateId> cone_set(cone_gates.begin(), cone_gates.end());
+  if (cone_set.count(nl.DriverOf(root)) == 0) return failed;
+
+  std::set<NetId> leaves;
+  for (GateId g : cone_gates) {
+    for (NetId n : nl.gate(g).fanins) {
+      const GateId d = nl.DriverOf(n);
+      if (d == kNullId || cone_set.count(d) == 0) leaves.insert(n);
+    }
+  }
+  if (leaves.empty() || leaves.size() > max_leaves) return failed;
+
+  Cut cut;
+  cut.root = root;
+  cut.leaves.assign(leaves.begin(), leaves.end());
+  cut.cone.reserve(cone_gates.size());
+  for (GateId g : nl.TopoOrder()) {
+    if (cone_set.count(g) != 0) cut.cone.push_back(g);
+  }
+  return cut;
+}
+
+}  // namespace splitlock::atpg

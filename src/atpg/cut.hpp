@@ -1,0 +1,40 @@
+// K-feasible cut extraction.
+//
+// For a target net n, finds a small set of support nets (the *cut*) such
+// that the logic between the cut and n (the *cone*) computes n as a function
+// of only the cut nets. The locking flow uses the cut as the "module inputs"
+// against which failing patterns are enumerated (Sec. III-A / Fig. 4), and
+// the cone to bound where fault effects must be analyzed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock::atpg {
+
+struct Cut {
+  NetId root = kNullId;
+  std::vector<NetId> leaves;   // support nets, deterministic order
+  std::vector<GateId> cone;    // gates strictly between leaves and root
+                               // (including the root's driver), topo order
+};
+
+// Attempts to find a cut of `root` with at most `max_leaves` leaves by
+// frontier expansion (expanding the leaf whose driver reduces or least
+// increases the frontier). Returns a cut with leaves.size() <= max_leaves,
+// or an empty optional-like cut (leaves empty, root == kNullId) on failure.
+Cut ExtractCut(const Netlist& nl, NetId root, size_t max_leaves);
+
+// Builds the cut whose cone is exactly the given gate set (e.g. an MFFC):
+// the leaves are the nets feeding the cone from outside. This is the
+// natural module boundary for fault-injection locking — the removed logic
+// and the comparator support coincide, keeping failing-pattern sets
+// compact. Fails (root == kNullId) when the cone needs more than
+// `max_leaves` external nets or does not actually drive `root`.
+Cut CutFromCone(const Netlist& nl, NetId root,
+                std::span<const GateId> cone_gates, size_t max_leaves);
+
+}  // namespace splitlock::atpg

@@ -1,0 +1,105 @@
+#include "atpg/fault.hpp"
+
+#include <map>
+#include <set>
+
+namespace splitlock::atpg {
+namespace {
+
+bool FaultableNet(const Netlist& nl, NetId n) {
+  const GateId d = nl.DriverOf(n);
+  if (d == kNullId) return false;
+  switch (nl.gate(d).op) {
+    case GateOp::kDeleted:
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+      return false;
+    default:
+      return !nl.net(n).sinks.empty();
+  }
+}
+
+}  // namespace
+
+std::string FaultName(const Netlist& nl, const Fault& f) {
+  return nl.net(f.net).name + (f.stuck_at ? "/sa1" : "/sa0");
+}
+
+std::vector<Fault> EnumerateStemFaults(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    if (!FaultableNet(nl, n)) continue;
+    faults.push_back(Fault{n, false});
+    faults.push_back(Fault{n, true});
+  }
+  return faults;
+}
+
+std::vector<Fault> CollapseFaults(const Netlist& nl,
+                                  const std::vector<Fault>& faults) {
+  // Union-find over (net, polarity) pairs keyed as 2*net + polarity.
+  std::map<uint64_t, uint64_t> parent;
+  auto find = [&](uint64_t x) {
+    while (parent.count(x) != 0 && parent[x] != x) x = parent[x];
+    return x;
+  };
+  auto unite = [&](uint64_t a, uint64_t b) {
+    a = find(a);
+    b = find(b);
+    if (parent.count(a) == 0) parent[a] = a;
+    if (parent.count(b) == 0) parent[b] = b;
+    parent[std::max(a, b)] = std::min(a, b);
+  };
+  auto key = [](NetId n, bool sa) { return 2ULL * n + (sa ? 1 : 0); };
+
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kDeleted || gate.out == kNullId) continue;
+    // Only apply the single-sink rules when the gate's inputs are not
+    // fanout stems (the classical structural-equivalence precondition).
+    auto single_sink = [&](NetId n) { return nl.net(n).sinks.size() == 1; };
+    switch (gate.op) {
+      case GateOp::kBuf:
+        if (single_sink(gate.fanins[0])) {
+          unite(key(gate.fanins[0], false), key(gate.out, false));
+          unite(key(gate.fanins[0], true), key(gate.out, true));
+        }
+        break;
+      case GateOp::kInv:
+        if (single_sink(gate.fanins[0])) {
+          unite(key(gate.fanins[0], false), key(gate.out, true));
+          unite(key(gate.fanins[0], true), key(gate.out, false));
+        }
+        break;
+      case GateOp::kAnd:
+      case GateOp::kNand: {
+        const bool out_pol = gate.op == GateOp::kNand;
+        for (NetId n : gate.fanins) {
+          // input s-a-0 == output s-a-(controlled value)
+          if (single_sink(n)) unite(key(n, false), key(gate.out, out_pol));
+        }
+        break;
+      }
+      case GateOp::kOr:
+      case GateOp::kNor: {
+        const bool out_pol = gate.op == GateOp::kNor;
+        for (NetId n : gate.fanins) {
+          if (single_sink(n)) unite(key(n, true), key(gate.out, !out_pol));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::set<uint64_t> representatives;
+  std::vector<Fault> out;
+  for (const Fault& f : faults) {
+    const uint64_t rep = find(key(f.net, f.stuck_at));
+    if (representatives.insert(rep).second) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace splitlock::atpg

@@ -1,0 +1,32 @@
+// Single stuck-at fault model.
+//
+// Faults are modeled on net stems (the output net of a gate or a primary
+// input). Equivalence-based collapsing shrinks the fault list using the
+// classical gate-local rules (e.g. any input s-a-0 of an AND is equivalent
+// to its output s-a-0; BUF/INV chains transport faults).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock::atpg {
+
+struct Fault {
+  NetId net = kNullId;
+  bool stuck_at = false;  // value the net is stuck at
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+std::string FaultName(const Netlist& nl, const Fault& f);
+
+// All stem faults (two per live, logic-relevant net).
+std::vector<Fault> EnumerateStemFaults(const Netlist& nl);
+
+// Equivalence-collapsed representative set.
+std::vector<Fault> CollapseFaults(const Netlist& nl,
+                                  const std::vector<Fault>& faults);
+
+}  // namespace splitlock::atpg

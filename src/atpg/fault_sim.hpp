@@ -1,0 +1,61 @@
+// 64-bit parallel-pattern stuck-at fault simulation.
+//
+// For a given fault, re-evaluates the downstream cone with the faulty net
+// forced and reports the lane mask of patterns whose primary outputs differ
+// from the good machine — i.e. the patterns that *detect* (fail under) the
+// fault. Aggregate coverage sweeps support the test suite and the locking
+// cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::atpg {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& nl);
+
+  // Loads one 64-pattern word per primary input and simulates the good
+  // machine.
+  void LoadPatterns(std::span<const uint64_t> pi_words);
+
+  // Random-pattern convenience wrapper for LoadPatterns.
+  void LoadRandomPatterns(Rng& rng);
+
+  // Lane mask of patterns (within the loaded word) detecting `fault` at any
+  // primary output.
+  uint64_t DetectMask(const Fault& fault) const;
+
+  // Good-machine value of a net for the loaded word.
+  uint64_t GoodValue(NetId net) const { return good_[net]; }
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<GateId> topo_;
+  std::vector<uint32_t> topo_pos_;  // gate -> index in topo_
+  std::vector<uint64_t> good_;
+  mutable std::vector<uint64_t> faulty_;  // scratch
+};
+
+struct CoverageResult {
+  size_t total_faults = 0;
+  size_t detected = 0;
+  double CoveragePercent() const {
+    return total_faults == 0 ? 0.0 : 100.0 * detected / total_faults;
+  }
+};
+
+// Random-pattern fault coverage over `patterns` patterns.
+CoverageResult FaultCoverage(const Netlist& nl,
+                             const std::vector<Fault>& faults,
+                             uint64_t patterns, uint64_t seed);
+
+}  // namespace splitlock::atpg

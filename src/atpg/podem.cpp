@@ -1,0 +1,278 @@
+#include "atpg/podem.hpp"
+
+#include <cassert>
+#include <span>
+#include <unordered_map>
+
+namespace splitlock::atpg {
+namespace {
+
+uint8_t Not3(uint8_t v) { return v == kVX ? kVX : (v ^ 1); }
+
+uint8_t Eval3(GateOp op, std::span<const uint8_t> f) {
+  switch (op) {
+    case GateOp::kConst0:
+    case GateOp::kTieLo:
+      return kV0;
+    case GateOp::kConst1:
+    case GateOp::kTieHi:
+      return kV1;
+    case GateOp::kBuf:
+      return f[0];
+    case GateOp::kInv:
+      return Not3(f[0]);
+    case GateOp::kAnd:
+    case GateOp::kNand: {
+      uint8_t v = kV1;
+      for (uint8_t x : f) {
+        if (x == kV0) {
+          v = kV0;
+          break;
+        }
+        if (x == kVX) v = kVX;
+      }
+      return op == GateOp::kNand ? Not3(v) : v;
+    }
+    case GateOp::kOr:
+    case GateOp::kNor: {
+      uint8_t v = kV0;
+      for (uint8_t x : f) {
+        if (x == kV1) {
+          v = kV1;
+          break;
+        }
+        if (x == kVX) v = kVX;
+      }
+      return op == GateOp::kNor ? Not3(v) : v;
+    }
+    case GateOp::kXor:
+    case GateOp::kXnor: {
+      if (f[0] == kVX || f[1] == kVX) return kVX;
+      const uint8_t v = f[0] ^ f[1];
+      return op == GateOp::kXnor ? (v ^ 1) : v;
+    }
+    case GateOp::kMux: {
+      if (f[0] == kV0) return f[1];
+      if (f[0] == kV1) return f[2];
+      if (f[1] == f[2] && f[1] != kVX) return f[1];
+      return kVX;
+    }
+    default:
+      return kVX;
+  }
+}
+
+// (controlling value, output inversion) of a gate, where applicable.
+bool HasControllingValue(GateOp op, uint8_t* cv) {
+  switch (op) {
+    case GateOp::kAnd:
+    case GateOp::kNand:
+      *cv = kV0;
+      return true;
+    case GateOp::kOr:
+    case GateOp::kNor:
+      *cv = kV1;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool OutputInverts(GateOp op) {
+  return op == GateOp::kNand || op == GateOp::kNor || op == GateOp::kInv ||
+         op == GateOp::kXnor;
+}
+
+class Podem {
+ public:
+  Podem(const Netlist& nl, const Fault& fault, const PodemOptions& options)
+      : nl_(nl),
+        fault_(fault),
+        options_(options),
+        topo_(nl.TopoOrder()),
+        good_(nl.NumNets(), kVX),
+        faulty_(nl.NumNets(), kVX),
+        pi_values_(nl.inputs().size(), kVX) {
+    for (size_t i = 0; i < nl_.inputs().size(); ++i) {
+      pi_of_net_[nl_.gate(nl_.inputs()[i]).out] = i;
+    }
+  }
+
+  std::optional<TestPattern> Run(bool* aborted) {
+    if (aborted != nullptr) *aborted = false;
+    Imply();
+    struct Decision {
+      size_t pi;
+      uint8_t value;
+      bool flipped;
+    };
+    std::vector<Decision> stack;
+    uint64_t backtracks = 0;
+
+    for (;;) {
+      if (Detected()) {
+        TestPattern t;
+        t.pi_values = pi_values_;
+        return t;
+      }
+      size_t pi = 0;
+      uint8_t value = kVX;
+      const bool have_objective = NextObjective(&pi, &value);
+      if (have_objective) {
+        stack.push_back(Decision{pi, value, false});
+        pi_values_[pi] = value;
+        Imply();
+        continue;
+      }
+      // No objective reachable: backtrack.
+      for (;;) {
+        if (stack.empty()) return std::nullopt;  // untestable
+        Decision& d = stack.back();
+        if (!d.flipped) {
+          d.flipped = true;
+          pi_values_[d.pi] = d.value ^ 1;
+          if (++backtracks > options_.backtrack_limit) {
+            if (aborted != nullptr) *aborted = true;
+            return std::nullopt;
+          }
+          Imply();
+          break;
+        }
+        pi_values_[d.pi] = kVX;
+        stack.pop_back();
+        Imply();
+      }
+    }
+  }
+
+ private:
+  void Imply() {
+    uint8_t fan[4];
+    for (GateId g : topo_) {
+      const Gate& gate = nl_.gate(g);
+      if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) continue;
+      uint8_t gv;
+      uint8_t fv;
+      if (gate.op == GateOp::kInput) {
+        gv = fv = pi_values_[pi_of_net_.at(gate.out)];
+      } else if (gate.op == GateOp::kKeyIn) {
+        gv = fv = kVX;  // keys are not assignable during test generation
+      } else {
+        const size_t n = gate.fanins.size();
+        for (size_t i = 0; i < n; ++i) fan[i] = good_[gate.fanins[i]];
+        gv = Eval3(gate.op, std::span<const uint8_t>(fan, n));
+        for (size_t i = 0; i < n; ++i) fan[i] = faulty_[gate.fanins[i]];
+        fv = Eval3(gate.op, std::span<const uint8_t>(fan, n));
+      }
+      good_[gate.out] = gv;
+      faulty_[gate.out] =
+          gate.out == fault_.net ? (fault_.stuck_at ? kV1 : kV0) : fv;
+    }
+  }
+
+  bool Detected() const {
+    for (GateId g : nl_.outputs()) {
+      const NetId n = nl_.gate(g).fanins[0];
+      if (good_[n] != kVX && faulty_[n] != kVX && good_[n] != faulty_[n]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Chooses the next (net, value) objective and backtraces it to a PI
+  // assignment. Returns false when neither excitation nor propagation
+  // objectives are available.
+  bool NextObjective(size_t* pi, uint8_t* value) {
+    // 1) Excite the fault: the good value at the fault site must be the
+    //    complement of the stuck-at value.
+    const uint8_t want = fault_.stuck_at ? kV0 : kV1;
+    if (good_[fault_.net] == kVX) {
+      return Backtrace(fault_.net, want, pi, value);
+    }
+    if (good_[fault_.net] != want) return false;  // fault cannot be excited
+
+    // 2) Propagate: pick a D-frontier gate and set one X side-input to the
+    //    non-controlling value.
+    for (GateId g : topo_) {
+      const Gate& gate = nl_.gate(g);
+      if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted ||
+          IsSourceOp(gate.op)) {
+        continue;
+      }
+      // Output must still be undetermined on at least one machine.
+      if (good_[gate.out] != kVX && faulty_[gate.out] != kVX &&
+          good_[gate.out] != faulty_[gate.out]) {
+        continue;  // already propagated past here
+      }
+      bool has_d_input = false;
+      for (NetId n : gate.fanins) {
+        if (good_[n] != kVX && faulty_[n] != kVX && good_[n] != faulty_[n]) {
+          has_d_input = true;
+          break;
+        }
+      }
+      if (!has_d_input) continue;
+      if (good_[gate.out] != kVX && faulty_[gate.out] != kVX) continue;
+      // Side inputs to non-controlling value.
+      uint8_t cv = kV0;
+      const bool has_cv = HasControllingValue(gate.op, &cv);
+      for (NetId n : gate.fanins) {
+        if (good_[n] != kVX) continue;
+        const uint8_t objective = has_cv ? (cv ^ 1) : kV1;
+        if (Backtrace(n, objective, pi, value)) return true;
+      }
+    }
+    return false;
+  }
+
+  // Walks backwards from (net, v) through X-valued logic to an unassigned
+  // primary input; fills the PI index and required value.
+  bool Backtrace(NetId net, uint8_t v, size_t* pi, uint8_t* value) {
+    for (int depth = 0; depth < 100000; ++depth) {
+      const GateId d = nl_.DriverOf(net);
+      if (d == kNullId) return false;
+      const Gate& gate = nl_.gate(d);
+      if (gate.op == GateOp::kInput) {
+        const size_t index = pi_of_net_.at(net);
+        if (pi_values_[index] != kVX) return false;
+        *pi = index;
+        *value = v;
+        return true;
+      }
+      if (IsSourceOp(gate.op)) return false;  // constants/keys unassignable
+      if (OutputInverts(gate.op)) v = Not3(v);
+      // Choose an X-valued fanin to pursue; for XOR/MUX just take any X.
+      NetId next = kNullId;
+      for (NetId n : gate.fanins) {
+        if (good_[n] == kVX) {
+          next = n;
+          break;
+        }
+      }
+      if (next == kNullId) return false;
+      net = next;
+    }
+    return false;
+  }
+
+  const Netlist& nl_;
+  const Fault fault_;
+  const PodemOptions options_;
+  std::vector<GateId> topo_;
+  std::vector<uint8_t> good_;
+  std::vector<uint8_t> faulty_;
+  std::vector<uint8_t> pi_values_;
+  std::unordered_map<NetId, size_t> pi_of_net_;
+};
+
+}  // namespace
+
+std::optional<TestPattern> GenerateTest(const Netlist& nl, const Fault& fault,
+                                        const PodemOptions& options,
+                                        bool* aborted) {
+  Podem engine(nl, fault, options);
+  return engine.Run(aborted);
+}
+
+}  // namespace splitlock::atpg

@@ -1,0 +1,46 @@
+// PODEM automatic test pattern generation for single stuck-at faults.
+//
+// Classic PODEM: decisions are made only on primary inputs; objectives are
+// derived from fault excitation and D-frontier propagation and mapped to PI
+// assignments by backtracing. Together with the parallel fault simulator
+// this forms the library's Atalanta-style ATPG substrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace splitlock::atpg {
+
+// Three-valued logic constant.
+inline constexpr uint8_t kV0 = 0;
+inline constexpr uint8_t kV1 = 1;
+inline constexpr uint8_t kVX = 2;
+
+struct TestPattern {
+  // One value (kV0/kV1/kVX) per primary input, in inputs() order. kVX marks
+  // a don't-care position.
+  std::vector<uint8_t> pi_values;
+
+  size_t CareCount() const {
+    size_t n = 0;
+    for (uint8_t v : pi_values) n += (v != kVX) ? 1 : 0;
+    return n;
+  }
+};
+
+struct PodemOptions {
+  uint64_t backtrack_limit = 20000;
+};
+
+// Returns a test detecting `fault`, or nullopt if the fault is untestable
+// (redundant) or the backtrack limit is exhausted. `aborted`, when given,
+// distinguishes the two (true = limit hit).
+std::optional<TestPattern> GenerateTest(const Netlist& nl, const Fault& fault,
+                                        const PodemOptions& options = {},
+                                        bool* aborted = nullptr);
+
+}  // namespace splitlock::atpg

@@ -1,0 +1,46 @@
+// The "ideal proximity attack" experiment (Sec. IV-A).
+//
+// Most conservative setup: assume the attacker has already inferred every
+// regular net correctly and only the key-nets remain. As established by
+// Theorem 1, such an attacker can do no better than guessing the key
+// uniformly; the experiment draws a large number of random keys and checks
+// that every guess still produces output errors (OER stays 100%).
+//
+// The sweep packs 64 independent key guesses into the 64 simulation lanes:
+// primary-input patterns are broadcast across lanes while each lane carries
+// its own key, so one simulator pass scores 64 guesses per pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "split/split.hpp"
+
+namespace splitlock::attack {
+
+struct IdealAttackResult {
+  uint64_t guesses = 0;
+  uint64_t erroneous_guesses = 0;  // guesses causing >= 1 output error
+  uint64_t exact_guesses = 0;      // guesses matching the correct key
+
+  double OerPercent() const {
+    return guesses == 0 ? 0.0
+                        : 100.0 * static_cast<double>(erroneous_guesses) /
+                              static_cast<double>(guesses);
+  }
+};
+
+// `locked` is the keyed netlist (kKeyIn sources); `correct_key` its key.
+// Each guess is checked against the original function on
+// `patterns_per_guess` random patterns.
+IdealAttackResult RunIdealAttack(const Netlist& original,
+                                 const Netlist& locked,
+                                 std::span<const uint8_t> correct_key,
+                                 uint64_t guesses, uint64_t patterns_per_guess,
+                                 uint64_t seed);
+
+// Assignment-form ideal attack on a FEOL view: every regular sink gets its
+// true net; every key-gate sink gets a uniformly random TIE cell.
+split::Assignment IdealAssignment(const split::FeolView& feol, uint64_t seed);
+
+}  // namespace splitlock::attack

@@ -1,0 +1,205 @@
+#include "attack/ml_attack.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "attack/proximity.hpp"
+#include "netlist/libcell.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::attack {
+namespace {
+
+constexpr size_t kNumFeatures = 6;
+using Features = std::array<double, kNumFeatures>;
+
+struct FeatureScaler {
+  double die_hp = 1.0;
+  double width = 1.0;
+  double height = 1.0;
+};
+
+// Features of a candidate (driver at `src` driving `extra_sinks` already,
+// sink gate `sink_gate` at `dst`).
+Features MakeFeatures(const Netlist& nl, const FeatureScaler& scale,
+                      GateId driver, Point src, GateId /*sink_gate*/,
+                      Point dst) {
+  Features f{};
+  f[0] = 1.0;  // bias
+  f[1] = ManhattanDistance(src, dst) / scale.die_hp;
+  f[2] = std::abs(src.x - dst.x) / scale.width;
+  f[3] = std::abs(src.y - dst.y) / scale.height;
+  const Gate& dg = nl.gate(driver);
+  const size_t fanout =
+      dg.out == kNullId ? 0 : nl.net(dg.out).sinks.size();
+  f[4] = std::min<double>(1.0, static_cast<double>(fanout) / 8.0);
+  if (IsPhysicalOp(dg.op)) {
+    const LibCell& cell = CellFor(dg);
+    double load = 0.0;
+    if (dg.out != kNullId) {
+      for (const Pin& p : nl.net(dg.out).sinks) {
+        const Gate& s = nl.gate(p.gate);
+        if (IsPhysicalOp(s.op)) load += CellFor(s).input_cap_ff;
+      }
+    }
+    f[5] = std::clamp(1.0 - load / cell.max_load_ff, 0.0, 1.0);
+  } else {
+    f[5] = 1.0;
+  }
+  return f;
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double Dot(const Features& f, const std::array<double, kNumFeatures>& w) {
+  double z = 0.0;
+  for (size_t i = 0; i < kNumFeatures; ++i) z += f[i] * w[i];
+  return z;
+}
+
+bool IsTieCellGate(const Gate& g) {
+  switch (g.op) {
+    case GateOp::kTieHi:
+    case GateOp::kTieLo:
+    case GateOp::kKeyIn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+MlAttackResult RunMlAttack(const split::FeolView& feol,
+                           const MlAttackOptions& options) {
+  const Netlist& nl = *feol.netlist;
+  const phys::Layout& layout = *feol.layout;
+  Rng rng(options.seed);
+  MlAttackResult result;
+  result.assignment.assign(feol.sink_stubs.size(), kNullId);
+  if (feol.sink_stubs.empty()) return result;
+
+  FeatureScaler scale;
+  scale.die_hp = std::max(1e-9, layout.die.HalfPerimeter());
+  scale.width = std::max(1e-9, layout.die.Width());
+  scale.height = std::max(1e-9, layout.die.Height());
+
+  // ---- Training set: intact connections are labeled positives; random
+  // re-pairings of the same sinks are negatives. -------------------------
+  struct Sample {
+    Features f;
+    double label;
+  };
+  std::vector<Sample> samples;
+  std::vector<GateId> all_drivers;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const GateId d = nl.DriverOf(n);
+    if (d != kNullId && !nl.net(n).sinks.empty() && layout.placed[d]) {
+      all_drivers.push_back(d);
+    }
+  }
+  if (all_drivers.empty()) return result;
+
+  for (NetId n = 0;
+       n < nl.NumNets() &&
+       result.training_positives < options.max_training_positives;
+       ++n) {
+    if (feol.net_broken[n]) continue;  // only FEOL-visible truth
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || !layout.placed[d]) continue;
+    for (const Pin& p : nl.net(n).sinks) {
+      if (!layout.placed[p.gate]) continue;
+      samples.push_back(Sample{
+          MakeFeatures(nl, scale, d, layout.PinOf(d), p.gate,
+                       layout.PinOf(p.gate)),
+          1.0});
+      ++result.training_positives;
+      for (size_t neg = 0; neg < options.negatives_per_positive; ++neg) {
+        const GateId wrong =
+            all_drivers[rng.NextUint(all_drivers.size())];
+        if (wrong == d) continue;
+        samples.push_back(Sample{
+            MakeFeatures(nl, scale, wrong, layout.PinOf(wrong), p.gate,
+                         layout.PinOf(p.gate)),
+            0.0});
+      }
+    }
+  }
+  if (samples.empty()) return result;
+
+  // ---- Logistic regression by plain gradient descent. -------------------
+  std::array<double, kNumFeatures> w{};
+  for (size_t epoch = 0; epoch < options.training_epochs; ++epoch) {
+    std::array<double, kNumFeatures> grad{};
+    for (const Sample& s : samples) {
+      const double err = Sigmoid(Dot(s.f, w)) - s.label;
+      for (size_t i = 0; i < kNumFeatures; ++i) grad[i] += err * s.f[i];
+    }
+    for (size_t i = 0; i < kNumFeatures; ++i) {
+      w[i] -= options.learning_rate * grad[i] /
+              static_cast<double>(samples.size());
+    }
+  }
+  size_t correct = 0;
+  for (const Sample& s : samples) {
+    const bool predicted = Sigmoid(Dot(s.f, w)) >= 0.5;
+    if (predicted == (s.label > 0.5)) ++correct;
+  }
+  result.training_accuracy_percent =
+      100.0 * static_cast<double>(correct) /
+      static_cast<double>(samples.size());
+
+  // ---- Inference on the broken connections. -----------------------------
+  for (size_t si = 0; si < feol.sink_stubs.size(); ++si) {
+    const split::SinkStub& stub = feol.sink_stubs[si];
+    double best = -std::numeric_limits<double>::max();
+    NetId best_net = kNullId;
+    for (const split::DriverStub& drv : feol.driver_stubs) {
+      const Gate& sink_gate = nl.gate(stub.sink.gate);
+      if (sink_gate.out != kNullId && sink_gate.out == drv.net) continue;
+      // Use the nearest ascent as the driver-side anchor.
+      Point anchor = drv.ascents.front();
+      double anchor_dist = std::numeric_limits<double>::max();
+      for (const Point& a : drv.ascents) {
+        const double d2 = ManhattanDistance(stub.position, a);
+        if (d2 < anchor_dist) {
+          anchor_dist = d2;
+          anchor = a;
+        }
+      }
+      const Features f = MakeFeatures(nl, scale, drv.driver, anchor,
+                                      stub.sink.gate, stub.position);
+      const double score = Dot(f, w);
+      if (score > best) {
+        best = score;
+        best_net = drv.net;
+      }
+    }
+    result.assignment[si] = best_net;
+  }
+
+  // ---- Same key-gate customization as the proximity attack. -------------
+  if (options.postprocess_key_gates) {
+    std::vector<NetId> tie_nets;
+    for (NetId n = 0; n < nl.NumNets(); ++n) {
+      const GateId d = nl.DriverOf(n);
+      if (d != kNullId && IsTieCellGate(nl.gate(d)) &&
+          !nl.net(n).sinks.empty()) {
+        tie_nets.push_back(n);
+      }
+    }
+    if (!tie_nets.empty()) {
+      for (size_t si = 0; si < feol.sink_stubs.size(); ++si) {
+        if (!IsKeyGateSink(feol, feol.sink_stubs[si])) continue;
+        const GateId d = nl.DriverOf(result.assignment[si]);
+        if (d != kNullId && IsTieCellGate(nl.gate(d))) continue;
+        result.assignment[si] = tie_nets[rng.NextUint(tie_nets.size())];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace splitlock::attack

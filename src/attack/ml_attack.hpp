@@ -1,0 +1,42 @@
+// Machine-learning-style attack on a split layout.
+//
+// The paper (footnote 3 and Sec. V) argues its key design stays resilient
+// even against learning-based attackers (e.g. Zhang et al., DAC'18),
+// because *any* proximity-style attack has to learn from FEOL-level hints,
+// and the secure flow leaves none for the key-nets. This module makes that
+// claim executable: a logistic-regression matcher is trained on the
+// *intact* FEOL connections (driver/sink geometry, fanout, load headroom —
+// features the attacker can measure on their own layout), then applied to
+// the broken connections. Regular nets, whose placement was optimized by
+// the same deterministic tools the model learned from, are predicted well;
+// the randomized TIE cells follow no learnable geometry, so key-nets stay
+// at coin-flip accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "split/split.hpp"
+
+namespace splitlock::attack {
+
+struct MlAttackOptions {
+  uint64_t seed = 1;
+  size_t max_training_positives = 20000;
+  size_t negatives_per_positive = 2;
+  size_t training_epochs = 60;
+  double learning_rate = 0.25;
+  bool postprocess_key_gates = true;  // same customization as Sec. IV-A
+};
+
+struct MlAttackResult {
+  split::Assignment assignment;
+  size_t training_positives = 0;
+  // Model accuracy on held-out intact connections (sanity signal that the
+  // learner converged; ~50% would mean it learned nothing).
+  double training_accuracy_percent = 0.0;
+};
+
+MlAttackResult RunMlAttack(const split::FeolView& feol,
+                           const MlAttackOptions& options = {});
+
+}  // namespace splitlock::attack

@@ -1,0 +1,300 @@
+#include "attack/proximity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "netlist/libcell.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::attack {
+namespace {
+
+bool IsTieCellGate(const Gate& g) {
+  switch (g.op) {
+    case GateOp::kTieHi:
+    case GateOp::kTieLo:
+    case GateOp::kKeyIn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Attacker-side timing estimate on the FEOL: forward arrival times with
+// broken inputs treated as ready at t=0, backward required paths with
+// broken fanouts ignored. Both are lower bounds, which is what an attacker
+// pruning impossible pairings would use.
+struct TimingEstimate {
+  std::vector<double> arrival_ps;   // per net
+  std::vector<double> downstream_ps;  // per net: delay to any PO below it
+  double clock_ps = 0.0;
+};
+
+TimingEstimate EstimateTiming(const split::FeolView& feol) {
+  const Netlist& nl = *feol.netlist;
+  TimingEstimate t;
+  t.arrival_ps.assign(nl.NumNets(), 0.0);
+  t.downstream_ps.assign(nl.NumNets(), 0.0);
+
+  // Broken pins, for masking.
+  std::vector<std::vector<uint8_t>> pin_broken(nl.NumGates());
+  for (const split::SinkStub& s : feol.sink_stubs) {
+    auto& mask = pin_broken[s.sink.gate];
+    if (mask.empty()) mask.assign(nl.gate(s.sink.gate).fanins.size(), 0);
+    mask[s.sink.index] = 1;
+  }
+  auto broken = [&](GateId g, uint32_t pin) {
+    const auto& mask = pin_broken[g];
+    return !mask.empty() && mask[pin] != 0;
+  };
+
+  const std::vector<GateId> topo = nl.TopoOrder();
+  for (GateId g : topo) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted ||
+        IsSourceOp(gate.op)) {
+      continue;
+    }
+    double in_arr = 0.0;
+    for (uint32_t i = 0; i < gate.fanins.size(); ++i) {
+      if (broken(g, i)) continue;
+      in_arr = std::max(in_arr, t.arrival_ps[gate.fanins[i]]);
+    }
+    t.arrival_ps[gate.out] = in_arr + CellFor(gate).intrinsic_delay_ps;
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Gate& gate = nl.gate(*it);
+    if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted ||
+        IsSourceOp(gate.op)) {
+      continue;
+    }
+    const double through =
+        t.downstream_ps[gate.out] + CellFor(gate).intrinsic_delay_ps;
+    for (uint32_t i = 0; i < gate.fanins.size(); ++i) {
+      if (broken(*it, i)) continue;
+      t.downstream_ps[gate.fanins[i]] =
+          std::max(t.downstream_ps[gate.fanins[i]], through);
+    }
+  }
+  for (GateId g : nl.outputs()) {
+    t.clock_ps = std::max(t.clock_ps, t.arrival_ps[nl.gate(g).fanins[0]]);
+  }
+  if (t.clock_ps <= 0.0) t.clock_ps = 1.0;
+  return t;
+}
+
+}  // namespace
+
+bool IsKeyGateSink(const split::FeolView& feol, const split::SinkStub& stub) {
+  // Key-gates are structurally recognizable XOR/XNORs whose *second* pin is
+  // fed by the key network (both locking constructions wire the key there).
+  // The first pin carries regular data; when that connection breaks it is
+  // an ordinary regular-net stub.
+  return feol.netlist->gate(stub.sink.gate).HasFlag(kFlagKeyGate) &&
+         stub.sink.index == 1;
+}
+
+ProximityResult RunProximityAttack(const split::FeolView& feol,
+                                   const ProximityOptions& options) {
+  const Netlist& nl = *feol.netlist;
+  Rng rng(options.seed);
+  ProximityResult result;
+  result.assignment.assign(feol.sink_stubs.size(), kNullId);
+  if (feol.sink_stubs.empty()) return result;
+
+  const TimingEstimate timing =
+      options.use_timing_constraint
+          ? EstimateTiming(feol)
+          : TimingEstimate{std::vector<double>(nl.NumNets(), 0.0),
+                           std::vector<double>(nl.NumNets(), 0.0), 1.0};
+
+  // Score candidate (sink, driver) pairs. To keep the candidate set
+  // tractable on large designs, each sink considers only the
+  // `max_candidates_per_sink` best-scoring drivers (a real attacker prunes
+  // the same way: distant candidates are hopeless).
+  struct Pair {
+    double score;
+    uint32_t sink_index;
+    uint32_t driver_index;
+  };
+  std::vector<Pair> pairs;
+  std::vector<Pair> per_sink;
+  for (uint32_t si = 0; si < feol.sink_stubs.size(); ++si) {
+    const split::SinkStub& stub = feol.sink_stubs[si];
+    per_sink.clear();
+    for (uint32_t di = 0; di < feol.driver_stubs.size(); ++di) {
+      const split::DriverStub& drv = feol.driver_stubs[di];
+      // Self-driving is structurally impossible.
+      const Gate& sink_gate = nl.gate(stub.sink.gate);
+      if (sink_gate.out != kNullId && sink_gate.out == drv.net) continue;
+      if (drv.ascents.empty()) continue;
+      // Score: stub distance plus a track-alignment term. The missing BEOL
+      // piece runs in the hidden layer's preferred direction, so the two
+      // stubs of a true pairing are nearly co-linear (share an x or y
+      // coordinate); candidates needing a dog-leg on the hidden metal are
+      // penalized. (Key-net stubs sit on cell pins with no such geometry —
+      // nothing to align on.)
+      double dist = std::numeric_limits<double>::max();
+      for (const Point& a : drv.ascents) {
+        const double dx = std::abs(stub.position.x - a.x);
+        const double dy = std::abs(stub.position.y - a.y);
+        // Exactly track-aligned pairs (the hidden wire is one straight
+        // segment) are strongly preferred; dog-legged candidates carry a
+        // flat penalty so they only matter where no aligned candidate
+        // exists (e.g. connections hidden above the split in full).
+        const double misalignment = std::min(dx, dy);
+        const double score =
+            misalignment < 0.05 ? dx + dy : 60.0 + dx + dy;
+        dist = std::min(dist, score);
+      }
+      if (options.use_direction_hint &&
+          !(stub.hint_toward == stub.position)) {
+        // The visible sink fragment runs hint_toward -> position; the
+        // missing driver plausibly continues beyond `position`. Penalize
+        // candidates lying back toward the sink pin.
+        const double frag_dx = stub.position.x - stub.hint_toward.x;
+        const double frag_dy = stub.position.y - stub.hint_toward.y;
+        const Point& nearest = *std::min_element(
+            drv.ascents.begin(), drv.ascents.end(),
+            [&](const Point& a, const Point& b) {
+              return ManhattanDistance(stub.position, a) <
+                     ManhattanDistance(stub.position, b);
+            });
+        const double cand_dx = nearest.x - stub.position.x;
+        const double cand_dy = nearest.y - stub.position.y;
+        if (frag_dx * cand_dx + frag_dy * cand_dy < 0.0) {
+          dist *= options.direction_penalty;
+        }
+      }
+      per_sink.push_back(Pair{dist, si, di});
+    }
+    const size_t keep =
+        std::min<size_t>(options.max_candidates_per_sink, per_sink.size());
+    std::partial_sort(per_sink.begin(), per_sink.begin() + keep,
+                      per_sink.end(), [](const Pair& a, const Pair& b) {
+                        return a.score < b.score;
+                      });
+    pairs.insert(pairs.end(), per_sink.begin(), per_sink.begin() + keep);
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    return a.score < b.score;
+  });
+
+  // Current load per broken net (committed sinks' pin caps).
+  std::vector<double> extra_load_ff(feol.driver_stubs.size(), 0.0);
+  // Committed extra edges for the loop check: driver gate -> sink gate.
+  std::vector<std::vector<GateId>> extra_fanout(nl.NumGates());
+
+  // DFS: is `target` reachable from `from` following gate fanouts (intact
+  // nets + committed proposals)?
+  std::vector<uint32_t> visit_mark(nl.NumGates(), 0);
+  uint32_t visit_token = 0;
+  std::vector<GateId> dfs_stack;
+  auto reaches = [&](GateId from, GateId target) {
+    ++visit_token;
+    dfs_stack.clear();
+    dfs_stack.push_back(from);
+    visit_mark[from] = visit_token;
+    while (!dfs_stack.empty()) {
+      const GateId g = dfs_stack.back();
+      dfs_stack.pop_back();
+      if (g == target) return true;
+      const Gate& gate = nl.gate(g);
+      if (gate.out != kNullId) {
+        for (const Pin& p : nl.net(gate.out).sinks) {
+          if (visit_mark[p.gate] != visit_token) {
+            visit_mark[p.gate] = visit_token;
+            dfs_stack.push_back(p.gate);
+          }
+        }
+      }
+      for (GateId s : extra_fanout[g]) {
+        if (visit_mark[s] != visit_token) {
+          visit_mark[s] = visit_token;
+          dfs_stack.push_back(s);
+        }
+      }
+    }
+    return false;
+  };
+
+  for (const Pair& pair : pairs) {
+    if (result.assignment[pair.sink_index] != kNullId) continue;
+    const split::SinkStub& stub = feol.sink_stubs[pair.sink_index];
+    const split::DriverStub& drv = feol.driver_stubs[pair.driver_index];
+    const GateId driver_gate = drv.driver;
+    const Gate& driver = nl.gate(driver_gate);
+
+    if (options.use_load_constraint && IsPhysicalOp(driver.op)) {
+      const Gate& sink_gate = nl.gate(stub.sink.gate);
+      const double sink_cap =
+          IsPhysicalOp(sink_gate.op) ? CellFor(sink_gate).input_cap_ff : 0.0;
+      const double projected =
+          extra_load_ff[pair.driver_index] + sink_cap;
+      if (projected > CellFor(driver).max_load_ff) continue;
+    }
+    if (options.use_loop_constraint) {
+      // Connecting driver -> sink creates a cycle iff the driver is
+      // reachable from the sink gate.
+      if (reaches(stub.sink.gate, driver_gate)) continue;
+    }
+    if (options.use_timing_constraint) {
+      const Gate& sink_gate = nl.gate(stub.sink.gate);
+      const double downstream =
+          sink_gate.out == kNullId
+              ? 0.0
+              : CellFor(sink_gate).intrinsic_delay_ps +
+                    timing.downstream_ps[sink_gate.out];
+      const double wire_ps = pair.score * options.wire_delay_ps_per_um;
+      const double path = timing.arrival_ps[drv.net] + wire_ps + downstream;
+      if (path > timing.clock_ps * options.timing_slack_factor) continue;
+    }
+
+    result.assignment[pair.sink_index] = drv.net;
+    ++result.committed_by_proximity;
+    if (options.use_load_constraint) {
+      const Gate& sink_gate = nl.gate(stub.sink.gate);
+      extra_load_ff[pair.driver_index] +=
+          IsPhysicalOp(sink_gate.op) ? CellFor(sink_gate).input_cap_ff : 0.0;
+    }
+    extra_fanout[driver_gate].push_back(stub.sink.gate);
+  }
+
+  // Fallback: every remaining sink gets a random broken driver (the
+  // attacker must hand back a complete netlist).
+  for (uint32_t si = 0; si < feol.sink_stubs.size(); ++si) {
+    if (result.assignment[si] != kNullId) continue;
+    const split::DriverStub& drv =
+        feol.driver_stubs[rng.NextUint(feol.driver_stubs.size())];
+    result.assignment[si] = drv.net;
+    ++result.fallback_random;
+  }
+
+  // Sec. IV-A post-processing: key-gates falsely connected to a regular
+  // driver are re-connected to a random TIE cell.
+  if (options.postprocess_key_gates) {
+    std::vector<NetId> tie_nets;
+    for (NetId n = 0; n < nl.NumNets(); ++n) {
+      const GateId d = nl.DriverOf(n);
+      if (d != kNullId && IsTieCellGate(nl.gate(d)) &&
+          !nl.net(n).sinks.empty()) {
+        tie_nets.push_back(n);
+      }
+    }
+    if (!tie_nets.empty()) {
+      for (uint32_t si = 0; si < feol.sink_stubs.size(); ++si) {
+        if (!IsKeyGateSink(feol, feol.sink_stubs[si])) continue;
+        const GateId d = nl.DriverOf(result.assignment[si]);
+        if (d != kNullId && IsTieCellGate(nl.gate(d))) continue;  // keep
+        result.assignment[si] = tie_nets[rng.NextUint(tie_nets.size())];
+        ++result.key_gates_reconnected;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace splitlock::attack

@@ -1,0 +1,60 @@
+// Proximity attack on a split layout (Wang et al., TVLSI'18 style).
+//
+// The attacker sees the FEOL: all cells, their placement, intact wiring,
+// and the broken connections' stubs. Candidate (driver, sink) pairings are
+// scored by stub proximity refined with the routing-direction hint, then
+// committed greedily subject to the classic sanity constraints the paper
+// enumerates in its proof outline (Sec. II-C):
+//   1. physical proximity between stubs,
+//   2. FEOL routing direction of the visible fragments,
+//   3. load-capacitance limits of the proposed driver,
+//   4. acyclicity (no combinational loops),
+//   5. timing (the completed path must fit an estimated clock budget).
+// The customized attack of Sec. IV-A additionally re-connects any key-gate
+// that ended up paired with a regular driver to a randomly chosen TIE cell
+// (the attacker can recognize key-gates in the FEOL); footnote 6's ablation
+// turns that post-processing off.
+#pragma once
+
+#include <cstdint>
+
+#include "split/split.hpp"
+
+namespace splitlock::attack {
+
+struct ProximityOptions {
+  uint64_t seed = 1;
+  bool use_direction_hint = true;
+  bool use_load_constraint = true;
+  bool use_loop_constraint = true;
+  bool use_timing_constraint = true;
+  bool postprocess_key_gates = true;
+  // Timing budget: completed paths may exceed the FEOL-estimated critical
+  // path by this factor.
+  double timing_slack_factor = 1.4;
+  // Wire delay estimate for a proposed connection, ps per um of stub
+  // distance (attacker-side heuristic).
+  double wire_delay_ps_per_um = 0.35;
+  // Direction hint: candidates lying behind the visible fragment get their
+  // distance inflated by this factor.
+  double direction_penalty = 2.0;
+  // Per-sink candidate cap (nearest-k pruning; bounds memory and runtime
+  // on large designs).
+  size_t max_candidates_per_sink = 64;
+};
+
+struct ProximityResult {
+  split::Assignment assignment;
+  size_t committed_by_proximity = 0;  // pairs placed by the greedy matcher
+  size_t fallback_random = 0;         // sinks assigned by random fallback
+  size_t key_gates_reconnected = 0;   // post-processing reconnections
+};
+
+ProximityResult RunProximityAttack(const split::FeolView& feol,
+                                   const ProximityOptions& options = {});
+
+// True when the sink stub belongs to a key-gate's key pin — information the
+// FEOL hands the attacker (key-gates are structurally recognizable).
+bool IsKeyGateSink(const split::FeolView& feol, const split::SinkStub& stub);
+
+}  // namespace splitlock::attack

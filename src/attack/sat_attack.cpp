@@ -1,0 +1,151 @@
+#include "attack/sat_attack.hpp"
+
+#include <array>
+#include <cassert>
+#include <set>
+
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::attack {
+
+SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
+                             const SatAttackOptions& options) {
+  assert(locked.inputs().size() == oracle.inputs().size());
+  assert(locked.outputs().size() == oracle.outputs().size());
+  SatAttackResult result;
+
+  sat::Solver solver;
+  sat::StructuralEncoder enc(solver);
+
+  const size_t num_pis = locked.inputs().size();
+  const size_t num_pos = locked.outputs().size();
+  const size_t num_keys = locked.KeyInputs().size();
+
+  std::vector<sat::Lit> x(num_pis);
+  for (auto& l : x) l = enc.FreshLit();
+  std::vector<sat::Lit> k1(num_keys);
+  std::vector<sat::Lit> k2(num_keys);
+  for (auto& l : k1) l = enc.FreshLit();
+  for (auto& l : k2) l = enc.FreshLit();
+
+  const std::vector<sat::Lit> outs1 = enc.EncodeNetlist(locked, x, k1);
+  const std::vector<sat::Lit> outs2 = enc.EncodeNetlist(locked, x, k2);
+
+  // Miter: exists an input where the two key hypotheses disagree.
+  std::vector<sat::Lit> diffs;
+  for (size_t o = 0; o < num_pos; ++o) {
+    const sat::Lit d = enc.EncodeOp(
+        GateOp::kXor, std::array<sat::Lit, 2>{outs1[o], outs2[o]});
+    if (d != enc.FalseLit()) diffs.push_back(d);
+  }
+  // diff_any <-> OR(diffs): encode via a fresh selector we can assume.
+  const sat::Lit diff_any = enc.FreshLit();
+  {
+    std::vector<sat::Lit> clause{sat::Negate(diff_any)};
+    clause.insert(clause.end(), diffs.begin(), diffs.end());
+    solver.AddClause(clause);  // diff_any -> OR(diffs)
+  }
+
+  Simulator oracle_sim(oracle);
+
+  for (size_t round = 0; round < options.max_dips; ++round) {
+    const std::vector<sat::Lit> assumptions{diff_any};
+    const sat::SolveResult sr =
+        solver.Solve(assumptions, options.conflict_limit_per_solve);
+    if (sr == sat::SolveResult::kUnknown) return result;  // budget blown
+    if (sr == sat::SolveResult::kUnsat) {
+      result.finished = true;
+      break;
+    }
+    // Extract the DIP.
+    std::vector<uint8_t> dip(num_pis);
+    for (size_t i = 0; i < num_pis; ++i) {
+      const bool v = solver.ModelValue(sat::VarOf(x[i]));
+      dip[i] = static_cast<uint8_t>(sat::IsNegated(x[i]) ? !v : v);
+    }
+    ++result.dips_used;
+
+    // Oracle response.
+    for (size_t i = 0; i < num_pis; ++i) {
+      oracle_sim.SetSourceWord(oracle.inputs()[i], dip[i] ? ~0ULL : 0);
+    }
+    oracle_sim.Run();
+
+    // Constrain both key hypotheses to agree with the oracle on the DIP.
+    // Encoding the locked netlist with constant inputs folds down to a
+    // small cone over the key literals.
+    std::vector<sat::Lit> const_in(num_pis);
+    for (size_t i = 0; i < num_pis; ++i) {
+      const_in[i] = dip[i] ? enc.TrueLit() : enc.FalseLit();
+    }
+    for (const auto& keys : {k1, k2}) {
+      const std::vector<sat::Lit> outs =
+          enc.EncodeNetlist(locked, const_in, keys);
+      for (size_t o = 0; o < num_pos; ++o) {
+        const bool want = (oracle_sim.OutputWord(o) & 1) != 0;
+        solver.AddUnit(want ? outs[o] : sat::Negate(outs[o]));
+      }
+    }
+  }
+  if (!result.finished) return result;
+
+  // All DIPs exhausted: any key satisfying the accumulated IO constraints
+  // is functionally correct. Solve once more without the miter assumption.
+  const sat::SolveResult final_sr =
+      solver.Solve({}, options.conflict_limit_per_solve);
+  if (final_sr != sat::SolveResult::kSat) return result;
+  result.key_found = true;
+  result.recovered_key.resize(num_keys);
+  for (size_t i = 0; i < num_keys; ++i) {
+    const bool v = solver.ModelValue(sat::VarOf(k1[i]));
+    result.recovered_key[i] =
+        static_cast<uint8_t>(sat::IsNegated(k1[i]) ? !v : v);
+  }
+  result.functionally_correct =
+      RandomPatternsAgree(oracle, locked, options.verify_patterns,
+                          options.seed, {}, result.recovered_key);
+  return result;
+}
+
+OracleLessProbe ProbeOracleLessKeySpace(const Netlist& locked, size_t samples,
+                                        uint64_t patterns, uint64_t seed) {
+  OracleLessProbe probe;
+  Rng rng(seed);
+  Simulator sim(locked);
+  const std::vector<GateId> keys = locked.KeyInputs();
+  const uint64_t words = (patterns + 63) / 64;
+
+  // Shared input stimulus across all sampled keys, so fingerprints are
+  // comparable.
+  std::vector<std::vector<uint64_t>> stimulus(words);
+  for (auto& w : stimulus) {
+    w.resize(locked.inputs().size());
+    for (auto& v : w) v = rng.NextWord();
+  }
+
+  std::set<std::vector<uint64_t>> fingerprints;
+  for (size_t s = 0; s < samples; ++s) {
+    std::vector<uint8_t> key(keys.size());
+    for (auto& b : key) b = rng.NextBool() ? 1 : 0;
+    sim.SetKeyBits(key);
+    std::vector<uint64_t> fp;
+    fp.reserve(words * locked.outputs().size());
+    for (uint64_t w = 0; w < words; ++w) {
+      sim.SetInputWords(stimulus[w]);
+      sim.Run();
+      for (size_t o = 0; o < locked.outputs().size(); ++o) {
+        fp.push_back(sim.OutputWord(o));
+      }
+    }
+    fingerprints.insert(std::move(fp));
+    ++probe.sampled_keys;
+  }
+  probe.distinct_functions = fingerprints.size();
+  return probe;
+}
+
+}  // namespace splitlock::attack

@@ -1,0 +1,23 @@
+#include "circuits/c17.hpp"
+
+namespace splitlock::circuits {
+
+Netlist MakeC17() {
+  Netlist nl("c17");
+  const NetId g1 = nl.AddInput("G1");
+  const NetId g2 = nl.AddInput("G2");
+  const NetId g3 = nl.AddInput("G3");
+  const NetId g6 = nl.AddInput("G6");
+  const NetId g7 = nl.AddInput("G7");
+  const NetId g10 = nl.AddGate(GateOp::kNand, {g1, g3}, "G10");
+  const NetId g11 = nl.AddGate(GateOp::kNand, {g3, g6}, "G11");
+  const NetId g16 = nl.AddGate(GateOp::kNand, {g2, g11}, "G16");
+  const NetId g19 = nl.AddGate(GateOp::kNand, {g11, g7}, "G19");
+  const NetId g22 = nl.AddGate(GateOp::kNand, {g10, g16}, "G22");
+  const NetId g23 = nl.AddGate(GateOp::kNand, {g16, g19}, "G23");
+  nl.AddOutput(g22, "G22");
+  nl.AddOutput(g23, "G23");
+  return nl;
+}
+
+}  // namespace splitlock::circuits

@@ -1,0 +1,14 @@
+// The exact ISCAS-85 c17 benchmark (6 NAND2 gates).
+//
+// Used verbatim for the Fig. 4 walkthrough example: the paper demonstrates
+// its fault-injection locking on c17 (fault at U12's output, comparator on
+// I1..I3, restore XOR on O2).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock::circuits {
+
+Netlist MakeC17();
+
+}  // namespace splitlock::circuits

@@ -1,0 +1,305 @@
+#include "circuits/random_circuit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace splitlock::circuits {
+namespace {
+
+struct OpChoice {
+  GateOp op;
+  size_t arity;
+  double weight;
+};
+
+constexpr std::array<OpChoice, 13> kOpMix = {{
+    {GateOp::kNand, 2, 0.22},
+    {GateOp::kNor, 2, 0.12},
+    {GateOp::kAnd, 2, 0.10},
+    {GateOp::kOr, 2, 0.09},
+    {GateOp::kInv, 1, 0.14},
+    {GateOp::kNand, 3, 0.07},
+    {GateOp::kNor, 3, 0.04},
+    {GateOp::kAnd, 3, 0.04},
+    {GateOp::kOr, 3, 0.03},
+    {GateOp::kNand, 4, 0.03},
+    {GateOp::kXor, 2, 0.05},
+    {GateOp::kXnor, 2, 0.03},
+    {GateOp::kBuf, 1, 0.04},
+}};
+
+}  // namespace
+
+Netlist GenerateCircuit(const CircuitSpec& spec) {
+  assert(spec.num_inputs >= 2);
+  assert(spec.num_outputs >= 1);
+  Netlist nl(spec.name);
+  Rng rng(spec.seed);
+
+  std::vector<NetId> nets;
+  nets.reserve(spec.num_inputs + spec.num_gates);
+  // Independence-approximated signal probability per net, maintained
+  // incrementally; used to pick blob leaves whose joint value regions stay
+  // reachable (see the blob comment below).
+  std::vector<double> prob;
+  auto prob_of = [&](NetId n) {
+    return n < prob.size() ? prob[n] : 0.5;
+  };
+  auto record_prob = [&](NetId n, double p) {
+    if (prob.size() <= n) prob.resize(n + 1, 0.5);
+    prob[n] = p;
+  };
+  auto est_prob = [&](GateOp op, std::span<const NetId> fanins) {
+    auto all = [&](bool ones) {
+      double acc = 1.0;
+      for (NetId f : fanins) acc *= ones ? prob_of(f) : 1.0 - prob_of(f);
+      return acc;
+    };
+    switch (op) {
+      case GateOp::kAnd: return all(true);
+      case GateOp::kNand: return 1.0 - all(true);
+      case GateOp::kOr: return 1.0 - all(false);
+      case GateOp::kNor: return all(false);
+      case GateOp::kInv: return 1.0 - prob_of(fanins[0]);
+      case GateOp::kBuf: return prob_of(fanins[0]);
+      case GateOp::kXor: {
+        const double a = prob_of(fanins[0]);
+        const double b = prob_of(fanins[1]);
+        return a * (1.0 - b) + b * (1.0 - a);
+      }
+      case GateOp::kXnor: {
+        const double a = prob_of(fanins[0]);
+        const double b = prob_of(fanins[1]);
+        return 1.0 - (a * (1.0 - b) + b * (1.0 - a));
+      }
+      default: return 0.5;
+    }
+  };
+  // Logic depth per net (0 = primary input), tracked for blob leaf picks.
+  std::vector<int> depth;
+  auto depth_of = [&](NetId n) {
+    return n < depth.size() ? depth[n] : 99;
+  };
+  auto record_depth = [&](NetId n, int d) {
+    if (depth.size() <= n) depth.resize(n + 1, 99);
+    depth[n] = d;
+  };
+  auto make_gate = [&](GateOp op, std::span<const NetId> fanins) {
+    const NetId out = nl.AddGate(op, fanins);
+    record_prob(out, est_prob(op, fanins));
+    int d = 0;
+    for (NetId f : fanins) d = std::max(d, depth_of(f));
+    record_depth(out, d + 1);
+    return out;
+  };
+  for (size_t i = 0; i < spec.num_inputs; ++i) {
+    const NetId in = nl.AddInput(spec.name + "_i" + std::to_string(i));
+    record_prob(in, 0.5);
+    record_depth(in, 0);
+    nets.push_back(in);
+  }
+
+  std::vector<double> weights;
+  for (const OpChoice& c : kOpMix) weights.push_back(c.weight);
+
+  // Locality-biased fanin pick: mostly recent nets, sometimes anywhere.
+  auto pick_fanin = [&]() -> NetId {
+    if (rng.NextBernoulli(spec.locality) && nets.size() > 8) {
+      const size_t window = std::max<size_t>(8, nets.size() / 10);
+      const size_t start = nets.size() - window;
+      return nets[start + rng.NextUint(window)];
+    }
+    return nets[rng.NextUint(nets.size())];
+  };
+  auto pick_distinct = [&](size_t arity, std::vector<NetId>* out) {
+    out->clear();
+    for (int attempts = 0; out->size() < arity && attempts < 64; ++attempts) {
+      const NetId n = pick_fanin();
+      if (std::find(out->begin(), out->end(), n) == out->end()) {
+        out->push_back(n);
+      }
+    }
+    while (out->size() < arity) {
+      // Degenerate fallback for tiny circuits.
+      out->push_back(nets[rng.NextUint(nets.size())]);
+    }
+  };
+
+  const size_t bias_budget = static_cast<size_t>(
+      static_cast<double>(spec.num_gates) * spec.bias_cone_fraction);
+  size_t bias_spent = 0;
+  size_t made = 0;
+  std::vector<NetId> fanins;
+  while (made < spec.num_gates) {
+    if (bias_spent < bias_budget && rng.NextBernoulli(0.05)) {
+      // Redundant conjunction blob: several structurally distinct
+      // implementations of the same AND (or OR) over 4-6 leaf nets, merged
+      // by an outer OR (resp. AND). The function equals the single shared
+      // cube, so the net is strongly biased and its on-set over the leaf
+      // cut is one minterm — yet the blob occupies many gates, none of
+      // which generic optimization (const-prop/strash/local rules) can
+      // remove. This is the kind of logic the paper's fault-injection
+      // locking deletes for its area savings: redundancy only exposed by
+      // tying the biased net to its likely value.
+      const bool and_blob = rng.NextBool();
+      const GateOp inner = and_blob ? GateOp::kAnd : GateOp::kOr;
+      const GateOp outer = and_blob ? GateOp::kOr : GateOp::kAnd;
+
+      // Distinct leaves, drawn globally (not from the locality window) and
+      // kept structurally independent: no leaf may sit in another leaf's
+      // shallow fanin cone, otherwise whole regions of the blob's cut
+      // space are unreachable and the comparator bits the locking flow
+      // derives from it would be functionally dead.
+      auto in_shallow_cone = [&](NetId maybe_ancestor, NetId n) {
+        // Depth- and node-bounded backward reachability with a visited
+        // set (reconvergent fanin makes an unchecked DFS exponential).
+        std::vector<std::pair<NetId, int>> stack{{n, 0}};
+        std::vector<NetId> visited;
+        while (!stack.empty()) {
+          const auto [cur, depth] = stack.back();
+          stack.pop_back();
+          if (cur == maybe_ancestor) return true;
+          if (depth >= 8 || visited.size() > 160) continue;
+          if (std::find(visited.begin(), visited.end(), cur) !=
+              visited.end()) {
+            continue;
+          }
+          visited.push_back(cur);
+          const GateId d = nl.DriverOf(cur);
+          if (d == kNullId) continue;
+          for (NetId f : nl.gate(d).fanins) {
+            stack.push_back({f, depth + 1});
+          }
+        }
+        return false;
+      };
+      std::vector<NetId> leaves;
+      const size_t want = 4 + rng.NextUint(2);  // 4..5 leaves
+      for (int attempts = 0; leaves.size() < want && attempts < 96;
+           ++attempts) {
+        const NetId n = nets[rng.NextUint(nets.size())];
+        // Shallow, moderate-probability leaves: depth <= 2 nets hanging
+        // off the primary inputs are near-independent and near-uniform, so
+        // every comparator region of the future fault (all-match and
+        // one-literal-flipped) stays reachable with non-negligible
+        // probability. Deep random logic correlates too strongly.
+        const double p = prob_of(n);
+        bool ok = depth_of(n) <= 2 && p >= 0.35 && p <= 0.65 &&
+                  std::find(leaves.begin(), leaves.end(), n) == leaves.end();
+        for (NetId l : leaves) {
+          if (!ok) break;
+          if (in_shallow_cone(l, n) || in_shallow_cone(n, l)) ok = false;
+        }
+        if (ok) leaves.push_back(n);
+      }
+      if (leaves.size() < 3) continue;
+
+      const size_t terms = 3 + rng.NextUint(3);  // 3..5 redundant terms
+      std::vector<NetId> term_nets;
+      for (size_t t = 0; t < terms; ++t) {
+        // Each term: a randomly-shaped tree over a shuffled leaf order,
+        // with occasional NAND+INV detours for structural diversity.
+        std::vector<NetId> level = leaves;
+        rng.Shuffle(level);
+        while (level.size() > 1) {
+          std::vector<NetId> next;
+          size_t i = 0;
+          while (i < level.size()) {
+            const size_t take =
+                std::min<size_t>(2 + rng.NextUint(2), level.size() - i);
+            if (take == 1) {
+              next.push_back(level[i]);
+              ++i;
+              continue;
+            }
+            NetId combined;
+            if (rng.NextBernoulli(0.3)) {
+              const GateOp neg =
+                  inner == GateOp::kAnd ? GateOp::kNand : GateOp::kNor;
+              const NetId n1 = make_gate(
+                  neg, std::span<const NetId>(level.data() + i, take));
+              combined =
+                  make_gate(GateOp::kInv, std::array<NetId, 1>{n1});
+              made += 2;
+              bias_spent += 2;
+            } else {
+              combined = make_gate(
+                  inner, std::span<const NetId>(level.data() + i, take));
+              ++made;
+              ++bias_spent;
+            }
+            next.push_back(combined);
+            i += take;
+          }
+          level = std::move(next);
+        }
+        term_nets.push_back(level[0]);
+      }
+      // Combine all terms (chunked by the library's max arity of 4 so no
+      // term ever dangles).
+      while (term_nets.size() > 1) {
+        std::vector<NetId> next;
+        for (size_t i = 0; i < term_nets.size(); i += 4) {
+          const size_t take = std::min<size_t>(4, term_nets.size() - i);
+          if (take == 1) {
+            next.push_back(term_nets[i]);
+            continue;
+          }
+          next.push_back(make_gate(
+              outer, std::span<const NetId>(term_nets.data() + i, take)));
+          ++made;
+          ++bias_spent;
+        }
+        term_nets = std::move(next);
+      }
+      nets.push_back(term_nets[0]);
+      continue;
+    }
+    const OpChoice& choice = kOpMix[rng.NextWeighted(weights)];
+    pick_distinct(choice.arity, &fanins);
+    nets.push_back(make_gate(choice.op, fanins));
+    ++made;
+  }
+
+  // Primary outputs: prefer currently unconsumed nets so little logic
+  // dangles; fold any surplus unconsumed nets into a checksum XOR tree on
+  // the first output.
+  std::vector<NetId> unused;
+  for (NetId n : nets) {
+    if (nl.net(n).sinks.empty()) unused.push_back(n);
+  }
+  rng.Shuffle(unused);
+
+  std::vector<NetId> po_nets;
+  const size_t direct =
+      std::min(unused.size(),
+               spec.num_outputs > 0 ? spec.num_outputs - 1 : 0);
+  for (size_t i = 0; i < direct; ++i) po_nets.push_back(unused[i]);
+  std::vector<NetId> leftovers(unused.begin() + direct, unused.end());
+  while (po_nets.size() + 1 < spec.num_outputs) {
+    po_nets.push_back(nets[rng.NextUint(nets.size())]);
+  }
+  // Checksum output absorbs all leftovers (keeps every gate observable).
+  NetId checksum;
+  if (leftovers.empty()) {
+    checksum = nets[rng.NextUint(nets.size())];
+  } else {
+    checksum = leftovers[0];
+    for (size_t i = 1; i < leftovers.size(); ++i) {
+      checksum = make_gate(GateOp::kXor,
+                           std::array<NetId, 2>{checksum, leftovers[i]});
+    }
+  }
+  po_nets.push_back(checksum);
+
+  for (size_t i = 0; i < po_nets.size(); ++i) {
+    nl.AddOutput(po_nets[i], spec.name + "_o" + std::to_string(i));
+  }
+  assert(nl.outputs().size() == spec.num_outputs);
+  return nl;
+}
+
+}  // namespace splitlock::circuits

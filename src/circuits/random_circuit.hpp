@@ -1,0 +1,32 @@
+// Seeded synthetic combinational circuit generator.
+//
+// Produces layered random logic with a realistic op mix, locality-biased
+// fanin selection (mimicking the clustered connectivity of synthesized
+// designs), and a tunable fraction of wide AND/OR cones. The wide cones
+// create strongly biased internal nets — the candidates ATPG-based locking
+// exploits — just as real control logic does. Generation is fully
+// deterministic in the spec's seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock::circuits {
+
+struct CircuitSpec {
+  std::string name = "random";
+  size_t num_inputs = 32;
+  size_t num_outputs = 32;
+  size_t num_gates = 1000;  // approximate target (+-tree rounding)
+  uint64_t seed = 1;
+  // Fraction of gate budget spent on wide AND/OR cones (biased nets).
+  double bias_cone_fraction = 0.18;
+  // Probability that a fanin is drawn from recently created nets.
+  double locality = 0.75;
+};
+
+Netlist GenerateCircuit(const CircuitSpec& spec);
+
+}  // namespace splitlock::circuits

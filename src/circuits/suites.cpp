@@ -1,0 +1,69 @@
+#include "circuits/suites.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+
+namespace splitlock::circuits {
+namespace {
+
+uint64_t SeedFromName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Netlist Synthesize(const BenchmarkInfo& info, double scale) {
+  CircuitSpec spec;
+  spec.name = info.name;
+  spec.num_inputs = info.inputs;
+  spec.num_outputs = info.outputs;
+  spec.num_gates = std::max<size_t>(
+      64, static_cast<size_t>(static_cast<double>(info.gates) * scale));
+  spec.seed = SeedFromName(info.name);
+  return GenerateCircuit(spec);
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& IscasSuite() {
+  static const std::vector<BenchmarkInfo> suite = {
+      {"c432", 36, 7, 160},    {"c880", 60, 26, 383},
+      {"c1355", 41, 32, 546},  {"c1908", 33, 25, 880},
+      {"c3540", 50, 22, 1669}, {"c5315", 178, 123, 2307},
+      {"c7552", 207, 108, 3512},
+  };
+  return suite;
+}
+
+const std::vector<BenchmarkInfo>& Itc99Suite() {
+  // FF-cut combinational cores: inputs = PIs + FFs, outputs = POs + FFs.
+  static const std::vector<BenchmarkInfo> suite = {
+      {"b14", 277, 299, 9767},   {"b15", 485, 519, 8367},
+      {"b17", 1452, 1512, 30777}, {"b20", 522, 512, 19682},
+      {"b21", 522, 512, 20027},  {"b22", 767, 757, 29162},
+  };
+  return suite;
+}
+
+Netlist MakeIscas(const std::string& name) {
+  if (name == "c17") return MakeC17();
+  for (const BenchmarkInfo& info : IscasSuite()) {
+    if (info.name == name) return Synthesize(info, 1.0);
+  }
+  throw std::invalid_argument("unknown ISCAS benchmark: " + name);
+}
+
+Netlist MakeItc99(const std::string& name, double scale) {
+  for (const BenchmarkInfo& info : Itc99Suite()) {
+    if (info.name == name) return Synthesize(info, scale);
+  }
+  throw std::invalid_argument("unknown ITC'99 benchmark: " + name);
+}
+
+}  // namespace splitlock::circuits

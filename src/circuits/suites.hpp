@@ -1,0 +1,37 @@
+// Benchmark suites used in the paper's evaluation.
+//
+// The real ISCAS-85 and ITC'99 netlists are not redistributable inside this
+// repository, so (except for the embedded c17) each benchmark is a seeded
+// synthetic equivalent matched to the published PI/PO/gate counts — see
+// DESIGN.md's substitution table for why this preserves the evaluation's
+// behaviour. ITC'99 designs are their FF-cut combinational cores (flip-flop
+// Q pins counted as pseudo-inputs, D pins as pseudo-outputs). The `scale`
+// parameter shrinks the ITC gate counts for fast runs (env REPRO_SCALE).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock::circuits {
+
+struct BenchmarkInfo {
+  std::string name;
+  size_t inputs = 0;   // incl. pseudo-PIs for ITC'99
+  size_t outputs = 0;  // incl. pseudo-POs for ITC'99
+  size_t gates = 0;    // published combinational gate count (approx.)
+};
+
+// c432, c880, c1355, c1908, c3540, c5315, c7552 (Table III order).
+const std::vector<BenchmarkInfo>& IscasSuite();
+
+// b14, b15, b17, b20, b21, b22 (Tables I/II order).
+const std::vector<BenchmarkInfo>& Itc99Suite();
+
+// Builds a suite member by name. c17 is exact; everything else synthesizes
+// a matched-size circuit. Unknown names throw std::invalid_argument.
+Netlist MakeIscas(const std::string& name);
+Netlist MakeItc99(const std::string& name, double scale = 1.0);
+
+}  // namespace splitlock::circuits

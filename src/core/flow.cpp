@@ -1,0 +1,102 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+
+#include "lock/key.hpp"
+#include "phys/placer.hpp"
+#include "sim/simulator.hpp"
+
+namespace splitlock::core {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+LayoutCost MeasureCost(const PhysicalBundle& bundle) {
+  LayoutCost cost;
+  cost.die_area_um2 = bundle.layout->DieAreaUm2();
+  cost.power_uw = bundle.power.TotalUw();
+  cost.critical_path_ps = bundle.timing.critical_path_ps;
+  return cost;
+}
+
+}  // namespace
+
+CostDelta CompareCost(const LayoutCost& base, const LayoutCost& ours) {
+  auto pct = [](double b, double o) {
+    return b == 0.0 ? 0.0 : 100.0 * (o - b) / b;
+  };
+  CostDelta d;
+  d.area_percent = pct(base.die_area_um2, ours.die_area_um2);
+  d.power_percent = pct(base.power_uw, ours.power_uw);
+  d.timing_percent = pct(base.critical_path_ps, ours.critical_path_ps);
+  return d;
+}
+
+PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
+                             const FlowOptions& options) {
+  PhysicalBundle bundle;
+  bundle.netlist = std::make_unique<Netlist>(physical_netlist.Compacted());
+
+  phys::PlacerOptions placer;
+  placer.utilization = options.utilization;
+  placer.seed = options.seed ^ 0x9e3779b9;
+  placer.moves_per_cell = options.placer_moves_per_cell;
+  placer.randomize_tie_cells = options.randomize_tie_placement;
+  placer.key_inputs_as_pads = options.package_mode;
+  bundle.layout = std::make_unique<phys::Layout>(phys::PlaceDesign(
+      *bundle.netlist, phys::Tech::Nangate45Like(), placer));
+
+  phys::RouterOptions router;
+  router.seed = options.seed ^ 0x51ed2701;
+  router.route_key_nets_as_regular = !options.lift_key_nets;
+  phys::RouteDesign(*bundle.layout, router);
+
+  if (options.lift_key_nets) {
+    // Package mode routes the key-nets on the top metal pair out to the
+    // pads, independent of the split layer.
+    const int lift_layer =
+        options.package_mode
+            ? bundle.layout->tech.NumLayers() - 1
+            : options.EffectiveLiftLayer();
+    bundle.lift = phys::LiftKeyNets(*bundle.layout, *bundle.netlist,
+                                    lift_layer, options.seed ^ 0x1f2e3d4c);
+  }
+
+  bundle.timing = phys::RunSta(*bundle.layout);
+  const std::vector<double> toggles = EstimateToggleRates(
+      *bundle.netlist, options.power_patterns, options.seed ^ 0x777);
+  bundle.power = phys::EstimatePower(*bundle.layout, toggles);
+  bundle.cost = MeasureCost(bundle);
+  return bundle;
+}
+
+FlowResult RunSecureFlow(const Netlist& original, const FlowOptions& options) {
+  FlowResult result;
+  const auto t_lock = std::chrono::steady_clock::now();
+
+  lock::AtpgLockOptions lock_opts = options.lock;
+  lock_opts.key_bits = options.key_bits;
+  lock_opts.seed = options.seed;
+  result.lock = lock::LockWithAtpg(original, lock_opts);
+  result.times.lock_s = SecondsSince(t_lock);
+
+  // Package mode keeps the kKeyIn sources as pads; otherwise the key is
+  // realized as on-die TIE cells.
+  const Netlist realized =
+      options.package_mode
+          ? result.lock.locked
+          : lock::RealizeKeyAsTies(result.lock.locked, result.lock.key);
+
+  const auto t_place = std::chrono::steady_clock::now();
+  result.physical = BuildPhysical(realized, options);
+  result.times.place_s = SecondsSince(t_place);
+
+  result.feol =
+      split::SplitLayout(*result.physical.layout, options.split_layer);
+  return result;
+}
+
+}  // namespace splitlock::core

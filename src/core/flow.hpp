@@ -1,0 +1,108 @@
+// SecureSplitFlow: the paper's end-to-end physical design flow (Fig. 3).
+//
+// Synthesis stage: ATPG-based locking embeds exactly k key bits (fault
+// injection + restore circuitry, LEC-verified), then the key is realized as
+// TIEHI/TIELO cells. Layout stage: TIE cells are randomized and fixed
+// (detached from the cost function), the design is placed and routed, and
+// the key-nets are lifted to the BEOL through stacked vias with ECO
+// re-route. Finally the layout is split: metals <= split_layer go to the
+// untrusted FEOL foundry, the key-net connectivity above is the BEOL
+// secret.
+//
+// The same machinery also produces the evaluation baselines: the
+// unprotected layout (Fig. 5 baseline) and the "prelift" locked layout
+// (regular PD flow with dont-touch TIE cells, no lifting).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lock/atpg_lock.hpp"
+#include "netlist/netlist.hpp"
+#include "phys/layout.hpp"
+#include "phys/power.hpp"
+#include "phys/router.hpp"
+#include "phys/timing.hpp"
+#include "split/split.hpp"
+
+namespace splitlock::core {
+
+struct LayoutCost {
+  double die_area_um2 = 0.0;
+  double power_uw = 0.0;
+  double critical_path_ps = 0.0;
+};
+
+// Percent deltas of `ours` relative to `base` (the Fig. 5 quantities).
+struct CostDelta {
+  double area_percent = 0.0;
+  double power_percent = 0.0;
+  double timing_percent = 0.0;
+};
+CostDelta CompareCost(const LayoutCost& base, const LayoutCost& ours);
+
+struct StageTimes {
+  double lock_s = 0.0;
+  double place_s = 0.0;
+  double route_s = 0.0;
+  double lift_s = 0.0;
+};
+
+struct FlowOptions {
+  size_t key_bits = 128;
+  int split_layer = 4;   // FEOL keeps metals <= split_layer
+  // Lift layer defaults to split_layer + 1 (paper: M5 for M4, M7 for M6).
+  int lift_layer = 0;    // 0 = split_layer + 1
+  double utilization = 0.70;
+  int placer_moves_per_cell = 60;
+  uint64_t seed = 1;
+  uint64_t power_patterns = 2048;
+
+  // Security knobs (the ablations flip these):
+  bool randomize_tie_placement = true;  // Fig. 2(b): randomize + fix TIEs
+  bool lift_key_nets = true;            // Fig. 2(c): key-nets to the BEOL
+
+  // Future-work mode (paper Sec. V): instead of on-die TIE cells completed
+  // by a trusted BEOL fab, the key-nets run to I/O pads and are tied to
+  // fixed logic in the (trusted) package routing. Key inputs stay in the
+  // physical netlist as boundary pads and the key-nets are routed on the
+  // top metal pair regardless of the split layer.
+  bool package_mode = false;
+
+  lock::AtpgLockOptions lock;  // key_bits/seed are synced by the flow
+
+  int EffectiveLiftLayer() const {
+    return lift_layer > 0 ? lift_layer : split_layer + 1;
+  }
+};
+
+// Physical view of one netlist: the flow owns the (mutable) netlist and the
+// layout; both live behind stable pointers so the bundle can be moved.
+struct PhysicalBundle {
+  std::unique_ptr<Netlist> netlist;
+  std::unique_ptr<phys::Layout> layout;
+  phys::TimingReport timing;
+  phys::PowerReport power;
+  phys::LiftStats lift;
+  LayoutCost cost;
+};
+
+struct FlowResult {
+  lock::AtpgLockResult lock;   // locked netlist (kKeyIn form) + correct key
+  PhysicalBundle physical;     // TIE-realized netlist + secure layout
+  split::FeolView feol;        // references physical.{netlist,layout}
+  StageTimes times;
+};
+
+// The full secure flow on `original`.
+FlowResult RunSecureFlow(const Netlist& original,
+                         const FlowOptions& options = {});
+
+// Place-and-route of an arbitrary physical netlist (no kKeyIn sources) —
+// used for the unprotected baseline and the prelift reference. When
+// `options.lift_key_nets` is set and the netlist contains flagged key-nets,
+// they are lifted exactly as in the secure flow.
+PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
+                             const FlowOptions& options);
+
+}  // namespace splitlock::core

@@ -1,0 +1,146 @@
+#include <algorithm>
+#include <vector>
+
+#include "defense/defenses.hpp"
+#include "phys/router.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::defense {
+namespace {
+
+// Sink pins eligible for a decoy swap: logic-gate inputs on routed
+// logic-driven nets (never I/O pads).
+struct SwapPin {
+  Pin pin;
+  NetId true_net;
+};
+
+std::vector<SwapPin> EligiblePins(const Netlist& nl,
+                                  const phys::Layout& layout) {
+  std::vector<SwapPin> pins;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    if (!layout.routes[n].routed) continue;
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || nl.gate(d).op == GateOp::kInput) continue;
+    for (const Pin& p : nl.net(n).sinks) {
+      const Gate& sink = nl.gate(p.gate);
+      if (sink.op == GateOp::kOutput) continue;
+      pins.push_back(SwapPin{p, n});
+    }
+  }
+  return pins;
+}
+
+}  // namespace
+
+DefenseResult ApplyBeolRestore(const Netlist& original,
+                               const core::FlowOptions& flow,
+                               const BeolRestoreOptions& options) {
+  DefenseResult result;
+  core::FlowOptions opts = flow;
+  opts.lift_key_nets = false;
+  result.physical = core::BuildPhysical(original, opts);
+  phys::Layout& layout = *result.physical.layout;
+  Netlist& nl = *result.physical.netlist;  // mutated into the decoy below
+  Rng rng(opts.seed ^ 0xbe015e57);
+
+  // Keep the functional ground truth before introducing decoy wiring.
+  result.reference = std::make_unique<Netlist>(nl);
+
+  // Pairwise sink-pin swaps: the FEOL implements the decoy connectivity;
+  // the BEOL restores the true one. Each swapped pin's true net is recorded
+  // for the split's ground-truth annotation.
+  std::vector<SwapPin> pins = EligiblePins(nl, layout);
+  rng.Shuffle(pins);
+  const size_t swap_pairs = static_cast<size_t>(
+      static_cast<double>(pins.size()) * options.lift_fraction *
+      options.swap_fraction / 2.0);
+  std::vector<SwapPin> swapped;
+  std::vector<NetId> lifted_nets;
+  for (size_t i = 0; i + 1 < 2 * swap_pairs && i + 1 < pins.size(); i += 2) {
+    const SwapPin& a = pins[i];
+    const SwapPin& b = pins[i + 1];
+    if (a.true_net == b.true_net) continue;
+    // A pin must not end up driven by its own gate's output.
+    const Gate& ga = nl.gate(a.pin.gate);
+    const Gate& gb = nl.gate(b.pin.gate);
+    if (ga.out == b.true_net || gb.out == a.true_net) continue;
+    // Avoid introducing combinational cycles: only swap when neither
+    // proposed decoy edge closes a path back to its driver. Conservatively
+    // skip pins whose gates feed each other's nets directly.
+    nl.ReplaceFanin(a.pin.gate, a.pin.index, b.true_net);
+    nl.ReplaceFanin(b.pin.gate, b.pin.index, a.true_net);
+    // A swap that creates a cycle is rolled back.
+    bool has_cycle = false;
+    {
+      // Cheap cycle test: Kahn over the mutated netlist.
+      std::vector<uint32_t> pending(nl.NumGates(), 0);
+      std::vector<GateId> ready;
+      size_t live = 0;
+      for (GateId g = 0; g < nl.NumGates(); ++g) {
+        if (nl.gate(g).op == GateOp::kDeleted) continue;
+        ++live;
+        pending[g] = static_cast<uint32_t>(nl.gate(g).fanins.size());
+        if (pending[g] == 0) ready.push_back(g);
+      }
+      size_t seen = 0;
+      for (size_t head = 0; head < ready.size(); ++head) {
+        const GateId g = ready[head];
+        ++seen;
+        if (nl.gate(g).out == kNullId) continue;
+        for (const Pin& p : nl.net(nl.gate(g).out).sinks) {
+          if (--pending[p.gate] == 0) ready.push_back(p.gate);
+        }
+      }
+      has_cycle = seen != live;
+    }
+    if (has_cycle) {
+      nl.ReplaceFanin(a.pin.gate, a.pin.index, a.true_net);
+      nl.ReplaceFanin(b.pin.gate, b.pin.index, b.true_net);
+      continue;
+    }
+    swapped.push_back(a);
+    swapped.push_back(b);
+    lifted_nets.push_back(a.true_net);
+    lifted_nets.push_back(b.true_net);
+  }
+
+  // Lift the swapped nets plus extra cover nets up to the lift budget.
+  std::vector<NetId> eligible;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    if (!layout.routes[n].routed) continue;
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || nl.gate(d).op == GateOp::kInput) continue;
+    if (std::find(lifted_nets.begin(), lifted_nets.end(), n) ==
+        lifted_nets.end()) {
+      eligible.push_back(n);
+    }
+  }
+  rng.Shuffle(eligible);
+  const size_t budget = static_cast<size_t>(
+      static_cast<double>(eligible.size() + lifted_nets.size()) *
+      options.lift_fraction);
+  for (size_t i = 0; i < eligible.size() && lifted_nets.size() < budget;
+       ++i) {
+    lifted_nets.push_back(eligible[i]);
+  }
+
+  phys::LiftNetsAbove(layout, lifted_nets, opts.split_layer + 1,
+                      opts.seed ^ 0x5151abcd);
+  result.feol = split::SplitLayout(layout, opts.split_layer);
+
+  // Ground truth: swapped pins really belong to their pre-swap nets (the
+  // BEOL restores them); fix the annotations the split derived from the
+  // decoy netlist.
+  for (split::SinkStub& stub : result.feol.sink_stubs) {
+    for (const SwapPin& sp : swapped) {
+      if (stub.sink == sp.pin) {
+        stub.true_net = sp.true_net;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace splitlock::defense

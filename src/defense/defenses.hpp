@@ -1,0 +1,69 @@
+// Simplified re-implementations of the prior-art split-manufacturing
+// defenses the paper compares against in Table III. All three are
+// *heuristic* layout-level protections (no key), which is precisely the
+// contrast the paper draws with its formally keyed scheme.
+//
+//  [22] Wang et al., ASPDAC'17 — routing perturbation: detour/displace the
+//       BEOL ascent points of broken connections so physical proximity
+//       misleads the attacker. No nets are hidden beyond what the split
+//       already hides, so structural recovery stays high.
+//  [12] Patnaik et al., ASPDAC'18 — concerted wire lifting: deliberately
+//       re-route a chosen set of regular nets entirely above the split
+//       layer (stacked vias on the pins), removing their FEOL hints.
+//  [13] Patnaik et al., DAC'18 — restore through BEOL: lift nets *and*
+//       swap sink pins pairwise in the FEOL netlist, restoring the true
+//       connectivity only in the BEOL. A proximity attacker who recovers
+//       the apparent (decoy) wiring recovers the wrong function.
+#pragma once
+
+#include <memory>
+
+#include "core/flow.hpp"
+#include "netlist/netlist.hpp"
+#include "split/split.hpp"
+
+namespace splitlock::defense {
+
+struct DefenseResult {
+  core::PhysicalBundle physical;
+  split::FeolView feol;
+  // Functional ground truth for HD/OER scoring. For [13] this differs from
+  // feol.netlist (which carries the decoy wiring); null means feol.netlist
+  // is already the truth.
+  std::unique_ptr<Netlist> reference;
+
+  const Netlist& Reference() const {
+    return reference != nullptr ? *reference : *feol.netlist;
+  }
+};
+
+struct RoutingPerturbationOptions {
+  double perturb_fraction = 0.30;   // share of broken connections detoured
+  double max_displacement_um = 15.0;
+};
+
+// [22]: perturbs ascent hints of connections crossing the split layer.
+DefenseResult ApplyRoutingPerturbation(
+    const Netlist& original, const core::FlowOptions& flow,
+    const RoutingPerturbationOptions& options = {});
+
+struct WireLiftingOptions {
+  double lift_fraction = 0.10;  // share of eligible nets lifted
+};
+
+// [12]: lifts a selected set of regular nets fully above the split layer.
+DefenseResult ApplyConcertedWireLifting(const Netlist& original,
+                                        const core::FlowOptions& flow,
+                                        const WireLiftingOptions& options = {});
+
+struct BeolRestoreOptions {
+  double lift_fraction = 0.10;
+  double swap_fraction = 0.6;  // share of lifted nets paired for pin swaps
+};
+
+// [13]: wire lifting plus pairwise sink-pin swaps restored in the BEOL.
+DefenseResult ApplyBeolRestore(const Netlist& original,
+                               const core::FlowOptions& flow,
+                               const BeolRestoreOptions& options = {});
+
+}  // namespace splitlock::defense

@@ -1,0 +1,66 @@
+#include <algorithm>
+
+#include "defense/defenses.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::defense {
+
+DefenseResult ApplyRoutingPerturbation(
+    const Netlist& original, const core::FlowOptions& flow,
+    const RoutingPerturbationOptions& options) {
+  DefenseResult result;
+  core::FlowOptions opts = flow;
+  opts.lift_key_nets = false;  // heuristic defense: no key machinery
+  result.physical = core::BuildPhysical(original, opts);
+  phys::Layout& layout = *result.physical.layout;
+  Rng rng(opts.seed ^ 0xa5117e22);
+
+  const int split = opts.split_layer;
+  for (NetId n = 0; n < layout.routes.size(); ++n) {
+    for (phys::ConnRoute& conn : layout.routes[n].conns) {
+      bool crosses = false;
+      for (int l : conn.hop_layers) {
+        if (l > split) crosses = true;
+      }
+      if (!crosses || conn.hop_points.empty()) continue;
+      if (!rng.NextBernoulli(options.perturb_fraction)) continue;
+
+      // Displace the driver-side ascent point: the FEOL gets a decoy jog on
+      // a low metal before the wire disappears upward, so the stub the
+      // attacker measures no longer sits near the true continuation. The
+      // displacement is perpendicular to the hidden wire's run direction,
+      // which breaks the track alignment proximity attacks key on.
+      size_t k = 0;
+      while (k < conn.hop_layers.size() && conn.hop_layers[k] <= split) ++k;
+      size_t j = conn.hop_layers.size();
+      while (j > 0 && conn.hop_layers[j - 1] <= split) --j;
+      const Point old_ascent = conn.hop_points[k];
+      const Point descent = conn.hop_points[j];
+      auto displace = [&](double v) {
+        const double mag =
+            3.0 + rng.NextDouble() * (options.max_displacement_um - 3.0);
+        return v + (rng.NextBool() ? mag : -mag);
+      };
+      const bool hidden_runs_horizontal =
+          std::abs(descent.x - old_ascent.x) >=
+          std::abs(descent.y - old_ascent.y);
+      Point moved = hidden_runs_horizontal
+                        ? Point{old_ascent.x, displace(old_ascent.y)}
+                        : Point{displace(old_ascent.x), old_ascent.y};
+      // Clamp into the die.
+      moved.x = std::clamp(moved.x, layout.die.lo.x, layout.die.hi.x);
+      moved.y = std::clamp(moved.y, layout.die.lo.y, layout.die.hi.y);
+      conn.hop_points[k] = moved;
+      // Parasitic bookkeeping for the decoy jog (routed on M2/M3).
+      const int jog_layer = old_ascent.x == moved.x ? 2 : 3;
+      conn.segments.push_back(phys::Segment{jog_layer, old_ascent, moved});
+      conn.vias.push_back(phys::ViaStack{moved, jog_layer,
+                                         std::max(jog_layer, split + 1)});
+    }
+  }
+
+  result.feol = split::SplitLayout(layout, split);
+  return result;
+}
+
+}  // namespace splitlock::defense

@@ -1,0 +1,50 @@
+#include <vector>
+
+#include "defense/defenses.hpp"
+#include "phys/router.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::defense {
+namespace {
+
+// Nets eligible for lifting: routed logic-to-logic nets with a placed
+// driver (I/O pad nets are left alone, as in the prior art).
+std::vector<NetId> EligibleNets(const Netlist& nl,
+                                const phys::Layout& layout) {
+  std::vector<NetId> nets;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    if (!layout.routes[n].routed) continue;
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || nl.net(n).sinks.empty()) continue;
+    if (nl.gate(d).op == GateOp::kInput) continue;
+    nets.push_back(n);
+  }
+  return nets;
+}
+
+}  // namespace
+
+DefenseResult ApplyConcertedWireLifting(const Netlist& original,
+                                        const core::FlowOptions& flow,
+                                        const WireLiftingOptions& options) {
+  DefenseResult result;
+  core::FlowOptions opts = flow;
+  opts.lift_key_nets = false;
+  result.physical = core::BuildPhysical(original, opts);
+  phys::Layout& layout = *result.physical.layout;
+  const Netlist& nl = *result.physical.netlist;
+  Rng rng(opts.seed ^ 0xc0fefe11);
+
+  std::vector<NetId> eligible = EligibleNets(nl, layout);
+  rng.Shuffle(eligible);
+  const size_t lift_count = static_cast<size_t>(
+      static_cast<double>(eligible.size()) * options.lift_fraction);
+  eligible.resize(lift_count);
+
+  phys::LiftNetsAbove(layout, eligible, opts.split_layer + 1,
+                      opts.seed ^ 0x77aa88bb);
+  result.feol = split::SplitLayout(layout, opts.split_layer);
+  return result;
+}
+
+}  // namespace splitlock::defense

@@ -1,0 +1,234 @@
+#include "lec/lec.hpp"
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock {
+namespace {
+
+// Number of 64-pattern words used for candidate-equivalence signatures.
+constexpr size_t kSigWords = 8;
+using Signature = std::array<uint64_t, kSigWords>;
+
+struct SignatureHash {
+  size_t operator()(const Signature& s) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t w : s) h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+Signature Complement(Signature s) {
+  for (uint64_t& w : s) w = ~w;
+  return s;
+}
+
+// Per-net signatures over shared random input words.
+std::vector<Signature> ComputeSignatures(
+    const Netlist& nl, const std::vector<std::vector<uint64_t>>& pi_words,
+    std::span<const uint8_t> key) {
+  Simulator sim(nl);
+  if (!key.empty()) sim.SetKeyBits(key);
+  std::vector<Signature> sigs(nl.NumNets());
+  for (size_t w = 0; w < kSigWords; ++w) {
+    sim.SetInputWords(pi_words[w]);
+    sim.Run();
+    for (NetId n = 0; n < nl.NumNets(); ++n) sigs[n][w] = sim.NetWord(n);
+  }
+  return sigs;
+}
+
+// Proves lit_a == lit_b under the current clause database. Returns true on
+// success (adds the equality clauses to help later proofs), false when SAT
+// found a difference or the conflict budget ran out (`*budget_blown`).
+bool ProveEqual(sat::Solver& solver, sat::Lit a, sat::Lit b,
+                uint64_t conflict_limit, bool* budget_blown) {
+  const std::array<sat::Lit, 2> case1{a, sat::Negate(b)};
+  const sat::SolveResult r1 = solver.Solve(case1, conflict_limit);
+  if (r1 == sat::SolveResult::kUnknown) {
+    *budget_blown = true;
+    return false;
+  }
+  if (r1 == sat::SolveResult::kSat) return false;
+  const std::array<sat::Lit, 2> case2{sat::Negate(a), b};
+  const sat::SolveResult r2 = solver.Solve(case2, conflict_limit);
+  if (r2 == sat::SolveResult::kUnknown) {
+    *budget_blown = true;
+    return false;
+  }
+  if (r2 == sat::SolveResult::kSat) return false;
+  // Lock in the equivalence for future propagation.
+  solver.AddBinary(sat::Negate(a), b);
+  solver.AddBinary(a, sat::Negate(b));
+  return true;
+}
+
+}  // namespace
+
+LecResult CheckEquivalence(const Netlist& golden, const Netlist& revised,
+                           std::span<const uint8_t> golden_key,
+                           std::span<const uint8_t> revised_key,
+                           uint64_t conflict_limit) {
+  assert(golden.inputs().size() == revised.inputs().size());
+  assert(golden.outputs().size() == revised.outputs().size());
+  LecResult result;
+
+  sat::Solver solver;
+  sat::StructuralEncoder enc(solver);
+
+  // Shared primary inputs.
+  std::vector<sat::Lit> inputs;
+  inputs.reserve(golden.inputs().size());
+  for (size_t i = 0; i < golden.inputs().size(); ++i) {
+    inputs.push_back(enc.FreshLit());
+  }
+  auto key_to_lits = [&](std::span<const uint8_t> key) {
+    std::vector<sat::Lit> lits;
+    lits.reserve(key.size());
+    for (uint8_t b : key) lits.push_back(b ? enc.TrueLit() : enc.FalseLit());
+    return lits;
+  };
+  const std::vector<sat::Lit> gk = key_to_lits(golden_key);
+  const std::vector<sat::Lit> rk = key_to_lits(revised_key);
+
+  // Shared random stimulus for equivalence candidates.
+  Rng rng(0x1ec1ec1ecULL);
+  std::vector<std::vector<uint64_t>> pi_words(kSigWords);
+  for (auto& w : pi_words) {
+    w.resize(golden.inputs().size());
+    for (auto& v : w) v = rng.NextWord();
+  }
+  const std::vector<Signature> golden_sigs =
+      ComputeSignatures(golden, pi_words, golden_key);
+  const std::vector<Signature> revised_sigs =
+      ComputeSignatures(revised, pi_words, revised_key);
+
+  // Encode the golden netlist outright and index its literals by signature.
+  const std::vector<sat::Lit> golden_outs =
+      enc.EncodeNetlist(golden, inputs, gk);
+  std::unordered_map<Signature, sat::Lit, SignatureHash> by_signature;
+  {
+    std::vector<sat::Lit> net_lit(golden.NumNets(), -1);
+    // Recover per-net literals by re-encoding (cache hits make this free).
+    for (size_t i = 0; i < golden.inputs().size(); ++i) {
+      net_lit[golden.gate(golden.inputs()[i]).out] = inputs[i];
+    }
+    const std::vector<GateId> gkeys = golden.KeyInputs();
+    for (size_t i = 0; i < gkeys.size(); ++i) {
+      net_lit[golden.gate(gkeys[i]).out] = gk[i];
+    }
+    std::vector<sat::Lit> fanin_lits;
+    for (GateId g : golden.TopoOrder()) {
+      const Gate& gate = golden.gate(g);
+      if (gate.op == GateOp::kInput || gate.op == GateOp::kKeyIn ||
+          gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) {
+        continue;
+      }
+      fanin_lits.clear();
+      for (NetId n : gate.fanins) fanin_lits.push_back(net_lit[n]);
+      const sat::Lit lit = enc.EncodeOp(gate.op, fanin_lits);
+      net_lit[gate.out] = lit;
+      by_signature.emplace(golden_sigs[gate.out], lit);
+    }
+  }
+
+  // SAT sweeping over the revised netlist: encode gate by gate; whenever a
+  // net's signature matches a golden literal (directly or complemented),
+  // try to prove the equivalence and substitute on success. Substitution
+  // makes everything downstream of a proven point re-fold structurally,
+  // which is what keeps locked-vs-original miters cheap.
+  const uint64_t per_proof_limit =
+      conflict_limit == 0 ? 200000 : conflict_limit;
+  bool budget_blown = false;
+  std::vector<sat::Lit> revised_lit(revised.NumNets(), -1);
+  for (size_t i = 0; i < revised.inputs().size(); ++i) {
+    revised_lit[revised.gate(revised.inputs()[i]).out] = inputs[i];
+  }
+  const std::vector<GateId> rkeys = revised.KeyInputs();
+  for (size_t i = 0; i < rkeys.size(); ++i) {
+    revised_lit[revised.gate(rkeys[i]).out] = rk[i];
+  }
+  std::vector<sat::Lit> fanin_lits;
+  for (GateId g : revised.TopoOrder()) {
+    const Gate& gate = revised.gate(g);
+    if (gate.op == GateOp::kInput || gate.op == GateOp::kKeyIn ||
+        gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) {
+      continue;
+    }
+    fanin_lits.clear();
+    for (NetId n : gate.fanins) fanin_lits.push_back(revised_lit[n]);
+    sat::Lit lit = enc.EncodeOp(gate.op, fanin_lits);
+
+    // Candidate merge against the golden side.
+    const Signature& sig = revised_sigs[gate.out];
+    auto it = by_signature.find(sig);
+    bool negated_candidate = false;
+    if (it == by_signature.end()) {
+      it = by_signature.find(Complement(sig));
+      negated_candidate = true;
+    }
+    if (it != by_signature.end()) {
+      const sat::Lit target =
+          negated_candidate ? sat::Negate(it->second) : it->second;
+      if (lit != target &&
+          ProveEqual(solver, lit, target, per_proof_limit, &budget_blown)) {
+        lit = target;  // substitute: downstream folds onto the golden side
+      }
+    }
+    revised_lit[gate.out] = lit;
+  }
+
+  // Final miter over the output literals.
+  std::vector<sat::Lit> diffs;
+  std::vector<size_t> diff_output_index;
+  for (size_t o = 0; o < golden.outputs().size(); ++o) {
+    const sat::Lit r_out =
+        revised_lit[revised.gate(revised.outputs()[o]).fanins[0]];
+    const sat::Lit d = enc.EncodeOp(
+        GateOp::kXor, std::array<sat::Lit, 2>{golden_outs[o], r_out});
+    if (d == enc.FalseLit()) continue;
+    diffs.push_back(d);
+    diff_output_index.push_back(o);
+  }
+
+  if (diffs.empty()) {
+    result.proven = true;
+    result.equivalent = true;
+    result.conflicts = solver.conflicts();
+    return result;
+  }
+  solver.AddClause(diffs);
+
+  const sat::SolveResult sr = solver.Solve({}, conflict_limit);
+  result.conflicts = solver.conflicts();
+  if (sr == sat::SolveResult::kUnknown) return result;
+  result.proven = true;
+  if (sr == sat::SolveResult::kUnsat) {
+    result.equivalent = true;
+    return result;
+  }
+
+  result.equivalent = false;
+  result.counterexample.resize(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const bool v = solver.ModelValue(sat::VarOf(inputs[i]));
+    result.counterexample[i] =
+        static_cast<uint8_t>(sat::IsNegated(inputs[i]) ? !v : v);
+  }
+  for (size_t d = 0; d < diffs.size(); ++d) {
+    const bool v = solver.ModelValue(sat::VarOf(diffs[d]));
+    if (sat::IsNegated(diffs[d]) ? !v : v) {
+      result.differing_output = diff_output_index[d];
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace splitlock

@@ -1,0 +1,38 @@
+// Logic equivalence checking (LEC).
+//
+// Stand-in for Cadence Conformal LEC in the paper's Fig. 3 flow: the locking
+// stage must formally confirm that the locked netlist, with the correct key
+// applied, is equivalent to the original netlist ("LEC -> Reject" loop).
+// The check builds a structurally-hashed miter over shared primary inputs
+// and asks the CDCL solver whether any output can differ.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock {
+
+struct LecResult {
+  bool proven = false;       // solver finished within the conflict limit
+  bool equivalent = false;   // valid when proven
+  // For non-equivalence: one distinguishing input pattern (inputs() order)
+  // and the index of a differing output.
+  std::vector<uint8_t> counterexample;
+  size_t differing_output = 0;
+  uint64_t conflicts = 0;
+};
+
+// Checks functional equivalence of `golden` and `revised` (same PI/PO
+// counts, matched by position). Key inputs of either design are bound to the
+// given constant key bits (KeyInputs() order). `conflict_limit` bounds the
+// SAT effort per check (0 = unlimited).
+LecResult CheckEquivalence(const Netlist& golden, const Netlist& revised,
+                           std::span<const uint8_t> golden_key = {},
+                           std::span<const uint8_t> revised_key = {},
+                           uint64_t conflict_limit = 0);
+
+}  // namespace splitlock

@@ -1,0 +1,364 @@
+#include "lock/atpg_lock.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <set>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "atpg/cube.hpp"
+#include "atpg/cut.hpp"
+#include "lec/lec.hpp"
+#include "lock/epic.hpp"
+#include "lock/key.hpp"
+#include "lock/restore.hpp"
+#include "netlist/libcell.hpp"
+#include "opt/mffc.hpp"
+#include "opt/optimizer.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::lock {
+namespace {
+
+struct Candidate {
+  NetId net = kNullId;
+  bool majority = false;  // stuck-at value (the likely value)
+  double score = 0.0;     // bias-weighted removable area
+};
+
+// Ranks fault-site candidates on the current netlist.
+std::vector<Candidate> RankCandidates(const Netlist& nl,
+                                      const AtpgLockOptions& options,
+                                      uint64_t seed) {
+  const std::vector<double> probs =
+      EstimateSignalProbabilities(nl, options.bias_patterns, seed);
+  std::vector<Candidate> candidates;
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kDeleted || gate.HasFlag(kFlagDontTouch) ||
+        gate.HasFlag(kFlagRestore) || IsSourceOp(gate.op) ||
+        gate.op == GateOp::kOutput) {
+      continue;
+    }
+    const NetId n = gate.out;
+    if (nl.net(n).sinks.empty()) continue;
+    const double p1 = probs[n];
+    const double bias = std::max(p1, 1.0 - p1);
+    if (bias < options.min_bias) continue;
+    const std::vector<GateId> cone = MffcOf(nl, g);
+    const double removable = AreaOfGates(nl, cone);
+    if (removable <= 0.0) continue;
+    Candidate c;
+    c.net = n;
+    c.majority = p1 >= 0.5;
+    // Stronger bias means a smaller failing-pattern on-set and hence a
+    // cheaper comparator; weight the removable area by it.
+    c.score = removable * (bias - options.min_bias + 0.05);
+    candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  return candidates;
+}
+
+// Spreads ranked candidates across `partitions` round-robin buckets and
+// re-interleaves them, so accepted faults distribute over the design the
+// way the paper's per-partition fault selection does.
+std::vector<Candidate> InterleaveByPartition(std::vector<Candidate> ranked,
+                                             size_t partitions, Rng& rng) {
+  if (partitions <= 1 || ranked.size() <= partitions) return ranked;
+  std::vector<std::vector<Candidate>> buckets(partitions);
+  // Random balanced assignment, preserving rank inside each bucket.
+  std::vector<size_t> slots(ranked.size());
+  for (size_t i = 0; i < slots.size(); ++i) slots[i] = i % partitions;
+  rng.Shuffle(slots);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    buckets[slots[i]].push_back(std::move(ranked[i]));
+  }
+  std::vector<Candidate> out;
+  out.reserve(slots.size());
+  for (size_t round = 0; !buckets.empty(); ++round) {
+    bool any = false;
+    for (auto& b : buckets) {
+      if (round < b.size()) {
+        out.push_back(b[round]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+AtpgLockResult LockWithAtpg(const Netlist& original,
+                            const AtpgLockOptions& options) {
+  AtpgLockResult result;
+  result.locked = original.Compacted();
+  result.original_area_um2 = TotalCellArea(result.locked);
+  Netlist& nl = result.locked;
+  Rng rng(options.seed);
+
+  size_t bits = 0;
+  size_t next_key_index = 0;
+  bool progress = true;
+  // Nets whose fault was tried and rejected; never re-attempted (the
+  // rejection reasons — cut size, on-set shape, dead key bits — do not go
+  // away as other faults are injected).
+  std::set<NetId> rejected;
+  const bool trace = std::getenv("SPLITLOCK_TRACE") != nullptr;
+  size_t rej_cut = 0, rej_minterms = 0, rej_cubes = 0, rej_degen = 0,
+         rej_gain = 0, rej_prescreen = 0, rej_active = 0;
+  while (bits < options.key_bits && progress) {
+    progress = false;
+    if (trace) {
+      std::fprintf(stderr, "[lock] round start: bits=%zu rejected=%zu\n",
+                   bits, rejected.size());
+    }
+    std::vector<Candidate> candidates =
+        RankCandidates(nl, options, rng.NextWord());
+    candidates = InterleaveByPartition(std::move(candidates),
+                                       options.partitions, rng);
+
+    // One shared random-sample sweep per round: per-net 64-bit sample
+    // words used to pre-screen key-bit activity cheaply before paying for
+    // the real apply-and-verify.
+    constexpr size_t kSampleWords = 32;
+    std::vector<std::array<uint64_t, kSampleWords>> samples(nl.NumNets());
+    {
+      Simulator sim(nl);
+      Rng sample_rng(options.seed ^ 0x5a5a5a5a);
+      const std::vector<GateId> keys_now = nl.KeyInputs();
+      std::vector<uint8_t> key_now(result.key.begin(), result.key.end());
+      for (size_t w = 0; w < kSampleWords; ++w) {
+        sim.SetRandomInputs(sample_rng);
+        if (!key_now.empty()) sim.SetKeyBits(key_now);
+        sim.Run();
+        for (NetId n = 0; n < nl.NumNets(); ++n) {
+          samples[n][w] = sim.NetWord(n);
+        }
+      }
+    }
+
+    for (const Candidate& cand : candidates) {
+      if (bits >= options.key_bits) break;
+      if (rejected.count(cand.net) != 0) continue;
+      // Re-check liveness: earlier accepted faults may have swept this net.
+      const GateId driver = nl.DriverOf(cand.net);
+      if (driver == kNullId || nl.gate(driver).op == GateOp::kDeleted ||
+          nl.net(cand.net).sinks.empty()) {
+        continue;
+      }
+
+      // The module boundary is the candidate's MFFC: the comparator's
+      // support equals exactly the logic the fault removes, which keeps
+      // the failing-pattern set compact (Sec. III-A's per-module ATPG).
+      const std::vector<GateId> mffc = MffcOf(nl, driver);
+      const atpg::Cut cut =
+          atpg::CutFromCone(nl, cand.net, mffc, options.max_cut_leaves);
+      if (cut.root == kNullId) {
+        rejected.insert(cand.net);
+        ++rej_cut;
+        continue;
+      }
+
+      // Failing patterns: cut assignments on which the cone disagrees with
+      // the stuck value.
+      const auto minterms = atpg::EnumerateConeMinterms(
+          nl, cut, !cand.majority, options.max_minterms);
+      if (!minterms || minterms->empty()) {
+        rejected.insert(cand.net);
+        ++rej_minterms;
+        continue;
+      }
+      const std::vector<atpg::Cube> cubes =
+          atpg::MintermsToCubes(*minterms, cut.leaves.size());
+      if (cubes.empty() || cubes.size() > options.max_cubes) {
+        rejected.insert(cand.net);
+        ++rej_cubes;
+        continue;
+      }
+      size_t fault_bits = 0;
+      bool degenerate = false;
+      for (const atpg::Cube& c : cubes) {
+        if (c.CareCount() == 0) degenerate = true;
+        fault_bits += static_cast<size_t>(c.CareCount());
+      }
+      if (degenerate || fault_bits == 0) {
+        rejected.insert(cand.net);
+        ++rej_degen;
+        continue;
+      }
+      if (bits + fault_bits > options.key_bits) continue;  // retry later
+
+      // Cheap activity pre-screen on the shared samples: flipping any
+      // single comparator literal must change the match function on at
+      // least one observed (reachable) leaf pattern; otherwise the key
+      // bit would be dead (correlated cut signals).
+      {
+        bool leaves_sampled = true;
+        for (NetId leaf : cut.leaves) {
+          if (leaf >= samples.size()) leaves_sampled = false;
+        }
+        if (leaves_sampled) {
+          bool all_literals_alive = true;
+          // Literal words per cube: literal true iff leaf matches the
+          // cube's required value.
+          for (size_t ci = 0; ci < cubes.size() && all_literals_alive;
+               ++ci) {
+            for (size_t li = 0; li < cut.leaves.size(); ++li) {
+              if ((cubes[ci].care & (1ULL << li)) == 0) continue;
+              bool alive = false;
+              for (size_t w = 0; w < kSampleWords && !alive; ++w) {
+                uint64_t match = 0;
+                uint64_t match_flipped = 0;
+                for (size_t cj = 0; cj < cubes.size(); ++cj) {
+                  uint64_t cube_word = ~0ULL;
+                  uint64_t cube_word_f = ~0ULL;
+                  for (size_t lj = 0; lj < cut.leaves.size(); ++lj) {
+                    if ((cubes[cj].care & (1ULL << lj)) == 0) continue;
+                    const uint64_t leaf_word = samples[cut.leaves[lj]][w];
+                    uint64_t lit = ((cubes[cj].value >> lj) & 1)
+                                       ? leaf_word
+                                       : ~leaf_word;
+                    cube_word &= lit;
+                    if (cj == ci && lj == li) lit = ~lit;
+                    cube_word_f &= lit;
+                  }
+                  match |= cube_word;
+                  match_flipped |= cube_word_f;
+                }
+                if ((match ^ match_flipped) != 0) alive = true;
+              }
+              if (!alive) {
+                all_literals_alive = false;
+                break;
+              }
+            }
+          }
+          if (!all_literals_alive) {
+            rejected.insert(cand.net);
+            ++rej_prescreen;
+            continue;
+          }
+        }
+      }
+
+      // Cost check (Sec. III-A): only accept when removing the cone pays
+      // for the restore circuitry.
+      const std::vector<GateId> cone = MffcOf(nl, driver);
+      const double removed = AreaOfGates(nl, cone);
+      const LibCell& xor_cell =
+          CellFor(Gate{GateOp::kXor, {0, 0}, 0, "", 0, 1});
+      const LibCell& tie_cell = CellFor(Gate{GateOp::kTieHi, {}, 0, "", 0, 1});
+      const LibCell& and_cell =
+          CellFor(Gate{GateOp::kAnd, {0, 0}, 0, "", 0, 1});
+      const double added =
+          fault_bits * (xor_cell.AreaUm2() + tie_cell.AreaUm2()) +
+          (fault_bits + cubes.size()) * 0.5 * and_cell.AreaUm2();
+      if (options.require_area_gain && added >= removed) {
+        rejected.insert(cand.net);
+        ++rej_gain;
+        continue;
+      }
+
+      // Apply: build restore, swap it in, let optimization sweep the cone.
+      // Keep a backup: the fault is rolled back if any of its key bits
+      // turns out to be functionally dead.
+      const Netlist backup = nl;
+      const size_t saved_key_index = next_key_index;
+      RestoreResult restore =
+          BuildRestore(nl, cut, cand.majority, cubes, rng, next_key_index);
+      next_key_index += restore.key_bits_used;
+      nl.ReplaceAllUses(cand.net, restore.restored_net);
+      OptimizeArea(nl);
+
+      std::vector<uint8_t> key_so_far = result.key;
+      key_so_far.insert(key_so_far.end(), restore.key_values.begin(),
+                        restore.key_values.end());
+      // Fast per-fault sanity check; the construction guarantees
+      // equivalence, so a mismatch is a library bug, not a recoverable
+      // condition.
+      if (!RandomPatternsAgree(original, nl, options.check_patterns,
+                               options.seed ^ 0xabcdef, {}, key_so_far)) {
+        throw std::logic_error(
+            "ATPG lock: restore circuitry for net '" +
+            nl.net(cand.net).name + "' broke functional equivalence");
+      }
+
+      // Every embedded key bit must actually lock something: flipping it
+      // alone must change the circuit function (comparator literals over
+      // correlated cut signals can be insensitive because parts of the cut
+      // space are unreachable — such faults are rejected).
+      bool all_bits_active = true;
+      for (size_t b = result.key.size();
+           b < key_so_far.size() && all_bits_active; ++b) {
+        std::vector<uint8_t> flipped = key_so_far;
+        flipped[b] ^= 1;
+        if (RandomPatternsAgree(original, nl, options.check_patterns,
+                                options.seed ^ (0x51D0 + b), {}, flipped)) {
+          all_bits_active = false;
+        }
+      }
+      if (!all_bits_active) {
+        nl = backup;
+        next_key_index = saved_key_index;
+        rejected.insert(cand.net);
+        ++rej_active;
+        continue;
+      }
+
+      result.key = std::move(key_so_far);
+      bits += fault_bits;
+      InjectedFault record;
+      record.net_name = nl.net(cand.net).name;
+      record.stuck_value = cand.majority;
+      record.cut_leaves = cut.leaves.size();
+      record.cubes = cubes.size();
+      record.key_bits = fault_bits;
+      record.cone_area_removed = removed;
+      result.faults.push_back(record);
+      result.pattern_bits += fault_bits;
+      progress = true;
+      if (trace) {
+        std::fprintf(stderr, "[lock] accepted %s (+%zu bits -> %zu)\n",
+                     record.net_name.c_str(), fault_bits, bits);
+      }
+    }
+  }
+
+  if (trace) {
+    std::fprintf(stderr,
+                 "[lock] rejections: cut=%zu minterms=%zu cubes=%zu "
+                 "degen=%zu gain=%zu prescreen=%zu active=%zu\n",
+                 rej_cut, rej_minterms, rej_cubes, rej_degen, rej_gain,
+                 rej_prescreen, rej_active);
+  }
+  // Pad to exactly |K| = k.
+  if (bits < options.key_bits) {
+    result.padding_bits =
+        InsertParityPaddedKeyGates(nl, options.key_bits - bits, rng,
+                                   &result.key);
+    bits += result.padding_bits;
+  }
+  assert(bits == options.key_bits);
+  assert(result.key.size() == options.key_bits);
+
+  if (options.verify_lec) {
+    const LecResult lec = CheckEquivalence(original, nl, {}, result.key);
+    result.lec_proven = lec.proven;
+    result.lec_equivalent = lec.equivalent;
+  }
+
+  result.locked_area_um2 = TotalCellArea(nl);
+  return result;
+}
+
+}  // namespace splitlock::lock

@@ -1,0 +1,150 @@
+#include "lock/epic.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "lock/key.hpp"
+
+namespace splitlock::lock {
+
+std::vector<uint8_t> RandomKey(size_t bits, Rng& rng) {
+  std::vector<uint8_t> key(bits);
+  for (uint8_t& b : key) b = rng.NextBool() ? 1 : 0;
+  return key;
+}
+
+NetId AddKeyInput(Netlist& nl, size_t bit_index) {
+  const NetId net =
+      nl.AddGate(GateOp::kKeyIn, {}, "key_" + std::to_string(bit_index));
+  Gate& g = nl.gate(nl.DriverOf(net));
+  g.flags |= kFlagTie | kFlagDontTouch;
+  g.name = "key_" + std::to_string(bit_index);
+  return net;
+}
+
+double KeyOnesFraction(const std::vector<uint8_t>& key) {
+  if (key.empty()) return 0.0;
+  size_t ones = 0;
+  for (uint8_t b : key) ones += b;
+  return static_cast<double>(ones) / static_cast<double>(key.size());
+}
+
+Netlist RealizeKeyAsTies(const Netlist& locked, std::span<const uint8_t> key) {
+  Netlist realized = locked;
+  const std::vector<GateId> key_inputs = realized.KeyInputs();
+  assert(key.size() == key_inputs.size());
+  for (size_t i = 0; i < key_inputs.size(); ++i) {
+    Gate& g = realized.gate(key_inputs[i]);
+    g.op = key[i] ? GateOp::kTieHi : GateOp::kTieLo;
+    g.flags |= kFlagTie | kFlagDontTouch;
+  }
+  return realized;
+}
+
+namespace {
+
+// Nets eligible to host a key-gate: driven by plain logic (or a primary
+// input), not part of the protected key network, and actually consumed.
+std::vector<NetId> EligibleNets(const Netlist& nl) {
+  std::vector<NetId> nets;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || nl.net(n).sinks.empty()) continue;
+    const Gate& g = nl.gate(d);
+    if (g.op == GateOp::kDeleted || g.HasFlag(kFlagDontTouch) ||
+        g.HasFlag(kFlagKeyGate) || IsSourceOp(g.op) ||
+        g.op == GateOp::kOutput) {
+      if (g.op != GateOp::kInput) continue;  // allow PI nets
+    }
+    nets.push_back(n);
+  }
+  return nets;
+}
+
+// Splices one key-gate of `op` onto `net`, rerouting all existing sinks
+// through it. Returns the key-gate's output net.
+NetId SpliceKeyGate(Netlist& nl, NetId net, GateOp op, NetId key_net) {
+  const std::vector<Pin> sinks = nl.net(net).sinks;  // snapshot
+  const NetId out = nl.AddGate(op, {net, key_net},
+                               nl.net(net).name + "_kg");
+  Gate& kg = nl.gate(nl.DriverOf(out));
+  kg.flags |= kFlagKeyGate | kFlagDontTouch;
+  for (const Pin& p : sinks) nl.ReplaceFanin(p.gate, p.index, out);
+  return out;
+}
+
+}  // namespace
+
+EpicResult LockWithEpic(const Netlist& original, size_t bits, Rng& rng) {
+  EpicResult result;
+  result.locked = original;
+  Netlist& nl = result.locked;
+  size_t next_bit = nl.KeyInputs().size();
+
+  for (size_t i = 0; i < bits; ++i) {
+    const std::vector<NetId> nets = EligibleNets(nl);
+    assert(!nets.empty());
+    const NetId target = nets[rng.NextUint(nets.size())];
+    const uint8_t bit = rng.NextBool() ? 1 : 0;
+    // Transparent combinations: XOR with key 0, XNOR with key 1.
+    const GateOp op = bit != 0 ? GateOp::kXnor : GateOp::kXor;
+    const NetId key_net = AddKeyInput(nl, next_bit++);
+    SpliceKeyGate(nl, target, op, key_net);
+    result.key.push_back(bit);
+  }
+  return result;
+}
+
+size_t InsertParityPaddedKeyGates(Netlist& nl, size_t bits, Rng& rng,
+                                  std::vector<uint8_t>* key) {
+  if (bits == 0) return 0;
+  size_t next_bit = nl.KeyInputs().size();
+  size_t inserted = 0;
+
+  // Chain lengths: pairs, with one leading triple when `bits` is odd.
+  std::vector<size_t> chains;
+  size_t remaining = bits;
+  if (remaining % 2 == 1) {
+    chains.push_back(remaining >= 3 ? 3 : 1);
+    remaining -= chains.back();
+  }
+  while (remaining > 0) {
+    chains.push_back(2);
+    remaining -= 2;
+  }
+
+  for (size_t len : chains) {
+    const std::vector<NetId> nets = EligibleNets(nl);
+    assert(!nets.empty());
+    NetId host = nets[rng.NextUint(nets.size())];
+
+    // Random gate types; the chain inverts once per XNOR-with-0 or
+    // XOR-with-1, so transparency requires
+    //   XOR_i (bit_i XOR [type_i == XNOR]) == 0,
+    // i.e. the bit parity is fixed by the type parity. Draw all but the
+    // last bit uniformly; the last is forced — every bit is still
+    // marginally uniform because the free bits are.
+    std::vector<GateOp> types(len);
+    std::vector<uint8_t> chain_bits(len);
+    uint8_t acc = 0;
+    for (size_t i = 0; i < len; ++i) {
+      types[i] = rng.NextBool() ? GateOp::kXnor : GateOp::kXor;
+      if (i + 1 < len) {
+        chain_bits[i] = rng.NextBool() ? 1 : 0;
+        acc ^= chain_bits[i] ^ (types[i] == GateOp::kXnor ? 1 : 0);
+      }
+    }
+    chain_bits[len - 1] =
+        acc ^ (types[len - 1] == GateOp::kXnor ? 1 : 0) ^ 0;
+
+    for (size_t i = 0; i < len; ++i) {
+      const NetId key_net = AddKeyInput(nl, next_bit++);
+      host = SpliceKeyGate(nl, host, types[i], key_net);
+      key->push_back(chain_bits[i]);
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace splitlock::lock

@@ -1,0 +1,39 @@
+// EPIC-style random key-gate insertion (Roy et al., DATE'08).
+//
+// Two entry points:
+//  * LockWithEpic: the classic standalone technique — one XOR/XNOR key-gate
+//    per key bit inserted on a random net, transparent under the correct
+//    key. Note the classic structural leak: a lone XOR key-gate implies key
+//    bit 0 and a lone XNOR implies 1. This is provided as the paper's
+//    "any locking technique can be applied, including random insertion of
+//    key-gates [15]" baseline, and to let the benches quantify that leak.
+//  * InsertParityPaddedKeyGates: the padding used by the ATPG-based flow
+//    when failing patterns provide fewer than k bits. Key-gates are inserted
+//    in chains whose overall transparency constrains only the chain parity,
+//    so every padded bit is individually uniform regardless of gate type
+//    (see DESIGN.md for the honesty note on pairwise correlation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::lock {
+
+struct EpicResult {
+  Netlist locked;
+  std::vector<uint8_t> key;  // KeyInputs() order
+};
+
+// Locks `original` with `bits` randomly placed XOR/XNOR key-gates.
+EpicResult LockWithEpic(const Netlist& original, size_t bits, Rng& rng);
+
+// Inserts `bits` key bits into `nl` as parity-constrained chains (pairs,
+// plus one triple when `bits` is odd) on random eligible nets. Appends the
+// correct key values to `key`. Returns the number of bits inserted.
+size_t InsertParityPaddedKeyGates(Netlist& nl, size_t bits, Rng& rng,
+                                  std::vector<uint8_t>* key);
+
+}  // namespace splitlock::lock

@@ -1,0 +1,37 @@
+// Key bookkeeping shared by the locking techniques.
+//
+// A locked netlist carries kKeyIn source gates; the *correct key* is the
+// bit vector (in Netlist::KeyInputs() order) under which the locked netlist
+// is functionally equivalent to the original. At layout time each key input
+// is realized as a TIEHI (bit 1) or TIELO (bit 0) cell, and the nets from
+// TIE cells to key-gates are the key-nets that get lifted to the BEOL.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::lock {
+
+// Draws a uniform random key of `bits` bits (the paper's K <-$- {0,1}^k).
+std::vector<uint8_t> RandomKey(size_t bits, Rng& rng);
+
+// Creates a named key input in `nl`, flagged as a future TIE cell with
+// set_dont_touch semantics, and returns the net it drives.
+NetId AddKeyInput(Netlist& nl, size_t bit_index);
+
+// Fraction of ones in a key (TIEHI share); uniform keys sit near 0.5.
+double KeyOnesFraction(const std::vector<uint8_t>& key);
+
+// Physical key realization: every kKeyIn source becomes a TIEHI (bit 1) or
+// TIELO (bit 0) cell per the key, keeping its dont-touch/TIE flags. This is
+// the netlist handed to the layout stage — the FEOL then contains real TIE
+// cells whose assignment to key-gates is the BEOL secret.
+Netlist RealizeKeyAsTies(const Netlist& locked,
+                         std::span<const uint8_t> key);
+
+}  // namespace splitlock::lock

@@ -1,0 +1,89 @@
+#include "lock/restore.hpp"
+
+#include <cassert>
+
+#include "lock/key.hpp"
+
+namespace splitlock::lock {
+namespace {
+
+NetId BuildTree(Netlist& nl, GateOp op, std::vector<NetId> terms,
+                uint16_t flags) {
+  assert(!terms.empty());
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    size_t i = 0;
+    while (i < terms.size()) {
+      const size_t take = std::min<size_t>(4, terms.size() - i);
+      if (take == 1) {
+        next.push_back(terms[i]);
+        ++i;
+        continue;
+      }
+      const NetId out = nl.AddGate(
+          op, std::span<const NetId>(terms.data() + i, take));
+      nl.gate(nl.DriverOf(out)).flags |= flags;
+      next.push_back(out);
+      i += take;
+    }
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+}  // namespace
+
+NetId BuildAndTree(Netlist& nl, std::vector<NetId> terms, uint16_t flags) {
+  return BuildTree(nl, GateOp::kAnd, std::move(terms), flags);
+}
+
+NetId BuildOrTree(Netlist& nl, std::vector<NetId> terms, uint16_t flags) {
+  return BuildTree(nl, GateOp::kOr, std::move(terms), flags);
+}
+
+RestoreResult BuildRestore(Netlist& nl, const atpg::Cut& cut, bool stuck_value,
+                           std::span<const atpg::Cube> cubes, Rng& rng,
+                           size_t next_key_index) {
+  RestoreResult result;
+  assert(!cubes.empty());
+
+  std::vector<NetId> cube_nets;
+  cube_nets.reserve(cubes.size());
+  for (const atpg::Cube& cube : cubes) {
+    std::vector<NetId> literals;
+    for (size_t i = 0; i < cut.leaves.size(); ++i) {
+      if ((cube.care & (1ULL << i)) == 0) continue;
+      const bool required = (cube.value >> i) & 1;
+      // Uniform key bit; the gate type absorbs the difference:
+      //   XNOR(leaf, key)  matches leaf == key
+      //   XOR(leaf, key)   matches leaf == !key
+      const uint8_t key_bit = rng.NextBool() ? 1 : 0;
+      const GateOp op =
+          (key_bit != 0) == required ? GateOp::kXnor : GateOp::kXor;
+      const NetId key_net = AddKeyInput(nl, next_key_index++);
+      const NetId lit =
+          nl.AddGate(op, {cut.leaves[i], key_net});
+      nl.gate(nl.DriverOf(lit)).flags |=
+          kFlagKeyGate | kFlagRestore | kFlagDontTouch;
+      literals.push_back(lit);
+      result.key_values.push_back(key_bit);
+      ++result.key_bits_used;
+    }
+    assert(!literals.empty());
+    cube_nets.push_back(BuildAndTree(nl, std::move(literals), kFlagRestore));
+  }
+
+  const NetId match = BuildOrTree(nl, std::move(cube_nets), kFlagRestore);
+  if (!stuck_value) {
+    // n = 0 XOR match = match.
+    result.restored_net = match;
+  } else {
+    // n = 1 XOR match = NOT match.
+    const NetId inv = nl.AddGate(GateOp::kInv, {match});
+    nl.gate(nl.DriverOf(inv)).flags |= kFlagRestore;
+    result.restored_net = inv;
+  }
+  return result;
+}
+
+}  // namespace splitlock::lock

@@ -1,0 +1,44 @@
+// Restore-circuitry synthesis for fault-injection locking.
+//
+// Given a fault "net n stuck-at v" whose failing patterns over a cut are the
+// cubes C_1..C_m, the restore circuitry recomputes n as
+//     n = v XOR (C_1 OR ... OR C_m)
+// where each cube comparator ANDs one key-obfuscated literal per care bit:
+// leaf XNOR key when the (uniformly drawn) key bit equals the required leaf
+// value, leaf XOR key otherwise. Either gate type can carry either bit
+// value, so the key distribution stays uniform and the gate types leak
+// nothing — this is the property Theorem 1's brute-force bound rests on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/cube.hpp"
+#include "atpg/cut.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::lock {
+
+struct RestoreResult {
+  NetId restored_net = kNullId;  // the re-created value of the fault site
+  size_t key_bits_used = 0;
+  std::vector<uint8_t> key_values;  // appended in key-input creation order
+};
+
+// Builds the comparator network inside `nl` (which already contains the cut
+// leaves) and returns the restored net. `next_key_index` numbers the new
+// key inputs (key_<index> naming must stay globally unique).
+RestoreResult BuildRestore(Netlist& nl, const atpg::Cut& cut, bool stuck_value,
+                           std::span<const atpg::Cube> cubes, Rng& rng,
+                           size_t next_key_index);
+
+// Builds a balanced AND tree (arity up to 4) over the given nets; gates are
+// flagged with `flags`. A single net is returned unchanged.
+NetId BuildAndTree(Netlist& nl, std::vector<NetId> terms, uint16_t flags);
+
+// Same for OR.
+NetId BuildOrTree(Netlist& nl, std::vector<NetId> terms, uint16_t flags);
+
+}  // namespace splitlock::lock

@@ -1,0 +1,211 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace splitlock {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<GateOp> OpFromName(std::string op) {
+  for (char& c : op) c = static_cast<char>(std::toupper(c));
+  if (op == "AND") return GateOp::kAnd;
+  if (op == "NAND") return GateOp::kNand;
+  if (op == "OR") return GateOp::kOr;
+  if (op == "NOR") return GateOp::kNor;
+  if (op == "NOT" || op == "INV") return GateOp::kInv;
+  if (op == "BUF" || op == "BUFF") return GateOp::kBuf;
+  if (op == "XOR") return GateOp::kXor;
+  if (op == "XNOR") return GateOp::kXnor;
+  if (op == "MUX") return GateOp::kMux;
+  if (op == "TIEHI") return GateOp::kTieHi;
+  if (op == "TIELO") return GateOp::kTieLo;
+  if (op == "KEYIN") return GateOp::kKeyIn;
+  if (op == "CONST0") return GateOp::kConst0;
+  if (op == "CONST1") return GateOp::kConst1;
+  return std::nullopt;
+}
+
+struct Statement {
+  std::string target;
+  GateOp op;
+  std::vector<std::string> args;
+  int line;
+};
+
+[[noreturn]] void Fail(int line, const std::string& msg) {
+  throw std::runtime_error(".bench line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Netlist ReadBench(const std::string& text, const std::string& name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Statement> stmts;
+  // FF-cut bookkeeping: q = DFF(d) becomes pseudo-PI `q` + pseudo-PO on d.
+  std::vector<std::pair<std::string, std::string>> flops;  // (q, d)
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = Trim(raw);
+    if (line.empty()) continue;
+
+    const size_t eq = line.find('=');
+    const size_t lp = line.find('(');
+    const size_t rp = line.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+      Fail(line_no, "expected '(...)'");
+    }
+    const std::string head = Trim(line.substr(0, eq == std::string::npos
+                                                      ? lp
+                                                      : eq));
+    const std::string inner = line.substr(lp + 1, rp - lp - 1);
+    std::vector<std::string> args;
+    std::string cur;
+    std::istringstream args_in(inner);
+    while (std::getline(args_in, cur, ',')) {
+      const std::string a = Trim(cur);
+      if (!a.empty()) args.push_back(a);
+    }
+
+    if (eq == std::string::npos) {
+      std::string kw = head;
+      for (char& c : kw) c = static_cast<char>(std::toupper(c));
+      if (args.size() != 1) Fail(line_no, "INPUT/OUTPUT take one name");
+      if (kw == "INPUT") {
+        input_names.push_back(args[0]);
+      } else if (kw == "OUTPUT") {
+        output_names.push_back(args[0]);
+      } else {
+        Fail(line_no, "unknown directive '" + head + "'");
+      }
+      continue;
+    }
+
+    const std::string op_name = Trim(line.substr(eq + 1, lp - eq - 1));
+    {
+      std::string upper = op_name;
+      for (char& c : upper) c = static_cast<char>(std::toupper(c));
+      if (upper == "DFF") {
+        if (args.size() != 1) Fail(line_no, "DFF takes one argument");
+        flops.emplace_back(head, args[0]);
+        continue;
+      }
+    }
+    const auto op = OpFromName(op_name);
+    if (!op) Fail(line_no, "unknown op '" + op_name + "'");
+    stmts.push_back(Statement{head, *op, std::move(args), line_no});
+  }
+
+  // FF-cut, first half: flop outputs become pseudo primary inputs. (The
+  // pseudo primary outputs observing the D nets are added after statement
+  // resolution below.)
+  for (const auto& [q, d] : flops) input_names.push_back(q);
+
+  Netlist nl(name);
+  std::map<std::string, NetId> by_name;
+  for (const std::string& n : input_names) {
+    if (by_name.count(n) != 0) throw std::runtime_error("duplicate input " + n);
+    by_name[n] = nl.AddInput(n);
+  }
+
+  // Statements may be in any order; iterate until fixpoint.
+  std::vector<bool> done(stmts.size(), false);
+  size_t remaining = stmts.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (done[i]) continue;
+      const Statement& s = stmts[i];
+      std::vector<NetId> fanins;
+      bool ready = true;
+      for (const std::string& a : s.args) {
+        auto it = by_name.find(a);
+        if (it == by_name.end()) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(it->second);
+      }
+      if (!ready) continue;
+      if (by_name.count(s.target) != 0) {
+        Fail(s.line, "net '" + s.target + "' defined twice");
+      }
+      by_name[s.target] = nl.AddGate(s.op, fanins, s.target);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (!done[i]) Fail(stmts[i].line, "undefined fanin (or cycle)");
+    }
+  }
+
+  for (const std::string& n : output_names) {
+    auto it = by_name.find(n);
+    if (it == by_name.end()) throw std::runtime_error("undefined output " + n);
+    nl.AddOutput(it->second, n);
+  }
+  // FF-cut, second half: pseudo primary outputs observing each flop's D.
+  for (const auto& [q, d] : flops) {
+    auto it = by_name.find(d);
+    if (it == by_name.end()) {
+      throw std::runtime_error("DFF '" + q + "' has undefined D net " + d);
+    }
+    nl.AddOutput(it->second, q + "__ff_d");
+  }
+  return nl;
+}
+
+std::string WriteBench(const Netlist& nl) {
+  std::ostringstream out;
+  out << "# " << nl.name() << "\n";
+  for (GateId g : nl.inputs()) out << "INPUT(" << nl.gate(g).name << ")\n";
+  for (GateId g : nl.outputs()) out << "OUTPUT(" << nl.gate(g).name << ")\n";
+
+  // Primary-output pseudo-gates observe nets directly. If an output name
+  // differs from its net name, emit a BUF alias statement.
+  for (GateId g : nl.TopoOrder()) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kInput || gate.op == GateOp::kOutput ||
+        gate.op == GateOp::kDeleted) {
+      continue;
+    }
+    out << nl.net(gate.out).name << " = " << GateOpName(gate.op) << "(";
+    for (size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << nl.net(gate.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+  for (GateId g : nl.outputs()) {
+    const Gate& gate = nl.gate(g);
+    const std::string& src = nl.net(gate.fanins[0]).name;
+    if (src != gate.name) {
+      out << gate.name << " = BUF(" << src << ")\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace splitlock

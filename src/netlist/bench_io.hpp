@@ -1,0 +1,30 @@
+// ISCAS-89 style ".bench" reader/writer.
+//
+// Supported grammar (one statement per line, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = OP(a, b, ...)      OP in {AND, NAND, OR, NOR, NOT, BUF, XOR,
+//                                    XNOR, MUX, TIEHI, TIELO, KEYIN,
+//                                    CONST0, CONST1, DFF}
+// KEYIN takes no arguments and extends the classical format so locked
+// netlists round-trip. Sequential designs (DFF statements, as in the real
+// ISCAS-89/ITC'99 releases) are read as their FF-cut combinational cores:
+// every `q = DFF(d)` becomes a pseudo primary input `q` plus a pseudo
+// primary output observing `d` — the standard gate-level security view
+// this library analyzes.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock {
+
+// Parses `.bench` text. Throws std::runtime_error with a line-numbered
+// message on malformed input.
+Netlist ReadBench(const std::string& text, const std::string& name = "bench");
+
+// Serializes to `.bench` text (topological statement order).
+std::string WriteBench(const Netlist& nl);
+
+}  // namespace splitlock

@@ -1,0 +1,53 @@
+// Standard-cell library model (Nangate 45nm OpenCell-like).
+//
+// The secure flow reports layout cost relative to an unprotected baseline,
+// so only the relative magnitudes of these values matter. Units:
+//   area         um^2 (site-quantized: width_sites * kSiteWidthUm * kRowHeightUm)
+//   input_cap_ff fF per input pin
+//   delay_ps     intrinsic cell delay
+//   drive_res    kOhm equivalent output resistance (1 kOhm * 1 fF = 1 ps)
+//   leakage_nw   nW leakage power
+//   max_load_ff  maximum load the cell may legally drive (used both by the
+//                physical-design legality checks and by the proximity
+//                attack's load-constraint hint)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock {
+
+inline constexpr double kSiteWidthUm = 0.19;
+inline constexpr double kRowHeightUm = 1.4;
+
+struct LibCell {
+  std::string name;
+  int width_sites = 0;
+  double input_cap_ff = 0.0;
+  double intrinsic_delay_ps = 0.0;
+  double drive_res_kohm = 0.0;
+  double leakage_nw = 0.0;
+  double max_load_ff = 0.0;
+
+  double WidthUm() const { return width_sites * kSiteWidthUm; }
+  double AreaUm2() const { return WidthUm() * kRowHeightUm; }
+};
+
+// Returns the library cell implementing `gate` (op + arity + drive).
+// kKeyIn maps to a TIE cell footprint (its layout realization).
+// Asserts for non-physical ops (kInput/kOutput/kDeleted).
+const LibCell& CellFor(const Gate& gate);
+
+// True for ops realized as physical standard cells (excludes the
+// kInput/kOutput pseudo-gates).
+bool IsPhysicalOp(GateOp op);
+
+// Total standard-cell area of the netlist in um^2.
+double TotalCellArea(const Netlist& nl);
+
+// Total leakage power of the netlist in nW.
+double TotalLeakage(const Netlist& nl);
+
+}  // namespace splitlock

@@ -1,0 +1,333 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace splitlock {
+
+const char* GateOpName(GateOp op) {
+  switch (op) {
+    case GateOp::kInput: return "INPUT";
+    case GateOp::kOutput: return "OUTPUT";
+    case GateOp::kConst0: return "CONST0";
+    case GateOp::kConst1: return "CONST1";
+    case GateOp::kTieHi: return "TIEHI";
+    case GateOp::kTieLo: return "TIELO";
+    case GateOp::kKeyIn: return "KEYIN";
+    case GateOp::kBuf: return "BUF";
+    case GateOp::kInv: return "NOT";
+    case GateOp::kAnd: return "AND";
+    case GateOp::kNand: return "NAND";
+    case GateOp::kOr: return "OR";
+    case GateOp::kNor: return "NOR";
+    case GateOp::kXor: return "XOR";
+    case GateOp::kXnor: return "XNOR";
+    case GateOp::kMux: return "MUX";
+    case GateOp::kDeleted: return "DELETED";
+  }
+  return "?";
+}
+
+bool IsSourceOp(GateOp op) {
+  switch (op) {
+    case GateOp::kInput:
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+    case GateOp::kTieHi:
+    case GateOp::kTieLo:
+    case GateOp::kKeyIn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint64_t EvalGateWord(GateOp op, std::span<const uint64_t> f) {
+  switch (op) {
+    case GateOp::kConst0:
+    case GateOp::kTieLo:
+      return 0;
+    case GateOp::kConst1:
+    case GateOp::kTieHi:
+      return ~0ULL;
+    case GateOp::kBuf:
+    case GateOp::kOutput:
+      return f[0];
+    case GateOp::kInv:
+      return ~f[0];
+    case GateOp::kAnd: {
+      uint64_t v = f[0];
+      for (size_t i = 1; i < f.size(); ++i) v &= f[i];
+      return v;
+    }
+    case GateOp::kNand: {
+      uint64_t v = f[0];
+      for (size_t i = 1; i < f.size(); ++i) v &= f[i];
+      return ~v;
+    }
+    case GateOp::kOr: {
+      uint64_t v = f[0];
+      for (size_t i = 1; i < f.size(); ++i) v |= f[i];
+      return v;
+    }
+    case GateOp::kNor: {
+      uint64_t v = f[0];
+      for (size_t i = 1; i < f.size(); ++i) v |= f[i];
+      return ~v;
+    }
+    case GateOp::kXor:
+      return f[0] ^ f[1];
+    case GateOp::kXnor:
+      return ~(f[0] ^ f[1]);
+    case GateOp::kMux:
+      return (f[0] & f[2]) | (~f[0] & f[1]);
+    case GateOp::kInput:
+    case GateOp::kKeyIn:
+    case GateOp::kDeleted:
+      break;
+  }
+  assert(false && "gate op not evaluatable");
+  return 0;
+}
+
+namespace {
+
+bool ArityOk(GateOp op, size_t n) {
+  switch (op) {
+    case GateOp::kAnd:
+    case GateOp::kNand:
+    case GateOp::kOr:
+    case GateOp::kNor:
+      return n >= 2 && n <= 4;
+    case GateOp::kXor:
+    case GateOp::kXnor:
+      return n == 2;
+    case GateOp::kMux:
+      return n == 3;
+    case GateOp::kBuf:
+    case GateOp::kInv:
+    case GateOp::kOutput:
+      return n == 1;
+    default:
+      return IsSourceOp(op) && n == 0;
+  }
+}
+
+}  // namespace
+
+NetId Netlist::NewNet(std::string name, GateId driver) {
+  nets_.push_back(Net{std::move(name), driver, {}});
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::AddInput(std::string name) {
+  const GateId g = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{GateOp::kInput, {}, kNullId, name, 0, 1});
+  gates_.back().out = NewNet(std::move(name), g);
+  pis_.push_back(g);
+  return gates_.back().out;
+}
+
+GateId Netlist::AddOutput(NetId net, std::string name) {
+  const GateId g = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{GateOp::kOutput, {net}, kNullId, std::move(name), 0, 1});
+  nets_[net].sinks.push_back(Pin{g, 0});
+  pos_.push_back(g);
+  return g;
+}
+
+NetId Netlist::AddGate(GateOp op, std::span<const NetId> fanins,
+                       std::string name) {
+  assert(ArityOk(op, fanins.size()) && "bad gate arity");
+  const GateId g = static_cast<GateId>(gates_.size());
+  Gate gate;
+  gate.op = op;
+  gate.fanins.assign(fanins.begin(), fanins.end());
+  gate.name = name;
+  gates_.push_back(std::move(gate));
+  for (uint32_t i = 0; i < fanins.size(); ++i) {
+    nets_[fanins[i]].sinks.push_back(Pin{g, i});
+  }
+  if (name.empty()) name = "n" + std::to_string(nets_.size());
+  gates_[g].out = NewNet(std::move(name), g);
+  return gates_[g].out;
+}
+
+NetId Netlist::AddGate(GateOp op, std::initializer_list<NetId> fanins,
+                       std::string name) {
+  return AddGate(op, std::span<const NetId>(fanins.begin(), fanins.size()),
+                 std::move(name));
+}
+
+void Netlist::DetachPin(GateId gate, uint32_t index) {
+  const NetId old_net = gates_[gate].fanins[index];
+  auto& sinks = nets_[old_net].sinks;
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), Pin{gate, index}),
+              sinks.end());
+}
+
+void Netlist::ReplaceFanin(GateId gate, uint32_t index, NetId new_net) {
+  DetachPin(gate, index);
+  gates_[gate].fanins[index] = new_net;
+  nets_[new_net].sinks.push_back(Pin{gate, index});
+}
+
+void Netlist::ReplaceAllUses(NetId old_net, NetId new_net) {
+  if (old_net == new_net) return;
+  // Copy: ReplaceFanin mutates the sink list we are iterating.
+  const std::vector<Pin> sinks = nets_[old_net].sinks;
+  for (const Pin& p : sinks) ReplaceFanin(p.gate, p.index, new_net);
+}
+
+void Netlist::DeleteGate(GateId gate) {
+  Gate& g = gates_[gate];
+  assert(g.out == kNullId || nets_[g.out].sinks.empty());
+  for (uint32_t i = 0; i < g.fanins.size(); ++i) DetachPin(gate, i);
+  g.fanins.clear();
+  if (g.out != kNullId) nets_[g.out].driver = kNullId;
+  g.op = GateOp::kDeleted;
+  g.flags = 0;
+}
+
+void Netlist::MorphGate(GateId gate, GateOp op,
+                        std::span<const NetId> fanins) {
+  assert(ArityOk(op, fanins.size()));
+  Gate& g = gates_[gate];
+  for (uint32_t i = 0; i < g.fanins.size(); ++i) DetachPin(gate, i);
+  g.op = op;
+  g.fanins.assign(fanins.begin(), fanins.end());
+  for (uint32_t i = 0; i < g.fanins.size(); ++i) {
+    nets_[g.fanins[i]].sinks.push_back(Pin{gate, i});
+  }
+}
+
+std::vector<GateId> Netlist::KeyInputs() const {
+  std::vector<GateId> keys;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    if (gates_[g].op == GateOp::kKeyIn) keys.push_back(g);
+  }
+  return keys;
+}
+
+size_t Netlist::NumLogicGates() const {
+  size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.op != GateOp::kDeleted && g.op != GateOp::kInput &&
+        g.op != GateOp::kOutput) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<GateId> Netlist::TopoOrder() const {
+  std::vector<uint32_t> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  ready.reserve(gates_.size());
+  size_t live = 0;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    if (gates_[g].op == GateOp::kDeleted) continue;
+    ++live;
+    pending[g] = static_cast<uint32_t>(gates_[g].fanins.size());
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  std::vector<GateId> order;
+  order.reserve(live);
+  for (size_t head = 0; head < ready.size(); ++head) {
+    const GateId g = ready[head];
+    order.push_back(g);
+    if (gates_[g].out == kNullId) continue;
+    for (const Pin& p : nets_[gates_[g].out].sinks) {
+      if (--pending[p.gate] == 0) ready.push_back(p.gate);
+    }
+  }
+  assert(order.size() == live && "combinational cycle detected");
+  return order;
+}
+
+std::string Netlist::Validate() const {
+  std::ostringstream err;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    if (gate.op == GateOp::kDeleted) continue;
+    if (!ArityOk(gate.op, gate.fanins.size())) {
+      err << "gate " << g << " (" << GateOpName(gate.op) << ") has "
+          << gate.fanins.size() << " fanins";
+      return err.str();
+    }
+    for (uint32_t i = 0; i < gate.fanins.size(); ++i) {
+      const NetId n = gate.fanins[i];
+      if (n >= nets_.size()) {
+        err << "gate " << g << " fanin " << i << " references bad net";
+        return err.str();
+      }
+      const auto& sinks = nets_[n].sinks;
+      if (std::find(sinks.begin(), sinks.end(), Pin{g, i}) == sinks.end()) {
+        err << "net " << n << " missing sink (gate " << g << " pin " << i
+            << ")";
+        return err.str();
+      }
+      if (nets_[n].driver == kNullId) {
+        err << "net " << n << " used by gate " << g << " has no driver";
+        return err.str();
+      }
+    }
+    if (gate.op != GateOp::kOutput) {
+      if (gate.out == kNullId || nets_[gate.out].driver != g) {
+        err << "gate " << g << " output net inconsistent";
+        return err.str();
+      }
+    }
+  }
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    for (const Pin& p : nets_[n].sinks) {
+      if (p.gate >= gates_.size() || gates_[p.gate].op == GateOp::kDeleted ||
+          p.index >= gates_[p.gate].fanins.size() ||
+          gates_[p.gate].fanins[p.index] != n) {
+        err << "net " << n << " has stale sink";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+Netlist Netlist::Compacted(std::vector<GateId>* gate_map,
+                           std::vector<NetId>* net_map) const {
+  Netlist out(name_);
+  std::vector<GateId> gmap(gates_.size(), kNullId);
+  std::vector<NetId> nmap(nets_.size(), kNullId);
+
+  // Preserve topological constructability by emitting in topo order, except
+  // primary outputs which are appended last to keep pos_ order stable.
+  const std::vector<GateId> order = TopoOrder();
+  for (GateId g : order) {
+    const Gate& gate = gates_[g];
+    if (gate.op == GateOp::kOutput) continue;
+    std::vector<NetId> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (NetId n : gate.fanins) fanins.push_back(nmap[n]);
+    NetId new_out;
+    if (gate.op == GateOp::kInput) {
+      new_out = out.AddInput(gate.name);
+    } else {
+      new_out = out.AddGate(gate.op, fanins, nets_[gate.out].name);
+    }
+    const GateId ng = out.DriverOf(new_out);
+    out.gate(ng).flags = gate.flags;
+    out.gate(ng).drive = gate.drive;
+    out.gate(ng).name = gate.name;
+    gmap[g] = ng;
+    nmap[gate.out] = new_out;
+  }
+  for (GateId g : pos_) {
+    const Gate& gate = gates_[g];
+    gmap[g] = out.AddOutput(nmap[gate.fanins[0]], gate.name);
+  }
+  if (gate_map != nullptr) *gate_map = std::move(gmap);
+  if (net_map != nullptr) *net_map = std::move(nmap);
+  return out;
+}
+
+}  // namespace splitlock

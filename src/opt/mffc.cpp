@@ -1,0 +1,71 @@
+#include "opt/mffc.hpp"
+
+#include <unordered_map>
+
+#include "netlist/libcell.hpp"
+
+namespace splitlock {
+namespace {
+
+bool ConeEligible(const Gate& g) {
+  if (g.HasFlag(kFlagDontTouch)) return false;
+  switch (g.op) {
+    case GateOp::kInput:
+    case GateOp::kOutput:
+    case GateOp::kKeyIn:
+    case GateOp::kTieHi:
+    case GateOp::kTieLo:
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+    case GateOp::kDeleted:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::vector<GateId> MffcOf(const Netlist& nl, GateId root) {
+  if (!ConeEligible(nl.gate(root))) return {};
+
+  // Virtually dereference the root; any gate whose remaining fanout count
+  // reaches zero joins the cone, recursively.
+  std::unordered_map<GateId, size_t> remaining;
+  std::vector<GateId> cone;
+  std::vector<GateId> stack{root};
+  std::unordered_map<GateId, bool> in_cone;
+  in_cone[root] = true;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    cone.push_back(g);
+    for (NetId n : nl.gate(g).fanins) {
+      const GateId d = nl.DriverOf(n);
+      if (d == kNullId || !ConeEligible(nl.gate(d))) continue;
+      if (in_cone.count(d) != 0) continue;
+      auto it = remaining.find(d);
+      if (it == remaining.end()) {
+        // Count distinct sink *pins* of the driver's output net; multiple
+        // pins into the same cone gate still all have to be accounted for.
+        it = remaining.emplace(d, nl.net(nl.gate(d).out).sinks.size()).first;
+      }
+      if (--it->second == 0) {
+        in_cone[d] = true;
+        stack.push_back(d);
+      }
+    }
+  }
+  return cone;
+}
+
+double AreaOfGates(const Netlist& nl, const std::vector<GateId>& gates) {
+  double area = 0.0;
+  for (GateId g : gates) {
+    const Gate& gate = nl.gate(g);
+    if (IsPhysicalOp(gate.op)) area += CellFor(gate).AreaUm2();
+  }
+  return area;
+}
+
+}  // namespace splitlock

@@ -1,0 +1,24 @@
+// Maximum fanout-free cone (MFFC) computation.
+//
+// The MFFC of a gate g is the set of gates all of whose fanout paths pass
+// through g; deleting g lets the whole cone be swept away. The ATPG-based
+// locking stage selects stuck-at faults at roots of large MFFCs: tying the
+// root to a constant removes the entire cone during re-synthesis, which is
+// where the paper's area savings come from.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock {
+
+// Gates in the MFFC of `root` (included), in no particular order. Source
+// gates (inputs, key inputs, TIE/const cells) and don't-touch gates are
+// never part of a cone.
+std::vector<GateId> MffcOf(const Netlist& nl, GateId root);
+
+// Total standard-cell area of the given gates, in um^2.
+double AreaOfGates(const Netlist& nl, const std::vector<GateId>& gates);
+
+}  // namespace splitlock

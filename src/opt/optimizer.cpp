@@ -1,0 +1,319 @@
+#include "opt/optimizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace splitlock {
+namespace {
+
+bool IsLogicOp(GateOp op) {
+  switch (op) {
+    case GateOp::kBuf:
+    case GateOp::kInv:
+    case GateOp::kAnd:
+    case GateOp::kNand:
+    case GateOp::kOr:
+    case GateOp::kNor:
+    case GateOp::kXor:
+    case GateOp::kXnor:
+    case GateOp::kMux:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Constant value carried by a source gate, if any. Unflagged TIE cells fold
+// like constants; don't-touch TIE cells (the key implementation) do not.
+std::optional<bool> ConstValueOf(const Netlist& nl, NetId net) {
+  const GateId d = nl.DriverOf(net);
+  if (d == kNullId) return std::nullopt;
+  const Gate& g = nl.gate(d);
+  if (g.HasFlag(kFlagDontTouch)) return std::nullopt;
+  switch (g.op) {
+    case GateOp::kConst0:
+    case GateOp::kTieLo:
+      return false;
+    case GateOp::kConst1:
+    case GateOp::kTieHi:
+      return true;
+    default:
+      return std::nullopt;
+  }
+}
+
+// Returns the net holding constant `value`, creating a source if needed.
+// May grow the gate vector; callers must not hold Gate references across it.
+NetId ConstNet(Netlist& nl, bool value) {
+  const GateOp want = value ? GateOp::kConst1 : GateOp::kConst0;
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    if (nl.gate(g).op == want && !nl.gate(g).HasFlag(kFlagDontTouch)) {
+      return nl.gate(g).out;
+    }
+  }
+  return nl.AddGate(want, {}, value ? "const1" : "const0");
+}
+
+}  // namespace
+
+OptStats ConstantPropagate(Netlist& nl) {
+  OptStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId g : nl.TopoOrder()) {
+      // Snapshot: mutations below may reallocate the gate vector.
+      const GateOp op = nl.gate(g).op;
+      if (!IsLogicOp(op) || nl.gate(g).HasFlag(kFlagDontTouch)) continue;
+      const std::vector<NetId> fanins = nl.gate(g).fanins;
+      const NetId out = nl.gate(g).out;
+      // Dead gates (no sinks) are left for SweepDeadLogic; rewriting them
+      // would report progress forever.
+      if (nl.net(out).sinks.empty()) continue;
+
+      std::vector<NetId> vars;
+      std::vector<bool> consts;
+      for (NetId n : fanins) {
+        if (auto c = ConstValueOf(nl, n)) {
+          consts.push_back(*c);
+        } else {
+          vars.push_back(n);
+        }
+      }
+      if (consts.empty()) continue;
+
+      auto fold_to_const = [&](bool v) {
+        nl.ReplaceAllUses(out, ConstNet(nl, v));
+        ++stats.folded;
+        changed = true;
+      };
+      auto fold_to = [&](GateOp new_op, std::span<const NetId> new_fanins) {
+        nl.MorphGate(g, new_op, new_fanins);
+        ++stats.folded;
+        changed = true;
+      };
+
+      switch (op) {
+        case GateOp::kBuf:
+          fold_to_const(consts[0]);
+          break;
+        case GateOp::kInv:
+          fold_to_const(!consts[0]);
+          break;
+        case GateOp::kAnd:
+        case GateOp::kNand: {
+          const bool invert = op == GateOp::kNand;
+          if (std::find(consts.begin(), consts.end(), false) != consts.end()) {
+            fold_to_const(invert);
+          } else if (vars.empty()) {
+            fold_to_const(!invert);
+          } else if (vars.size() == 1) {
+            fold_to(invert ? GateOp::kInv : GateOp::kBuf, vars);
+          } else {
+            fold_to(op, vars);
+          }
+          break;
+        }
+        case GateOp::kOr:
+        case GateOp::kNor: {
+          const bool invert = op == GateOp::kNor;
+          if (std::find(consts.begin(), consts.end(), true) != consts.end()) {
+            fold_to_const(!invert);
+          } else if (vars.empty()) {
+            fold_to_const(invert);
+          } else if (vars.size() == 1) {
+            fold_to(invert ? GateOp::kInv : GateOp::kBuf, vars);
+          } else {
+            fold_to(op, vars);
+          }
+          break;
+        }
+        case GateOp::kXor:
+        case GateOp::kXnor: {
+          bool parity = op == GateOp::kXnor;
+          for (bool c : consts) parity ^= c;
+          if (vars.empty()) {
+            fold_to_const(parity);
+          } else {
+            fold_to(parity ? GateOp::kInv : GateOp::kBuf, vars);
+          }
+          break;
+        }
+        case GateOp::kMux: {
+          // fanins = {sel, a, b}
+          if (auto sel = ConstValueOf(nl, fanins[0])) {
+            const NetId chosen = *sel ? fanins[2] : fanins[1];
+            fold_to(GateOp::kBuf, std::array<NetId, 1>{chosen});
+          } else {
+            auto a = ConstValueOf(nl, fanins[1]);
+            auto b = ConstValueOf(nl, fanins[2]);
+            if (a && b) {
+              if (*a == *b) {
+                fold_to_const(*a);
+              } else if (!*a && *b) {
+                fold_to(GateOp::kBuf, std::array<NetId, 1>{fanins[0]});
+              } else {
+                fold_to(GateOp::kInv, std::array<NetId, 1>{fanins[0]});
+              }
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+OptStats SimplifyLocal(Netlist& nl) {
+  OptStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId g : nl.TopoOrder()) {
+      const GateOp op = nl.gate(g).op;
+      if (!IsLogicOp(op) || nl.gate(g).HasFlag(kFlagDontTouch)) continue;
+      const std::vector<NetId> fanins = nl.gate(g).fanins;
+      const NetId out = nl.gate(g).out;
+      if (nl.net(out).sinks.empty()) continue;  // dead: sweep's job
+
+      auto replace_with_const = [&](bool value) {
+        nl.ReplaceAllUses(out, ConstNet(nl, value));
+        ++stats.simplified;
+        changed = true;
+      };
+
+      if (op == GateOp::kBuf) {
+        nl.ReplaceAllUses(out, fanins[0]);
+        ++stats.simplified;
+        changed = true;
+        continue;
+      }
+      if (op == GateOp::kInv) {
+        const GateId d = nl.DriverOf(fanins[0]);
+        if (d != kNullId && nl.gate(d).op == GateOp::kInv &&
+            !nl.gate(d).HasFlag(kFlagDontTouch)) {
+          nl.ReplaceAllUses(out, nl.gate(d).fanins[0]);
+          ++stats.simplified;
+          changed = true;
+        }
+        continue;
+      }
+      if (op == GateOp::kAnd || op == GateOp::kNand || op == GateOp::kOr ||
+          op == GateOp::kNor) {
+        std::vector<NetId> uniq;
+        bool has_complement_pair = false;
+        for (NetId n : fanins) {
+          if (std::find(uniq.begin(), uniq.end(), n) != uniq.end()) continue;
+          for (NetId m : uniq) {
+            const GateId dm = nl.DriverOf(m);
+            const GateId dn = nl.DriverOf(n);
+            if ((dm != kNullId && nl.gate(dm).op == GateOp::kInv &&
+                 nl.gate(dm).fanins[0] == n) ||
+                (dn != kNullId && nl.gate(dn).op == GateOp::kInv &&
+                 nl.gate(dn).fanins[0] == m)) {
+              has_complement_pair = true;
+            }
+          }
+          uniq.push_back(n);
+        }
+        const bool is_and_like = op == GateOp::kAnd || op == GateOp::kNand;
+        const bool invert = op == GateOp::kNand || op == GateOp::kNor;
+        if (has_complement_pair) {
+          // a & ~a = 0, a | ~a = 1 (then apply output inversion).
+          replace_with_const(is_and_like ? invert : !invert);
+        } else if (uniq.size() == 1) {
+          nl.MorphGate(g, invert ? GateOp::kInv : GateOp::kBuf, uniq);
+          ++stats.simplified;
+          changed = true;
+        } else if (uniq.size() < fanins.size()) {
+          nl.MorphGate(g, op, uniq);
+          ++stats.simplified;
+          changed = true;
+        }
+        continue;
+      }
+      if (op == GateOp::kXor || op == GateOp::kXnor) {
+        if (fanins[0] == fanins[1]) {
+          replace_with_const(op == GateOp::kXnor);
+        }
+        continue;
+      }
+      if (op == GateOp::kMux && fanins[1] == fanins[2]) {
+        nl.MorphGate(g, GateOp::kBuf, std::array<NetId, 1>{fanins[1]});
+        ++stats.simplified;
+        changed = true;
+      }
+    }
+  }
+  return stats;
+}
+
+OptStats StructuralHash(Netlist& nl) {
+  OptStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<GateOp, std::vector<NetId>>, GateId> seen;
+    for (GateId g : nl.TopoOrder()) {
+      const Gate& gate = nl.gate(g);
+      if (!IsLogicOp(gate.op) || gate.HasFlag(kFlagDontTouch)) continue;
+      std::vector<NetId> key_fanins = gate.fanins;
+      const bool commutative = gate.op != GateOp::kMux;
+      if (commutative) std::sort(key_fanins.begin(), key_fanins.end());
+      auto key = std::make_pair(gate.op, std::move(key_fanins));
+      auto [it, inserted] = seen.emplace(std::move(key), g);
+      if (!inserted) {
+        nl.ReplaceAllUses(gate.out, nl.gate(it->second).out);
+        ++stats.merged;
+        changed = true;
+      }
+    }
+    if (changed) stats += SweepDeadLogic(nl);
+  }
+  return stats;
+}
+
+OptStats SweepDeadLogic(Netlist& nl) {
+  OptStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId g = 0; g < nl.NumGates(); ++g) {
+      const Gate& gate = nl.gate(g);
+      if (gate.op == GateOp::kDeleted || gate.op == GateOp::kInput ||
+          gate.op == GateOp::kOutput || gate.op == GateOp::kKeyIn) {
+        continue;
+      }
+      if (gate.HasFlag(kFlagDontTouch)) continue;
+      if (gate.out != kNullId && nl.net(gate.out).sinks.empty()) {
+        nl.DeleteGate(g);
+        ++stats.swept;
+        changed = true;
+      }
+    }
+  }
+  return stats;
+}
+
+OptStats OptimizeArea(Netlist& nl) {
+  OptStats total;
+  for (int round = 0; round < 10; ++round) {
+    OptStats round_stats;
+    round_stats += ConstantPropagate(nl);
+    round_stats += SimplifyLocal(nl);
+    round_stats += StructuralHash(nl);
+    round_stats += SweepDeadLogic(nl);
+    total += round_stats;
+    if (round_stats.Total() == 0) break;
+  }
+  return total;
+}
+
+}  // namespace splitlock

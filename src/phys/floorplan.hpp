@@ -1,0 +1,25 @@
+// Die floorplanning: rows, slots, I/O pad ring.
+//
+// The die is sized from total standard-cell area at a target utilization
+// (the paper reports area "in terms of die outline" and lowers utilization
+// when routing needs it — the secure flow passes a reduced utilization for
+// lifted layouts). Cells occupy uniform slots on rows; I/O pads are spread
+// along the boundary (inputs left/top, outputs right/bottom).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "phys/layout.hpp"
+
+namespace splitlock::phys {
+
+struct FloorplanOptions {
+  double utilization = 0.70;
+  double aspect_ratio = 1.0;  // height / width target
+};
+
+// Initializes die geometry, the slot grid, and I/O pad positions in
+// `layout` (which must already reference the netlist). Logic cells are left
+// unplaced; the placer assigns them to slots.
+void BuildFloorplan(Layout& layout, const FloorplanOptions& options);
+
+}  // namespace splitlock::phys

@@ -1,0 +1,78 @@
+#include "phys/layout.hpp"
+
+#include <algorithm>
+
+namespace splitlock::phys {
+
+int ConnRoute::MaxLayer() const {
+  int max_layer = 0;
+  for (const Segment& s : segments) max_layer = std::max(max_layer, s.layer);
+  for (const ViaStack& v : vias) max_layer = std::max(max_layer, v.to_layer);
+  return max_layer;
+}
+
+int NetRoute::MaxLayer() const {
+  int max_layer = 0;
+  for (const ConnRoute& c : conns) max_layer = std::max(max_layer, c.MaxLayer());
+  return max_layer;
+}
+
+double NetRoute::TotalLength() const {
+  double len = 0.0;
+  for (const ConnRoute& c : conns) {
+    for (const Segment& s : c.segments) len += s.Length();
+  }
+  return len;
+}
+
+double Layout::NetHpwl(NetId n) const {
+  const Net& net = netlist->net(n);
+  if (net.driver == kNullId || !placed[net.driver]) return 0.0;
+  Rect box = Rect::Around(PinOf(net.driver));
+  for (const Pin& p : net.sinks) {
+    if (placed[p.gate]) box.Expand(PinOf(p.gate));
+  }
+  return box.HalfPerimeter();
+}
+
+double Layout::TotalHpwl() const {
+  double total = 0.0;
+  for (NetId n = 0; n < netlist->NumNets(); ++n) total += NetHpwl(n);
+  return total;
+}
+
+double Layout::WirelengthOnLayer(int layer) const {
+  double len = 0.0;
+  for (const NetRoute& r : routes) {
+    for (const ConnRoute& c : r.conns) {
+      for (const Segment& s : c.segments) {
+        if (s.layer == layer) len += s.Length();
+      }
+    }
+  }
+  return len;
+}
+
+double Layout::NetWireCapFf(NetId n) const {
+  double cap = 0.0;
+  for (const ConnRoute& c : routes[n].conns) {
+    for (const Segment& s : c.segments) {
+      cap += s.Length() * tech.Metal(s.layer).c_ff_per_um;
+    }
+    for (const ViaStack& v : c.vias) cap += v.Count() * tech.via_c_ff;
+  }
+  return cap;
+}
+
+double Layout::NetWireResKohm(NetId n) const {
+  double res = 0.0;
+  for (const ConnRoute& c : routes[n].conns) {
+    for (const Segment& s : c.segments) {
+      res += s.Length() * tech.Metal(s.layer).r_kohm_per_um;
+    }
+    for (const ViaStack& v : c.vias) res += v.Count() * tech.via_r_kohm;
+  }
+  return res;
+}
+
+}  // namespace splitlock::phys

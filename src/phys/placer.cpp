@@ -1,0 +1,239 @@
+#include "phys/placer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "netlist/libcell.hpp"
+#include "phys/floorplan.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::phys {
+namespace {
+
+bool IsTieLike(const Gate& g) {
+  if (g.HasFlag(kFlagTie)) return true;
+  switch (g.op) {
+    case GateOp::kTieHi:
+    case GateOp::kTieLo:
+    case GateOp::kKeyIn:
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Point SlotCenter(const Layout& layout, int slot) {
+  const int row = slot / layout.slots_per_row;
+  const int col = slot % layout.slots_per_row;
+  return Point{(col + 0.5) * layout.slot_width_um,
+               (row + 0.5) * layout.row_height_um};
+}
+
+}  // namespace
+
+Layout PlaceDesign(const Netlist& nl, const Tech& tech,
+                   const PlacerOptions& options) {
+  Layout layout;
+  layout.netlist = &nl;
+  layout.tech = tech;
+  FloorplanOptions fp;
+  fp.utilization = options.utilization;
+  BuildFloorplan(layout, fp);
+  Rng rng(options.seed);
+
+  // Partition physical gates into TIE-like cells and regular movable cells.
+  std::vector<GateId> tie_cells;
+  std::vector<GateId> movable;
+  std::vector<GateId> key_pads;
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (!IsPhysicalOp(gate.op)) continue;
+    if (options.key_inputs_as_pads && gate.op == GateOp::kKeyIn) {
+      key_pads.push_back(g);
+    } else if (IsTieLike(gate)) {
+      tie_cells.push_back(g);
+    } else {
+      movable.push_back(g);
+    }
+  }
+
+  // Package mode: key inputs are pads spread along the top edge; their tie
+  // value lives off-die in the package routing.
+  for (size_t i = 0; i < key_pads.size(); ++i) {
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(key_pads.size());
+    layout.position[key_pads[i]] =
+        Point{layout.die.lo.x + t * layout.die.Width(), layout.die.hi.y};
+    layout.placed[key_pads[i]] = 1;
+    layout.fixed[key_pads[i]] = 1;
+  }
+
+  const int num_slots = layout.num_rows * layout.slots_per_row;
+  assert(static_cast<size_t>(num_slots) >= tie_cells.size() + movable.size());
+  std::vector<GateId> gate_at(num_slots, kNullId);
+  std::vector<int> slot_of(nl.NumGates(), -1);
+
+  auto occupy = [&](GateId g, int slot) {
+    gate_at[slot] = g;
+    slot_of[g] = slot;
+    layout.position[g] = SlotCenter(layout, slot);
+    layout.placed[g] = 1;
+  };
+
+  // Secure flow: TIE cells take uniformly random slots and are frozen.
+  // Naive flow: TIE cells join the annealing pool like regular cells.
+  std::vector<GateId> anneal_pool = movable;
+  if (!options.randomize_tie_cells) {
+    anneal_pool.insert(anneal_pool.end(), tie_cells.begin(), tie_cells.end());
+  }
+  if (options.randomize_tie_cells) {
+    for (GateId g : tie_cells) {
+      int slot;
+      do {
+        slot = static_cast<int>(rng.NextUint(num_slots));
+      } while (gate_at[slot] != kNullId);
+      occupy(g, slot);
+      layout.fixed[g] = 1;
+    }
+  }
+
+  // Random initial placement of the annealing pool.
+  {
+    std::vector<int> free_slots;
+    free_slots.reserve(num_slots);
+    for (int s = 0; s < num_slots; ++s) {
+      if (gate_at[s] == kNullId) free_slots.push_back(s);
+    }
+    rng.Shuffle(free_slots);
+    assert(free_slots.size() >= anneal_pool.size());
+    for (size_t i = 0; i < anneal_pool.size(); ++i) {
+      occupy(anneal_pool[i], free_slots[i]);
+    }
+  }
+
+  // Nets considered by the cost function. In secure mode, nets driven by
+  // TIE-like cells are detached (Fig. 3 "Detach TIE cells").
+  std::vector<uint8_t> net_active(nl.NumNets(), 0);
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || nl.net(n).sinks.empty()) continue;
+    if (options.randomize_tie_cells && IsTieLike(nl.gate(d))) continue;
+    net_active[n] = 1;
+  }
+
+  // Nets incident to each gate (its fanin nets + its output net).
+  auto nets_of = [&](GateId g, std::vector<NetId>* out) {
+    out->clear();
+    const Gate& gate = nl.gate(g);
+    for (NetId n : gate.fanins) {
+      if (net_active[n]) out->push_back(n);
+    }
+    if (gate.out != kNullId && net_active[gate.out]) {
+      out->push_back(gate.out);
+    }
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+  };
+
+  if (anneal_pool.empty()) return layout;
+
+  // Simulated annealing over slot assignments.
+  std::vector<NetId> touched;
+  std::vector<NetId> touched2;
+  auto hpwl_of_nets = [&](const std::vector<NetId>& nets) {
+    double sum = 0.0;
+    for (NetId n : nets) sum += layout.NetHpwl(n);
+    return sum;
+  };
+
+  // Estimate the initial temperature from the cost spread of random swaps.
+  double delta_sum = 0.0;
+  int samples = 0;
+  for (int i = 0; i < 64; ++i) {
+    const GateId g = anneal_pool[rng.NextUint(anneal_pool.size())];
+    const int target = static_cast<int>(rng.NextUint(num_slots));
+    const GateId other = gate_at[target];
+    if (other == g || (other != kNullId && layout.fixed[other])) continue;
+    nets_of(g, &touched);
+    if (other != kNullId) {
+      nets_of(other, &touched2);
+      touched.insert(touched.end(), touched2.begin(), touched2.end());
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+    }
+    const double before = hpwl_of_nets(touched);
+    // Trial swap.
+    const int src = slot_of[g];
+    const Point gp = layout.position[g];
+    layout.position[g] = SlotCenter(layout, target);
+    if (other != kNullId) layout.position[other] = gp;
+    const double after = hpwl_of_nets(touched);
+    layout.position[g] = gp;
+    if (other != kNullId) layout.position[other] = SlotCenter(layout, target);
+    (void)src;
+    delta_sum += std::abs(after - before);
+    ++samples;
+  }
+  double temperature =
+      samples == 0 ? 1.0 : 4.0 * delta_sum / std::max(1, samples);
+  if (temperature <= 0.0) temperature = 1.0;
+
+  const int64_t total_moves =
+      static_cast<int64_t>(options.moves_per_cell) *
+      static_cast<int64_t>(anneal_pool.size());
+  if (total_moves <= 0) return layout;  // random placement requested
+  const int steps = std::max(1, options.temperature_steps);
+  const int64_t moves_per_step = std::max<int64_t>(1, total_moves / steps);
+  const double cooling =
+      std::pow(1e-4, 1.0 / static_cast<double>(steps));  // T -> T * 1e-4
+
+  for (int step = 0; step < steps; ++step) {
+    for (int64_t m = 0; m < moves_per_step; ++m) {
+      const GateId g = anneal_pool[rng.NextUint(anneal_pool.size())];
+      const int target = static_cast<int>(rng.NextUint(num_slots));
+      const GateId other = gate_at[target];
+      if (other == g) continue;
+      if (other != kNullId && layout.fixed[other]) continue;
+
+      nets_of(g, &touched);
+      if (other != kNullId) {
+        nets_of(other, &touched2);
+        touched.insert(touched.end(), touched2.begin(), touched2.end());
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+      }
+      const double before = hpwl_of_nets(touched);
+      const int src = slot_of[g];
+      const Point src_center = layout.position[g];
+      const Point dst_center = SlotCenter(layout, target);
+      layout.position[g] = dst_center;
+      if (other != kNullId) layout.position[other] = src_center;
+      const double after = hpwl_of_nets(touched);
+      const double delta = after - before;
+
+      bool accept = delta <= 0.0;
+      if (!accept && temperature > 0.0) {
+        accept = rng.NextDouble() < std::exp(-delta / temperature);
+      }
+      if (accept) {
+        gate_at[src] = other;
+        gate_at[target] = g;
+        slot_of[g] = target;
+        if (other != kNullId) slot_of[other] = src;
+      } else {
+        layout.position[g] = src_center;
+        if (other != kNullId) layout.position[other] = dst_center;
+      }
+    }
+    temperature *= cooling;
+  }
+  return layout;
+}
+
+}  // namespace splitlock::phys

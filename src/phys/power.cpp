@@ -1,0 +1,32 @@
+#include "phys/power.hpp"
+
+#include <cassert>
+
+#include "netlist/libcell.hpp"
+
+namespace splitlock::phys {
+
+PowerReport EstimatePower(const Layout& layout,
+                          std::span<const double> toggle_rates) {
+  const Netlist& nl = *layout.netlist;
+  assert(toggle_rates.size() == nl.NumNets());
+  PowerReport report;
+
+  // 0.5 * C[fF] * Vdd^2 * f[GHz]: with fF * GHz = 1e-6 W = 1 uW scale.
+  const double dyn_factor = 0.5 * kVddVolts * kVddVolts * kClockGhz;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId || net.sinks.empty()) continue;
+    double cap_ff = 0.0;
+    if (layout.routes[n].routed) cap_ff += layout.NetWireCapFf(n);
+    for (const Pin& p : net.sinks) {
+      const Gate& sink = nl.gate(p.gate);
+      if (IsPhysicalOp(sink.op)) cap_ff += CellFor(sink).input_cap_ff;
+    }
+    report.dynamic_uw += dyn_factor * cap_ff * toggle_rates[n];
+  }
+  report.leakage_uw = TotalLeakage(nl) / 1000.0;  // nW -> uW
+  return report;
+}
+
+}  // namespace splitlock::phys

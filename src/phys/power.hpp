@@ -1,0 +1,31 @@
+// Power estimation over a placed-and-routed layout.
+//
+// Dynamic power: 0.5 * C * Vdd^2 * f per unit toggle rate, summed over nets
+// (wire capacitance from the routes + sink pin capacitance), with toggle
+// rates from random-pattern simulation. Key-nets are static (TIE-driven)
+// and contribute no dynamic power — the locked designs' power cost comes
+// from the restore logic switching and from ECO detours on regular nets.
+// Leakage from the cell library.
+#pragma once
+
+#include <span>
+
+#include "phys/layout.hpp"
+
+namespace splitlock::phys {
+
+inline constexpr double kVddVolts = 1.1;
+inline constexpr double kClockGhz = 1.0;
+
+struct PowerReport {
+  double dynamic_uw = 0.0;
+  double leakage_uw = 0.0;
+
+  double TotalUw() const { return dynamic_uw + leakage_uw; }
+};
+
+// `toggle_rates` must be indexed by NetId (see EstimateToggleRates).
+PowerReport EstimatePower(const Layout& layout,
+                          std::span<const double> toggle_rates);
+
+}  // namespace splitlock::phys

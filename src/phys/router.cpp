@@ -1,0 +1,299 @@
+#include "phys/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "netlist/libcell.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::phys {
+namespace {
+
+bool IsTieLikeOp(const Gate& g) {
+  if (g.HasFlag(kFlagTie)) return true;
+  switch (g.op) {
+    case GateOp::kTieHi:
+    case GateOp::kTieLo:
+    case GateOp::kKeyIn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Builds an L-shaped connection from `src` to `dst` using the given
+// horizontal/vertical metal pair, with via stacks from the pin layer (M1)
+// at both endpoints and a corner via between the two metals. Segments are
+// ordered driver -> sink.
+ConnRoute MakeLRoute(Pin sink, Point src, Point dst, int h_layer, int v_layer,
+                     bool corner_at_dst_x) {
+  ConnRoute conn;
+  conn.sink = sink;
+  const int lo = std::min(h_layer, v_layer);
+  const int hi = std::max(h_layer, v_layer);
+  const bool needs_h = src.x != dst.x;
+  const bool needs_v = src.y != dst.y;
+  if (!needs_h && !needs_v) {
+    // Coincident pins: just a via stack between them on the lower metal.
+    conn.vias.push_back(ViaStack{src, 1, lo});
+    conn.hop_points = {src, dst};
+    conn.hop_layers = {lo};
+    return conn;
+  }
+
+  if (needs_h && needs_v) {
+    const Point corner =
+        corner_at_dst_x ? Point{dst.x, src.y} : Point{src.x, dst.y};
+    if (corner_at_dst_x) {
+      conn.segments.push_back(Segment{h_layer, src, corner});
+      conn.segments.push_back(Segment{v_layer, corner, dst});
+      conn.vias.push_back(ViaStack{src, 1, h_layer});
+      conn.vias.push_back(ViaStack{corner, lo, hi});
+      conn.vias.push_back(ViaStack{dst, 1, v_layer});
+      conn.hop_points = {src, corner, dst};
+      conn.hop_layers = {h_layer, v_layer};
+    } else {
+      conn.segments.push_back(Segment{v_layer, src, corner});
+      conn.segments.push_back(Segment{h_layer, corner, dst});
+      conn.vias.push_back(ViaStack{src, 1, v_layer});
+      conn.vias.push_back(ViaStack{corner, lo, hi});
+      conn.vias.push_back(ViaStack{dst, 1, h_layer});
+      conn.hop_points = {src, corner, dst};
+      conn.hop_layers = {v_layer, h_layer};
+    }
+  } else if (needs_h) {
+    conn.segments.push_back(Segment{h_layer, src, dst});
+    conn.vias.push_back(ViaStack{src, 1, h_layer});
+    conn.vias.push_back(ViaStack{dst, 1, h_layer});
+    conn.hop_points = {src, dst};
+    conn.hop_layers = {h_layer};
+  } else {
+    conn.segments.push_back(Segment{v_layer, src, dst});
+    conn.vias.push_back(ViaStack{src, 1, v_layer});
+    conn.vias.push_back(ViaStack{dst, 1, v_layer});
+    conn.hop_points = {src, dst};
+    conn.hop_layers = {v_layer};
+  }
+  return conn;
+}
+
+// Chooses the (horizontal, vertical) metal pair for a regular net by span.
+void LayerPairForSpan(const Tech& tech, const RouterOptions& options,
+                      double span, Rng& rng, int* h_layer, int* v_layer) {
+  int pair = 0;
+  while (pair < 4 && span >= options.span_thresholds[pair]) ++pair;
+  if (pair < 4 && rng.NextBernoulli(options.promote_probability)) ++pair;
+  // Pair i occupies metals (i+2, i+3).
+  const int a = pair + 2;
+  const int b = pair + 3;
+  assert(b <= tech.NumLayers());
+  if (tech.IsHorizontal(a)) {
+    *h_layer = a;
+    *v_layer = b;
+  } else {
+    *h_layer = b;
+    *v_layer = a;
+  }
+}
+
+}  // namespace
+
+std::vector<NetId> KeyNetsOf(const Netlist& nl) {
+  std::vector<NetId> nets;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const GateId d = nl.DriverOf(n);
+    if (d == kNullId || nl.net(n).sinks.empty()) continue;
+    const Gate& g = nl.gate(d);
+    if (!IsTieLikeOp(g) || !g.HasFlag(kFlagDontTouch)) continue;
+    // A key-net's sinks are key-gates.
+    bool all_key_gates = true;
+    for (const Pin& p : nl.net(n).sinks) {
+      if (!nl.gate(p.gate).HasFlag(kFlagKeyGate)) {
+        all_key_gates = false;
+        break;
+      }
+    }
+    if (all_key_gates) nets.push_back(n);
+  }
+  return nets;
+}
+
+void RouteDesign(Layout& layout, const RouterOptions& options) {
+  const Netlist& nl = *layout.netlist;
+  Rng rng(options.seed);
+
+  std::vector<uint8_t> is_key_net(nl.NumNets(), 0);
+  if (!options.route_key_nets_as_regular) {
+    for (NetId n : KeyNetsOf(nl)) is_key_net[n] = 1;
+  }
+
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    NetRoute& route = layout.routes[n];
+    route = NetRoute{};
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId || net.sinks.empty()) continue;
+    if (!layout.placed[net.driver]) continue;
+    if (is_key_net[n]) continue;  // lifted separately
+
+    const Point src = layout.PinOf(net.driver);
+    int h_layer = 2;
+    int v_layer = 3;
+    LayerPairForSpan(layout.tech, options, layout.NetHpwl(n), rng, &h_layer,
+                     &v_layer);
+    for (const Pin& p : net.sinks) {
+      if (!layout.placed[p.gate]) continue;
+      route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate), h_layer,
+                                       v_layer, rng.NextBool()));
+    }
+    route.routed = true;
+  }
+}
+
+void LiftNetsAbove(Layout& layout, std::span<const NetId> nets,
+                   int lift_layer, uint64_t seed) {
+  const Netlist& nl = *layout.netlist;
+  const Tech& tech = layout.tech;
+  assert(lift_layer + 1 <= tech.NumLayers());
+  Rng rng(seed);
+  const int h_layer =
+      tech.IsHorizontal(lift_layer) ? lift_layer : lift_layer + 1;
+  const int v_layer =
+      tech.IsHorizontal(lift_layer) ? lift_layer + 1 : lift_layer;
+  for (NetId n : nets) {
+    NetRoute& route = layout.routes[n];
+    route = NetRoute{};
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId || !layout.placed[net.driver]) continue;
+    const Point src = layout.PinOf(net.driver);
+    for (const Pin& p : net.sinks) {
+      if (!layout.placed[p.gate]) continue;
+      route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate), h_layer,
+                                       v_layer, rng.NextBool()));
+    }
+    route.routed = true;
+  }
+}
+
+LiftStats LiftKeyNets(Layout& layout, Netlist& mutable_netlist,
+                      int lift_layer, uint64_t seed) {
+  assert(layout.netlist == &mutable_netlist);
+  const Netlist& nl = mutable_netlist;
+  const Tech& tech = layout.tech;
+  assert(lift_layer + 1 <= tech.NumLayers());
+  Rng rng(seed);
+  LiftStats stats;
+
+  const int h_layer =
+      tech.IsHorizontal(lift_layer) ? lift_layer : lift_layer + 1;
+  const int v_layer =
+      tech.IsHorizontal(lift_layer) ? lift_layer + 1 : lift_layer;
+
+  const std::vector<NetId> key_nets = KeyNetsOf(nl);
+  std::vector<uint8_t> is_key_net(nl.NumNets(), 0);
+  for (NetId n : key_nets) is_key_net[n] = 1;
+
+  for (NetId n : key_nets) {
+    NetRoute& route = layout.routes[n];
+    route = NetRoute{};
+    const Net& net = nl.net(n);
+    if (!layout.placed[net.driver]) continue;
+    const Point src = layout.PinOf(net.driver);
+    for (const Pin& p : net.sinks) {
+      // Whole connection on the lift pair. The endpoint via stacks
+      // (M1 -> lift pair) are exactly the paper's stacked vias on the TIE
+      // output pin and the key-gate input pin.
+      route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate), h_layer,
+                                       v_layer, rng.NextBool()));
+      stats.stacked_vias += 2;
+    }
+    route.routed = true;
+    stats.lifted_wirelength_um += route.TotalLength();
+  }
+  stats.key_nets_lifted = key_nets.size();
+
+  // --- ECO re-route ---------------------------------------------------
+  // Key-net corridors consume tracks on the lift pair; regular nets routed
+  // there detour with a probability proportional to the consumed fraction
+  // of routing capacity on those layers.
+  const double track_capacity_um =
+      (layout.die.Width() / tech.Metal(h_layer).pitch_um) *
+          layout.die.Height() +
+      (layout.die.Height() / tech.Metal(v_layer).pitch_um) *
+          layout.die.Width();
+  const double demand_fraction =
+      track_capacity_um <= 0.0
+          ? 0.0
+          : std::min(1.0, stats.lifted_wirelength_um * 48.0 /
+                              track_capacity_um);
+
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    NetRoute& route = layout.routes[n];
+    if (!route.routed || is_key_net[n]) continue;
+    for (ConnRoute& conn : route.conns) {
+      bool on_lift_pair = false;
+      for (const Segment& s : conn.segments) {
+        if (s.layer == h_layer || s.layer == v_layer) {
+          on_lift_pair = true;
+          break;
+        }
+      }
+      if (!on_lift_pair || conn.segments.empty()) continue;
+      if (!rng.NextBernoulli(demand_fraction)) continue;
+
+      // Detour: shift the first segment sideways by two pitches, adding two
+      // jog segments and two vias. (Copy fields first: the push_backs below
+      // invalidate references into the segment vector.)
+      const int seg_layer = conn.segments.front().layer;
+      const double jog = tech.Metal(seg_layer).pitch_um * 6.0;
+      const Point ja = conn.segments.front().a;
+      const Point jb = conn.segments.front().b;
+      const bool seg_horizontal = ja.y == jb.y;
+      const int jog_layer = seg_horizontal ? v_layer : h_layer;
+      if (seg_horizontal) {
+        conn.segments.front().a.y += jog;
+        conn.segments.front().b.y += jog;
+        conn.segments.push_back(
+            Segment{jog_layer, ja, Point{ja.x, ja.y + jog}});
+        conn.segments.push_back(
+            Segment{jog_layer, Point{jb.x, jb.y + jog}, jb});
+      } else {
+        conn.segments.front().a.x += jog;
+        conn.segments.front().b.x += jog;
+        conn.segments.push_back(
+            Segment{jog_layer, ja, Point{ja.x + jog, ja.y}});
+        conn.segments.push_back(
+            Segment{jog_layer, Point{jb.x + jog, jb.y}, jb});
+      }
+      conn.vias.push_back(ViaStack{ja, std::min(jog_layer, seg_layer),
+                                   std::max(jog_layer, seg_layer)});
+      conn.vias.push_back(ViaStack{jb, std::min(jog_layer, seg_layer),
+                                   std::max(jog_layer, seg_layer)});
+      ++stats.regular_nets_detoured;
+    }
+  }
+
+  // Driver upsizing: after the detours, any regular driver whose wire +
+  // pin load exceeds its max drivable load is bumped one drive step
+  // (X1 -> X2 -> X4) — the paper's "upscaling of drivers ... to meet
+  // timing (applies only to regular nets, not key-nets)".
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    if (!layout.routes[n].routed || is_key_net[n]) continue;
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    Gate& driver = mutable_netlist.gate(net.driver);
+    if (!IsPhysicalOp(driver.op) || IsTieLikeOp(driver)) continue;
+    double load_ff = layout.NetWireCapFf(n);
+    for (const Pin& p : net.sinks) {
+      const Gate& sink = nl.gate(p.gate);
+      if (IsPhysicalOp(sink.op)) load_ff += CellFor(sink).input_cap_ff;
+    }
+    while (driver.drive < 4 && load_ff > CellFor(driver).max_load_ff) {
+      driver.drive = driver.drive == 1 ? 2 : 4;
+      ++stats.drivers_upsized;
+    }
+  }
+  return stats;
+}
+
+}  // namespace splitlock::phys

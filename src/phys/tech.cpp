@@ -1,0 +1,23 @@
+#include "phys/tech.hpp"
+
+namespace splitlock::phys {
+
+Tech Tech::Nangate45Like() {
+  Tech t;
+  // name, horizontal, R (kOhm/um), C (fF/um), pitch (um)
+  t.layers = {
+      {"M1", true, 0.0040, 0.22, 0.19},
+      {"M2", false, 0.0035, 0.21, 0.19},
+      {"M3", true, 0.0030, 0.21, 0.19},
+      {"M4", false, 0.0015, 0.20, 0.28},
+      {"M5", true, 0.0012, 0.20, 0.28},
+      {"M6", false, 0.0006, 0.19, 0.56},
+      {"M7", true, 0.0005, 0.19, 0.56},
+      {"M8", false, 0.0004, 0.18, 0.80},
+  };
+  t.via_r_kohm = 0.005;
+  t.via_c_ff = 0.05;
+  return t;
+}
+
+}  // namespace splitlock::phys

@@ -1,0 +1,38 @@
+// Back-end technology model: metal stack, parasitics, vias.
+//
+// An 8-layer stack patterned on a 45nm node. Lower layers are thin (high
+// resistance, tight pitch, used for short nets); upper layers are thick
+// (low resistance, coarse pitch, used for long nets). Preferred routing
+// direction alternates per layer starting horizontal at M1. Units follow
+// libcell.hpp: kOhm, fF, um (1 kOhm * 1 fF = 1 ps).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace splitlock::phys {
+
+struct Layer {
+  std::string name;          // "M1".."M8"
+  bool horizontal = true;    // preferred routing direction
+  double r_kohm_per_um = 0.0;
+  double c_ff_per_um = 0.0;
+  double pitch_um = 0.0;
+};
+
+struct Tech {
+  std::vector<Layer> layers;  // layers[i] is M(i+1)
+  double via_r_kohm = 0.005;
+  double via_c_ff = 0.05;
+
+  int NumLayers() const { return static_cast<int>(layers.size()); }
+  // 1-based metal index accessor (layer 1 = M1).
+  const Layer& Metal(int m) const { return layers[m - 1]; }
+  bool IsHorizontal(int m) const { return Metal(m).horizontal; }
+
+  // Default technology used throughout the experiments.
+  static Tech Nangate45Like();
+};
+
+}  // namespace splitlock::phys

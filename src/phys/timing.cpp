@@ -1,0 +1,51 @@
+#include "phys/timing.hpp"
+
+#include <algorithm>
+
+#include "netlist/libcell.hpp"
+
+namespace splitlock::phys {
+
+TimingReport RunSta(const Layout& layout) {
+  const Netlist& nl = *layout.netlist;
+  TimingReport report;
+  report.net_arrival_ps.assign(nl.NumNets(), 0.0);
+
+  for (GateId g : nl.TopoOrder()) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) continue;
+    if (IsSourceOp(gate.op)) {
+      // Primary inputs and constant sources launch at t = 0.
+      continue;
+    }
+    double input_arrival = 0.0;
+    for (NetId n : gate.fanins) {
+      input_arrival = std::max(input_arrival, report.net_arrival_ps[n]);
+    }
+    const LibCell& cell = CellFor(gate);
+    const NetId out = gate.out;
+    double wire_cap = 0.0;
+    double wire_res = 0.0;
+    if (out < layout.routes.size() && layout.routes[out].routed) {
+      wire_cap = layout.NetWireCapFf(out);
+      wire_res = layout.NetWireResKohm(out);
+    }
+    double pin_cap = 0.0;
+    for (const Pin& p : nl.net(out).sinks) {
+      const Gate& sink = nl.gate(p.gate);
+      if (IsPhysicalOp(sink.op)) pin_cap += CellFor(sink).input_cap_ff;
+    }
+    const double delay = cell.intrinsic_delay_ps +
+                         cell.drive_res_kohm * (wire_cap + pin_cap) +
+                         0.5 * wire_res * wire_cap;
+    report.net_arrival_ps[out] = input_arrival + delay;
+  }
+
+  for (GateId g : nl.outputs()) {
+    report.critical_path_ps = std::max(
+        report.critical_path_ps, report.net_arrival_ps[nl.gate(g).fanins[0]]);
+  }
+  return report;
+}
+
+}  // namespace splitlock::phys

@@ -1,0 +1,382 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace splitlock::sat {
+namespace {
+
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+uint64_t Luby(uint64_t i) {
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1) {
+    size = 2 * size + 1;
+    ++seq;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return 1ULL << seq;
+}
+
+constexpr double kVarDecay = 1.0 / 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr uint64_t kRestartUnit = 128;
+
+}  // namespace
+
+Var Solver::NewVar() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  model_.push_back(kUndef);
+  phase_.push_back(kFalse);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  HeapInsert(v);
+  return v;
+}
+
+bool Solver::AddClause(std::vector<Lit> lits) {
+  if (unsat_at_root_) return false;
+  assert(DecisionLevel() == 0);
+  // Remove duplicates and satisfied/false literals at root.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1] == Negate(l)) return true;  // taut
+    if (!out.empty() && out.back() == l) continue;
+    if (!out.empty() && out.back() == Negate(l)) return true;  // tautology
+    const int8_t v = ValueOfLit(l);
+    if (v == kTrue) return true;  // already satisfied
+    if (v == kFalse) continue;    // drop falsified literal
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_at_root_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    Enqueue(out[0], kNoReason);
+    if (Propagate() != kNoReason) {
+      unsat_at_root_ = true;
+      return false;
+    }
+    return true;
+  }
+  AttachClause(out);
+  return true;
+}
+
+Solver::ClauseRef Solver::AttachClause(std::span<const Lit> lits) {
+  const ClauseRef ref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(Clause{static_cast<uint32_t>(arena_.size()),
+                            static_cast<uint32_t>(lits.size())});
+  arena_.insert(arena_.end(), lits.begin(), lits.end());
+  const auto cl = LitsOf(ref);
+  watches_[Negate(cl[0])].push_back(Watcher{ref, cl[1]});
+  watches_[Negate(cl[1])].push_back(Watcher{ref, cl[0]});
+  return ref;
+}
+
+void Solver::Enqueue(Lit l, ClauseRef reason) {
+  const Var v = VarOf(l);
+  assert(assign_[v] == kUndef);
+  assign_[v] = IsNegated(l) ? kFalse : kTrue;
+  level_[v] = DecisionLevel();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    auto& ws = watches_[p];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (ValueOfLit(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      auto cl = LitsOf(w.clause);
+      // Ensure the falsified literal is cl[1].
+      const Lit not_p = Negate(p);
+      if (cl[0] == not_p) std::swap(cl[0], cl[1]);
+      if (ValueOfLit(cl[0]) == kTrue) {
+        ws[keep++] = Watcher{w.clause, cl[0]};
+        continue;
+      }
+      // Search a replacement watch.
+      bool moved = false;
+      for (size_t k = 2; k < cl.size(); ++k) {
+        if (ValueOfLit(cl[k]) != kFalse) {
+          std::swap(cl[1], cl[k]);
+          watches_[Negate(cl[1])].push_back(Watcher{w.clause, cl[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      if (ValueOfLit(cl[0]) == kFalse) {
+        // Conflict: restore remaining watchers and report.
+        for (size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        return w.clause;
+      }
+      ws[keep++] = Watcher{w.clause, cl[0]};
+      Enqueue(cl[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::BumpVar(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kActivityRescale) {
+    for (double& a : activity_) a /= kActivityRescale;
+    var_inc_ /= kActivityRescale;
+  }
+  if (heap_pos_[v] >= 0) HeapDecrease(v);
+}
+
+void Solver::DecayActivities() { var_inc_ *= kVarDecay; }
+
+void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* learnt,
+                     int* bt_level) {
+  learnt->clear();
+  learnt->push_back(0);  // slot for the asserting literal
+  int counter = 0;
+  Lit p = -1;
+  size_t trail_index = trail_.size();
+  ClauseRef reason = conflict;
+  do {
+    auto cl = LitsOf(reason);
+    const size_t start = (p == -1) ? 0 : 1;
+    for (size_t i = start; i < cl.size(); ++i) {
+      const Lit q = cl[i];
+      const Var v = VarOf(q);
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      BumpVar(v);
+      if (level_[v] >= DecisionLevel()) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    do {
+      --trail_index;
+      p = trail_[trail_index];
+    } while (seen_[VarOf(p)] == 0);
+    seen_[VarOf(p)] = 0;
+    reason = reason_[VarOf(p)];
+    --counter;
+    if (counter > 0) {
+      // The reason's first literal is p itself; skip it via start=1 above.
+      assert(reason != kNoReason);
+      // Move p to the front of its reason clause for the convention above.
+      auto rcl = LitsOf(reason);
+      if (rcl[0] != p) {
+        for (size_t i = 1; i < rcl.size(); ++i) {
+          if (rcl[i] == p) {
+            std::swap(rcl[0], rcl[i]);
+            break;
+          }
+        }
+      }
+    }
+  } while (counter > 0);
+  (*learnt)[0] = Negate(p);
+
+  // Compute the backjump level (second-highest level in the clause).
+  *bt_level = 0;
+  if (learnt->size() > 1) {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt->size(); ++i) {
+      if (level_[VarOf((*learnt)[i])] > level_[VarOf((*learnt)[max_i])]) {
+        max_i = i;
+      }
+    }
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *bt_level = level_[VarOf((*learnt)[1])];
+  }
+  for (const Lit l : *learnt) seen_[VarOf(l)] = 0;
+}
+
+void Solver::BacktrackTo(int target_level) {
+  if (DecisionLevel() <= target_level) return;
+  const int bound = trail_limits_[target_level];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = VarOf(trail_[i]);
+    phase_[v] = assign_[v];
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_limits_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::PickBranchLit() {
+  while (!heap_.empty()) {
+    const Var v = HeapPop();
+    if (assign_[v] == kUndef) {
+      return MakeLit(v, phase_[v] != kTrue);
+    }
+  }
+  return -1;
+}
+
+SolveResult Solver::Solve(std::span<const Lit> assumptions,
+                          uint64_t conflict_limit) {
+  if (unsat_at_root_) return SolveResult::kUnsat;
+  BacktrackTo(0);
+  if (Propagate() != kNoReason) {
+    unsat_at_root_ = true;
+    return SolveResult::kUnsat;
+  }
+
+  uint64_t restart_round = 0;
+  uint64_t conflicts_until_restart = Luby(restart_round) * kRestartUnit;
+  uint64_t local_conflicts = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef conflict = Propagate();
+    if (conflict != kNoReason) {
+      ++conflicts_;
+      ++local_conflicts;
+      if (DecisionLevel() == 0 ||
+          DecisionLevel() <= static_cast<int>(assumptions.size())) {
+        // Conflict under assumptions (or at root): UNSAT for this query.
+        BacktrackTo(0);
+        if (DecisionLevel() == 0 && assumptions.empty()) {
+          unsat_at_root_ = true;
+        }
+        return SolveResult::kUnsat;
+      }
+      int bt_level = 0;
+      Analyze(conflict, &learnt, &bt_level);
+      // Never backjump into the assumption prefix.
+      bt_level = std::max(bt_level, static_cast<int>(assumptions.size()));
+      BacktrackTo(bt_level);
+      if (learnt.size() == 1) {
+        if (DecisionLevel() == 0) {
+          Enqueue(learnt[0], kNoReason);
+        } else {
+          // Asserting unit under assumptions.
+          Enqueue(learnt[0], kNoReason);
+        }
+      } else {
+        const ClauseRef ref = AttachClause(learnt);
+        Enqueue(learnt[0], ref);
+      }
+      DecayActivities();
+      if (conflict_limit != 0 && conflicts_ >= conflict_limit) {
+        BacktrackTo(0);
+        return SolveResult::kUnknown;
+      }
+      if (local_conflicts >= conflicts_until_restart) {
+        local_conflicts = 0;
+        conflicts_until_restart = Luby(++restart_round) * kRestartUnit;
+        BacktrackTo(static_cast<int>(assumptions.size()));
+      }
+      continue;
+    }
+
+    // Place pending assumptions as decisions.
+    if (DecisionLevel() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[DecisionLevel()];
+      const int8_t v = ValueOfLit(a);
+      if (v == kFalse) {
+        BacktrackTo(0);
+        return SolveResult::kUnsat;
+      }
+      trail_limits_.push_back(static_cast<int>(trail_.size()));
+      if (v == kUndef) Enqueue(a, kNoReason);
+      continue;
+    }
+
+    const Lit next = PickBranchLit();
+    if (next < 0) {
+      // Full assignment: record the model.
+      model_ = assign_;
+      BacktrackTo(0);
+      return SolveResult::kSat;
+    }
+    trail_limits_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(next, kNoReason);
+  }
+}
+
+// --- VSIDS heap -------------------------------------------------------------
+
+void Solver::HeapSwap(int i, int j) {
+  std::swap(heap_[i], heap_[j]);
+  heap_pos_[heap_[i]] = i;
+  heap_pos_[heap_[j]] = j;
+}
+
+void Solver::HeapInsert(Var v) {
+  heap_.push_back(v);
+  int i = static_cast<int>(heap_.size()) - 1;
+  heap_pos_[v] = i;
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[heap_[i]]) break;
+    HeapSwap(i, parent);
+    i = parent;
+  }
+}
+
+void Solver::HeapDecrease(Var v) {
+  // Activity increased: sift up.
+  int i = heap_pos_[v];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[heap_[i]]) break;
+    HeapSwap(i, parent);
+    i = parent;
+  }
+}
+
+Var Solver::HeapPop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+  }
+  heap_.pop_back();
+  // Sift down.
+  int i = 0;
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    const int l = 2 * i + 1;
+    const int r = 2 * i + 2;
+    int best = i;
+    if (l < n && activity_[heap_[l]] > activity_[heap_[best]]) best = l;
+    if (r < n && activity_[heap_[r]] > activity_[heap_[best]]) best = r;
+    if (best == i) break;
+    HeapSwap(i, best);
+    i = best;
+  }
+  return top;
+}
+
+}  // namespace splitlock::sat

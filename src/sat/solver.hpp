@@ -1,0 +1,120 @@
+// A compact CDCL SAT solver.
+//
+// Feature set: two-watched-literal propagation, first-UIP conflict-clause
+// learning with backjumping, VSIDS branching with phase saving, and Luby
+// restarts. This is the engine behind the logic-equivalence checker (the
+// Cadence Conformal LEC stand-in in the locking flow of Fig. 3) and the
+// SAT-based cross-checks in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace splitlock::sat {
+
+using Var = int32_t;
+using Lit = int32_t;  // encoded as 2*var + (negated ? 1 : 0)
+
+inline Lit MakeLit(Var v, bool negated = false) {
+  return 2 * v + (negated ? 1 : 0);
+}
+inline Lit Negate(Lit l) { return l ^ 1; }
+inline Var VarOf(Lit l) { return l >> 1; }
+inline bool IsNegated(Lit l) { return (l & 1) != 0; }
+
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+class Solver {
+ public:
+  Solver() = default;
+
+  Var NewVar();
+  int NumVars() const { return static_cast<int>(assign_.size()); }
+
+  // Adds a clause (empty clause makes the instance trivially UNSAT).
+  // Returns false when the formula is already unsatisfiable at root level.
+  bool AddClause(std::vector<Lit> lits);
+
+  // Convenience overloads.
+  bool AddUnit(Lit a) { return AddClause({a}); }
+  bool AddBinary(Lit a, Lit b) { return AddClause({a, b}); }
+  bool AddTernary(Lit a, Lit b, Lit c) { return AddClause({a, b, c}); }
+
+  // Solves under optional assumptions. `conflict_limit` bounds the search
+  // (0 = unlimited); exceeding it yields kUnknown.
+  SolveResult Solve(std::span<const Lit> assumptions = {},
+                    uint64_t conflict_limit = 0);
+
+  // Model access, valid after kSat.
+  bool ModelValue(Var v) const { return model_[v] == 1; }
+
+  uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  enum : int8_t { kUndef = -1, kFalse = 0, kTrue = 1 };
+
+  struct Clause {
+    uint32_t offset;  // into literal arena
+    uint32_t size;
+  };
+  using ClauseRef = int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  struct Watcher {
+    ClauseRef clause;
+    Lit blocker;
+  };
+
+  int8_t ValueOfLit(Lit l) const {
+    const int8_t v = assign_[VarOf(l)];
+    if (v == kUndef) return kUndef;
+    return IsNegated(l) ? static_cast<int8_t>(1 - v) : v;
+  }
+
+  void Enqueue(Lit l, ClauseRef reason);
+  ClauseRef Propagate();
+  void Analyze(ClauseRef conflict, std::vector<Lit>* learnt, int* bt_level);
+  void BacktrackTo(int level);
+  Lit PickBranchLit();
+  void BumpVar(Var v);
+  void DecayActivities();
+  ClauseRef AttachClause(std::span<const Lit> lits);
+  std::span<Lit> LitsOf(ClauseRef c) {
+    return {arena_.data() + clauses_[c].offset, clauses_[c].size};
+  }
+
+  // Heap-based VSIDS priority queue.
+  void HeapInsert(Var v);
+  Var HeapPop();
+  void HeapDecrease(Var v);
+  void HeapSwap(int i, int j);
+
+  std::vector<Lit> arena_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit
+
+  std::vector<int8_t> assign_;    // per var
+  std::vector<int8_t> model_;     // per var, snapshot at SAT
+  std::vector<int8_t> phase_;     // saved phases
+  std::vector<int> level_;        // per var
+  std::vector<ClauseRef> reason_;  // per var
+  std::vector<double> activity_;  // per var
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_limits_;  // decision-level boundaries
+  size_t propagate_head_ = 0;
+
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;  // per var, -1 if absent
+
+  std::vector<int8_t> seen_;  // per var, scratch for Analyze
+
+  double var_inc_ = 1.0;
+  uint64_t conflicts_ = 0;
+  bool unsat_at_root_ = false;
+
+  int DecisionLevel() const { return static_cast<int>(trail_limits_.size()); }
+};
+
+}  // namespace splitlock::sat

@@ -1,0 +1,78 @@
+// Structurally-hashing Tseitin encoder: netlist -> CNF.
+//
+// Nets are encoded as *literals* (not variables), so inverters and buffers
+// are absorbed for free, OR/NOR normalize to AND-with-negations, and
+// structurally identical cones — e.g. the untouched halves of an
+// original-vs-locked miter — collapse onto the same CNF variables. This is
+// what keeps LEC cheap: after hashing, only the logic actually modified by
+// the locking flow remains to be decided by the SAT solver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace splitlock::sat {
+
+class StructuralEncoder {
+ public:
+  explicit StructuralEncoder(Solver& solver);
+
+  Solver& solver() { return *solver_; }
+
+  // Constant-true literal (its variable is asserted once at construction).
+  Lit TrueLit() const { return true_lit_; }
+  Lit FalseLit() const { return Negate(true_lit_); }
+
+  // Fresh unconstrained literal (used for shared primary inputs and for
+  // free key bits).
+  Lit FreshLit() { return MakeLit(solver_->NewVar()); }
+
+  // Encodes one gate function over already-encoded fanin literals; returns
+  // the output literal, reusing an existing node when an identical one was
+  // encoded before.
+  Lit EncodeOp(GateOp op, std::span<const Lit> fanins);
+
+  // Encodes a whole netlist. `input_lits` supplies the literal for each
+  // primary input in inputs() order; `key_lits` supplies literals for key
+  // inputs in KeyInputs() order (must cover them all; pass constants from
+  // TrueLit()/FalseLit() to bind a key). Returns one literal per primary
+  // output in outputs() order.
+  std::vector<Lit> EncodeNetlist(const Netlist& nl,
+                                 std::span<const Lit> input_lits,
+                                 std::span<const Lit> key_lits = {});
+
+ private:
+  Lit EncodeAnd(std::vector<Lit> fanins);
+  Lit EncodeXor(Lit a, Lit b);
+  Lit EncodeMux(Lit s, Lit a, Lit b);
+
+  struct NodeKey {
+    uint32_t tag;  // 0 = AND, 1 = XOR, 2 = MUX
+    std::vector<Lit> fanins;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      size_t h = k.tag * 0x9e3779b97f4a7c15ULL;
+      for (Lit l : k.fanins) {
+        h ^= static_cast<size_t>(l) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  Lit Cached(NodeKey key, const std::function<Lit()>& build);
+
+  Solver* solver_;
+  Lit true_lit_;
+  std::unordered_map<NodeKey, Lit, NodeKeyHash> cache_;
+};
+
+}  // namespace splitlock::sat

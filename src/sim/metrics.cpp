@@ -1,0 +1,105 @@
+#include "sim/metrics.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock {
+namespace {
+
+// Runs both simulators over the same random input words and folds the
+// per-word output mismatch masks.
+template <typename Fold>
+void SweepPairs(const Netlist& a, const Netlist& b, uint64_t patterns,
+                uint64_t seed, std::span<const uint8_t> a_key,
+                std::span<const uint8_t> b_key, Fold&& fold) {
+  assert(a.inputs().size() == b.inputs().size());
+  assert(a.outputs().size() == b.outputs().size());
+  Simulator sim_a(a);
+  Simulator sim_b(b);
+  if (!a_key.empty()) sim_a.SetKeyBits(a_key);
+  if (!b_key.empty()) sim_b.SetKeyBits(b_key);
+  Rng rng(seed);
+  const size_t num_pis = a.inputs().size();
+  const size_t num_pos = a.outputs().size();
+  std::vector<uint64_t> words(num_pis);
+  const uint64_t num_words = (patterns + 63) / 64;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    for (size_t i = 0; i < num_pis; ++i) words[i] = rng.NextWord();
+    sim_a.SetInputWords(words);
+    sim_b.SetInputWords(words);
+    sim_a.Run();
+    sim_b.Run();
+    // Lanes beyond the requested pattern count (final partial word) are
+    // masked out.
+    const uint64_t lanes = (w + 1 == num_words && (patterns % 64) != 0)
+                               ? patterns % 64
+                               : 64;
+    const uint64_t lane_mask =
+        lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
+    bool stop = false;
+    for (size_t o = 0; o < num_pos && !stop; ++o) {
+      const uint64_t diff =
+          (sim_a.OutputWord(o) ^ sim_b.OutputWord(o)) & lane_mask;
+      stop = fold(o, diff, lane_mask);
+    }
+    if (stop) return;
+  }
+}
+
+}  // namespace
+
+FunctionalDiff CompareFunctional(const Netlist& reference,
+                                 const Netlist& candidate, uint64_t patterns,
+                                 uint64_t seed,
+                                 std::span<const uint8_t> reference_key,
+                                 std::span<const uint8_t> candidate_key) {
+  const size_t num_pos = reference.outputs().size();
+  uint64_t bit_mismatches = 0;
+  uint64_t erroneous_patterns = 0;
+  uint64_t current_any = 0;
+  size_t outputs_seen = 0;
+  SweepPairs(reference, candidate, patterns, seed, reference_key,
+             candidate_key,
+             [&](size_t /*o*/, uint64_t diff, uint64_t /*mask*/) {
+               bit_mismatches += std::popcount(diff);
+               current_any |= diff;
+               if (++outputs_seen == num_pos) {
+                 erroneous_patterns += std::popcount(current_any);
+                 current_any = 0;
+                 outputs_seen = 0;
+               }
+               return false;
+             });
+  FunctionalDiff d;
+  d.patterns = patterns;
+  const double total_bits = static_cast<double>(patterns) *
+                            static_cast<double>(num_pos);
+  d.hd_percent = total_bits == 0.0 ? 0.0 : 100.0 * bit_mismatches / total_bits;
+  d.oer_percent =
+      patterns == 0 ? 0.0
+                    : 100.0 * static_cast<double>(erroneous_patterns) /
+                          static_cast<double>(patterns);
+  return d;
+}
+
+bool RandomPatternsAgree(const Netlist& reference, const Netlist& candidate,
+                         uint64_t patterns, uint64_t seed,
+                         std::span<const uint8_t> reference_key,
+                         std::span<const uint8_t> candidate_key) {
+  bool agree = true;
+  SweepPairs(reference, candidate, patterns, seed, reference_key,
+             candidate_key,
+             [&](size_t /*o*/, uint64_t diff, uint64_t /*mask*/) {
+               if (diff != 0) {
+                 agree = false;
+                 return true;  // stop sweeping
+               }
+               return false;
+             });
+  return agree;
+}
+
+}  // namespace splitlock

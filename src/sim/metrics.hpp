@@ -1,0 +1,40 @@
+// Functional-difference metrics between two netlists.
+//
+// Hamming distance (HD) and output error rate (OER) are the paper's
+// Table II / Table III metrics: HD is the average fraction of output bits
+// that differ between the original netlist and the attacker-recovered one;
+// OER is the fraction of input patterns producing at least one wrong output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/netlist.hpp"
+
+namespace splitlock {
+
+struct FunctionalDiff {
+  double hd_percent = 0.0;   // average per-output-bit mismatch, in %
+  double oer_percent = 0.0;  // patterns with >= 1 wrong output, in %
+  uint64_t patterns = 0;
+};
+
+// Compares `reference` against `candidate` over `patterns` uniform random
+// input patterns (inputs matched by position; both netlists must have the
+// same PI and PO counts). Key inputs of either netlist, if any, are bound to
+// the provided bit vectors (in KeyInputs() order; pass empty spans for
+// unkeyed netlists).
+FunctionalDiff CompareFunctional(const Netlist& reference,
+                                 const Netlist& candidate, uint64_t patterns,
+                                 uint64_t seed,
+                                 std::span<const uint8_t> reference_key = {},
+                                 std::span<const uint8_t> candidate_key = {});
+
+// True when the two netlists agree on every one of `patterns` random
+// patterns (a fast pre-filter before formal LEC).
+bool RandomPatternsAgree(const Netlist& reference, const Netlist& candidate,
+                         uint64_t patterns, uint64_t seed,
+                         std::span<const uint8_t> reference_key = {},
+                         std::span<const uint8_t> candidate_key = {});
+
+}  // namespace splitlock

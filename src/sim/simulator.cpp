@@ -1,0 +1,121 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace splitlock {
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(&nl),
+      topo_(nl.TopoOrder()),
+      key_inputs_(nl.KeyInputs()),
+      values_(nl.NumNets(), 0) {}
+
+void Simulator::SetSourceWord(GateId source, uint64_t word) {
+  const Gate& g = nl_->gate(source);
+  assert(IsSourceOp(g.op));
+  values_[g.out] = word;
+}
+
+void Simulator::SetInputWords(std::span<const uint64_t> words) {
+  assert(words.size() == nl_->inputs().size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    SetSourceWord(nl_->inputs()[i], words[i]);
+  }
+}
+
+void Simulator::SetRandomInputs(Rng& rng) {
+  for (GateId g : nl_->inputs()) SetSourceWord(g, rng.NextWord());
+}
+
+void Simulator::SetKeyBits(std::span<const uint8_t> bits) {
+  assert(bits.size() == key_inputs_.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    SetSourceWord(key_inputs_[i], bits[i] ? ~0ULL : 0ULL);
+  }
+}
+
+void Simulator::Run() {
+  uint64_t fanin_words[4];
+  for (GateId g : topo_) {
+    const Gate& gate = nl_->gate(g);
+    switch (gate.op) {
+      case GateOp::kInput:
+      case GateOp::kKeyIn:
+      case GateOp::kOutput:
+      case GateOp::kDeleted:
+        continue;
+      default:
+        break;
+    }
+    const size_t n = gate.fanins.size();
+    for (size_t i = 0; i < n; ++i) fanin_words[i] = values_[gate.fanins[i]];
+    values_[gate.out] =
+        EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
+  }
+}
+
+uint64_t Simulator::OutputWord(size_t po_index) const {
+  const Gate& po = nl_->gate(nl_->outputs()[po_index]);
+  return values_[po.fanins[0]];
+}
+
+namespace {
+
+// Shared driver for the two estimators: runs `words` simulation words and
+// folds per-net statistics via `fold(net, word)`.
+template <typename Fold>
+void SweepRandomPatterns(const Netlist& nl, uint64_t patterns, uint64_t seed,
+                         std::span<const uint8_t> key_bits, Fold&& fold) {
+  Simulator sim(nl);
+  Rng rng(seed);
+  if (!key_bits.empty()) sim.SetKeyBits(key_bits);
+  const uint64_t words = (patterns + 63) / 64;
+  for (uint64_t w = 0; w < words; ++w) {
+    sim.SetRandomInputs(rng);
+    sim.Run();
+    for (NetId n = 0; n < nl.NumNets(); ++n) fold(n, sim.NetWord(n));
+  }
+}
+
+}  // namespace
+
+std::vector<double> EstimateToggleRates(const Netlist& nl, uint64_t patterns,
+                                        uint64_t seed,
+                                        std::span<const uint8_t> key_bits) {
+  std::vector<uint64_t> toggles(nl.NumNets(), 0);
+  SweepRandomPatterns(nl, patterns, seed, key_bits,
+                      [&](NetId n, uint64_t word) {
+                        // Adjacent lanes of a random word are independent
+                        // random patterns; count lane-to-lane flips over the
+                        // 63 lane pairs.
+                        toggles[n] += std::popcount(
+                            (word ^ (word >> 1)) & 0x7fffffffffffffffULL);
+                      });
+  const uint64_t total_pairs = ((patterns + 63) / 64) * 63;
+  std::vector<double> rates(nl.NumNets(), 0.0);
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    rates[n] = total_pairs == 0 ? 0.0
+                                : static_cast<double>(toggles[n]) /
+                                      static_cast<double>(total_pairs);
+  }
+  return rates;
+}
+
+std::vector<double> EstimateSignalProbabilities(const Netlist& nl,
+                                                uint64_t patterns,
+                                                uint64_t seed) {
+  std::vector<uint64_t> ones(nl.NumNets(), 0);
+  SweepRandomPatterns(nl, patterns, seed, {},
+                      [&](NetId n, uint64_t word) {
+                        ones[n] += std::popcount(word);
+                      });
+  const uint64_t total = ((patterns + 63) / 64) * 64;
+  std::vector<double> probs(nl.NumNets(), 0.0);
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    probs[n] = static_cast<double>(ones[n]) / static_cast<double>(total);
+  }
+  return probs;
+}
+
+}  // namespace splitlock

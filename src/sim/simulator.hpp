@@ -1,0 +1,68 @@
+// 64-bit parallel-pattern logic simulation.
+//
+// One Run() evaluates 64 input patterns at once (one bit-lane each). This is
+// the workhorse behind HD/OER estimation, switching-activity extraction for
+// the power model, bias profiling for fault selection, and fault simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock {
+
+class Simulator {
+ public:
+  // Captures the netlist's topological order; the netlist must outlive the
+  // simulator and must not change structurally while in use.
+  explicit Simulator(const Netlist& nl);
+
+  // Assigns a 64-pattern word to the net driven by a source gate (primary
+  // input or key input).
+  void SetSourceWord(GateId source, uint64_t word);
+
+  // Assigns words to all primary inputs, in inputs() order.
+  void SetInputWords(std::span<const uint64_t> words);
+
+  // Draws uniform random words for all primary inputs.
+  void SetRandomInputs(Rng& rng);
+
+  // Binds key-input gates to constant 0/1 lanes, in KeyInputs() order.
+  void SetKeyBits(std::span<const uint8_t> bits);
+
+  // Evaluates all gates in topological order. Source nets keep their
+  // assigned words; TIE/const gates produce their constants.
+  void Run();
+
+  uint64_t NetWord(NetId net) const { return values_[net]; }
+
+  // Word observed by primary output `po_index` (outputs() order).
+  uint64_t OutputWord(size_t po_index) const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<GateId> topo_;
+  std::vector<GateId> key_inputs_;
+  std::vector<uint64_t> values_;  // indexed by NetId
+};
+
+// Per-net toggle rate (fraction of adjacent random-pattern pairs on which
+// the net's value flips), estimated over `patterns` random patterns. Used by
+// the dynamic-power model. Key inputs are bound to `key_bits` (may be empty
+// when the netlist has no key inputs).
+std::vector<double> EstimateToggleRates(const Netlist& nl, uint64_t patterns,
+                                        uint64_t seed,
+                                        std::span<const uint8_t> key_bits = {});
+
+// Per-net probability of logic 1 over `patterns` random patterns. Used to
+// find strongly biased nets for fault-injection locking.
+std::vector<double> EstimateSignalProbabilities(const Netlist& nl,
+                                                uint64_t patterns,
+                                                uint64_t seed);
+
+}  // namespace splitlock

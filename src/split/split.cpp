@@ -1,0 +1,86 @@
+#include "split/split.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace splitlock::split {
+namespace {
+
+// True when the connection uses any metal above the split layer.
+bool ConnBroken(const phys::ConnRoute& conn, int split_layer) {
+  for (int l : conn.hop_layers) {
+    if (l > split_layer) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FeolView SplitLayout(const phys::Layout& layout, int split_layer) {
+  const Netlist& nl = *layout.netlist;
+  FeolView feol;
+  feol.netlist = &nl;
+  feol.layout = &layout;
+  feol.split_layer = split_layer;
+  feol.net_broken.assign(nl.NumNets(), 0);
+
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const phys::NetRoute& route = layout.routes[n];
+    if (!route.routed) continue;
+    DriverStub driver_stub;
+    driver_stub.net = n;
+    driver_stub.driver = nl.DriverOf(n);
+
+    for (const phys::ConnRoute& conn : route.conns) {
+      if (!ConnBroken(conn, split_layer)) continue;
+      feol.net_broken[n] = 1;
+
+      // Driver side: walk hops forward while they stay in the FEOL; the
+      // ascent is the first point whose outgoing hop goes above the split.
+      size_t k = 0;
+      while (k < conn.hop_layers.size() &&
+             conn.hop_layers[k] <= split_layer) {
+        ++k;
+      }
+      const Point ascent = conn.hop_points[k];
+      if (std::find_if(driver_stub.ascents.begin(), driver_stub.ascents.end(),
+                       [&](const Point& p) { return p == ascent; }) ==
+          driver_stub.ascents.end()) {
+        driver_stub.ascents.push_back(ascent);
+      }
+
+      // Sink side: walk hops backward while they stay in the FEOL; the
+      // descent is the earliest point reachable from the sink pin below the
+      // split. The far end of that visible fragment is the direction hint.
+      size_t j = conn.hop_layers.size();
+      while (j > 0 && conn.hop_layers[j - 1] <= split_layer) {
+        --j;
+      }
+      SinkStub stub;
+      stub.sink = conn.sink;
+      stub.position = conn.hop_points[j];
+      stub.hint_toward = conn.hop_points.back();
+      stub.true_net = n;
+      feol.sink_stubs.push_back(stub);
+    }
+    if (feol.net_broken[n] != 0) {
+      feol.driver_stubs.push_back(std::move(driver_stub));
+    }
+  }
+  return feol;
+}
+
+Netlist BuildRecoveredNetlist(const FeolView& feol,
+                              const Assignment& assignment) {
+  assert(assignment.size() == feol.sink_stubs.size());
+  Netlist recovered = *feol.netlist;  // copy; ids preserved
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const NetId proposed = assignment[i];
+    if (proposed == kNullId) continue;
+    const Pin& pin = feol.sink_stubs[i].sink;
+    recovered.ReplaceFanin(pin.gate, pin.index, proposed);
+  }
+  return recovered;
+}
+
+}  // namespace splitlock::split

@@ -1,0 +1,70 @@
+// Splitting a routed layout into FEOL view and BEOL secret.
+//
+// This realizes the paper's split procedure G : C(x) -> {C(x1,x2), λ(x2)}:
+// everything at or below the split layer (cells, wires, via stubs) is the
+// FEOL handed to the untrusted foundry; connectivity completed above the
+// split layer is the BEOL secret λ(x2). A connection is *broken* when its
+// route uses any metal above the split layer; the attacker then sees only
+// where the driver-side FEOL fragment ascends (the driver stub) and where
+// the sink-side fragment comes down (the sink stub), plus the direction the
+// visible fragment was heading — the exact hint set proximity attacks feed
+// on. For lifted key-nets both stubs sit directly on the cell pins and no
+// FEOL wiring exists at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "phys/layout.hpp"
+#include "util/geom.hpp"
+
+namespace splitlock::split {
+
+// One missing sink connection as seen from the FEOL.
+struct SinkStub {
+  Pin sink;            // the open input pin
+  Point position;      // where the sink-side FEOL fragment ends
+  Point hint_toward;   // far end of the visible sink fragment (== position
+                       // when no FEOL wiring exists, e.g. key-gate pins)
+  NetId true_net = kNullId;  // ground truth (not for attacker use)
+};
+
+// One broken net's driver-side information.
+struct DriverStub {
+  NetId net = kNullId;
+  GateId driver = kNullId;
+  // Ascent points: locations where the driver-side FEOL fragments rise
+  // above the split layer (one per broken connection; duplicates merged).
+  std::vector<Point> ascents;
+};
+
+// The FEOL view: everything the untrusted foundry learns. The referenced
+// netlist/layout provide cell identities, placements and intact
+// connectivity; the broken connections' pairing is withheld (that pairing
+// *is* the BEOL secret, retained in SinkStub::true_net / the netlist for
+// scoring only).
+struct FeolView {
+  const Netlist* netlist = nullptr;
+  const phys::Layout* layout = nullptr;
+  int split_layer = 4;
+
+  std::vector<uint8_t> net_broken;       // indexed by NetId
+  std::vector<DriverStub> driver_stubs;  // one per broken net
+  std::vector<SinkStub> sink_stubs;      // one per broken connection
+};
+
+// Splits at `split_layer` (FEOL keeps metals <= split_layer).
+FeolView SplitLayout(const phys::Layout& layout, int split_layer);
+
+// The attacker's proposal: a driver net for every sink stub (kNullId =
+// left unconnected). Indexed like FeolView::sink_stubs.
+using Assignment = std::vector<NetId>;
+
+// Rebuilds a full netlist from the FEOL view plus a proposed assignment:
+// every broken sink pin is rewired to the proposed driver net. Used to
+// score HD/OER/PNR of an attack result.
+Netlist BuildRecoveredNetlist(const FeolView& feol,
+                              const Assignment& assignment);
+
+}  // namespace splitlock::split

@@ -1,0 +1,40 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace splitlock {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? fallback : parsed;
+}
+
+uint64_t EnvUint(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end == v) ? fallback : static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+double ReproScale() {
+  return std::clamp(EnvDouble("REPRO_SCALE", 0.25), 0.01, 1.0);
+}
+
+uint64_t ReproPatterns() {
+  return std::max<uint64_t>(64, EnvUint("REPRO_PATTERNS", 100000));
+}
+
+uint64_t ReproGuesses() {
+  return std::max<uint64_t>(64, EnvUint("REPRO_GUESSES", 100000));
+}
+
+}  // namespace splitlock

@@ -1,0 +1,25 @@
+// Environment knobs controlling experiment scale.
+//
+// The paper ran 5-18h jobs on a 128-core Xeon; the default configuration here
+// scales the ITC'99 design sizes and pattern counts down so the full table
+// suite regenerates in minutes. Setting REPRO_SCALE=1.0 restores the
+// published gate counts.
+#pragma once
+
+#include <cstdint>
+
+namespace splitlock {
+
+// Multiplier applied to ITC'99 synthetic gate counts (env REPRO_SCALE,
+// default 0.25, clamped to [0.01, 1.0]).
+double ReproScale();
+
+// Number of random patterns for HD/OER estimation (env REPRO_PATTERNS,
+// default 100000; the paper used 1M).
+uint64_t ReproPatterns();
+
+// Number of random key guesses for the ideal-attack experiment
+// (env REPRO_GUESSES, default 100000; the paper used 1M).
+uint64_t ReproGuesses();
+
+}  // namespace splitlock

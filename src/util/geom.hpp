@@ -1,0 +1,56 @@
+// Planar geometry primitives shared by placement, routing, and attacks.
+//
+// Coordinates are in micrometers (um) throughout the physical-design stack.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace splitlock {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double ManhattanDistance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Axis-aligned rectangle; lo is bottom-left, hi is top-right.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  double Width() const { return hi.x - lo.x; }
+  double Height() const { return hi.y - lo.y; }
+  double Area() const { return Width() * Height(); }
+  double HalfPerimeter() const { return Width() + Height(); }
+
+  bool Contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  // Grow the rectangle to include p.
+  void Expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  static Rect Around(const Point& p) { return Rect{p, p}; }
+};
+
+}  // namespace splitlock

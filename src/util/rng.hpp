@@ -1,0 +1,70 @@
+// Deterministic random number generation for all randomized stages.
+//
+// Every randomized algorithm in the library takes an explicit seed (or an
+// Rng&) so experiments are reproducible run-to-run and machine-to-machine.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace splitlock {
+
+// Thin wrapper over std::mt19937_64 with the handful of draw shapes the
+// library needs. Copyable so callers can fork independent streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  bool NextBool() { return (engine_() & 1u) != 0; }
+
+  // Bernoulli draw with probability p of true.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // 64 independent uniform bits (one parallel-simulation word).
+  uint64_t NextWord() { return engine_(); }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[NextUint(i)]);
+    }
+  }
+
+  // Draw an index according to non-negative weights (at least one positive).
+  size_t NextWeighted(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Derive an independent child stream; advances this stream.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace splitlock

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/metrics.hpp"
+
+namespace splitlock {
+namespace {
+
+constexpr const char* kC17Bench = R"(# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+
+// Round-trip property over generated circuits.
+class BenchRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BenchRoundTrip, WriteReadPreservesFunction) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 14;
+  spec.num_outputs = 7;
+  spec.num_gates = 200;
+  spec.seed = GetParam();
+  const Netlist original = circuits::GenerateCircuit(spec);
+  const Netlist reparsed = ReadBench(WriteBench(original), "rt");
+  EXPECT_EQ(reparsed.Validate(), "");
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  EXPECT_TRUE(RandomPatternsAgree(original, reparsed, 512, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BenchRoundTrip,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(BenchIo, ParsesC17) {
+  const Netlist nl = ReadBench(kC17Bench, "c17");
+  EXPECT_EQ(nl.Validate(), "");
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.NumLogicGates(), 6u);
+}
+
+TEST(BenchIo, ParsedC17MatchesEmbedded) {
+  const Netlist parsed = ReadBench(kC17Bench, "c17");
+  const Netlist embedded = circuits::MakeC17();
+  EXPECT_TRUE(RandomPatternsAgree(embedded, parsed, 64, 1));
+}
+
+TEST(BenchIo, RoundTripPreservesFunction) {
+  const Netlist original = circuits::MakeC17();
+  const std::string text = WriteBench(original);
+  const Netlist reparsed = ReadBench(text, "c17rt");
+  EXPECT_EQ(reparsed.Validate(), "");
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  EXPECT_TRUE(RandomPatternsAgree(original, reparsed, 64, 2));
+}
+
+TEST(BenchIo, OutOfOrderStatementsResolve) {
+  const Netlist nl = ReadBench(
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = AND(a, a2)\nINPUT(a2)\n");
+  EXPECT_EQ(nl.Validate(), "");
+  EXPECT_EQ(nl.NumLogicGates(), 2u);
+}
+
+TEST(BenchIo, SupportsExtendedOps) {
+  const Netlist nl = ReadBench(
+      "INPUT(a)\nOUTPUT(y)\nk = KEYIN()\nhi = TIEHI()\n"
+      "x = XOR(a, k)\ny = MUX(hi, a, x)\n");
+  EXPECT_EQ(nl.Validate(), "");
+  EXPECT_EQ(nl.KeyInputs().size(), 1u);
+}
+
+TEST(BenchIo, CommentsAndBlanksIgnored) {
+  const Netlist nl = ReadBench(
+      "# header\n\nINPUT(a) # trailing\n  \nOUTPUT(y)\ny = BUF(a)\n");
+  EXPECT_EQ(nl.Validate(), "");
+}
+
+TEST(BenchIo, RejectsUnknownOp) {
+  EXPECT_THROW(ReadBench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsUndefinedFanin) {
+  EXPECT_THROW(ReadBench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsDuplicateDefinition) {
+  EXPECT_THROW(
+      ReadBench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, RejectsUndefinedOutput) {
+  EXPECT_THROW(ReadBench("INPUT(a)\nOUTPUT(ghost)\n"), std::runtime_error);
+}
+
+TEST(BenchIo, RejectsCombinationalCycle) {
+  EXPECT_THROW(ReadBench("INPUT(a)\nOUTPUT(y)\n"
+                         "p = AND(a, q)\nq = AND(a, p)\ny = BUF(p)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, DffReadAsFfCut) {
+  // s27-like shape: 3 flops become 3 pseudo-PIs and 3 pseudo-POs.
+  const Netlist nl = ReadBench(
+      "INPUT(a)\nOUTPUT(y)\n"
+      "q1 = DFF(d1)\nq2 = DFF(d2)\nq3 = DFF(d3)\n"
+      "d1 = AND(a, q2)\nd2 = OR(q1, q3)\nd3 = NOT(q2)\n"
+      "y = NAND(q1, a)\n");
+  EXPECT_EQ(nl.Validate(), "");
+  EXPECT_EQ(nl.inputs().size(), 4u);   // a + q1..q3
+  EXPECT_EQ(nl.outputs().size(), 4u);  // y + 3 pseudo-POs
+  EXPECT_EQ(nl.NumLogicGates(), 4u);   // the combinational core only
+}
+
+TEST(BenchIo, DffUndefinedDNetRejected) {
+  EXPECT_THROW(ReadBench("INPUT(a)\nOUTPUT(a)\nq = DFF(ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, FfCutKeepsCombinationalCoreFunction) {
+  // The FF-cut core treats flop outputs as free inputs; the logic between
+  // them must be preserved verbatim.
+  const Netlist nl = ReadBench(
+      "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = NOT(a)\ny = AND(a, q)\n");
+  Netlist expected("exp");
+  const NetId a = expected.AddInput("a");
+  const NetId q = expected.AddInput("q");
+  const NetId y = expected.AddGate(GateOp::kAnd, {a, q});
+  const NetId d = expected.AddGate(GateOp::kInv, {a});
+  expected.AddOutput(y, "y");
+  expected.AddOutput(d, "q__ff_d");
+  EXPECT_TRUE(RandomPatternsAgree(expected, nl, 256, 1));
+}
+
+TEST(BenchIo, KeyedNetlistRoundTrips) {
+  const Netlist nl = ReadBench(
+      "INPUT(a)\nOUTPUT(y)\nk0 = KEYIN()\ny = XNOR(a, k0)\n");
+  const Netlist rt = ReadBench(WriteBench(nl), "rt");
+  EXPECT_EQ(rt.KeyInputs().size(), 1u);
+  const std::vector<uint8_t> key = {1};
+  EXPECT_TRUE(RandomPatternsAgree(nl, rt, 64, 3, key, key));
+}
+
+}  // namespace
+}  // namespace splitlock

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/random_circuit.hpp"
+#include "defense/defenses.hpp"
+#include "sim/metrics.hpp"
+
+namespace splitlock::defense {
+namespace {
+
+Netlist TestCircuit(uint64_t seed) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 12;
+  spec.num_gates = 700;
+  spec.seed = seed;
+  return circuits::GenerateCircuit(spec);
+}
+
+core::FlowOptions Opts(uint64_t seed) {
+  core::FlowOptions opts;
+  opts.seed = seed;
+  opts.split_layer = 4;
+  opts.placer_moves_per_cell = 25;
+  return opts;
+}
+
+TEST(RoutingPerturbation, ProducesValidFeol) {
+  const Netlist original = TestCircuit(1);
+  const DefenseResult r = ApplyRoutingPerturbation(original, Opts(1));
+  EXPECT_GT(r.feol.sink_stubs.size(), 0u);
+  EXPECT_EQ(r.feol.netlist->Validate(), "");
+  EXPECT_EQ(r.reference.get(), nullptr);  // function unchanged
+}
+
+TEST(RoutingPerturbation, DegradesAttackVsUndefended) {
+  const Netlist original = TestCircuit(2);
+  // Undefended layout = perturbation with fraction 0.
+  RoutingPerturbationOptions none;
+  none.perturb_fraction = 0.0;
+  RoutingPerturbationOptions strong;
+  strong.perturb_fraction = 0.9;
+  strong.max_displacement_um = 40.0;
+  const DefenseResult undefended =
+      ApplyRoutingPerturbation(original, Opts(2), none);
+  const DefenseResult defended =
+      ApplyRoutingPerturbation(original, Opts(2), strong);
+  const auto attack_ccr = [](const DefenseResult& d) {
+    const attack::ProximityResult r = attack::RunProximityAttack(d.feol);
+    return attack::ComputeCcr(d.feol, r.assignment).regular_ccr_percent;
+  };
+  EXPECT_LT(attack_ccr(defended), attack_ccr(undefended));
+}
+
+TEST(WireLifting, LiftedNetsLoseFeolHints) {
+  const Netlist original = TestCircuit(3);
+  WireLiftingOptions wopts;
+  wopts.lift_fraction = 0.30;
+  const DefenseResult r =
+      ApplyConcertedWireLifting(original, Opts(3), wopts);
+  // Lifting must break many more connections than the undefended split.
+  WireLiftingOptions none;
+  none.lift_fraction = 0.0;
+  const DefenseResult base =
+      ApplyConcertedWireLifting(original, Opts(3), none);
+  EXPECT_GT(r.feol.sink_stubs.size(), base.feol.sink_stubs.size());
+}
+
+TEST(WireLifting, FunctionUnchanged) {
+  const Netlist original = TestCircuit(4);
+  const DefenseResult r = ApplyConcertedWireLifting(original, Opts(4));
+  // Truth assignment reproduces the original function.
+  split::Assignment truth(r.feol.sink_stubs.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = r.feol.sink_stubs[i].true_net;
+  }
+  const Netlist recovered = split::BuildRecoveredNetlist(r.feol, truth);
+  EXPECT_TRUE(RandomPatternsAgree(r.Reference(), recovered, 1024, 4));
+}
+
+TEST(BeolRestore, DecoyDiffersFromReference) {
+  const Netlist original = TestCircuit(5);
+  const DefenseResult r = ApplyBeolRestore(original, Opts(5));
+  ASSERT_NE(r.reference.get(), nullptr);
+  // The FEOL netlist (decoy) must NOT compute the reference function.
+  EXPECT_FALSE(
+      RandomPatternsAgree(*r.reference, *r.feol.netlist, 2048, 5));
+}
+
+TEST(BeolRestore, TruthAssignmentRestoresFunction) {
+  const Netlist original = TestCircuit(6);
+  const DefenseResult r = ApplyBeolRestore(original, Opts(6));
+  split::Assignment truth(r.feol.sink_stubs.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = r.feol.sink_stubs[i].true_net;
+  }
+  const Netlist recovered = split::BuildRecoveredNetlist(r.feol, truth);
+  EXPECT_EQ(recovered.Validate(), "");
+  EXPECT_TRUE(RandomPatternsAgree(r.Reference(), recovered, 2048, 6));
+}
+
+TEST(BeolRestore, AttackRecoversWrongFunction) {
+  const Netlist original = TestCircuit(7);
+  const DefenseResult r = ApplyBeolRestore(original, Opts(7));
+  const attack::ProximityResult pr = attack::RunProximityAttack(r.feol);
+  const Netlist recovered =
+      split::BuildRecoveredNetlist(r.feol, pr.assignment);
+  const FunctionalDiff d =
+      CompareFunctional(r.Reference(), recovered, 4096, 7);
+  EXPECT_GT(d.oer_percent, 50.0);
+}
+
+TEST(AllDefenses, NoKeyMachineryInvolved) {
+  const Netlist original = TestCircuit(8);
+  for (int which = 0; which < 3; ++which) {
+    DefenseResult r;
+    switch (which) {
+      case 0:
+        r = ApplyRoutingPerturbation(original, Opts(8));
+        break;
+      case 1:
+        r = ApplyConcertedWireLifting(original, Opts(8));
+        break;
+      default:
+        r = ApplyBeolRestore(original, Opts(8));
+        break;
+    }
+    EXPECT_TRUE(r.feol.netlist->KeyInputs().empty());
+    for (const split::SinkStub& stub : r.feol.sink_stubs) {
+      EXPECT_FALSE(attack::IsKeyGateSink(r.feol, stub));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splitlock::defense

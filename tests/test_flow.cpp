@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/random_circuit.hpp"
+#include "core/flow.hpp"
+#include "lec/lec.hpp"
+#include "lock/key.hpp"
+#include "phys/router.hpp"
+#include "sim/metrics.hpp"
+
+namespace splitlock::core {
+namespace {
+
+Netlist TestCircuit(uint64_t seed, size_t gates = 800) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 28;
+  spec.num_outputs = 14;
+  spec.num_gates = gates;
+  spec.seed = seed;
+  spec.bias_cone_fraction = 0.15;
+  return circuits::GenerateCircuit(spec);
+}
+
+FlowOptions SmallOptions(uint64_t seed) {
+  FlowOptions opts;
+  opts.key_bits = 32;
+  opts.seed = seed;
+  opts.split_layer = 4;
+  opts.placer_moves_per_cell = 25;
+  return opts;
+}
+
+TEST(SecureFlow, EndToEndProducesAllArtifacts) {
+  const Netlist original = TestCircuit(1);
+  const FlowResult flow = RunSecureFlow(original, SmallOptions(1));
+  // Lock stage.
+  EXPECT_EQ(flow.lock.key.size(), 32u);
+  EXPECT_TRUE(flow.lock.lec_equivalent);
+  // Physical stage.
+  ASSERT_NE(flow.physical.netlist, nullptr);
+  ASSERT_NE(flow.physical.layout, nullptr);
+  EXPECT_TRUE(flow.physical.netlist->KeyInputs().empty());  // realized
+  EXPECT_GT(flow.physical.cost.die_area_um2, 0.0);
+  EXPECT_GT(flow.physical.cost.power_uw, 0.0);
+  EXPECT_GT(flow.physical.cost.critical_path_ps, 0.0);
+  EXPECT_EQ(flow.physical.lift.key_nets_lifted, 32u);
+  // Split stage.
+  EXPECT_EQ(flow.feol.split_layer, 4);
+  EXPECT_GT(flow.feol.sink_stubs.size(), 0u);
+  EXPECT_EQ(flow.feol.netlist, flow.physical.netlist.get());
+}
+
+TEST(SecureFlow, RealizedNetlistComputesOriginalFunction) {
+  const Netlist original = TestCircuit(2);
+  const FlowResult flow = RunSecureFlow(original, SmallOptions(2));
+  EXPECT_TRUE(
+      RandomPatternsAgree(original, *flow.physical.netlist, 2048, 2));
+}
+
+TEST(SecureFlow, AllKeyNetsBrokenAtSplit) {
+  const Netlist original = TestCircuit(3);
+  const FlowResult flow = RunSecureFlow(original, SmallOptions(3));
+  for (NetId kn : phys::KeyNetsOf(*flow.physical.netlist)) {
+    EXPECT_TRUE(flow.feol.net_broken[kn]);
+  }
+}
+
+TEST(SecureFlow, LiftLayerDefaultsToSplitPlusOne) {
+  FlowOptions opts = SmallOptions(4);
+  opts.split_layer = 6;
+  EXPECT_EQ(opts.EffectiveLiftLayer(), 7);
+  opts.lift_layer = 5;
+  EXPECT_EQ(opts.EffectiveLiftLayer(), 5);
+}
+
+TEST(SecureFlow, CostDeltasAgainstBaseline) {
+  const Netlist original = TestCircuit(5, 1000);
+  FlowOptions opts = SmallOptions(5);
+  // Unprotected baseline.
+  const PhysicalBundle baseline = BuildPhysical(original, opts);
+  const FlowResult secure = RunSecureFlow(original, opts);
+  const CostDelta delta = CompareCost(baseline.cost, secure.physical.cost);
+  // Sanity: deltas are finite percentages in a plausible band.
+  EXPECT_GT(delta.area_percent, -60.0);
+  EXPECT_LT(delta.area_percent, 60.0);
+  EXPECT_GT(delta.power_percent, -60.0);
+  EXPECT_LT(delta.power_percent, 150.0);
+  EXPECT_GT(delta.timing_percent, -60.0);
+  EXPECT_LT(delta.timing_percent, 150.0);
+}
+
+TEST(SecureFlow, PreliftReferenceFlow) {
+  // Prelift = locked netlist through a *regular* PD flow: TIE cells
+  // annealed (not randomized), no lifting.
+  const Netlist original = TestCircuit(6);
+  FlowOptions opts = SmallOptions(6);
+  const lock::AtpgLockResult lock = lock::LockWithAtpg(original, [&] {
+    lock::AtpgLockOptions lo = opts.lock;
+    lo.key_bits = opts.key_bits;
+    lo.seed = opts.seed;
+    return lo;
+  }());
+  const Netlist realized = lock::RealizeKeyAsTies(lock.locked, lock.key);
+  FlowOptions prelift = opts;
+  prelift.randomize_tie_placement = false;
+  prelift.lift_key_nets = false;
+  const PhysicalBundle bundle = BuildPhysical(realized, prelift);
+  EXPECT_EQ(bundle.lift.key_nets_lifted, 0u);
+  // Key-nets are routed like regular nets in the prelift flow.
+  size_t routed_key_nets = 0;
+  for (NetId kn : phys::KeyNetsOf(*bundle.netlist)) {
+    if (bundle.layout->routes[kn].routed) ++routed_key_nets;
+  }
+  EXPECT_EQ(routed_key_nets, opts.key_bits);
+}
+
+TEST(SecureFlow, DeterministicForFixedSeed) {
+  const Netlist original = TestCircuit(7);
+  const FlowResult a = RunSecureFlow(original, SmallOptions(7));
+  const FlowResult b = RunSecureFlow(original, SmallOptions(7));
+  EXPECT_EQ(a.lock.key, b.lock.key);
+  EXPECT_EQ(a.feol.sink_stubs.size(), b.feol.sink_stubs.size());
+  EXPECT_DOUBLE_EQ(a.physical.cost.die_area_um2,
+                   b.physical.cost.die_area_um2);
+}
+
+TEST(SecureFlow, EndToEndSecurityStory) {
+  // The headline property, end to end: attack the secure layout and check
+  // the key stays hidden while OER stays total.
+  const Netlist original = TestCircuit(8);
+  const FlowResult flow = RunSecureFlow(original, SmallOptions(8));
+  const attack::ProximityResult pr =
+      attack::RunProximityAttack(flow.feol, {});
+  const attack::AttackScore score =
+      attack::ScoreAttack(flow.feol, pr.assignment, 4096, 8);
+  EXPECT_LT(score.ccr.key_physical_ccr_percent, 25.0);
+  EXPECT_GT(score.functional.oer_percent, 50.0);
+}
+
+TEST(SecureFlow, StageTimesPopulated) {
+  const Netlist original = TestCircuit(9, 400);
+  const FlowResult flow = RunSecureFlow(original, SmallOptions(9));
+  EXPECT_GT(flow.times.lock_s, 0.0);
+  EXPECT_GT(flow.times.place_s, 0.0);
+}
+
+}  // namespace
+}  // namespace splitlock::core

@@ -1,0 +1,117 @@
+// End-to-end integration through the serialization boundary: a locked
+// design written to .bench, reloaded, realized, laid out, split and
+// attacked must behave identically to the in-memory pipeline. This is the
+// path a downstream user of the CLI exercises.
+#include <gtest/gtest.h>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/random_circuit.hpp"
+#include "core/flow.hpp"
+#include "lec/lec.hpp"
+#include "lock/atpg_lock.hpp"
+#include "lock/key.hpp"
+#include "netlist/bench_io.hpp"
+#include "phys/placer.hpp"
+#include "phys/router.hpp"
+#include "sim/metrics.hpp"
+#include "split/split.hpp"
+
+namespace splitlock {
+namespace {
+
+Netlist TestCircuit(uint64_t seed) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 10;
+  spec.num_gates = 500;
+  spec.seed = seed;
+  return circuits::GenerateCircuit(spec);
+}
+
+TEST(Roundtrip, LockedNetlistSurvivesSerialization) {
+  const Netlist original = TestCircuit(1);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = 1;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+
+  const std::string text = WriteBench(locked.locked.Compacted());
+  const Netlist reloaded = ReadBench(text, "reloaded");
+  EXPECT_EQ(reloaded.Validate(), "");
+  ASSERT_EQ(reloaded.KeyInputs().size(), locked.key.size());
+
+  // Key order is preserved through serialization (key inputs are written
+  // and re-read in insertion order), so the same key vector unlocks it.
+  const LecResult lec = CheckEquivalence(original, reloaded, {}, locked.key);
+  EXPECT_TRUE(lec.proven);
+  EXPECT_TRUE(lec.equivalent);
+}
+
+TEST(Roundtrip, ReloadedDesignIsAttackableIdentically) {
+  const Netlist original = TestCircuit(2);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = 2;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+
+  // Note: the serialized netlist loses gate *flags* (dont-touch, key-gate),
+  // which are design-tool state, not circuit function. Rebuild them the
+  // way the CLI does: key inputs and their sinks are re-identified
+  // structurally.
+  const std::string text = WriteBench(locked.locked.Compacted());
+  Netlist reloaded = ReadBench(text, "reloaded");
+  for (GateId k : reloaded.KeyInputs()) {
+    Gate& key_input = reloaded.gate(k);
+    key_input.flags |= kFlagTie | kFlagDontTouch;
+    for (const Pin& p : reloaded.net(key_input.out).sinks) {
+      reloaded.gate(p.gate).flags |= kFlagKeyGate | kFlagDontTouch;
+    }
+  }
+
+  const Netlist realized = lock::RealizeKeyAsTies(reloaded, locked.key);
+  phys::PlacerOptions popts;
+  popts.seed = 2;
+  popts.moves_per_cell = 15;
+  phys::Layout layout =
+      phys::PlaceDesign(realized, phys::Tech::Nangate45Like(), popts);
+  phys::RouterOptions ropts;
+  ropts.seed = 2;
+  phys::RouteDesign(layout, ropts);
+  Netlist mutable_realized = realized;  // layout references `realized`...
+  // (LiftKeyNets requires the same object; re-place on the mutable copy.)
+  layout = phys::PlaceDesign(mutable_realized, phys::Tech::Nangate45Like(),
+                             popts);
+  phys::RouteDesign(layout, ropts);
+  phys::LiftKeyNets(layout, mutable_realized, 5, 2);
+  const split::FeolView feol = split::SplitLayout(layout, 4);
+
+  // All key-nets broken; attack stays at guessing.
+  for (NetId kn : phys::KeyNetsOf(mutable_realized)) {
+    EXPECT_TRUE(feol.net_broken[kn]);
+  }
+  const attack::ProximityResult atk = attack::RunProximityAttack(feol);
+  const attack::CcrReport ccr = attack::ComputeCcr(feol, atk.assignment);
+  ASSERT_GT(ccr.key_connections, 0u);
+  EXPECT_LT(ccr.key_physical_ccr_percent, 25.0);
+}
+
+TEST(Roundtrip, RealizedTieNetlistSerializes) {
+  const Netlist original = TestCircuit(3);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 16;
+  opts.seed = 3;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+  const Netlist realized =
+      lock::RealizeKeyAsTies(locked.locked, locked.key).Compacted();
+  const Netlist reloaded = ReadBench(WriteBench(realized), "r");
+  EXPECT_EQ(reloaded.Validate(), "");
+  // TIE-realized designs compute the original function outright.
+  EXPECT_TRUE(RandomPatternsAgree(original, reloaded, 1024, 3));
+}
+
+}  // namespace
+}  // namespace splitlock

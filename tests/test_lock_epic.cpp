@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+#include "lec/lec.hpp"
+#include "lock/epic.hpp"
+#include "lock/key.hpp"
+#include "sim/metrics.hpp"
+
+namespace splitlock::lock {
+namespace {
+
+Netlist MidCircuit(uint64_t seed) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.num_gates = 250;
+  spec.seed = seed;
+  return circuits::GenerateCircuit(spec);
+}
+
+TEST(Epic, CorrectKeyPreservesFunction) {
+  const Netlist original = circuits::MakeC17();
+  Rng rng(1);
+  const EpicResult locked = LockWithEpic(original, 8, rng);
+  ASSERT_EQ(locked.key.size(), 8u);
+  ASSERT_EQ(locked.locked.KeyInputs().size(), 8u);
+  EXPECT_EQ(locked.locked.Validate(), "");
+  const LecResult lec =
+      CheckEquivalence(original, locked.locked, {}, locked.key);
+  EXPECT_TRUE(lec.proven);
+  EXPECT_TRUE(lec.equivalent);
+}
+
+TEST(Epic, WrongKeyBreaksFunction) {
+  const Netlist original = circuits::MakeC17();
+  Rng rng(2);
+  const EpicResult locked = LockWithEpic(original, 8, rng);
+  std::vector<uint8_t> wrong = locked.key;
+  for (uint8_t& b : wrong) b ^= 1;  // flip every bit
+  EXPECT_FALSE(
+      RandomPatternsAgree(original, locked.locked, 512, 3, {}, wrong));
+}
+
+TEST(Epic, KeyGatesAreFlaggedAndProtected) {
+  const Netlist original = circuits::MakeC17();
+  Rng rng(4);
+  const EpicResult locked = LockWithEpic(original, 4, rng);
+  size_t key_gates = 0;
+  for (GateId g = 0; g < locked.locked.NumGates(); ++g) {
+    const Gate& gate = locked.locked.gate(g);
+    if (gate.HasFlag(kFlagKeyGate)) {
+      ++key_gates;
+      EXPECT_TRUE(gate.HasFlag(kFlagDontTouch));
+      EXPECT_TRUE(gate.op == GateOp::kXor || gate.op == GateOp::kXnor);
+    }
+  }
+  EXPECT_EQ(key_gates, 4u);
+}
+
+TEST(Epic, GateTypeRevealsBitClassicWeakness) {
+  // The classic EPIC leak the paper's comparator avoids: XOR => bit 0,
+  // XNOR => bit 1. Document it by testing it.
+  const Netlist original = MidCircuit(7);
+  Rng rng(7);
+  const EpicResult locked = LockWithEpic(original, 32, rng);
+  const std::vector<GateId> keys = locked.locked.KeyInputs();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NetId key_net = locked.locked.gate(keys[i]).out;
+    ASSERT_EQ(locked.locked.net(key_net).sinks.size(), 1u);
+    const Gate& kg =
+        locked.locked.gate(locked.locked.net(key_net).sinks[0].gate);
+    const uint8_t implied = kg.op == GateOp::kXnor ? 1 : 0;
+    EXPECT_EQ(locked.key[i], implied);
+  }
+}
+
+TEST(ParityPadding, EvenBitsTransparent) {
+  Netlist nl = MidCircuit(9);
+  const Netlist original = nl;
+  std::vector<uint8_t> key;
+  Rng rng(9);
+  const size_t inserted = InsertParityPaddedKeyGates(nl, 10, rng, &key);
+  EXPECT_EQ(inserted, 10u);
+  ASSERT_EQ(key.size(), 10u);
+  ASSERT_EQ(nl.KeyInputs().size(), 10u);
+  EXPECT_TRUE(RandomPatternsAgree(original, nl, 1024, 10, {}, key));
+  const LecResult lec = CheckEquivalence(original, nl, {}, key);
+  EXPECT_TRUE(lec.equivalent);
+}
+
+TEST(ParityPadding, OddBitsUseTriple) {
+  Netlist nl = MidCircuit(11);
+  const Netlist original = nl;
+  std::vector<uint8_t> key;
+  Rng rng(11);
+  const size_t inserted = InsertParityPaddedKeyGates(nl, 7, rng, &key);
+  EXPECT_EQ(inserted, 7u);
+  EXPECT_TRUE(RandomPatternsAgree(original, nl, 1024, 12, {}, key));
+}
+
+TEST(ParityPadding, FlippingOneBitBreaksFunction) {
+  Netlist nl = MidCircuit(13);
+  const Netlist original = nl;
+  std::vector<uint8_t> key;
+  Rng rng(13);
+  InsertParityPaddedKeyGates(nl, 6, rng, &key);
+  std::vector<uint8_t> wrong = key;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(RandomPatternsAgree(original, nl, 2048, 14, {}, wrong));
+}
+
+TEST(ParityPadding, GateTypeDoesNotDetermineBit) {
+  // Across many chains, both XOR-with-1 and XNOR-with-0 must occur: the
+  // padded key-gate type must not imply the key bit the way classic EPIC
+  // does.
+  Netlist nl = MidCircuit(15);
+  std::vector<uint8_t> key;
+  Rng rng(15);
+  InsertParityPaddedKeyGates(nl, 64, rng, &key);
+  const std::vector<GateId> keys = nl.KeyInputs();
+  bool xor_with_1 = false;
+  bool xnor_with_0 = false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const NetId key_net = nl.gate(keys[i]).out;
+    const Gate& kg = nl.gate(nl.net(key_net).sinks[0].gate);
+    if (kg.op == GateOp::kXor && key[i] == 1) xor_with_1 = true;
+    if (kg.op == GateOp::kXnor && key[i] == 0) xnor_with_0 = true;
+  }
+  EXPECT_TRUE(xor_with_1);
+  EXPECT_TRUE(xnor_with_0);
+}
+
+TEST(KeyHelpers, RandomKeyRoughlyBalanced) {
+  Rng rng(17);
+  const std::vector<uint8_t> key = RandomKey(1024, rng);
+  const double ones = KeyOnesFraction(key);
+  EXPECT_NEAR(ones, 0.5, 0.06);
+}
+
+TEST(KeyHelpers, RealizeKeyAsTies) {
+  const Netlist original = circuits::MakeC17();
+  Rng rng(19);
+  const EpicResult locked = LockWithEpic(original, 6, rng);
+  const Netlist realized = RealizeKeyAsTies(locked.locked, locked.key);
+  EXPECT_TRUE(realized.KeyInputs().empty());
+  size_t hi = 0;
+  size_t lo = 0;
+  for (GateId g = 0; g < realized.NumGates(); ++g) {
+    const Gate& gate = realized.gate(g);
+    if (gate.HasFlag(kFlagTie) && gate.op == GateOp::kTieHi) ++hi;
+    if (gate.HasFlag(kFlagTie) && gate.op == GateOp::kTieLo) ++lo;
+  }
+  size_t key_ones = 0;
+  for (uint8_t b : locked.key) key_ones += b;
+  EXPECT_EQ(hi, key_ones);
+  EXPECT_EQ(lo, locked.key.size() - key_ones);
+  // Realized netlist computes the original function outright.
+  EXPECT_TRUE(RandomPatternsAgree(original, realized, 512, 20));
+}
+
+}  // namespace
+}  // namespace splitlock::lock

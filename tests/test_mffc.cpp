@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/libcell.hpp"
+#include "opt/mffc.hpp"
+
+namespace splitlock {
+namespace {
+
+bool Contains(const std::vector<GateId>& v, GateId g) {
+  return std::find(v.begin(), v.end(), g) != v.end();
+}
+
+TEST(Mffc, LinearChainWhollyContained) {
+  Netlist nl("chain");
+  const NetId a = nl.AddInput("a");
+  const NetId x1 = nl.AddGate(GateOp::kInv, {a});
+  const NetId x2 = nl.AddGate(GateOp::kBuf, {x1});
+  const NetId x3 = nl.AddGate(GateOp::kInv, {x2});
+  nl.AddOutput(x3, "y");
+  const std::vector<GateId> cone = MffcOf(nl, nl.DriverOf(x3));
+  EXPECT_EQ(cone.size(), 3u);
+  EXPECT_TRUE(Contains(cone, nl.DriverOf(x1)));
+  EXPECT_TRUE(Contains(cone, nl.DriverOf(x2)));
+  EXPECT_TRUE(Contains(cone, nl.DriverOf(x3)));
+}
+
+TEST(Mffc, SharedFanoutExcluded) {
+  Netlist nl("shared");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId shared = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId x = nl.AddGate(GateOp::kInv, {shared});
+  const NetId other = nl.AddGate(GateOp::kBuf, {shared});  // second fanout
+  nl.AddOutput(x, "y1");
+  nl.AddOutput(other, "y2");
+  const std::vector<GateId> cone = MffcOf(nl, nl.DriverOf(x));
+  // The shared AND escapes through `other`, so only the INV is in the cone.
+  EXPECT_EQ(cone.size(), 1u);
+  EXPECT_TRUE(Contains(cone, nl.DriverOf(x)));
+}
+
+TEST(Mffc, TreeWhollyContained) {
+  Netlist nl("tree");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId c = nl.AddInput("c");
+  const NetId d = nl.AddInput("d");
+  const NetId l = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId r = nl.AddGate(GateOp::kOr, {c, d});
+  const NetId root = nl.AddGate(GateOp::kNand, {l, r});
+  nl.AddOutput(root, "y");
+  const std::vector<GateId> cone = MffcOf(nl, nl.DriverOf(root));
+  EXPECT_EQ(cone.size(), 3u);
+}
+
+TEST(Mffc, MultiPinSameDriverCounted) {
+  // root uses the same net twice; the driver is still dereferenced fully.
+  Netlist nl("dup");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId x = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId root = nl.AddGate(GateOp::kXor, {x, x});
+  nl.AddOutput(root, "y");
+  const std::vector<GateId> cone = MffcOf(nl, nl.DriverOf(root));
+  EXPECT_EQ(cone.size(), 2u);
+  EXPECT_TRUE(Contains(cone, nl.DriverOf(x)));
+}
+
+TEST(Mffc, SourcesAndDontTouchExcluded) {
+  Netlist nl("dt");
+  const NetId a = nl.AddInput("a");
+  const NetId tie = nl.AddGate(GateOp::kTieHi, {});
+  const NetId locked = nl.AddGate(GateOp::kInv, {a});
+  nl.gate(nl.DriverOf(locked)).flags |= kFlagDontTouch;
+  const NetId root = nl.AddGate(GateOp::kAnd, {locked, tie});
+  nl.AddOutput(root, "y");
+  const std::vector<GateId> cone = MffcOf(nl, nl.DriverOf(root));
+  EXPECT_EQ(cone.size(), 1u);  // neither TIE nor don't-touch INV
+  // A don't-touch root has no cone at all.
+  EXPECT_TRUE(MffcOf(nl, nl.DriverOf(locked)).empty());
+}
+
+TEST(Mffc, AreaOfGatesMatchesLibrary) {
+  Netlist nl("area");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId x = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId root = nl.AddGate(GateOp::kInv, {x});
+  nl.AddOutput(root, "y");
+  const std::vector<GateId> cone = MffcOf(nl, nl.DriverOf(root));
+  Gate and2{GateOp::kAnd, {0, 1}, 2, "g", 0, 1};
+  Gate inv{GateOp::kInv, {0}, 1, "g", 0, 1};
+  EXPECT_DOUBLE_EQ(AreaOfGates(nl, cone),
+                   CellFor(and2).AreaUm2() + CellFor(inv).AreaUm2());
+}
+
+}  // namespace
+}  // namespace splitlock

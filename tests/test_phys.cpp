@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "circuits/random_circuit.hpp"
+#include "lock/atpg_lock.hpp"
+#include "lock/key.hpp"
+#include "netlist/libcell.hpp"
+#include "phys/placer.hpp"
+#include "phys/power.hpp"
+#include "phys/router.hpp"
+#include "phys/timing.hpp"
+#include "sim/simulator.hpp"
+
+namespace splitlock::phys {
+namespace {
+
+Netlist TestCircuit(uint64_t seed, size_t gates = 400) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 10;
+  spec.num_gates = gates;
+  spec.seed = seed;
+  return circuits::GenerateCircuit(spec);
+}
+
+// A small locked+realized netlist with TIE cells and key-gates.
+Netlist LockedRealized(uint64_t seed) {
+  const Netlist original = TestCircuit(seed, 500);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = seed;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult r = lock::LockWithAtpg(original, opts);
+  return lock::RealizeKeyAsTies(r.locked, r.key);
+}
+
+TEST(Placer, AllPhysicalCellsPlacedInsideDie) {
+  const Netlist nl = TestCircuit(1);
+  PlacerOptions opts;
+  opts.seed = 1;
+  opts.moves_per_cell = 20;
+  const Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), opts);
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    if (!IsPhysicalOp(nl.gate(g).op)) continue;
+    EXPECT_TRUE(layout.placed[g]);
+    EXPECT_TRUE(layout.die.Contains(layout.position[g]))
+        << "gate " << g << " outside die";
+  }
+}
+
+TEST(Placer, NoTwoCellsShareASlot) {
+  const Netlist nl = TestCircuit(2);
+  PlacerOptions opts;
+  opts.seed = 2;
+  opts.moves_per_cell = 20;
+  const Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), opts);
+  std::set<std::pair<double, double>> seen;
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    if (!IsPhysicalOp(nl.gate(g).op)) continue;
+    const auto key = std::make_pair(layout.position[g].x,
+                                    layout.position[g].y);
+    EXPECT_TRUE(seen.insert(key).second) << "slot collision at gate " << g;
+  }
+}
+
+TEST(Placer, AnnealingBeatsRandomPlacement) {
+  const Netlist nl = TestCircuit(3, 600);
+  PlacerOptions random_opts;
+  random_opts.seed = 3;
+  random_opts.moves_per_cell = 0;  // initial random placement only
+  const Layout random_layout =
+      PlaceDesign(nl, Tech::Nangate45Like(), random_opts);
+  PlacerOptions sa_opts;
+  sa_opts.seed = 3;
+  sa_opts.moves_per_cell = 60;
+  const Layout sa_layout = PlaceDesign(nl, Tech::Nangate45Like(), sa_opts);
+  EXPECT_LT(sa_layout.TotalHpwl(), 0.8 * random_layout.TotalHpwl());
+}
+
+TEST(Placer, IoPadsSitOnBoundary) {
+  const Netlist nl = TestCircuit(4);
+  PlacerOptions opts;
+  opts.seed = 4;
+  opts.moves_per_cell = 5;
+  const Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), opts);
+  for (GateId g : nl.inputs()) {
+    const Point p = layout.position[g];
+    const bool on_edge = p.x == layout.die.lo.x || p.x == layout.die.hi.x ||
+                         p.y == layout.die.lo.y || p.y == layout.die.hi.y;
+    EXPECT_TRUE(on_edge);
+  }
+}
+
+TEST(Placer, SecureModeFixesTieCells) {
+  const Netlist nl = LockedRealized(5);
+  PlacerOptions opts;
+  opts.seed = 5;
+  opts.moves_per_cell = 10;
+  opts.randomize_tie_cells = true;
+  const Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), opts);
+  size_t ties = 0;
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    if (nl.gate(g).HasFlag(kFlagTie)) {
+      EXPECT_TRUE(layout.fixed[g]);
+      EXPECT_TRUE(layout.placed[g]);
+      ++ties;
+    }
+  }
+  EXPECT_EQ(ties, 24u);
+}
+
+TEST(Placer, SecureTiePlacementIsScattered) {
+  // With randomized TIE cells, the mean TIE-to-keygate distance must be on
+  // the order of the die size, not a few sites.
+  const Netlist nl = LockedRealized(6);
+  PlacerOptions opts;
+  opts.seed = 6;
+  opts.moves_per_cell = 40;
+  opts.randomize_tie_cells = true;
+  const Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), opts);
+  double total = 0.0;
+  size_t count = 0;
+  for (NetId n : KeyNetsOf(nl)) {
+    const GateId tie = nl.DriverOf(n);
+    for (const Pin& p : nl.net(n).sinks) {
+      total += ManhattanDistance(layout.position[tie],
+                                 layout.position[p.gate]);
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  const double mean = total / count;
+  EXPECT_GT(mean, 0.15 * layout.die.HalfPerimeter() / 2.0);
+}
+
+TEST(Router, EveryConsumedNetRouted) {
+  const Netlist nl = TestCircuit(7);
+  PlacerOptions popts;
+  popts.seed = 7;
+  popts.moves_per_cell = 10;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 7;
+  RouteDesign(layout, ropts);
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId || net.sinks.empty()) continue;
+    EXPECT_TRUE(layout.routes[n].routed) << "net " << n;
+    EXPECT_EQ(layout.routes[n].conns.size(), net.sinks.size());
+  }
+}
+
+TEST(Router, SegmentsRespectLayerDirections) {
+  const Netlist nl = TestCircuit(8);
+  PlacerOptions popts;
+  popts.seed = 8;
+  popts.moves_per_cell = 10;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 8;
+  RouteDesign(layout, ropts);
+  for (const NetRoute& route : layout.routes) {
+    for (const ConnRoute& conn : route.conns) {
+      for (const Segment& s : conn.segments) {
+        const bool horizontal = s.a.y == s.b.y;
+        const bool vertical = s.a.x == s.b.x;
+        EXPECT_TRUE(horizontal || vertical);
+        if (horizontal && !vertical) {
+          EXPECT_TRUE(layout.tech.IsHorizontal(s.layer))
+              << "H segment on vertical layer M" << s.layer;
+        }
+        if (vertical && !horizontal) {
+          EXPECT_FALSE(layout.tech.IsHorizontal(s.layer))
+              << "V segment on horizontal layer M" << s.layer;
+        }
+      }
+    }
+  }
+}
+
+TEST(Router, LongNetsUseHigherLayers) {
+  const Netlist nl = TestCircuit(9, 900);
+  PlacerOptions popts;
+  popts.seed = 9;
+  popts.moves_per_cell = 30;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 9;
+  ropts.promote_probability = 0.0;
+  RouteDesign(layout, ropts);
+  double short_sum = 0.0;
+  double long_sum = 0.0;
+  size_t short_n = 0;
+  size_t long_n = 0;
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    if (!layout.routes[n].routed) continue;
+    const int max_layer = layout.routes[n].MaxLayer();
+    const double span = layout.NetHpwl(n);
+    if (max_layer <= 3) {
+      short_sum += span;
+      ++short_n;
+    } else if (max_layer >= 5) {
+      long_sum += span;
+      ++long_n;
+    }
+  }
+  ASSERT_GT(short_n, 0u);
+  ASSERT_GT(long_n, 0u);
+  EXPECT_LT(short_sum / short_n, long_sum / long_n);
+}
+
+TEST(Router, KeyNetsLiftedAboveSplit) {
+  Netlist nl = LockedRealized(10);
+  PlacerOptions popts;
+  popts.seed = 10;
+  popts.moves_per_cell = 10;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 10;
+  RouteDesign(layout, ropts);
+  const LiftStats stats = LiftKeyNets(layout, nl, 5, 10);
+  EXPECT_GT(stats.key_nets_lifted, 0u);
+  EXPECT_GT(stats.stacked_vias, 0u);
+  for (NetId n : KeyNetsOf(nl)) {
+    const NetRoute& route = layout.routes[n];
+    EXPECT_TRUE(route.routed);
+    for (const ConnRoute& conn : route.conns) {
+      for (const Segment& s : conn.segments) {
+        EXPECT_GE(s.layer, 5) << "key-net wiring below the lift layer";
+      }
+      // Stacked vias reach from the pin layer to the lift pair.
+      bool has_stack = false;
+      for (const ViaStack& v : conn.vias) {
+        if (v.from_layer == 1 && v.to_layer >= 5) has_stack = true;
+      }
+      if (!conn.segments.empty()) EXPECT_TRUE(has_stack);
+    }
+  }
+}
+
+TEST(Sta, DeeperLogicHasLongerCriticalPath) {
+  // INV chain: critical path grows with depth.
+  auto chain = [](int depth) {
+    Netlist nl("chain");
+    NetId cur = nl.AddInput("a");
+    for (int i = 0; i < depth; ++i) cur = nl.AddGate(GateOp::kInv, {cur});
+    nl.AddOutput(cur, "y");
+    return nl;
+  };
+  const Netlist shallow = chain(4);
+  const Netlist deep = chain(24);
+  PlacerOptions popts;
+  popts.moves_per_cell = 5;
+  Layout l1 = PlaceDesign(shallow, Tech::Nangate45Like(), popts);
+  Layout l2 = PlaceDesign(deep, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  RouteDesign(l1, ropts);
+  RouteDesign(l2, ropts);
+  const TimingReport t1 = RunSta(l1);
+  const TimingReport t2 = RunSta(l2);
+  EXPECT_GT(t2.critical_path_ps, t1.critical_path_ps * 3.0);
+}
+
+TEST(Sta, WireLoadIncreasesDelay) {
+  const Netlist nl = TestCircuit(11);
+  PlacerOptions popts;
+  popts.seed = 11;
+  popts.moves_per_cell = 30;
+  Layout placed = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 11;
+  Layout unrouted = placed;  // no routes: zero wire parasitics
+  RouteDesign(placed, ropts);
+  const double with_wires = RunSta(placed).critical_path_ps;
+  const double without_wires = RunSta(unrouted).critical_path_ps;
+  EXPECT_GT(with_wires, without_wires);
+}
+
+TEST(Power, PositiveAndDominatedByActivity) {
+  const Netlist nl = TestCircuit(12);
+  PlacerOptions popts;
+  popts.seed = 12;
+  popts.moves_per_cell = 10;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 12;
+  RouteDesign(layout, ropts);
+  const std::vector<double> rates = EstimateToggleRates(nl, 2048, 12);
+  const PowerReport active = EstimatePower(layout, rates);
+  EXPECT_GT(active.dynamic_uw, 0.0);
+  EXPECT_GT(active.leakage_uw, 0.0);
+  const std::vector<double> zero(nl.NumNets(), 0.0);
+  const PowerReport idle = EstimatePower(layout, zero);
+  EXPECT_DOUBLE_EQ(idle.dynamic_uw, 0.0);
+  EXPECT_DOUBLE_EQ(idle.leakage_uw, active.leakage_uw);
+}
+
+TEST(Floorplan, UtilizationControlsDieArea) {
+  const Netlist nl = TestCircuit(13);
+  PlacerOptions dense;
+  dense.seed = 13;
+  dense.moves_per_cell = 0;
+  dense.utilization = 0.85;
+  PlacerOptions sparse = dense;
+  sparse.utilization = 0.55;
+  const Layout dense_layout = PlaceDesign(nl, Tech::Nangate45Like(), dense);
+  const Layout sparse_layout = PlaceDesign(nl, Tech::Nangate45Like(), sparse);
+  EXPECT_LT(dense_layout.DieAreaUm2(), sparse_layout.DieAreaUm2());
+}
+
+}  // namespace
+}  // namespace splitlock::phys

@@ -1,0 +1,194 @@
+// Cross-module invariants checked over parameterized sweeps of circuits,
+// seeds, key sizes and split layers. These are the properties the paper's
+// formalism rests on (Sec. II-C): the compile function H restores the
+// original function, the split hides exactly the above-split connectivity,
+// and the secure flow leaves no FEOL hint for key-nets.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "circuits/random_circuit.hpp"
+#include "core/flow.hpp"
+#include "lec/lec.hpp"
+#include "phys/router.hpp"
+#include "sim/metrics.hpp"
+#include "split/split.hpp"
+
+namespace splitlock {
+namespace {
+
+Netlist Circuit(uint64_t seed, size_t gates) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 10;
+  spec.num_gates = gates;
+  spec.seed = seed;
+  spec.bias_cone_fraction = 0.14;
+  return circuits::GenerateCircuit(spec);
+}
+
+// ---- Property: H(C(x1,x2), lambda(x2)) == C (Definition 1, item 3) ------
+
+class CompileProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(CompileProperty, TruthAssignmentRestoresChip) {
+  const auto [seed, split_layer] = GetParam();
+  const Netlist original = Circuit(seed, 600);
+  core::FlowOptions opts;
+  opts.key_bits = 24;
+  opts.seed = seed;
+  opts.split_layer = split_layer;
+  opts.placer_moves_per_cell = 15;
+  const core::FlowResult flow = core::RunSecureFlow(original, opts);
+
+  split::Assignment truth(flow.feol.sink_stubs.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = flow.feol.sink_stubs[i].true_net;
+  }
+  const Netlist compiled = split::BuildRecoveredNetlist(flow.feol, truth);
+  // Compiled chip == realized chip == original function.
+  EXPECT_TRUE(RandomPatternsAgree(original, compiled, 1024, seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndLayers, CompileProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(4, 5, 6)));
+
+// ---- Property: locking is transparent exactly under the correct key -----
+
+class LockKeyProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(LockKeyProperty, CorrectKeyYesWrongKeyNo) {
+  const auto [seed, key_bits] = GetParam();
+  const Netlist original = Circuit(seed, 500);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = key_bits;
+  opts.seed = seed;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult r = lock::LockWithAtpg(original, opts);
+  ASSERT_EQ(r.key.size(), key_bits);
+
+  const LecResult good = CheckEquivalence(original, r.locked, {}, r.key);
+  EXPECT_TRUE(good.equivalent);
+
+  // Flip one comparator bit (if any) — formally inequivalent.
+  if (r.pattern_bits > 0) {
+    std::vector<uint8_t> wrong = r.key;
+    wrong[0] ^= 1;
+    const LecResult bad = CheckEquivalence(original, r.locked, {}, wrong);
+    ASSERT_TRUE(bad.proven);
+    EXPECT_FALSE(bad.equivalent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndKeys, LockKeyProperty,
+                         ::testing::Combine(::testing::Values(11, 12, 13, 14),
+                                            ::testing::Values(16, 48)));
+
+// ---- Property: no key-net FEOL wiring at any split layer ----------------
+
+class KeyNetHidingProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(KeyNetHidingProperty, NoKeyWiringAtOrBelowSplit) {
+  const auto [seed, split_layer] = GetParam();
+  const Netlist original = Circuit(seed, 600);
+  core::FlowOptions opts;
+  opts.key_bits = 16;
+  opts.seed = seed;
+  opts.split_layer = split_layer;
+  opts.placer_moves_per_cell = 15;
+  const core::FlowResult flow = core::RunSecureFlow(original, opts);
+  const Netlist& nl = *flow.physical.netlist;
+  const phys::Layout& layout = *flow.physical.layout;
+
+  for (NetId kn : phys::KeyNetsOf(nl)) {
+    // Broken at the split...
+    EXPECT_TRUE(flow.feol.net_broken[kn]);
+    for (const phys::ConnRoute& conn : layout.routes[kn].conns) {
+      // ...with zero wiring at or below the split layer...
+      for (const phys::Segment& s : conn.segments) {
+        EXPECT_GT(s.layer, split_layer);
+      }
+      // ...and stacked vias landing exactly on the cell pins.
+      ASSERT_FALSE(conn.vias.empty());
+      EXPECT_EQ(conn.vias.front().at, layout.PinOf(nl.DriverOf(kn)));
+      EXPECT_EQ(conn.vias.back().at, layout.PinOf(conn.sink.gate));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndLayers, KeyNetHidingProperty,
+                         ::testing::Combine(::testing::Values(21, 22, 23),
+                                            ::testing::Values(4, 6)));
+
+// ---- Property: attack output is always a complete, sane assignment ------
+
+class AttackTotalityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AttackTotalityProperty, AssignmentCompleteAndScorable) {
+  const uint64_t seed = GetParam();
+  const Netlist original = Circuit(seed, 500);
+  core::FlowOptions opts;
+  opts.key_bits = 16;
+  opts.seed = seed;
+  opts.placer_moves_per_cell = 15;
+  const core::FlowResult flow = core::RunSecureFlow(original, opts);
+  const attack::ProximityResult r = attack::RunProximityAttack(flow.feol);
+  ASSERT_EQ(r.assignment.size(), flow.feol.sink_stubs.size());
+  for (NetId n : r.assignment) {
+    ASSERT_NE(n, kNullId);
+    EXPECT_LT(n, flow.feol.netlist->NumNets());
+  }
+  const attack::AttackScore score =
+      attack::ScoreAttack(flow.feol, r.assignment, 512, seed);
+  EXPECT_GE(score.ccr.regular_ccr_percent, 0.0);
+  EXPECT_LE(score.ccr.regular_ccr_percent, 100.0);
+  EXPECT_GE(score.pnr_percent, 0.0);
+  EXPECT_LE(score.pnr_percent, 100.0);
+  EXPECT_LE(score.functional.hd_percent, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackTotalityProperty,
+                         ::testing::Range<uint64_t>(31, 37));
+
+// ---- Property: split views are consistent across layers -----------------
+
+class SplitMonotonicityProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SplitMonotonicityProperty, BrokenSetShrinksWithHigherSplit) {
+  const uint64_t seed = GetParam();
+  const Netlist original = Circuit(seed, 700);
+  core::FlowOptions opts;
+  opts.key_bits = 16;
+  opts.seed = seed;
+  opts.placer_moves_per_cell = 15;
+  opts.lift_key_nets = false;  // pure regular-net comparison
+  opts.randomize_tie_placement = false;
+  const core::PhysicalBundle bundle = core::BuildPhysical(original, opts);
+  size_t prev = SIZE_MAX;
+  for (int layer = 3; layer <= 7; ++layer) {
+    const split::FeolView feol = split::SplitLayout(*bundle.layout, layer);
+    EXPECT_LE(feol.sink_stubs.size(), prev);
+    prev = feol.sink_stubs.size();
+    // Consistency: every broken net has a driver stub, every stub's true
+    // net is marked broken.
+    for (const split::SinkStub& stub : feol.sink_stubs) {
+      EXPECT_TRUE(feol.net_broken[stub.true_net]);
+    }
+    for (const split::DriverStub& d : feol.driver_stubs) {
+      EXPECT_TRUE(feol.net_broken[d.net]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitMonotonicityProperty,
+                         ::testing::Range<uint64_t>(41, 46));
+
+}  // namespace
+}  // namespace splitlock

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::sat {
+namespace {
+
+TEST(SatSolver, TrivialSat) {
+  Solver s;
+  const Var a = s.NewVar();
+  EXPECT_TRUE(s.AddUnit(MakeLit(a)));
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(SatSolver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.NewVar();
+  EXPECT_TRUE(s.AddUnit(MakeLit(a)));
+  EXPECT_FALSE(s.AddUnit(Negate(MakeLit(a))));
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, EmptyClauseUnsat) {
+  Solver s;
+  s.NewVar();
+  EXPECT_FALSE(s.AddClause({}));
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, TautologyIgnored) {
+  Solver s;
+  const Var a = s.NewVar();
+  EXPECT_TRUE(s.AddBinary(MakeLit(a), Negate(MakeLit(a))));
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SatSolver, ImplicationChainPropagates) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) v.push_back(s.NewVar());
+  for (int i = 0; i + 1 < 20; ++i) {
+    s.AddBinary(Negate(MakeLit(v[i])), MakeLit(v[i + 1]));  // v_i -> v_{i+1}
+  }
+  s.AddUnit(MakeLit(v[0]));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.ModelValue(v[i]));
+}
+
+TEST(SatSolver, XorChainConsistency) {
+  // x0 ^ x1 = 1, x1 ^ x2 = 1, x0 ^ x2 = 1 is UNSAT (parity).
+  Solver s;
+  const Var x0 = s.NewVar();
+  const Var x1 = s.NewVar();
+  const Var x2 = s.NewVar();
+  auto add_xor1 = [&](Var a, Var b) {
+    s.AddBinary(MakeLit(a), MakeLit(b));
+    s.AddBinary(Negate(MakeLit(a)), Negate(MakeLit(b)));
+  };
+  add_xor1(x0, x1);
+  add_xor1(x1, x2);
+  add_xor1(x0, x2);
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes — classically
+// hard for resolution, still fine at this size, and definitely UNSAT.
+TEST(SatSolver, Pigeonhole54Unsat) {
+  constexpr int kPigeons = 5;
+  constexpr int kHoles = 4;
+  Solver s;
+  Var p[kPigeons][kHoles];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.NewVar();
+  }
+  for (int i = 0; i < kPigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < kHoles; ++j) clause.push_back(MakeLit(p[i][j]));
+    s.AddClause(clause);
+  }
+  for (int j = 0; j < kHoles; ++j) {
+    for (int i1 = 0; i1 < kPigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < kPigeons; ++i2) {
+        s.AddBinary(Negate(MakeLit(p[i1][j])), Negate(MakeLit(p[i2][j])));
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolver, AssumptionsSelectBranch) {
+  Solver s;
+  const Var a = s.NewVar();
+  const Var b = s.NewVar();
+  s.AddBinary(MakeLit(a), MakeLit(b));  // a | b
+  const std::vector<Lit> assume_na = {Negate(MakeLit(a))};
+  ASSERT_EQ(s.Solve(assume_na), SolveResult::kSat);
+  EXPECT_FALSE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+  // Conflicting assumptions: a & !a via clauses.
+  s.AddUnit(MakeLit(a));
+  EXPECT_EQ(s.Solve(assume_na), SolveResult::kUnsat);
+  // Without assumptions, still satisfiable.
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(SatSolver, ConflictLimitYieldsUnknown) {
+  // A hard instance with a conflict budget of 1 must give up.
+  constexpr int kPigeons = 8;
+  constexpr int kHoles = 7;
+  Solver s;
+  std::vector<std::vector<Var>> p(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.NewVar();
+  }
+  for (int i = 0; i < kPigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < kHoles; ++j) clause.push_back(MakeLit(p[i][j]));
+    s.AddClause(clause);
+  }
+  for (int j = 0; j < kHoles; ++j) {
+    for (int i1 = 0; i1 < kPigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < kPigeons; ++i2) {
+        s.AddBinary(Negate(MakeLit(p[i1][j])), Negate(MakeLit(p[i2][j])));
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve({}, 1), SolveResult::kUnknown);
+}
+
+// Property sweep: random 3-SAT instances cross-checked against brute force.
+class RandomSatTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSatTest, MatchesBruteForce) {
+  splitlock::Rng rng(GetParam());
+  constexpr int kVars = 12;
+  const int num_clauses = 30 + static_cast<int>(rng.NextUint(40));
+
+  std::vector<std::vector<Lit>> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      const Var v = static_cast<Var>(rng.NextUint(kVars));
+      clause.push_back(MakeLit(v, rng.NextBool()));
+    }
+    clauses.push_back(clause);
+  }
+
+  bool brute_sat = false;
+  for (uint32_t m = 0; m < (1u << kVars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (Lit l : clause) {
+        const bool val = (m >> VarOf(l)) & 1;
+        if (IsNegated(l) ? !val : val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  Solver s;
+  for (int i = 0; i < kVars; ++i) s.NewVar();
+  bool root_consistent = true;
+  for (const auto& clause : clauses) {
+    root_consistent = s.AddClause(clause) && root_consistent;
+  }
+  const SolveResult r = s.Solve();
+  EXPECT_EQ(r == SolveResult::kSat, brute_sat);
+  if (r == SolveResult::kSat) {
+    // Verify the model actually satisfies the formula.
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (Lit l : clause) {
+        const bool val = s.ModelValue(VarOf(l));
+        if (IsNegated(l) ? !val : val) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSatTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace splitlock::sat

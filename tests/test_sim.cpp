@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+#include "sim/simulator.hpp"
+
+namespace splitlock {
+namespace {
+
+TEST(Simulator, C17TruthSamples) {
+  const Netlist nl = circuits::MakeC17();
+  Simulator sim(nl);
+  // Pattern lanes: all-zeros and all-ones checks.
+  // G22 = NAND(G10, G16); with all inputs 0: G10=1, G11=1, G16=1 -> G22=0.
+  for (GateId g : nl.inputs()) sim.SetSourceWord(g, 0);
+  sim.Run();
+  EXPECT_EQ(sim.OutputWord(0) & 1, 0u);  // G22
+  EXPECT_EQ(sim.OutputWord(1) & 1, 0u);  // G23
+  // All inputs 1: G10 = NAND(1,1) = 0 -> G22 = 1. G11 = 0, G16 = 1,
+  // G19 = 1, G23 = NAND(1,1) = 0.
+  for (GateId g : nl.inputs()) sim.SetSourceWord(g, ~0ULL);
+  sim.Run();
+  EXPECT_EQ(sim.OutputWord(0) & 1, 1u);
+  EXPECT_EQ(sim.OutputWord(1) & 1, 0u);
+}
+
+TEST(Simulator, LanesAreIndependent) {
+  const Netlist nl = circuits::MakeC17();
+  Simulator sim(nl);
+  // Lane 0: all zeros; lane 1: all ones.
+  for (GateId g : nl.inputs()) sim.SetSourceWord(g, 0b10);
+  sim.Run();
+  EXPECT_EQ(sim.OutputWord(0) & 0b11, 0b10u);
+}
+
+TEST(Simulator, KeyBitsBindKeyInputs) {
+  Netlist nl("k");
+  const NetId a = nl.AddInput("a");
+  const NetId k = nl.AddGate(GateOp::kKeyIn, {}, "key_0");
+  const NetId y = nl.AddGate(GateOp::kXor, {a, k});
+  nl.AddOutput(y, "y");
+
+  Simulator sim(nl);
+  const std::vector<uint8_t> key0 = {0};
+  const std::vector<uint8_t> key1 = {1};
+  sim.SetSourceWord(nl.inputs()[0], 0b01);
+  sim.SetKeyBits(key0);
+  sim.Run();
+  EXPECT_EQ(sim.OutputWord(0) & 0b11, 0b01u);  // transparent
+  sim.SetKeyBits(key1);
+  sim.Run();
+  EXPECT_EQ(sim.OutputWord(0) & 0b11, 0b10u);  // inverting
+}
+
+TEST(Simulator, TieCellsProduceConstants) {
+  Netlist nl("tie");
+  const NetId a = nl.AddInput("a");
+  const NetId hi = nl.AddGate(GateOp::kTieHi, {});
+  const NetId lo = nl.AddGate(GateOp::kTieLo, {});
+  nl.AddOutput(nl.AddGate(GateOp::kAnd, {a, hi}), "y1");
+  nl.AddOutput(nl.AddGate(GateOp::kOr, {a, lo}), "y2");
+  Simulator sim(nl);
+  sim.SetSourceWord(nl.inputs()[0], 0b10);
+  sim.Run();
+  EXPECT_EQ(sim.OutputWord(0) & 0b11, 0b10u);
+  EXPECT_EQ(sim.OutputWord(1) & 0b11, 0b10u);
+}
+
+TEST(SignalProbabilities, UniformInputsNearHalf) {
+  Netlist nl("p");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId y = nl.AddGate(GateOp::kAnd, {a, b});
+  nl.AddOutput(y, "y");
+  const std::vector<double> probs = EstimateSignalProbabilities(nl, 16384, 5);
+  EXPECT_NEAR(probs[a], 0.5, 0.03);
+  EXPECT_NEAR(probs[b], 0.5, 0.03);
+  EXPECT_NEAR(probs[y], 0.25, 0.03);
+}
+
+TEST(SignalProbabilities, WideAndIsStronglyBiased) {
+  Netlist nl("wide");
+  std::vector<NetId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  NetId acc = nl.AddGate(GateOp::kAnd,
+                         std::array<NetId, 4>{ins[0], ins[1], ins[2], ins[3]});
+  NetId acc2 = nl.AddGate(GateOp::kAnd,
+                          std::array<NetId, 4>{ins[4], ins[5], ins[6], ins[7]});
+  const NetId y = nl.AddGate(GateOp::kAnd, {acc, acc2});
+  nl.AddOutput(y, "y");
+  const std::vector<double> probs = EstimateSignalProbabilities(nl, 65536, 7);
+  EXPECT_NEAR(probs[y], 1.0 / 256.0, 0.01);
+}
+
+TEST(ToggleRates, ConstantNetNeverToggles) {
+  Netlist nl("t");
+  const NetId a = nl.AddInput("a");
+  const NetId hi = nl.AddGate(GateOp::kTieHi, {});
+  const NetId y = nl.AddGate(GateOp::kAnd, {a, hi});
+  nl.AddOutput(y, "y");
+  const std::vector<double> rates = EstimateToggleRates(nl, 4096, 3);
+  EXPECT_DOUBLE_EQ(rates[hi], 0.0);
+  EXPECT_NEAR(rates[a], 0.5, 0.05);
+  EXPECT_NEAR(rates[y], 0.5, 0.05);
+}
+
+TEST(ToggleRates, XorOfIndependentInputsTogglesMore) {
+  Netlist nl("x");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId and_net = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId xor_net = nl.AddGate(GateOp::kXor, {a, b});
+  nl.AddOutput(and_net, "y1");
+  nl.AddOutput(xor_net, "y2");
+  const std::vector<double> rates = EstimateToggleRates(nl, 16384, 11);
+  // AND toggles with rate 2*(1/4)*(3/4) = 0.375; XOR with 0.5.
+  EXPECT_NEAR(rates[and_net], 0.375, 0.03);
+  EXPECT_NEAR(rates[xor_net], 0.5, 0.03);
+}
+
+TEST(Simulator, GeneratedCircuitRunsDeterministically) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.num_gates = 300;
+  spec.seed = 99;
+  const Netlist nl = circuits::GenerateCircuit(spec);
+  Simulator s1(nl);
+  Simulator s2(nl);
+  Rng r1(5);
+  Rng r2(5);
+  s1.SetRandomInputs(r1);
+  s2.SetRandomInputs(r2);
+  s1.Run();
+  s2.Run();
+  for (size_t o = 0; o < nl.outputs().size(); ++o) {
+    EXPECT_EQ(s1.OutputWord(o), s2.OutputWord(o));
+  }
+}
+
+}  // namespace
+}  // namespace splitlock

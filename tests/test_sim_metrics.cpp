@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+#include "sim/metrics.hpp"
+
+namespace splitlock {
+namespace {
+
+Netlist InvertedOutputCopy(const Netlist& nl, size_t which_output) {
+  // Same circuit with one output complemented.
+  Netlist out = nl;
+  const GateId po = out.outputs()[which_output];
+  const NetId observed = out.gate(po).fanins[0];
+  const NetId inv = out.AddGate(GateOp::kInv, {observed});
+  out.ReplaceFanin(po, 0, inv);
+  return out;
+}
+
+TEST(CompareFunctional, IdenticalNetlistsZeroDiff) {
+  const Netlist nl = circuits::MakeC17();
+  const FunctionalDiff d = CompareFunctional(nl, nl, 1000, 1);
+  EXPECT_DOUBLE_EQ(d.hd_percent, 0.0);
+  EXPECT_DOUBLE_EQ(d.oer_percent, 0.0);
+  EXPECT_EQ(d.patterns, 1000u);
+}
+
+TEST(CompareFunctional, OneInvertedOutputOfTwo) {
+  const Netlist nl = circuits::MakeC17();
+  const Netlist broken = InvertedOutputCopy(nl, 0);
+  const FunctionalDiff d = CompareFunctional(nl, broken, 2048, 2);
+  // One of two output bits always differs: HD = 50%, OER = 100%.
+  EXPECT_NEAR(d.hd_percent, 50.0, 0.01);
+  EXPECT_NEAR(d.oer_percent, 100.0, 0.01);
+}
+
+TEST(CompareFunctional, BothOutputsInverted) {
+  const Netlist nl = circuits::MakeC17();
+  const Netlist broken = InvertedOutputCopy(InvertedOutputCopy(nl, 0), 1);
+  const FunctionalDiff d = CompareFunctional(nl, broken, 2048, 3);
+  EXPECT_NEAR(d.hd_percent, 100.0, 0.01);
+  EXPECT_NEAR(d.oer_percent, 100.0, 0.01);
+}
+
+TEST(CompareFunctional, PartialWordPatternCountsExact) {
+  const Netlist nl = circuits::MakeC17();
+  const Netlist broken = InvertedOutputCopy(nl, 0);
+  // 100 is not a multiple of 64; masking must keep the rates exact.
+  const FunctionalDiff d = CompareFunctional(nl, broken, 100, 4);
+  EXPECT_NEAR(d.hd_percent, 50.0, 0.01);
+  EXPECT_NEAR(d.oer_percent, 100.0, 0.01);
+}
+
+TEST(RandomPatternsAgree, DetectsEquivalence) {
+  const Netlist nl = circuits::MakeC17();
+  EXPECT_TRUE(RandomPatternsAgree(nl, nl, 512, 5));
+}
+
+TEST(RandomPatternsAgree, DetectsDifference) {
+  const Netlist nl = circuits::MakeC17();
+  const Netlist broken = InvertedOutputCopy(nl, 1);
+  EXPECT_FALSE(RandomPatternsAgree(nl, broken, 512, 6));
+}
+
+TEST(CompareFunctional, KeyBindingsRespected) {
+  Netlist plain("p");
+  const NetId a = plain.AddInput("a");
+  plain.AddOutput(a, "y");
+
+  Netlist keyed("k");
+  const NetId ka = keyed.AddInput("a");
+  const NetId k0 = keyed.AddGate(GateOp::kKeyIn, {}, "key_0");
+  keyed.AddOutput(keyed.AddGate(GateOp::kXor, {ka, k0}), "y");
+
+  const std::vector<uint8_t> good = {0};
+  const std::vector<uint8_t> bad = {1};
+  EXPECT_TRUE(RandomPatternsAgree(plain, keyed, 256, 7, {}, good));
+  const FunctionalDiff d = CompareFunctional(plain, keyed, 256, 7, {}, bad);
+  EXPECT_NEAR(d.hd_percent, 100.0, 0.01);
+}
+
+TEST(CompareFunctional, SubtleDifferenceLowHd) {
+  // y = a AND b vs y = a AND b AND c: differ only when a=b=1, c=0 (1/8).
+  Netlist lhs("l");
+  {
+    const NetId a = lhs.AddInput("a");
+    const NetId b = lhs.AddInput("b");
+    lhs.AddInput("c");
+    lhs.AddOutput(lhs.AddGate(GateOp::kAnd, {a, b}), "y");
+  }
+  Netlist rhs("r");
+  {
+    const NetId a = rhs.AddInput("a");
+    const NetId b = rhs.AddInput("b");
+    const NetId c = rhs.AddInput("c");
+    rhs.AddOutput(rhs.AddGate(GateOp::kAnd, {a, b, c}), "y");
+  }
+  const FunctionalDiff d = CompareFunctional(lhs, rhs, 1 << 16, 8);
+  EXPECT_NEAR(d.hd_percent, 12.5, 0.6);
+  EXPECT_NEAR(d.oer_percent, 12.5, 0.6);
+}
+
+}  // namespace
+}  // namespace splitlock

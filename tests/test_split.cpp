@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuits/random_circuit.hpp"
+#include "lock/atpg_lock.hpp"
+#include "lock/key.hpp"
+#include "phys/placer.hpp"
+#include "phys/router.hpp"
+#include "sim/metrics.hpp"
+#include "split/split.hpp"
+
+namespace splitlock::split {
+namespace {
+
+struct Fixture {
+  // Heap-held so the layout's netlist pointer survives moves of Fixture.
+  std::unique_ptr<Netlist> netlist;
+  phys::Layout layout;
+};
+
+Fixture MakeRouted(uint64_t seed, bool locked, bool lift) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 10;
+  spec.num_gates = 500;
+  spec.seed = seed;
+  Netlist nl = circuits::GenerateCircuit(spec);
+  if (locked) {
+    lock::AtpgLockOptions lopts;
+    lopts.key_bits = 24;
+    lopts.seed = seed;
+    lopts.verify_lec = false;
+    const lock::AtpgLockResult r = lock::LockWithAtpg(nl, lopts);
+    nl = lock::RealizeKeyAsTies(r.locked, r.key);
+  }
+  Fixture f{std::make_unique<Netlist>(std::move(nl)), {}};
+  phys::PlacerOptions popts;
+  popts.seed = seed;
+  popts.moves_per_cell = 15;
+  // Secure (lifted) fixtures randomize TIE cells; naive ones anneal them
+  // next to their key-gates like any other cell.
+  popts.randomize_tie_cells = lift;
+  f.layout = phys::PlaceDesign(*f.netlist, phys::Tech::Nangate45Like(), popts);
+  phys::RouterOptions ropts;
+  ropts.seed = seed;
+  ropts.route_key_nets_as_regular = !lift;
+  phys::RouteDesign(f.layout, ropts);
+  if (lift) phys::LiftKeyNets(f.layout, *f.netlist, 5, seed);
+  return f;
+}
+
+TEST(Split, IntactNetsAreNotReported) {
+  const Fixture f = MakeRouted(1, false, false);
+  const FeolView feol = SplitLayout(f.layout, 4);
+  for (const SinkStub& stub : feol.sink_stubs) {
+    // Every reported stub's connection really crosses the split layer.
+    bool crosses = false;
+    for (const phys::ConnRoute& conn : f.layout.routes[stub.true_net].conns) {
+      if (conn.sink == stub.sink) {
+        for (int l : conn.hop_layers) {
+          if (l > 4) crosses = true;
+        }
+      }
+    }
+    EXPECT_TRUE(crosses);
+  }
+}
+
+TEST(Split, HigherSplitBreaksFewerNets) {
+  const Fixture f = MakeRouted(2, false, false);
+  const FeolView at_m4 = SplitLayout(f.layout, 4);
+  const FeolView at_m6 = SplitLayout(f.layout, 6);
+  EXPECT_GT(at_m4.sink_stubs.size(), at_m6.sink_stubs.size());
+  EXPECT_GT(at_m4.driver_stubs.size(), at_m6.driver_stubs.size());
+}
+
+TEST(Split, DriverStubsMatchBrokenNets) {
+  const Fixture f = MakeRouted(3, false, false);
+  const FeolView feol = SplitLayout(f.layout, 4);
+  size_t broken = 0;
+  for (NetId n = 0; n < f.netlist->NumNets(); ++n) {
+    if (feol.net_broken[n]) ++broken;
+  }
+  EXPECT_EQ(feol.driver_stubs.size(), broken);
+  for (const DriverStub& d : feol.driver_stubs) {
+    EXPECT_TRUE(feol.net_broken[d.net]);
+    EXPECT_FALSE(d.ascents.empty());
+    EXPECT_EQ(d.driver, f.netlist->DriverOf(d.net));
+  }
+}
+
+TEST(Split, LiftedKeyNetsAlwaysBreakWithPinStubs) {
+  Fixture f = MakeRouted(4, true, true);
+  const FeolView feol = SplitLayout(f.layout, 4);
+  const std::vector<NetId> key_nets = phys::KeyNetsOf(*f.netlist);
+  ASSERT_FALSE(key_nets.empty());
+  for (NetId kn : key_nets) {
+    EXPECT_TRUE(feol.net_broken[kn]) << "key-net survived the split";
+  }
+  // Key-net stubs sit exactly on the cell pins: no FEOL routing hints.
+  for (const SinkStub& stub : feol.sink_stubs) {
+    const GateId d = f.netlist->DriverOf(stub.true_net);
+    if (!f.netlist->gate(d).HasFlag(kFlagTie)) continue;
+    EXPECT_EQ(stub.position, f.layout.PinOf(stub.sink.gate));
+    EXPECT_EQ(stub.hint_toward, stub.position);
+  }
+  for (const DriverStub& drv : feol.driver_stubs) {
+    if (!f.netlist->gate(drv.driver).HasFlag(kFlagTie)) continue;
+    ASSERT_EQ(drv.ascents.size(), 1u);
+    EXPECT_EQ(drv.ascents[0], f.layout.PinOf(drv.driver));
+  }
+}
+
+TEST(Split, UnliftedKeyNetsCanStayInFeol) {
+  Fixture f = MakeRouted(5, true, false);  // naive: key-nets routed low
+  const FeolView feol = SplitLayout(f.layout, 6);
+  const std::vector<NetId> key_nets = phys::KeyNetsOf(*f.netlist);
+  size_t in_feol = 0;
+  for (NetId kn : key_nets) {
+    if (!feol.net_broken[kn]) ++in_feol;
+  }
+  // Naive placement puts TIE cells near their key-gates, so most key-nets
+  // are short and routed on low metals: the attacker reads them directly.
+  EXPECT_GT(in_feol, key_nets.size() / 2);
+}
+
+TEST(Split, RecoveredWithTruthIsIdentical) {
+  const Fixture f = MakeRouted(6, false, false);
+  const FeolView feol = SplitLayout(f.layout, 4);
+  Assignment truth(feol.sink_stubs.size());
+  for (size_t i = 0; i < feol.sink_stubs.size(); ++i) {
+    truth[i] = feol.sink_stubs[i].true_net;
+  }
+  const Netlist recovered = BuildRecoveredNetlist(feol, truth);
+  EXPECT_EQ(recovered.Validate(), "");
+  EXPECT_TRUE(RandomPatternsAgree(*f.netlist, recovered, 1024, 6));
+}
+
+TEST(Split, WrongAssignmentChangesFunction) {
+  const Fixture f = MakeRouted(7, false, false);
+  const FeolView feol = SplitLayout(f.layout, 4);
+  ASSERT_GT(feol.sink_stubs.size(), 4u);
+  Assignment scrambled(feol.sink_stubs.size());
+  // Rotate the truth by one broken net: almost surely wrong somewhere.
+  for (size_t i = 0; i < feol.sink_stubs.size(); ++i) {
+    scrambled[i] =
+        feol.driver_stubs[(i + 1) % feol.driver_stubs.size()].net;
+  }
+  const Netlist recovered = BuildRecoveredNetlist(feol, scrambled);
+  EXPECT_FALSE(RandomPatternsAgree(*f.netlist, recovered, 1024, 7));
+}
+
+TEST(Split, SinkStubCountMatchesBrokenConnections) {
+  const Fixture f = MakeRouted(8, false, false);
+  const FeolView feol = SplitLayout(f.layout, 4);
+  size_t expected = 0;
+  for (NetId n = 0; n < f.netlist->NumNets(); ++n) {
+    for (const phys::ConnRoute& conn : f.layout.routes[n].conns) {
+      for (int l : conn.hop_layers) {
+        if (l > 4) {
+          ++expected;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(feol.sink_stubs.size(), expected);
+}
+
+}  // namespace
+}  // namespace splitlock::split

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/geom.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextWord(), b.NextWord());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextWord() == b.NextWord()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextUintRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint(17), 17u);
+  }
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedDrawRespectsZeroWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  // The fork must not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextWord() == child.NextWord()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Geom, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({-1, -1}, {1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({2, 2}, {2, 2}), 0.0);
+}
+
+TEST(Geom, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Geom, RectBasics) {
+  const Rect r{{1, 2}, {4, 6}};
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.HalfPerimeter(), 7.0);
+  EXPECT_TRUE(r.Contains({2, 3}));
+  EXPECT_TRUE(r.Contains({1, 2}));  // boundary inclusive
+  EXPECT_FALSE(r.Contains({0, 3}));
+}
+
+TEST(Geom, RectExpand) {
+  Rect r = Rect::Around({5, 5});
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  r.Expand({7, 4});
+  EXPECT_DOUBLE_EQ(r.lo.x, 5.0);
+  EXPECT_DOUBLE_EQ(r.lo.y, 4.0);
+  EXPECT_DOUBLE_EQ(r.hi.x, 7.0);
+  EXPECT_DOUBLE_EQ(r.hi.y, 5.0);
+}
+
+TEST(Env, DefaultsAreSane) {
+  // No env overrides in the test environment: check documented defaults.
+  EXPECT_GT(ReproScale(), 0.0);
+  EXPECT_LE(ReproScale(), 1.0);
+  EXPECT_GE(ReproPatterns(), 64u);
+  EXPECT_GE(ReproGuesses(), 64u);
+}
+
+}  // namespace
+}  // namespace splitlock

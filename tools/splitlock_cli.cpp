@@ -1,0 +1,194 @@
+// splitlock_cli — drive the secure split-manufacturing flow from the shell.
+//
+// Subcommands:
+//   lock   <in.bench> <out.bench>  [--key-bits N] [--seed S]
+//       Locks a .bench netlist; writes the locked netlist (KEYIN sources)
+//       and prints the correct key to stdout.
+//   flow   <in.bench>  [--key-bits N] [--split M] [--seed S] [--naive]
+//       Full secure flow + proximity attack; prints the scorecard.
+//   attack <in.bench>  [--split M] [--seed S]
+//       Treats the input as an unprotected design: lays it out, splits it
+//       and reports how much a proximity attacker recovers.
+//   stats  <in.bench>
+//       Prints netlist statistics (gates by type, depth, area).
+//
+// Sequential .bench files (DFF statements) are analyzed as their FF-cut
+// combinational cores.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "core/flow.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/libcell.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace splitlock;
+
+struct Args {
+  std::string command;
+  std::string input;
+  std::string output;
+  size_t key_bits = 128;
+  int split_layer = 4;
+  uint64_t seed = 1;
+  bool naive = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: splitlock_cli <lock|flow|attack|stats> <in.bench> "
+               "[out.bench] [--key-bits N] [--split M] [--seed S] "
+               "[--naive]\n");
+  return 2;
+}
+
+Netlist Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ReadBench(buf.str(), path);
+}
+
+int CmdStats(const Args& args) {
+  const Netlist nl = Load(args.input);
+  std::map<std::string, size_t> by_op;
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kDeleted || gate.op == GateOp::kInput ||
+        gate.op == GateOp::kOutput) {
+      continue;
+    }
+    ++by_op[GateOpName(gate.op)];
+  }
+  std::printf("%s: %zu PIs, %zu POs, %zu logic gates, %.1f um^2 cell area\n",
+              nl.name().c_str(), nl.inputs().size(), nl.outputs().size(),
+              nl.NumLogicGates(), TotalCellArea(nl));
+  for (const auto& [op, count] : by_op) {
+    std::printf("  %-8s %zu\n", op.c_str(), count);
+  }
+  return 0;
+}
+
+int CmdLock(const Args& args) {
+  const Netlist original = Load(args.input);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = args.key_bits;
+  opts.seed = args.seed;
+  const lock::AtpgLockResult r = lock::LockWithAtpg(original, opts);
+  if (!args.output.empty()) {
+    std::ofstream out(args.output);
+    out << WriteBench(r.locked.Compacted());
+  }
+  std::printf("locked %s: %zu key bits (%zu pattern, %zu padded), LEC %s\n",
+              original.name().c_str(), r.key.size(), r.pattern_bits,
+              r.padding_bits, r.lec_equivalent ? "ok" : "FAILED");
+  std::printf("area %.1f -> %.1f um^2 (%+.2f%%)\n", r.original_area_um2,
+              r.locked_area_um2, r.AreaDeltaPercent());
+  std::printf("key: ");
+  for (uint8_t b : r.key) std::printf("%d", b);
+  std::printf("\n");
+  return r.lec_equivalent ? 0 : 1;
+}
+
+int CmdFlow(const Args& args) {
+  const Netlist original = Load(args.input);
+  core::FlowOptions opts;
+  opts.key_bits = args.key_bits;
+  opts.split_layer = args.split_layer;
+  opts.seed = args.seed;
+  if (args.naive) {
+    opts.randomize_tie_placement = false;
+    opts.lift_key_nets = false;
+  }
+  const core::FlowResult flow = core::RunSecureFlow(original, opts);
+  const attack::ProximityResult atk = attack::RunProximityAttack(flow.feol);
+  const attack::AttackScore score = attack::ScoreAttack(
+      flow.feol, atk.assignment, ReproPatterns(), args.seed);
+  std::printf("%s @ M%d (%s): %zu broken connections\n",
+              original.name().c_str(), args.split_layer,
+              args.naive ? "naive layout" : "secure flow",
+              flow.feol.sink_stubs.size());
+  std::printf("CCR key log/phys %.1f/%.1f %%, regular %.1f %%\n",
+              score.ccr.key_logical_ccr_percent,
+              score.ccr.key_physical_ccr_percent,
+              score.ccr.regular_ccr_percent);
+  std::printf("HD %.1f %%  OER %.1f %%  PNR %.1f %%\n",
+              score.functional.hd_percent, score.functional.oer_percent,
+              score.pnr_percent);
+  return 0;
+}
+
+int CmdAttack(const Args& args) {
+  const Netlist original = Load(args.input);
+  core::FlowOptions opts;
+  opts.seed = args.seed;
+  opts.split_layer = args.split_layer;
+  opts.lift_key_nets = false;
+  opts.randomize_tie_placement = false;
+  const core::PhysicalBundle bundle = core::BuildPhysical(original, opts);
+  const split::FeolView feol =
+      split::SplitLayout(*bundle.layout, args.split_layer);
+  const attack::ProximityResult atk = attack::RunProximityAttack(feol);
+  const attack::AttackScore score =
+      attack::ScoreAttack(feol, atk.assignment, ReproPatterns(), args.seed);
+  std::printf("%s unprotected @ M%d: %zu broken connections\n",
+              original.name().c_str(), args.split_layer,
+              feol.sink_stubs.size());
+  std::printf("regular CCR %.1f %%  PNR %.1f %%  HD %.1f %%  OER %.1f %%\n",
+              score.ccr.regular_ccr_percent, score.pnr_percent,
+              score.functional.hd_percent, score.functional.oer_percent);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Args args;
+  args.command = argv[1];
+  args.input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--key-bits") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.key_bits = std::strtoull(v, nullptr, 10);
+    } else if (a == "--split") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.split_layer = std::atoi(v);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--naive") {
+      args.naive = true;
+    } else if (a[0] != '-' && args.output.empty()) {
+      args.output = a;
+    } else {
+      return Usage();
+    }
+  }
+  try {
+    if (args.command == "stats") return CmdStats(args);
+    if (args.command == "lock") return CmdLock(args);
+    if (args.command == "flow") return CmdFlow(args);
+    if (args.command == "attack") return CmdAttack(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
