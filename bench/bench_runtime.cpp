@@ -4,7 +4,16 @@
 // re-synthesis runs (their flow is parallel over partitions but bounded by
 // license count). This harness reports the equivalent breakdown for this
 // library's flow: lock (synthesis stage) vs physical design (layout stage),
-// at the configured REPRO_SCALE.
+// at the configured REPRO_SCALE — plus the exec-layer scaling check: a
+// suite-level random-pattern fault-coverage sweep timed single-threaded and
+// at full pool width, with the determinism contract asserted (identical
+// coverage at every width).
+#include <chrono>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "exec/thread_pool.hpp"
+
 #include "bench_common.hpp"
 
 namespace splitlock::bench {
@@ -40,11 +49,65 @@ void RunRow(benchmark::State& state, const std::string& name) {
   }
 }
 
+// Suite-level fault-coverage sweep at a given pool width over prebuilt
+// (netlist, fault list) inputs; only the sweep itself is timed, so the
+// reported speedup is the exec layer's, not circuit construction's.
+struct FaultSweepInput {
+  Netlist netlist;
+  std::vector<atpg::Fault> faults;
+};
+
+double TimedSuiteFaultSweep(const std::vector<FaultSweepInput>& inputs,
+                            size_t threads, uint64_t patterns,
+                            std::vector<double>* coverages) {
+  using exec::ThreadPool;
+  ThreadPool::SetDefaultThreadCount(threads);
+  const auto start = std::chrono::steady_clock::now();
+  coverages->clear();
+  for (const FaultSweepInput& input : inputs) {
+    const atpg::CoverageResult cov =
+        atpg::FaultCoverage(input.netlist, input.faults, patterns, 2019);
+    coverages->push_back(cov.CoveragePercent());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ThreadPool::SetDefaultThreadCount(0);  // restore the configured default
+  return elapsed;
+}
+
+void PrintParallelSweepTable() {
+  const size_t width = exec::ThreadPool::DefaultThreadCount();
+  const uint64_t patterns = 16384;
+  std::vector<FaultSweepInput> inputs;
+  for (const auto& info : circuits::Itc99Suite()) {
+    FaultSweepInput input{circuits::MakeItc99(info.name, ReproScale()), {}};
+    input.faults = atpg::CollapseFaults(
+        input.netlist, atpg::EnumerateStemFaults(input.netlist));
+    inputs.push_back(std::move(input));
+  }
+  std::vector<double> cov_serial, cov_parallel;
+  const double serial_s =
+      TimedSuiteFaultSweep(inputs, 1, patterns, &cov_serial);
+  const double parallel_s =
+      TimedSuiteFaultSweep(inputs, width, patterns, &cov_parallel);
+  PrintHeader("Suite fault-coverage sweep: exec-layer scaling");
+  std::printf("1 thread: %.2f s   %zu threads: %.2f s   speedup: %.2fx\n",
+              serial_s, width, parallel_s,
+              parallel_s > 0 ? serial_s / parallel_s : 0.0);
+  std::printf("determinism: coverages %s across widths\n",
+              cov_serial == cov_parallel ? "IDENTICAL" : "DIVERGED (BUG!)");
+}
+
 }  // namespace
 }  // namespace splitlock::bench
 
 int main(int argc, char** argv) {
   using namespace splitlock::bench;
+  // NO concurrent suite warm-up here, deliberately: this harness reports
+  // per-benchmark wall-clock stage times, which running the flows
+  // side-by-side would inflate with scheduler contention. Rows fill the
+  // cache sequentially via RunItcFlowCached.
   for (const auto& info : splitlock::circuits::Itc99Suite()) {
     benchmark::RegisterBenchmark(
         ("Runtime/" + info.name).c_str(),
@@ -56,5 +119,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   PrintTable();
+  PrintParallelSweepTable();
   return 0;
 }

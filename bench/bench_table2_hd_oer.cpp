@@ -73,6 +73,8 @@ void PrintTable() {
 
 int main(int argc, char** argv) {
   using namespace splitlock::bench;
+  WarmItcSuiteCache(4);
+  WarmItcSuiteCache(6);
   for (const auto& info : splitlock::circuits::Itc99Suite()) {
     for (int split : {4, 6}) {
       benchmark::RegisterBenchmark(

@@ -1,6 +1,12 @@
 #include "atpg/fault_sim.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+
+#include "exec/parallel.hpp"
+#include "exec/stream_rng.hpp"
+#include "util/lanes.hpp"
 
 namespace splitlock::atpg {
 
@@ -84,24 +90,106 @@ uint64_t FaultSimulator::DetectMask(const Fault& fault) const {
   return detect;
 }
 
+namespace {
+
+// Tile shape for the (fault-block x word-shard) grid. The shape only
+// affects scheduling, never results: detection is an OR (and counts a sum)
+// over independent (fault, word) cells.
+constexpr size_t kFaultsPerBlock = 256;
+constexpr size_t kWordsPerShard = 16;
+
+// Runs `visit(fault_index, detect_mask)` for every (fault, word) cell of
+// the grid, sharded across the pool. Stimulus for word w comes from the
+// counter-based stream (seed, kStimulus, w); the final word's dead lanes
+// are masked out. `fold` merges one tile's partial into the global
+// accumulator and is invoked sequentially in tile order.
+template <typename Partial, typename Tile, typename Fold>
+void ShardedFaultSweep(const Netlist& nl, const std::vector<Fault>& faults,
+                       uint64_t patterns, uint64_t seed, const Tile& tile,
+                       const Fold& fold) {
+  const uint64_t words = (patterns + 63) / 64;
+  if (words == 0 || faults.empty()) return;
+  const size_t fault_blocks = exec::NumChunks(faults.size(), kFaultsPerBlock);
+  const size_t word_shards =
+      exec::NumChunks(static_cast<size_t>(words), kWordsPerShard);
+  const size_t tiles = fault_blocks * word_shards;
+  std::vector<Partial> partials(tiles);
+  exec::ParallelFor(tiles, 1, [&](size_t lo, size_t hi) {
+    for (size_t t = lo; t < hi; ++t) {
+      const size_t fb = t / word_shards;
+      const size_t ws = t % word_shards;
+      const size_t f_lo = fb * kFaultsPerBlock;
+      const size_t f_hi = std::min(faults.size(), f_lo + kFaultsPerBlock);
+      const uint64_t w_lo = ws * kWordsPerShard;
+      const uint64_t w_hi =
+          std::min<uint64_t>(words, w_lo + kWordsPerShard);
+      FaultSimulator sim(nl);
+      std::vector<uint64_t> stimulus(nl.inputs().size());
+      Partial& partial = partials[t];
+      for (uint64_t w = w_lo; w < w_hi; ++w) {
+        exec::StreamRng rng(seed, exec::StreamDomain::kStimulus, w);
+        for (uint64_t& word : stimulus) word = rng.NextWord();
+        sim.LoadPatterns(stimulus);
+        tile(partial, sim, f_lo, f_hi, LaneMaskForWord(w, words, patterns));
+      }
+    }
+  });
+  for (size_t t = 0; t < tiles; ++t) {
+    const size_t fb = t / word_shards;
+    fold(partials[t], fb * kFaultsPerBlock);
+  }
+}
+
+}  // namespace
+
 CoverageResult FaultCoverage(const Netlist& nl,
                              const std::vector<Fault>& faults,
                              uint64_t patterns, uint64_t seed) {
-  FaultSimulator sim(nl);
-  Rng rng(seed);
-  std::vector<bool> detected(faults.size(), false);
-  const uint64_t words = (patterns + 63) / 64;
-  for (uint64_t w = 0; w < words; ++w) {
-    sim.LoadRandomPatterns(rng);
-    for (size_t f = 0; f < faults.size(); ++f) {
-      if (detected[f]) continue;
-      if (sim.DetectMask(faults[f]) != 0) detected[f] = true;
-    }
-  }
+  // Tile partial: one detected-bit per fault in the block.
+  std::vector<uint8_t> detected(faults.size(), 0);
+  ShardedFaultSweep<std::vector<uint8_t>>(
+      nl, faults, patterns, seed,
+      [&](std::vector<uint8_t>& partial, const FaultSimulator& sim,
+          size_t f_lo, size_t f_hi, uint64_t lane_mask) {
+        if (partial.empty()) partial.assign(f_hi - f_lo, 0);
+        for (size_t f = f_lo; f < f_hi; ++f) {
+          if (partial[f - f_lo]) continue;  // already detected in this tile
+          if ((sim.DetectMask(faults[f]) & lane_mask) != 0) {
+            partial[f - f_lo] = 1;
+          }
+        }
+      },
+      [&](const std::vector<uint8_t>& partial, size_t f_lo) {
+        for (size_t i = 0; i < partial.size(); ++i) {
+          detected[f_lo + i] |= partial[i];
+        }
+      });
   CoverageResult r;
   r.total_faults = faults.size();
-  for (bool d : detected) r.detected += d ? 1 : 0;
+  for (uint8_t d : detected) r.detected += d ? 1 : 0;
   return r;
+}
+
+std::vector<uint64_t> DetectionProfile(const Netlist& nl,
+                                       const std::vector<Fault>& faults,
+                                       uint64_t patterns, uint64_t seed) {
+  std::vector<uint64_t> counts(faults.size(), 0);
+  ShardedFaultSweep<std::vector<uint64_t>>(
+      nl, faults, patterns, seed,
+      [&](std::vector<uint64_t>& partial, const FaultSimulator& sim,
+          size_t f_lo, size_t f_hi, uint64_t lane_mask) {
+        if (partial.empty()) partial.assign(f_hi - f_lo, 0);
+        for (size_t f = f_lo; f < f_hi; ++f) {
+          partial[f - f_lo] +=
+              std::popcount(sim.DetectMask(faults[f]) & lane_mask);
+        }
+      },
+      [&](const std::vector<uint64_t>& partial, size_t f_lo) {
+        for (size_t i = 0; i < partial.size(); ++i) {
+          counts[f_lo + i] += partial[i];
+        }
+      });
+  return counts;
 }
 
 }  // namespace splitlock::atpg

@@ -5,6 +5,13 @@
 // from the good machine — i.e. the patterns that *detect* (fail under) the
 // fault. Aggregate coverage sweeps support the test suite and the locking
 // cost model.
+//
+// The aggregate sweeps (FaultCoverage, DetectionProfile) shard BOTH the
+// fault list and the pattern words across the exec thread pool: the
+// (fault-block x word-shard) grid is tiled, each tile simulates its words
+// from counter-based stimulus streams keyed by (seed, word index) and
+// OR/sum-folds per-fault results. Final results are bit-identical for a
+// given seed at any thread count (and for any tile shape).
 #pragma once
 
 #include <cstdint>
@@ -53,9 +60,19 @@ struct CoverageResult {
   }
 };
 
-// Random-pattern fault coverage over `patterns` patterns.
+// Random-pattern fault coverage over `patterns` patterns, sharded across
+// the exec thread pool. Lanes beyond `patterns` in the final word are
+// masked out of detection.
 CoverageResult FaultCoverage(const Netlist& nl,
                              const std::vector<Fault>& faults,
                              uint64_t patterns, uint64_t seed);
+
+// Per-fault detection counts (number of the `patterns` random patterns that
+// detect each fault) — the DetectMask sweep behind random-pattern
+// testability profiles. Same sharding and determinism contract as
+// FaultCoverage.
+std::vector<uint64_t> DetectionProfile(const Netlist& nl,
+                                       const std::vector<Fault>& faults,
+                                       uint64_t patterns, uint64_t seed);
 
 }  // namespace splitlock::atpg

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "netlist/libcell.hpp"
 #include "util/rng.hpp"
 
@@ -120,64 +121,75 @@ ProximityResult RunProximityAttack(const split::FeolView& feol,
     uint32_t sink_index;
     uint32_t driver_index;
   };
-  std::vector<Pair> pairs;
-  std::vector<Pair> per_sink;
-  for (uint32_t si = 0; si < feol.sink_stubs.size(); ++si) {
-    const split::SinkStub& stub = feol.sink_stubs[si];
-    per_sink.clear();
-    for (uint32_t di = 0; di < feol.driver_stubs.size(); ++di) {
-      const split::DriverStub& drv = feol.driver_stubs[di];
-      // Self-driving is structurally impossible.
-      const Gate& sink_gate = nl.gate(stub.sink.gate);
-      if (sink_gate.out != kNullId && sink_gate.out == drv.net) continue;
-      if (drv.ascents.empty()) continue;
-      // Score: stub distance plus a track-alignment term. The missing BEOL
-      // piece runs in the hidden layer's preferred direction, so the two
-      // stubs of a true pairing are nearly co-linear (share an x or y
-      // coordinate); candidates needing a dog-leg on the hidden metal are
-      // penalized. (Key-net stubs sit on cell pins with no such geometry —
-      // nothing to align on.)
-      double dist = std::numeric_limits<double>::max();
-      for (const Point& a : drv.ascents) {
-        const double dx = std::abs(stub.position.x - a.x);
-        const double dy = std::abs(stub.position.y - a.y);
-        // Exactly track-aligned pairs (the hidden wire is one straight
-        // segment) are strongly preferred; dog-legged candidates carry a
-        // flat penalty so they only matter where no aligned candidate
-        // exists (e.g. connections hidden above the split in full).
-        const double misalignment = std::min(dx, dy);
-        const double score =
-            misalignment < 0.05 ? dx + dy : 60.0 + dx + dy;
-        dist = std::min(dist, score);
-      }
-      if (options.use_direction_hint &&
-          !(stub.hint_toward == stub.position)) {
-        // The visible sink fragment runs hint_toward -> position; the
-        // missing driver plausibly continues beyond `position`. Penalize
-        // candidates lying back toward the sink pin.
-        const double frag_dx = stub.position.x - stub.hint_toward.x;
-        const double frag_dy = stub.position.y - stub.hint_toward.y;
-        const Point& nearest = *std::min_element(
-            drv.ascents.begin(), drv.ascents.end(),
-            [&](const Point& a, const Point& b) {
-              return ManhattanDistance(stub.position, a) <
-                     ManhattanDistance(stub.position, b);
-            });
-        const double cand_dx = nearest.x - stub.position.x;
-        const double cand_dy = nearest.y - stub.position.y;
-        if (frag_dx * cand_dx + frag_dy * cand_dy < 0.0) {
-          dist *= options.direction_penalty;
+  // Candidate scoring is independent per sink: shard the sinks across the
+  // exec thread pool, keep each sink's pruned candidate list in its own
+  // slot, and concatenate in sink order afterwards — the resulting pair
+  // list (and thus the greedy commit order) is identical at any thread
+  // count.
+  std::vector<std::vector<Pair>> sink_candidates(feol.sink_stubs.size());
+  exec::ParallelFor(feol.sink_stubs.size(), 8, [&](size_t lo, size_t hi) {
+    std::vector<Pair> per_sink;
+    for (uint32_t si = static_cast<uint32_t>(lo); si < hi; ++si) {
+      const split::SinkStub& stub = feol.sink_stubs[si];
+      per_sink.clear();
+      for (uint32_t di = 0; di < feol.driver_stubs.size(); ++di) {
+        const split::DriverStub& drv = feol.driver_stubs[di];
+        // Self-driving is structurally impossible.
+        const Gate& sink_gate = nl.gate(stub.sink.gate);
+        if (sink_gate.out != kNullId && sink_gate.out == drv.net) continue;
+        if (drv.ascents.empty()) continue;
+        // Score: stub distance plus a track-alignment term. The missing BEOL
+        // piece runs in the hidden layer's preferred direction, so the two
+        // stubs of a true pairing are nearly co-linear (share an x or y
+        // coordinate); candidates needing a dog-leg on the hidden metal are
+        // penalized. (Key-net stubs sit on cell pins with no such geometry —
+        // nothing to align on.)
+        double dist = std::numeric_limits<double>::max();
+        for (const Point& a : drv.ascents) {
+          const double dx = std::abs(stub.position.x - a.x);
+          const double dy = std::abs(stub.position.y - a.y);
+          // Exactly track-aligned pairs (the hidden wire is one straight
+          // segment) are strongly preferred; dog-legged candidates carry a
+          // flat penalty so they only matter where no aligned candidate
+          // exists (e.g. connections hidden above the split in full).
+          const double misalignment = std::min(dx, dy);
+          const double score =
+              misalignment < 0.05 ? dx + dy : 60.0 + dx + dy;
+          dist = std::min(dist, score);
         }
+        if (options.use_direction_hint &&
+            !(stub.hint_toward == stub.position)) {
+          // The visible sink fragment runs hint_toward -> position; the
+          // missing driver plausibly continues beyond `position`. Penalize
+          // candidates lying back toward the sink pin.
+          const double frag_dx = stub.position.x - stub.hint_toward.x;
+          const double frag_dy = stub.position.y - stub.hint_toward.y;
+          const Point& nearest = *std::min_element(
+              drv.ascents.begin(), drv.ascents.end(),
+              [&](const Point& a, const Point& b) {
+                return ManhattanDistance(stub.position, a) <
+                       ManhattanDistance(stub.position, b);
+              });
+          const double cand_dx = nearest.x - stub.position.x;
+          const double cand_dy = nearest.y - stub.position.y;
+          if (frag_dx * cand_dx + frag_dy * cand_dy < 0.0) {
+            dist *= options.direction_penalty;
+          }
+        }
+        per_sink.push_back(Pair{dist, si, di});
       }
-      per_sink.push_back(Pair{dist, si, di});
+      const size_t keep =
+          std::min<size_t>(options.max_candidates_per_sink, per_sink.size());
+      std::partial_sort(per_sink.begin(), per_sink.begin() + keep,
+                        per_sink.end(), [](const Pair& a, const Pair& b) {
+                          return a.score < b.score;
+                        });
+      sink_candidates[si].assign(per_sink.begin(), per_sink.begin() + keep);
     }
-    const size_t keep =
-        std::min<size_t>(options.max_candidates_per_sink, per_sink.size());
-    std::partial_sort(per_sink.begin(), per_sink.begin() + keep,
-                      per_sink.end(), [](const Pair& a, const Pair& b) {
-                        return a.score < b.score;
-                      });
-    pairs.insert(pairs.end(), per_sink.begin(), per_sink.begin() + keep);
+  });
+  std::vector<Pair> pairs;
+  for (const std::vector<Pair>& cands : sink_candidates) {
+    pairs.insert(pairs.end(), cands.begin(), cands.end());
   }
   std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
     return a.score < b.score;

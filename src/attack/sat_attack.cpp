@@ -4,7 +4,10 @@
 #include <cassert>
 #include <set>
 
+#include "exec/parallel.hpp"
+#include "exec/stream_rng.hpp"
 #include "sat/solver.hpp"
+#include "util/lanes.hpp"
 #include "sat/tseitin.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -114,36 +117,59 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
 OracleLessProbe ProbeOracleLessKeySpace(const Netlist& locked, size_t samples,
                                         uint64_t patterns, uint64_t seed) {
   OracleLessProbe probe;
-  Rng rng(seed);
-  Simulator sim(locked);
   const std::vector<GateId> keys = locked.KeyInputs();
   const uint64_t words = (patterns + 63) / 64;
+  const size_t num_pos = locked.outputs().size();
 
   // Shared input stimulus across all sampled keys, so fingerprints are
-  // comparable.
+  // comparable. Word w is a pure function of (seed, w): shard boundaries
+  // cannot change what any key sees.
   std::vector<std::vector<uint64_t>> stimulus(words);
-  for (auto& w : stimulus) {
-    w.resize(locked.inputs().size());
-    for (auto& v : w) v = rng.NextWord();
+  for (uint64_t w = 0; w < words; ++w) {
+    exec::StreamRng rng(seed, exec::StreamDomain::kStimulus, w);
+    stimulus[w].resize(locked.inputs().size());
+    for (auto& v : stimulus[w]) v = rng.NextWord();
   }
+  // Lanes of the final word beyond `patterns` carry garbage from unused
+  // stimulus bits; LaneMaskForWord masks them out of the fingerprint so
+  // they cannot split functionally identical keys into distinct
+  // fingerprints.
 
-  std::set<std::vector<uint64_t>> fingerprints;
-  for (size_t s = 0; s < samples; ++s) {
-    std::vector<uint8_t> key(keys.size());
-    for (auto& b : key) b = rng.NextBool() ? 1 : 0;
-    sim.SetKeyBits(key);
-    std::vector<uint64_t> fp;
-    fp.reserve(words * locked.outputs().size());
-    for (uint64_t w = 0; w < words; ++w) {
-      sim.SetInputWords(stimulus[w]);
-      sim.Run();
-      for (size_t o = 0; o < locked.outputs().size(); ++o) {
-        fp.push_back(sim.OutputWord(o));
-      }
-    }
-    fingerprints.insert(std::move(fp));
-    ++probe.sampled_keys;
-  }
+  // Key sampling is sharded across the pool; each sample's key bits come
+  // from the counter-based stream (seed, kKeySample, s), so the sampled key
+  // set is identical at any thread count. Fingerprints merge through a set,
+  // which is order-insensitive.
+  constexpr size_t kSamplesPerShard = 8;
+  const std::set<std::vector<uint64_t>> fingerprints =
+      exec::ParallelReduce<std::set<std::vector<uint64_t>>>(
+      samples, kSamplesPerShard, {},
+      [&](size_t lo, size_t hi) {
+        Simulator sim(locked);
+        std::set<std::vector<uint64_t>> local;
+        for (size_t s = lo; s < hi; ++s) {
+          exec::StreamRng krng(seed, exec::StreamDomain::kKeySample, s);
+          std::vector<uint8_t> key(keys.size());
+          for (auto& b : key) b = krng.NextBool() ? 1 : 0;
+          sim.SetKeyBits(key);
+          std::vector<uint64_t> fp;
+          fp.reserve(words * num_pos);
+          for (uint64_t w = 0; w < words; ++w) {
+            sim.SetInputWords(stimulus[w]);
+            sim.Run();
+            const uint64_t mask = LaneMaskForWord(w, words, patterns);
+            for (size_t o = 0; o < num_pos; ++o) {
+              fp.push_back(sim.OutputWord(o) & mask);
+            }
+          }
+          local.insert(std::move(fp));
+        }
+        return local;
+      },
+      [](std::set<std::vector<uint64_t>> x, std::set<std::vector<uint64_t>> y) {
+        x.merge(std::move(y));
+        return x;
+      });
+  probe.sampled_keys = samples;
   probe.distinct_functions = fingerprints.size();
   return probe;
 }

@@ -63,7 +63,11 @@ struct OracleLessProbe {
 };
 
 // Samples `samples` random keys and fingerprints the induced functions
-// over `patterns` random input patterns.
+// over `patterns` random input patterns. Key sampling is sharded across
+// the exec thread pool with counter-based streams: results are
+// bit-identical for a given seed at any thread count. When `patterns` is
+// not a multiple of 64, the final word's dead lanes are masked out of the
+// fingerprint.
 OracleLessProbe ProbeOracleLessKeySpace(const Netlist& locked, size_t samples,
                                         uint64_t patterns, uint64_t seed);
 

@@ -1,0 +1,75 @@
+#include "core/campaign.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "circuits/suites.hpp"
+#include "exec/parallel.hpp"
+
+namespace splitlock::core {
+
+CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
+  CampaignOutcome outcome;
+  outcome.name = job.name;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const Netlist original = job.make_netlist();
+    outcome.flow = RunSecureFlow(original, job.flow);
+    if (options_.run_attack) {
+      outcome.proximity =
+          attack::RunProximityAttack(outcome.flow.feol, job.attack);
+      outcome.score =
+          attack::ScoreAttack(outcome.flow.feol, outcome.proximity.assignment,
+                              options_.score_patterns, job.flow.seed);
+    }
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.error = "unknown error";
+  }
+  outcome.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+std::vector<CampaignOutcome> CampaignRunner::Run(
+    const std::vector<CampaignJob>& jobs) const {
+  std::vector<CampaignOutcome> outcomes(jobs.size());
+  // Grain 1: each job is one pool task; whole-job parallelism dominates and
+  // the nested sweeps inside a job soak up idle workers near the tail.
+  exec::ParallelFor(jobs.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) outcomes[i] = RunOne(jobs[i]);
+  });
+  return outcomes;
+}
+
+std::vector<CampaignJob> IscasCampaignJobs(const FlowOptions& flow) {
+  std::vector<CampaignJob> jobs;
+  for (const circuits::BenchmarkInfo& info : circuits::IscasSuite()) {
+    CampaignJob job;
+    job.name = info.name;
+    job.make_netlist = [name = info.name] { return circuits::MakeIscas(name); };
+    job.flow = flow;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<CampaignJob> Itc99CampaignJobs(const FlowOptions& flow,
+                                           double scale) {
+  std::vector<CampaignJob> jobs;
+  for (const circuits::BenchmarkInfo& info : circuits::Itc99Suite()) {
+    CampaignJob job;
+    job.name = info.name;
+    job.make_netlist = [name = info.name, scale] {
+      return circuits::MakeItc99(name, scale);
+    };
+    job.flow = flow;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace splitlock::core

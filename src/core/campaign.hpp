@@ -1,0 +1,75 @@
+// CampaignRunner: concurrent lock -> place/route -> split -> attack
+// campaigns over whole circuit suites.
+//
+// One campaign job is the full per-benchmark evaluation pipeline the bench
+// harnesses and the CLI run: build the circuit, run the secure split
+// manufacturing flow, split the layout, run the proximity attack, score it
+// (CCR / PNR / HD / OER). Jobs are independent, so the runner executes them
+// as tasks on the exec thread pool; the parallel sweeps inside each job
+// (fault sim, HD/OER, probes) run as nested parallel regions on the same
+// pool, so a single large job still saturates the machine once the queue of
+// whole jobs drains. Per-job failures are captured in the outcome instead
+// of aborting the campaign. Outcomes keep job order; all per-job randomness
+// is seeded from the job's own options, so a campaign's results do not
+// depend on thread count or completion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/metrics.hpp"
+#include "attack/proximity.hpp"
+#include "core/flow.hpp"
+
+namespace splitlock::core {
+
+struct CampaignJob {
+  std::string name;
+  // Deferred circuit construction: runs inside the worker task, so
+  // suite-scale campaigns also build their (synthetic) benchmarks
+  // concurrently.
+  std::function<Netlist()> make_netlist;
+  FlowOptions flow;
+  attack::ProximityOptions attack;
+};
+
+struct CampaignOutcome {
+  std::string name;
+  bool ok = false;
+  std::string error;  // exception text when !ok
+  FlowResult flow;
+  attack::ProximityResult proximity;
+  attack::AttackScore score;
+  double elapsed_s = 0.0;
+};
+
+struct CampaignOptions {
+  // Random patterns for the attack scorecard's HD/OER estimate.
+  uint64_t score_patterns = 4096;
+  // Skip the proximity attack + scorecard (flow-only campaigns).
+  bool run_attack = true;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {}) : options_(options) {}
+
+  // Runs every job, concurrently, and returns outcomes in job order.
+  std::vector<CampaignOutcome> Run(const std::vector<CampaignJob>& jobs) const;
+
+  // Runs a single job on the calling thread.
+  CampaignOutcome RunOne(const CampaignJob& job) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+// Suite helpers: one job per benchmark, named after it. `scale` follows
+// circuits::MakeItc99's REPRO_SCALE semantics.
+std::vector<CampaignJob> IscasCampaignJobs(const FlowOptions& flow);
+std::vector<CampaignJob> Itc99CampaignJobs(const FlowOptions& flow,
+                                           double scale);
+
+}  // namespace splitlock::core

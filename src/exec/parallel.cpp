@@ -1,0 +1,65 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+
+namespace splitlock::exec {
+
+void TaskGroup::Run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.Submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    // Help drain the pool; only sleep when there is nothing to run (our
+    // tasks are in flight on other threads).
+    if (pool_.TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ParallelForChunked(
+    size_t n, size_t grain,
+    const std::function<void(size_t chunk, size_t lo, size_t hi)>& body) {
+  if (grain == 0) grain = 1;
+  const size_t chunks = NumChunks(n, grain);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(0, 0, n);
+    return;
+  }
+  TaskGroup group;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = c * grain;
+    const size_t hi = std::min(n, lo + grain);
+    group.Run([&body, c, lo, hi] { body(c, lo, hi); });
+  }
+  group.Wait();
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t lo, size_t hi)>& body) {
+  ParallelForChunked(n, grain,
+                     [&body](size_t, size_t lo, size_t hi) { body(lo, hi); });
+}
+
+}  // namespace splitlock::exec

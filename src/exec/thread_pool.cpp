@@ -1,0 +1,131 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace splitlock::exec {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::PopOrSteal(size_t worker_index, std::function<void()>& task) {
+  // Own deque first, newest task (LIFO).
+  {
+    WorkerQueue& own = *queues_[worker_index];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task (FIFO) from the first non-empty sibling.
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& victim = *queues_[(worker_index + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  // External threads have no own deque; steal round-robin from slot 0.
+  std::function<void()> task;
+  if (!PopOrSteal(0, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  std::function<void()> task;
+  for (;;) {
+    if (PopOrSteal(worker_index, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    // Re-check under the sleep lock: a Submit between our scan and here
+    // would have notified before we started waiting.
+    bool any = false;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> qlock(q->mutex);
+      if (!q->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+namespace {
+
+std::mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;  // guarded by g_default_pool_mutex
+
+}  // namespace
+
+ThreadPool& ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(DefaultThreadCount());
+  }
+  return *g_default_pool;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("SPLITLOCK_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::SetDefaultThreadCount(size_t threads) {
+  std::unique_ptr<ThreadPool> fresh =
+      std::make_unique<ThreadPool>(threads == 0 ? DefaultThreadCount()
+                                                : threads);
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  g_default_pool = std::move(fresh);
+}
+
+}  // namespace splitlock::exec

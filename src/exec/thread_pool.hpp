@@ -1,0 +1,75 @@
+// Work-stealing thread pool for the parallel execution layer.
+//
+// Each worker owns a deque of tasks: it pops from the back of its own deque
+// (LIFO, cache-friendly) and steals from the front of a sibling's deque when
+// empty (FIFO, oldest first). External threads submit round-robin. Blocking
+// waiters help drain the pool (TryRunOneTask), so nested parallel regions
+// cannot deadlock even on a single worker.
+//
+// The pool carries NO determinism obligations itself — determinism is the
+// contract of the exec::ParallelFor / exec::ParallelReduce wrappers (fixed
+// chunking, index-ordered reduction) plus counter-based RNG streams (see
+// stream_rng.hpp). Which thread runs which chunk is intentionally arbitrary.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace splitlock::exec {
+
+class ThreadPool {
+ public:
+  // `threads` worker threads; 0 picks DefaultThreadCount().
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t ThreadCount() const { return workers_.size(); }
+
+  // Enqueues one task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task);
+
+  // Runs one queued task on the calling thread if any is available.
+  // Used by waiters to help instead of blocking; returns false when every
+  // deque is empty.
+  bool TryRunOneTask();
+
+  // The process-wide pool used by ParallelFor/ParallelReduce and every
+  // parallel algorithm in the library. Created on first use.
+  static ThreadPool& Default();
+
+  // Worker count for Default(): env SPLITLOCK_THREADS when set, otherwise
+  // std::thread::hardware_concurrency().
+  static size_t DefaultThreadCount();
+
+  // Replaces the default pool with one of `threads` workers (0 restores
+  // DefaultThreadCount()). Intended for tests and benchmarks exercising the
+  // determinism contract at several widths. Must not be called while a
+  // parallel region is running.
+  static void SetDefaultThreadCount(size_t threads);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  bool PopOrSteal(size_t worker_index, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace splitlock::exec

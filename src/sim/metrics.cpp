@@ -1,52 +1,102 @@
 #include "sim/metrics.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cassert>
+#include <vector>
 
+#include "exec/parallel.hpp"
+#include "exec/stream_rng.hpp"
 #include "sim/simulator.hpp"
-#include "util/rng.hpp"
+#include "util/lanes.hpp"
 
 namespace splitlock {
 namespace {
 
-// Runs both simulators over the same random input words and folds the
-// per-word output mismatch masks.
-template <typename Fold>
-void SweepPairs(const Netlist& a, const Netlist& b, uint64_t patterns,
-                uint64_t seed, std::span<const uint8_t> a_key,
-                std::span<const uint8_t> b_key, Fold&& fold) {
-  assert(a.inputs().size() == b.inputs().size());
-  assert(a.outputs().size() == b.outputs().size());
-  Simulator sim_a(a);
-  Simulator sim_b(b);
-  if (!a_key.empty()) sim_a.SetKeyBits(a_key);
-  if (!b_key.empty()) sim_b.SetKeyBits(b_key);
-  Rng rng(seed);
+// Words per parallel shard. Each shard constructs its own Simulator pair,
+// so the grain must amortize that setup; 16 words = 1024 patterns.
+constexpr size_t kWordsPerShard = 16;
+
+// Stimulus for global word `w` is a pure function of (seed, w): shard
+// boundaries and thread count cannot change what any pattern looks like.
+void FillStimulusRows(uint64_t seed, size_t lo, size_t hi, size_t num_pis,
+                      std::vector<std::vector<uint64_t>>& rows) {
+  rows.assign(num_pis, std::vector<uint64_t>(hi - lo));
+  for (size_t w = lo; w < hi; ++w) {
+    exec::StreamRng rng(seed, exec::StreamDomain::kStimulus, w);
+    for (size_t i = 0; i < num_pis; ++i) rows[i][w - lo] = rng.NextWord();
+  }
+}
+
+struct SweepPartial {
+  uint64_t bit_mismatches = 0;
+  uint64_t erroneous_patterns = 0;
+  bool agree = true;
+};
+
+// Simulates both netlists over one shard of word indices [lo, hi) and
+// accumulates mismatch statistics. `stop` lets agreement checks abandon
+// remaining shards once any shard has found a disagreement (the *result*
+// stays deterministic: it is a pure AND over all shards).
+SweepPartial SweepShard(const Netlist& a, const Netlist& b, uint64_t patterns,
+                        uint64_t seed, std::span<const uint8_t> a_key,
+                        std::span<const uint8_t> b_key, size_t lo, size_t hi,
+                        const std::atomic<bool>* stop) {
+  SweepPartial p;
+  if (stop != nullptr && stop->load(std::memory_order_relaxed)) return p;
   const size_t num_pis = a.inputs().size();
   const size_t num_pos = a.outputs().size();
-  std::vector<uint64_t> words(num_pis);
   const uint64_t num_words = (patterns + 63) / 64;
-  for (uint64_t w = 0; w < num_words; ++w) {
-    for (size_t i = 0; i < num_pis; ++i) words[i] = rng.NextWord();
-    sim_a.SetInputWords(words);
-    sim_b.SetInputWords(words);
-    sim_a.Run();
-    sim_b.Run();
-    // Lanes beyond the requested pattern count (final partial word) are
-    // masked out.
-    const uint64_t lanes = (w + 1 == num_words && (patterns % 64) != 0)
-                               ? patterns % 64
-                               : 64;
-    const uint64_t lane_mask =
-        lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
-    bool stop = false;
-    for (size_t o = 0; o < num_pos && !stop; ++o) {
-      const uint64_t diff =
-          (sim_a.OutputWord(o) ^ sim_b.OutputWord(o)) & lane_mask;
-      stop = fold(o, diff, lane_mask);
-    }
-    if (stop) return;
+  Simulator sim_a(a);
+  Simulator sim_b(b);
+  const size_t width = hi - lo;
+  sim_a.BeginBatch(width);
+  sim_b.BeginBatch(width);
+  if (!a_key.empty()) sim_a.SetKeyBitsBatch(a_key);
+  if (!b_key.empty()) sim_b.SetKeyBitsBatch(b_key);
+  std::vector<std::vector<uint64_t>> rows;
+  FillStimulusRows(seed, lo, hi, num_pis, rows);
+  for (size_t i = 0; i < num_pis; ++i) {
+    sim_a.SetSourceBatch(a.inputs()[i], rows[i]);
+    sim_b.SetSourceBatch(b.inputs()[i], rows[i]);
   }
+  sim_a.RunBatch();
+  sim_b.RunBatch();
+  for (size_t w = 0; w < width; ++w) {
+    const uint64_t lane_mask = LaneMaskForWord(lo + w, num_words, patterns);
+    uint64_t any = 0;
+    for (size_t o = 0; o < num_pos; ++o) {
+      const uint64_t diff =
+          (sim_a.BatchOutputWord(o, w) ^ sim_b.BatchOutputWord(o, w)) &
+          lane_mask;
+      p.bit_mismatches += std::popcount(diff);
+      any |= diff;
+    }
+    p.erroneous_patterns += std::popcount(any);
+    if (any != 0) p.agree = false;
+  }
+  return p;
+}
+
+SweepPartial SweepPairsParallel(const Netlist& a, const Netlist& b,
+                                uint64_t patterns, uint64_t seed,
+                                std::span<const uint8_t> a_key,
+                                std::span<const uint8_t> b_key) {
+  assert(a.inputs().size() == b.inputs().size());
+  assert(a.outputs().size() == b.outputs().size());
+  const uint64_t num_words = (patterns + 63) / 64;
+  return exec::ParallelReduce<SweepPartial>(
+      num_words, kWordsPerShard, SweepPartial{},
+      [&](size_t lo, size_t hi) {
+        return SweepShard(a, b, patterns, seed, a_key, b_key, lo, hi,
+                          /*stop=*/nullptr);
+      },
+      [](SweepPartial x, SweepPartial y) {
+        x.bit_mismatches += y.bit_mismatches;
+        x.erroneous_patterns += y.erroneous_patterns;
+        x.agree = x.agree && y.agree;
+        return x;
+      });
 }
 
 }  // namespace
@@ -56,31 +106,17 @@ FunctionalDiff CompareFunctional(const Netlist& reference,
                                  uint64_t seed,
                                  std::span<const uint8_t> reference_key,
                                  std::span<const uint8_t> candidate_key) {
-  const size_t num_pos = reference.outputs().size();
-  uint64_t bit_mismatches = 0;
-  uint64_t erroneous_patterns = 0;
-  uint64_t current_any = 0;
-  size_t outputs_seen = 0;
-  SweepPairs(reference, candidate, patterns, seed, reference_key,
-             candidate_key,
-             [&](size_t /*o*/, uint64_t diff, uint64_t /*mask*/) {
-               bit_mismatches += std::popcount(diff);
-               current_any |= diff;
-               if (++outputs_seen == num_pos) {
-                 erroneous_patterns += std::popcount(current_any);
-                 current_any = 0;
-                 outputs_seen = 0;
-               }
-               return false;
-             });
+  const SweepPartial p = SweepPairsParallel(reference, candidate, patterns,
+                                            seed, reference_key, candidate_key);
   FunctionalDiff d;
   d.patterns = patterns;
   const double total_bits = static_cast<double>(patterns) *
-                            static_cast<double>(num_pos);
-  d.hd_percent = total_bits == 0.0 ? 0.0 : 100.0 * bit_mismatches / total_bits;
+                            static_cast<double>(reference.outputs().size());
+  d.hd_percent =
+      total_bits == 0.0 ? 0.0 : 100.0 * p.bit_mismatches / total_bits;
   d.oer_percent =
       patterns == 0 ? 0.0
-                    : 100.0 * static_cast<double>(erroneous_patterns) /
+                    : 100.0 * static_cast<double>(p.erroneous_patterns) /
                           static_cast<double>(patterns);
   return d;
 }
@@ -89,16 +125,20 @@ bool RandomPatternsAgree(const Netlist& reference, const Netlist& candidate,
                          uint64_t patterns, uint64_t seed,
                          std::span<const uint8_t> reference_key,
                          std::span<const uint8_t> candidate_key) {
-  bool agree = true;
-  SweepPairs(reference, candidate, patterns, seed, reference_key,
-             candidate_key,
-             [&](size_t /*o*/, uint64_t diff, uint64_t /*mask*/) {
-               if (diff != 0) {
-                 agree = false;
-                 return true;  // stop sweeping
-               }
-               return false;
-             });
+  std::atomic<bool> stop{false};
+  assert(reference.inputs().size() == candidate.inputs().size());
+  assert(reference.outputs().size() == candidate.outputs().size());
+  const uint64_t num_words = (patterns + 63) / 64;
+  const bool agree = exec::ParallelReduce<bool>(
+      num_words, kWordsPerShard, true,
+      [&](size_t lo, size_t hi) {
+        const SweepPartial p =
+            SweepShard(reference, candidate, patterns, seed, reference_key,
+                       candidate_key, lo, hi, &stop);
+        if (!p.agree) stop.store(true, std::memory_order_relaxed);
+        return p.agree;
+      },
+      [](bool x, bool y) { return x && y; });
   return agree;
 }
 

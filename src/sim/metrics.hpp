@@ -4,6 +4,11 @@
 // Table II / Table III metrics: HD is the average fraction of output bits
 // that differ between the original netlist and the attacker-recovered one;
 // OER is the fraction of input patterns producing at least one wrong output.
+//
+// Both sweeps shard their pattern words across the exec thread pool in
+// batched multi-word simulations. Stimulus is drawn from counter-based
+// streams keyed by (seed, word index), so results are bit-identical for a
+// given seed at any thread count.
 #pragma once
 
 #include <cstdint>

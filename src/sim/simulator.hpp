@@ -3,6 +3,13 @@
 // One Run() evaluates 64 input patterns at once (one bit-lane each). This is
 // the workhorse behind HD/OER estimation, switching-activity extraction for
 // the power model, bias profiling for fault selection, and fault simulation.
+//
+// The batched API (BeginBatch/RunBatch) evaluates N x 64 patterns in a
+// single topological sweep over structure-of-arrays net-value buffers:
+// values of one net occupy N contiguous words, so each gate's inner loop is
+// a straight-line pass over contiguous memory that vectorizes. The parallel
+// sweeps in sim/metrics, atpg/fault_sim and attack/ shard word-batches
+// across the exec thread pool, one Simulator per shard.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,30 @@ class Simulator {
   // Word observed by primary output `po_index` (outputs() order).
   uint64_t OutputWord(size_t po_index) const;
 
+  // --- Batched multi-word simulation ---
+
+  // Switches the batch buffers to `width` words per net (width * 64
+  // patterns per RunBatch). Contents are undefined until sources are set.
+  void BeginBatch(size_t width);
+
+  size_t batch_width() const { return batch_width_; }
+
+  // Assigns the `width` words of a source gate's net (one word per batch
+  // column).
+  void SetSourceBatch(GateId source, std::span<const uint64_t> words);
+
+  // Binds key-input gates to constant 0/1 across every batch column.
+  void SetKeyBitsBatch(std::span<const uint8_t> bits);
+
+  // Evaluates all gates over all batch columns in one topological sweep.
+  void RunBatch();
+
+  // Word `w` (batch column) of a net / of primary output `po_index`.
+  uint64_t BatchNetWord(NetId net, size_t w) const {
+    return batch_[net * batch_width_ + w];
+  }
+  uint64_t BatchOutputWord(size_t po_index, size_t w) const;
+
   const Netlist& netlist() const { return *nl_; }
 
  private:
@@ -49,6 +80,8 @@ class Simulator {
   std::vector<GateId> topo_;
   std::vector<GateId> key_inputs_;
   std::vector<uint64_t> values_;  // indexed by NetId
+  size_t batch_width_ = 0;
+  std::vector<uint64_t> batch_;  // SoA: [net * batch_width_ + word]
 };
 
 // Per-net toggle rate (fraction of adjacent random-pattern pairs on which

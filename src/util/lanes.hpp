@@ -1,0 +1,25 @@
+// Lane masks for 64-pattern simulation words.
+//
+// Sweeps that process `patterns` patterns in 64-lane words must exclude the
+// final word's dead lanes (stimulus exists there but was never requested)
+// from every statistic and fingerprint. Each parallel sweep masks through
+// these helpers so a missed-mask bug cannot recur per call site.
+#pragma once
+
+#include <cstdint>
+
+namespace splitlock {
+
+// Mask of live lanes in the FINAL word of a `patterns`-pattern sweep
+// (all-ones when patterns is a multiple of 64).
+inline uint64_t TailLaneMask(uint64_t patterns) {
+  return (patterns % 64) != 0 ? ((1ULL << (patterns % 64)) - 1) : ~0ULL;
+}
+
+// Mask of live lanes in word `word_index` of ceil(patterns/64) words.
+inline uint64_t LaneMaskForWord(uint64_t word_index, uint64_t num_words,
+                                uint64_t patterns) {
+  return word_index + 1 == num_words ? TailLaneMask(patterns) : ~0ULL;
+}
+
+}  // namespace splitlock

@@ -1,0 +1,302 @@
+// Exec-layer contract tests: the thread pool runs what it is given, the
+// deterministic primitives cover their ranges exactly once, counter-based
+// streams reproduce, and — the load-bearing guarantee — every parallel
+// sweep in the library (fault coverage, HD/OER, oracle-less probe,
+// proximity scoring) is bit-identical at 1, 2 and 8 threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "attack/proximity.hpp"
+#include "attack/sat_attack.hpp"
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+#include "core/flow.hpp"
+#include "exec/parallel.hpp"
+#include "exec/stream_rng.hpp"
+#include "exec/thread_pool.hpp"
+#include "lock/epic.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace splitlock {
+namespace {
+
+// Restores the default pool width when a test body returns.
+struct PoolWidthGuard {
+  ~PoolWidthGuard() { exec::ThreadPool::SetDefaultThreadCount(0); }
+};
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  exec::TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TaskGroupPropagatesExceptions) {
+  exec::ThreadPool pool(2);
+  exec::TaskGroup group(pool);
+  group.Run([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  PoolWidthGuard guard;
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    exec::ParallelFor(1000, 7, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " @ " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedRegionsDoNotDeadlock) {
+  PoolWidthGuard guard;
+  exec::ThreadPool::SetDefaultThreadCount(2);
+  std::atomic<int> total{0};
+  exec::ParallelFor(8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      exec::ParallelFor(8, 1,
+                        [&](size_t l, size_t h) {
+                          total.fetch_add(static_cast<int>(h - l));
+                        });
+    }
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelReduce, FloatSumIsBitIdenticalAcrossWidths) {
+  PoolWidthGuard guard;
+  std::vector<double> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  std::vector<double> results;
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    results.push_back(exec::ParallelReduce<double>(
+        values.size(), 64, 0.0,
+        [&](size_t lo, size_t hi) {
+          return std::accumulate(values.begin() + lo, values.begin() + hi,
+                                 0.0);
+        },
+        [](double x, double y) { return x + y; }));
+  }
+  EXPECT_EQ(results[0], results[1]);  // bitwise, not approximate
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(StreamRng, ReproducibleAndStreamIndependent) {
+  exec::StreamRng a(42, exec::StreamDomain::kStimulus, 7);
+  exec::StreamRng b(42, exec::StreamDomain::kStimulus, 7);
+  exec::StreamRng c(42, exec::StreamDomain::kStimulus, 8);
+  exec::StreamRng d(42, exec::StreamDomain::kKeySample, 7);
+  bool diff_stream = false;
+  bool diff_domain = false;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t va = a.NextWord();
+    EXPECT_EQ(va, b.NextWord());
+    diff_stream = diff_stream || va != c.NextWord();
+    diff_domain = diff_domain || va != d.NextWord();
+  }
+  EXPECT_TRUE(diff_stream);
+  EXPECT_TRUE(diff_domain);
+}
+
+TEST(Simulator, RunBatchMatchesRepeatedSingleWordRuns) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 300;
+  spec.seed = 9;
+  const Netlist nl = circuits::GenerateCircuit(spec);
+
+  constexpr size_t kWidth = 5;
+  Rng rng(123);
+  std::vector<std::vector<uint64_t>> rows(
+      nl.inputs().size(), std::vector<uint64_t>(kWidth));
+  for (auto& row : rows) {
+    for (uint64_t& w : row) w = rng.NextWord();
+  }
+
+  Simulator batch(nl);
+  batch.BeginBatch(kWidth);
+  for (size_t i = 0; i < nl.inputs().size(); ++i) {
+    batch.SetSourceBatch(nl.inputs()[i], rows[i]);
+  }
+  batch.RunBatch();
+
+  Simulator single(nl);
+  for (size_t w = 0; w < kWidth; ++w) {
+    for (size_t i = 0; i < nl.inputs().size(); ++i) {
+      single.SetSourceWord(nl.inputs()[i], rows[i][w]);
+    }
+    single.Run();
+    for (NetId n = 0; n < nl.NumNets(); ++n) {
+      ASSERT_EQ(single.NetWord(n), batch.BatchNetWord(n, w))
+          << "net " << n << " word " << w;
+    }
+    for (size_t o = 0; o < nl.outputs().size(); ++o) {
+      ASSERT_EQ(single.OutputWord(o), batch.BatchOutputWord(o, w));
+    }
+  }
+}
+
+TEST(Simulator, RunBatchHonorsKeyBits) {
+  const Netlist original = circuits::MakeC17();
+  Rng lock_rng(4);
+  const lock::EpicResult locked = lock::LockWithEpic(original, 4, lock_rng);
+  const Netlist& nl = locked.locked;
+
+  Simulator batch(nl);
+  batch.BeginBatch(3);
+  batch.SetKeyBitsBatch(locked.key);
+  std::vector<uint64_t> row(3);
+  Rng rng(5);
+  for (GateId pi : nl.inputs()) {
+    for (uint64_t& w : row) w = rng.NextWord();
+    batch.SetSourceBatch(pi, row);
+  }
+  batch.RunBatch();  // smoke: correct key must not crash and produces words
+  (void)batch.BatchOutputWord(0, 2);
+}
+
+// The determinism contract of the ISSUE: the same seed must give
+// bit-identical results at ANY thread count for every sharded sweep.
+TEST(ThreadInvariance, FaultCoverageHdOerProbeAndProximity) {
+  PoolWidthGuard guard;
+
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 14;
+  spec.num_outputs = 7;
+  spec.num_gates = 350;
+  spec.seed = 21;
+  const Netlist nl = circuits::GenerateCircuit(spec);
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+
+  Rng lock_rng(6);
+  const lock::EpicResult locked = lock::LockWithEpic(nl, 8, lock_rng);
+  std::vector<uint8_t> wrong_key = locked.key;
+  wrong_key[0] ^= 1;
+
+  // 2500 patterns: not a multiple of 64, so tail-lane masking is exercised
+  // in every sweep.
+  constexpr uint64_t kPatterns = 2500;
+
+  struct Snapshot {
+    size_t detected = 0;
+    std::vector<uint64_t> profile;
+    double hd = 0.0, oer = 0.0;
+    bool agree_right = false, agree_wrong = false;
+    size_t distinct = 0;
+  };
+  std::vector<Snapshot> snaps;
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    Snapshot s;
+    s.detected = atpg::FaultCoverage(nl, faults, kPatterns, 77).detected;
+    s.profile = atpg::DetectionProfile(nl, faults, kPatterns, 77);
+    const FunctionalDiff d = CompareFunctional(
+        nl, locked.locked, kPatterns, 77, {}, wrong_key);
+    s.hd = d.hd_percent;
+    s.oer = d.oer_percent;
+    s.agree_right =
+        RandomPatternsAgree(nl, locked.locked, kPatterns, 77, {}, locked.key);
+    s.agree_wrong =
+        RandomPatternsAgree(nl, locked.locked, kPatterns, 77, {}, wrong_key);
+    s.distinct =
+        attack::ProbeOracleLessKeySpace(locked.locked, 40, kPatterns, 77)
+            .distinct_functions;
+    snaps.push_back(std::move(s));
+  }
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_EQ(snaps[0].detected, snaps[i].detected);
+    EXPECT_EQ(snaps[0].profile, snaps[i].profile);
+    EXPECT_EQ(snaps[0].hd, snaps[i].hd);  // bitwise
+    EXPECT_EQ(snaps[0].oer, snaps[i].oer);
+    EXPECT_EQ(snaps[0].agree_right, snaps[i].agree_right);
+    EXPECT_EQ(snaps[0].agree_wrong, snaps[i].agree_wrong);
+    EXPECT_EQ(snaps[0].distinct, snaps[i].distinct);
+  }
+  EXPECT_TRUE(snaps[0].agree_right);
+  EXPECT_FALSE(snaps[0].agree_wrong);
+  EXPECT_GT(snaps[0].detected, 0u);
+}
+
+TEST(ThreadInvariance, ProximityAttackAssignment) {
+  PoolWidthGuard guard;
+  circuits::CircuitSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 250;
+  spec.seed = 33;
+  const Netlist original = circuits::GenerateCircuit(spec);
+  core::FlowOptions options;
+  options.key_bits = 16;
+  options.seed = 33;
+  const core::FlowResult flow = core::RunSecureFlow(original, options);
+
+  std::vector<split::Assignment> assignments;
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    assignments.push_back(attack::RunProximityAttack(flow.feol).assignment);
+  }
+  EXPECT_EQ(assignments[0], assignments[1]);
+  EXPECT_EQ(assignments[0], assignments[2]);
+}
+
+// Regression for the tail-word fingerprint bug: with patterns == 1 the
+// probe must fingerprint ONE lane. The circuit's key only changes the
+// output for input pattern (a=1, b=0); when the single live pattern is not
+// (1,0) both keys induce the same observed function, so exactly one
+// distinct fingerprint must be counted. The unmasked implementation leaked
+// the other 63 (dead) lanes into the fingerprint and counted two.
+TEST(OracleLessProbe, TailWordLanesAreMasked) {
+  Netlist nl("tail");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId k = nl.AddGate(GateOp::kKeyIn, {}, "k");
+  const NetId not_b = nl.AddGate(GateOp::kInv, {b});
+  const NetId a_nb = nl.AddGate(GateOp::kAnd, {a, not_b});
+  const NetId flip = nl.AddGate(GateOp::kAnd, {k, a_nb});
+  const NetId base = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId out = nl.AddGate(GateOp::kXor, {base, flip});
+  nl.AddOutput(out, "y");
+
+  // Find a seed whose first stimulus lane is NOT (a=1, b=0), so the two key
+  // values agree on the only live pattern.
+  uint64_t seed = 0;
+  for (uint64_t s = 1; s < 64; ++s) {
+    exec::StreamRng rng(s, exec::StreamDomain::kStimulus, 0);
+    const uint64_t wa = rng.NextWord();
+    const uint64_t wb = rng.NextWord();
+    if (!((wa & 1) == 1 && (wb & 1) == 0)) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+
+  // Enough samples that both key values certainly occur.
+  const attack::OracleLessProbe probe =
+      attack::ProbeOracleLessKeySpace(nl, 32, /*patterns=*/1, seed);
+  EXPECT_EQ(probe.sampled_keys, 32u);
+  EXPECT_EQ(probe.distinct_functions, 1u);
+}
+
+}  // namespace
+}  // namespace splitlock

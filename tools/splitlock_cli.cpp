@@ -11,6 +11,12 @@
 //       and reports how much a proximity attacker recovers.
 //   stats  <in.bench>
 //       Prints netlist statistics (gates by type, depth, area).
+//   suite  <iscas|itc>  [--key-bits N] [--split M] [--seed S] [--threads T]
+//       Concurrent campaign over a whole benchmark suite: each member runs
+//       the full lock -> place/route -> split -> proximity-attack pipeline
+//       as a job on the exec thread pool; prints one scorecard row per
+//       member. --threads sizes the pool (default: SPLITLOCK_THREADS or
+//       hardware concurrency).
 //
 // Sequential .bench files (DFF statements) are analyzed as their FF-cut
 // combinational cores.
@@ -23,7 +29,9 @@
 
 #include "attack/metrics.hpp"
 #include "attack/proximity.hpp"
+#include "core/campaign.hpp"
 #include "core/flow.hpp"
+#include "exec/thread_pool.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/libcell.hpp"
 #include "util/env.hpp"
@@ -39,6 +47,7 @@ struct Args {
   size_t key_bits = 128;
   int split_layer = 4;
   uint64_t seed = 1;
+  size_t threads = 0;  // 0 = default pool width
   bool naive = false;
 };
 
@@ -46,7 +55,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: splitlock_cli <lock|flow|attack|stats> <in.bench> "
                "[out.bench] [--key-bits N] [--split M] [--seed S] "
-               "[--naive]\n");
+               "[--naive]\n"
+               "       splitlock_cli suite <iscas|itc> [--key-bits N] "
+               "[--split M] [--seed S] [--threads T]\n");
   return 2;
 }
 
@@ -149,6 +160,46 @@ int CmdAttack(const Args& args) {
   return 0;
 }
 
+int CmdSuite(const Args& args) {
+  if (args.input != "iscas" && args.input != "itc") return Usage();
+  if (args.threads > 0) exec::ThreadPool::SetDefaultThreadCount(args.threads);
+
+  core::FlowOptions opts;
+  opts.key_bits = args.key_bits;
+  opts.split_layer = args.split_layer;
+  opts.seed = args.seed;
+  const std::vector<core::CampaignJob> jobs =
+      args.input == "iscas"
+          ? core::IscasCampaignJobs(opts)
+          : core::Itc99CampaignJobs(opts, ReproScale());
+
+  core::CampaignOptions campaign_options;
+  campaign_options.score_patterns = ReproPatterns();
+  const std::vector<core::CampaignOutcome> outcomes =
+      core::CampaignRunner(campaign_options).Run(jobs);
+
+  std::printf("%zu-job campaign @ M%d, %zu key bits, %zu threads\n",
+              jobs.size(), args.split_layer, args.key_bits,
+              args.threads > 0 ? args.threads
+                               : exec::ThreadPool::DefaultThreadCount());
+  std::printf("%-6s | %8s | %7s | %7s | %7s | %7s | %8s\n", "", "broken",
+              "CCR %", "PNR %", "HD %", "OER %", "time (s)");
+  int rc = 0;
+  for (const core::CampaignOutcome& oc : outcomes) {
+    if (!oc.ok) {
+      std::printf("%-6s | FAILED: %s\n", oc.name.c_str(), oc.error.c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%-6s | %8zu | %7.1f | %7.1f | %7.1f | %7.1f | %8.2f\n",
+                oc.name.c_str(), oc.flow.feol.sink_stubs.size(),
+                oc.score.ccr.regular_ccr_percent, oc.score.pnr_percent,
+                oc.score.functional.hd_percent,
+                oc.score.functional.oer_percent, oc.elapsed_s);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,6 +224,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.threads = std::strtoull(v, nullptr, 10);
     } else if (a == "--naive") {
       args.naive = true;
     } else if (a[0] != '-' && args.output.empty()) {
@@ -186,6 +241,7 @@ int main(int argc, char** argv) {
     if (args.command == "lock") return CmdLock(args);
     if (args.command == "flow") return CmdFlow(args);
     if (args.command == "attack") return CmdAttack(args);
+    if (args.command == "suite") return CmdSuite(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
