@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advanced_attacks.dir/bench/bench_advanced_attacks.cpp.o"
+  "CMakeFiles/bench_advanced_attacks.dir/bench/bench_advanced_attacks.cpp.o.d"
+  "bench_advanced_attacks"
+  "bench_advanced_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advanced_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ideal_attack.dir/bench/bench_ideal_attack.cpp.o"
+  "CMakeFiles/bench_ideal_attack.dir/bench/bench_ideal_attack.cpp.o.d"
+  "bench_ideal_attack"
+  "bench_ideal_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ideal_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ccr.dir/bench/bench_table1_ccr.cpp.o"
+  "CMakeFiles/bench_table1_ccr.dir/bench/bench_table1_ccr.cpp.o.d"
+  "bench_table1_ccr"
+  "bench_table1_ccr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hd_oer.dir/bench/bench_table2_hd_oer.cpp.o"
+  "CMakeFiles/bench_table2_hd_oer.dir/bench/bench_table2_hd_oer.cpp.o.d"
+  "bench_table2_hd_oer"
+  "bench_table2_hd_oer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hd_oer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_iscas.dir/bench/bench_table3_iscas.cpp.o"
+  "CMakeFiles/bench_table3_iscas.dir/bench/bench_table3_iscas.cpp.o.d"
+  "bench_table3_iscas"
+  "bench_table3_iscas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_iscas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

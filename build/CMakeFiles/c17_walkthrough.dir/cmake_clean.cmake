@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c17_walkthrough.dir/examples/c17_walkthrough.cpp.o"
+  "CMakeFiles/c17_walkthrough.dir/examples/c17_walkthrough.cpp.o.d"
+  "c17_walkthrough"
+  "c17_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c17_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itc_flow.dir/examples/itc_flow.cpp.o"
+  "CMakeFiles/itc_flow.dir/examples/itc_flow.cpp.o.d"
+  "itc_flow"
+  "itc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/cube.cpp" "CMakeFiles/splitlock.dir/src/atpg/cube.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/atpg/cube.cpp.o.d"
+  "/root/repo/src/atpg/cut.cpp" "CMakeFiles/splitlock.dir/src/atpg/cut.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/atpg/cut.cpp.o.d"
+  "/root/repo/src/atpg/fault.cpp" "CMakeFiles/splitlock.dir/src/atpg/fault.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/atpg/fault.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "CMakeFiles/splitlock.dir/src/atpg/fault_sim.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/atpg/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "CMakeFiles/splitlock.dir/src/atpg/podem.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/atpg/podem.cpp.o.d"
+  "/root/repo/src/attack/ideal.cpp" "CMakeFiles/splitlock.dir/src/attack/ideal.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/attack/ideal.cpp.o.d"
+  "/root/repo/src/attack/metrics.cpp" "CMakeFiles/splitlock.dir/src/attack/metrics.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/attack/metrics.cpp.o.d"
+  "/root/repo/src/attack/ml_attack.cpp" "CMakeFiles/splitlock.dir/src/attack/ml_attack.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/attack/ml_attack.cpp.o.d"
+  "/root/repo/src/attack/proximity.cpp" "CMakeFiles/splitlock.dir/src/attack/proximity.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/attack/proximity.cpp.o.d"
+  "/root/repo/src/attack/sat_attack.cpp" "CMakeFiles/splitlock.dir/src/attack/sat_attack.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/attack/sat_attack.cpp.o.d"
+  "/root/repo/src/circuits/c17.cpp" "CMakeFiles/splitlock.dir/src/circuits/c17.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/circuits/c17.cpp.o.d"
+  "/root/repo/src/circuits/random_circuit.cpp" "CMakeFiles/splitlock.dir/src/circuits/random_circuit.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/circuits/random_circuit.cpp.o.d"
+  "/root/repo/src/circuits/suites.cpp" "CMakeFiles/splitlock.dir/src/circuits/suites.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/circuits/suites.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "CMakeFiles/splitlock.dir/src/core/campaign.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/core/campaign.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "CMakeFiles/splitlock.dir/src/core/flow.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/core/flow.cpp.o.d"
+  "/root/repo/src/defense/beol_restore.cpp" "CMakeFiles/splitlock.dir/src/defense/beol_restore.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/defense/beol_restore.cpp.o.d"
+  "/root/repo/src/defense/routing_perturbation.cpp" "CMakeFiles/splitlock.dir/src/defense/routing_perturbation.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/defense/routing_perturbation.cpp.o.d"
+  "/root/repo/src/defense/wire_lifting.cpp" "CMakeFiles/splitlock.dir/src/defense/wire_lifting.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/defense/wire_lifting.cpp.o.d"
+  "/root/repo/src/exec/parallel.cpp" "CMakeFiles/splitlock.dir/src/exec/parallel.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/exec/parallel.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "CMakeFiles/splitlock.dir/src/exec/thread_pool.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/exec/thread_pool.cpp.o.d"
+  "/root/repo/src/lec/lec.cpp" "CMakeFiles/splitlock.dir/src/lec/lec.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/lec/lec.cpp.o.d"
+  "/root/repo/src/lock/atpg_lock.cpp" "CMakeFiles/splitlock.dir/src/lock/atpg_lock.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/lock/atpg_lock.cpp.o.d"
+  "/root/repo/src/lock/epic.cpp" "CMakeFiles/splitlock.dir/src/lock/epic.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/lock/epic.cpp.o.d"
+  "/root/repo/src/lock/restore.cpp" "CMakeFiles/splitlock.dir/src/lock/restore.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/lock/restore.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "CMakeFiles/splitlock.dir/src/netlist/bench_io.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/libcell.cpp" "CMakeFiles/splitlock.dir/src/netlist/libcell.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/netlist/libcell.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "CMakeFiles/splitlock.dir/src/netlist/netlist.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/netlist/netlist.cpp.o.d"
+  "/root/repo/src/opt/mffc.cpp" "CMakeFiles/splitlock.dir/src/opt/mffc.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/opt/mffc.cpp.o.d"
+  "/root/repo/src/opt/optimizer.cpp" "CMakeFiles/splitlock.dir/src/opt/optimizer.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/opt/optimizer.cpp.o.d"
+  "/root/repo/src/phys/floorplan.cpp" "CMakeFiles/splitlock.dir/src/phys/floorplan.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/floorplan.cpp.o.d"
+  "/root/repo/src/phys/layout.cpp" "CMakeFiles/splitlock.dir/src/phys/layout.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/layout.cpp.o.d"
+  "/root/repo/src/phys/placer.cpp" "CMakeFiles/splitlock.dir/src/phys/placer.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/placer.cpp.o.d"
+  "/root/repo/src/phys/power.cpp" "CMakeFiles/splitlock.dir/src/phys/power.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/power.cpp.o.d"
+  "/root/repo/src/phys/router.cpp" "CMakeFiles/splitlock.dir/src/phys/router.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/router.cpp.o.d"
+  "/root/repo/src/phys/tech.cpp" "CMakeFiles/splitlock.dir/src/phys/tech.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/tech.cpp.o.d"
+  "/root/repo/src/phys/timing.cpp" "CMakeFiles/splitlock.dir/src/phys/timing.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/phys/timing.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "CMakeFiles/splitlock.dir/src/sat/solver.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/sat/solver.cpp.o.d"
+  "/root/repo/src/sat/tseitin.cpp" "CMakeFiles/splitlock.dir/src/sat/tseitin.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/sat/tseitin.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/splitlock.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/splitlock.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/split/split.cpp" "CMakeFiles/splitlock.dir/src/split/split.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/split/split.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "CMakeFiles/splitlock.dir/src/util/env.cpp.o" "gcc" "CMakeFiles/splitlock.dir/src/util/env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitlock_cli.dir/tools/splitlock_cli.cpp.o"
+  "CMakeFiles/splitlock_cli.dir/tools/splitlock_cli.cpp.o.d"
+  "splitlock_cli"
+  "splitlock_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitlock_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_cube.dir/tests/test_cut_cube.cpp.o"
+  "CMakeFiles/test_cut_cube.dir/tests/test_cut_cube.cpp.o.d"
+  "test_cut_cube"
+  "test_cut_cube.pdb"
+  "test_cut_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

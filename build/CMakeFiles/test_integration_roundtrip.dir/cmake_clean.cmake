@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_roundtrip.dir/tests/test_integration_roundtrip.cpp.o"
+  "CMakeFiles/test_integration_roundtrip.dir/tests/test_integration_roundtrip.cpp.o.d"
+  "test_integration_roundtrip"
+  "test_integration_roundtrip.pdb"
+  "test_integration_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_atpg.dir/tests/test_lock_atpg.cpp.o"
+  "CMakeFiles/test_lock_atpg.dir/tests/test_lock_atpg.cpp.o.d"
+  "test_lock_atpg"
+  "test_lock_atpg.pdb"
+  "test_lock_atpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_epic.dir/tests/test_lock_epic.cpp.o"
+  "CMakeFiles/test_lock_epic.dir/tests/test_lock_epic.cpp.o.d"
+  "test_lock_epic"
+  "test_lock_epic.pdb"
+  "test_lock_epic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_epic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mffc.dir/tests/test_mffc.cpp.o"
+  "CMakeFiles/test_mffc.dir/tests/test_mffc.cpp.o.d"
+  "test_mffc"
+  "test_mffc.pdb"
+  "test_mffc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mffc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

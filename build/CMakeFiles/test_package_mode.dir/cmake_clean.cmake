@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_package_mode.dir/tests/test_package_mode.cpp.o"
+  "CMakeFiles/test_package_mode.dir/tests/test_package_mode.cpp.o.d"
+  "test_package_mode"
+  "test_package_mode.pdb"
+  "test_package_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_package_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

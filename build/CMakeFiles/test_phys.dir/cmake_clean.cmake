@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys.dir/tests/test_phys.cpp.o"
+  "CMakeFiles/test_phys.dir/tests/test_phys.cpp.o.d"
+  "test_phys"
+  "test_phys.pdb"
+  "test_phys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_extra.dir/tests/test_phys_extra.cpp.o"
+  "CMakeFiles/test_phys_extra.dir/tests/test_phys_extra.cpp.o.d"
+  "test_phys_extra"
+  "test_phys_extra.pdb"
+  "test_phys_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

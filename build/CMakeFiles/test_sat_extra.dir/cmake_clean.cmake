@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat_extra.dir/tests/test_sat_extra.cpp.o"
+  "CMakeFiles/test_sat_extra.dir/tests/test_sat_extra.cpp.o.d"
+  "test_sat_extra"
+  "test_sat_extra.pdb"
+  "test_sat_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

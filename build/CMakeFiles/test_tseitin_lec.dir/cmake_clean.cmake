@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tseitin_lec.dir/tests/test_tseitin_lec.cpp.o"
+  "CMakeFiles/test_tseitin_lec.dir/tests/test_tseitin_lec.cpp.o.d"
+  "test_tseitin_lec"
+  "test_tseitin_lec.pdb"
+  "test_tseitin_lec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tseitin_lec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

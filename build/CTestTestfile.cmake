@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/test_atpg[1]_include.cmake")
+include("/root/repo/build/test_attack[1]_include.cmake")
+include("/root/repo/build/test_bench_io[1]_include.cmake")
+include("/root/repo/build/test_circuits[1]_include.cmake")
+include("/root/repo/build/test_cut_cube[1]_include.cmake")
+include("/root/repo/build/test_defense[1]_include.cmake")
+include("/root/repo/build/test_exec[1]_include.cmake")
+include("/root/repo/build/test_flow[1]_include.cmake")
+include("/root/repo/build/test_integration_roundtrip[1]_include.cmake")
+include("/root/repo/build/test_lock_atpg[1]_include.cmake")
+include("/root/repo/build/test_lock_epic[1]_include.cmake")
+include("/root/repo/build/test_mffc[1]_include.cmake")
+include("/root/repo/build/test_ml_attack[1]_include.cmake")
+include("/root/repo/build/test_netlist[1]_include.cmake")
+include("/root/repo/build/test_opt[1]_include.cmake")
+include("/root/repo/build/test_package_mode[1]_include.cmake")
+include("/root/repo/build/test_phys[1]_include.cmake")
+include("/root/repo/build/test_phys_extra[1]_include.cmake")
+include("/root/repo/build/test_properties[1]_include.cmake")
+include("/root/repo/build/test_sat[1]_include.cmake")
+include("/root/repo/build/test_sat_attack[1]_include.cmake")
+include("/root/repo/build/test_sat_extra[1]_include.cmake")
+include("/root/repo/build/test_sim[1]_include.cmake")
+include("/root/repo/build/test_sim_metrics[1]_include.cmake")
+include("/root/repo/build/test_split[1]_include.cmake")
+include("/root/repo/build/test_tseitin_lec[1]_include.cmake")
+include("/root/repo/build/test_util[1]_include.cmake")
