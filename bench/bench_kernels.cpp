@@ -1,0 +1,275 @@
+// Kernel micro-benchmarks: old-vs-new hot paths, with a JSON perf record.
+//
+// Times the two kernels this library's campaigns hammer hardest, reference
+// implementation against event-driven/incremental rewrite, across the
+// ISCAS-85 and ITC'99 suites:
+//
+//  * DetectMask sweeps — FaultSimulator::DetectMaskFull (linear
+//    re-simulation of the topological suffix) vs DetectMask (levelized
+//    event-driven fanout-cone propagation).
+//  * DIP-round constraint encoding — StructuralEncoder::EncodeNetlist under
+//    constant inputs (full netlist walk, twice per round like the SAT
+//    attack's two key hypotheses) vs IncrementalDipEncoder (one constant
+//    simulation + two key-cone walks).
+//
+// Every timed pair is also cross-checked (masks / output literals must be
+// bit-identical) and mismatch counts land in the record. The JSON record
+// goes to stdout (and to $BENCH_KERNELS_JSON when set) so CI and future
+// PRs can track the perf trajectory.
+//
+// Unlike the table harnesses this binary does not use google-benchmark, so
+// it builds everywhere; `--smoke` (or BENCH_KERNELS_SMOKE=1) shrinks the
+// workload to a compile-and-run sanity check for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "circuits/suites.hpp"
+#include "lock/epic.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock::bench {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct KernelRecord {
+  std::string name;
+  size_t gates = 0;
+  size_t faults = 0;
+  size_t words = 0;
+  double detect_full_s = 0;
+  double detect_event_s = 0;
+  size_t detect_mismatches = 0;
+  size_t dip_rounds = 0;
+  size_t key_bits = 0;
+  size_t cone_gates = 0;
+  double dip_full_s = 0;
+  double dip_incremental_s = 0;
+  size_t dip_mismatches = 0;
+
+  double DetectSpeedup() const {
+    return detect_event_s > 0 ? detect_full_s / detect_event_s : 0;
+  }
+  double DipSpeedup() const {
+    return dip_incremental_s > 0 ? dip_full_s / dip_incremental_s : 0;
+  }
+};
+
+struct BenchConfig {
+  bool smoke = false;
+  size_t max_faults = 2048;
+  size_t words = 4;
+  size_t dip_rounds = 6;
+  size_t key_bits = 32;
+};
+
+// The sweep shape mirrors ShardedFaultSweep's inner tile: per word, load
+// stimulus once and run every fault. One stimulus stream per variant so
+// both see identical patterns.
+double TimeDetectSweep(atpg::FaultSimulator& sim,
+                       const std::vector<atpg::Fault>& faults, size_t words,
+                       uint64_t seed, bool full, uint64_t* acc) {
+  Rng rng(seed);
+  const double start = Now();
+  for (size_t w = 0; w < words; ++w) {
+    sim.LoadRandomPatterns(rng);
+    for (const atpg::Fault& f : faults) {
+      *acc ^= full ? sim.DetectMaskFull(f) : sim.DetectMask(f);
+    }
+  }
+  return Now() - start;
+}
+
+KernelRecord RunCircuit(const std::string& name, Netlist nl,
+                        const BenchConfig& cfg) {
+  KernelRecord rec;
+  rec.name = name;
+  rec.gates = nl.NumLogicGates();
+  rec.words = cfg.words;
+  rec.dip_rounds = cfg.dip_rounds;
+
+  // --- DetectMask: full resim vs event-driven ---
+  std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  if (faults.size() > cfg.max_faults) faults.resize(cfg.max_faults);
+  rec.faults = faults.size();
+
+  const atpg::SimTopology topo(nl);
+  atpg::FaultSimulator sim(nl, topo);
+  uint64_t acc = 0;
+  // Correctness cross-check outside the timed region.
+  {
+    Rng rng(99);
+    sim.LoadRandomPatterns(rng);
+    for (const atpg::Fault& f : faults) {
+      if (sim.DetectMask(f) != sim.DetectMaskFull(f)) ++rec.detect_mismatches;
+    }
+  }
+  rec.detect_full_s =
+      TimeDetectSweep(sim, faults, cfg.words, 2026, /*full=*/true, &acc);
+  rec.detect_event_s =
+      TimeDetectSweep(sim, faults, cfg.words, 2026, /*full=*/false, &acc);
+
+  // --- DIP-round encoding: full EncodeNetlist vs incremental ---
+  Rng lock_rng(4242);
+  const size_t key_bits = std::min(cfg.key_bits, nl.NumLogicGates() / 2);
+  const lock::EpicResult locked = lock::LockWithEpic(nl, key_bits, lock_rng);
+  const Netlist& lk = locked.locked;
+  rec.key_bits = lk.KeyInputs().size();
+  const size_t num_pis = lk.inputs().size();
+
+  sat::Solver full_solver, inc_solver;
+  sat::StructuralEncoder full_enc(full_solver), inc_enc(inc_solver);
+  std::vector<sat::Lit> fk1(rec.key_bits), fk2(rec.key_bits);
+  std::vector<sat::Lit> ik1(rec.key_bits), ik2(rec.key_bits);
+  for (auto& l : fk1) l = full_enc.FreshLit();
+  for (auto& l : fk2) l = full_enc.FreshLit();
+  for (auto& l : ik1) l = inc_enc.FreshLit();
+  for (auto& l : ik2) l = inc_enc.FreshLit();
+  sat::IncrementalDipEncoder dip_enc(inc_enc, lk);
+  rec.cone_gates = dip_enc.ConeSize();
+
+  std::vector<std::vector<uint8_t>> dips(cfg.dip_rounds);
+  Rng dip_rng(7);
+  for (auto& dip : dips) {
+    dip.resize(num_pis);
+    for (auto& b : dip) b = dip_rng.NextBool() ? 1 : 0;
+  }
+
+  std::vector<std::vector<sat::Lit>> full_outs, inc_outs;
+  const double full_start = Now();
+  for (const auto& dip : dips) {
+    std::vector<sat::Lit> const_in(num_pis);
+    for (size_t i = 0; i < num_pis; ++i) {
+      const_in[i] = dip[i] ? full_enc.TrueLit() : full_enc.FalseLit();
+    }
+    full_outs.push_back(full_enc.EncodeNetlist(lk, const_in, fk1));
+    full_outs.push_back(full_enc.EncodeNetlist(lk, const_in, fk2));
+  }
+  rec.dip_full_s = Now() - full_start;
+
+  const double inc_start = Now();
+  for (const auto& dip : dips) {
+    dip_enc.SetDip(dip);
+    inc_outs.push_back(dip_enc.Encode(ik1));
+    inc_outs.push_back(dip_enc.Encode(ik2));
+  }
+  rec.dip_incremental_s = Now() - inc_start;
+
+  for (size_t i = 0; i < full_outs.size(); ++i) {
+    if (full_outs[i] != inc_outs[i]) ++rec.dip_mismatches;
+  }
+
+  if (acc == 0x5a5a5a5a5a5a5a5aULL) std::printf("(unlikely)\n");  // keep acc
+  return rec;
+}
+
+std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
+  char buf[512];
+  std::string json = "{\"bench\":\"bench_kernels\",\"schema\":1,";
+  std::snprintf(buf, sizeof(buf), "\"smoke\":%s,\"repro_scale\":%.3f,",
+                smoke ? "true" : "false", ReproScale());
+  json += buf;
+  json += "\"circuits\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const KernelRecord& r = records[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"gates\":%zu,\"faults\":%zu,\"words\":%zu,"
+        "\"detect_full_s\":%.6f,\"detect_event_s\":%.6f,"
+        "\"detect_speedup\":%.2f,\"detect_mismatches\":%zu,"
+        "\"dip_rounds\":%zu,\"key_bits\":%zu,\"cone_gates\":%zu,"
+        "\"dip_full_s\":%.6f,\"dip_incremental_s\":%.6f,"
+        "\"dip_speedup\":%.2f,\"dip_mismatches\":%zu}",
+        i == 0 ? "" : ",", r.name.c_str(), r.gates, r.faults, r.words,
+        r.detect_full_s, r.detect_event_s, r.DetectSpeedup(),
+        r.detect_mismatches, r.dip_rounds, r.key_bits, r.cone_gates,
+        r.dip_full_s, r.dip_incremental_s, r.DipSpeedup(), r.dip_mismatches);
+    json += buf;
+  }
+  json += "]}";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg;
+  std::string json_path;
+  if (const char* env = std::getenv("BENCH_KERNELS_SMOKE")) {
+    cfg.smoke = std::strcmp(env, "0") != 0;
+  }
+  if (const char* env = std::getenv("BENCH_KERNELS_JSON")) json_path = env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) cfg.smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (cfg.smoke) {
+    cfg.max_faults = 256;
+    cfg.words = 1;
+    cfg.dip_rounds = 2;
+    cfg.key_bits = 16;
+  }
+
+  std::vector<KernelRecord> records;
+  const double itc_scale = cfg.smoke ? 0.05 : ReproScale();
+  std::vector<std::pair<std::string, Netlist>> circuits;
+  for (const auto& info : circuits::IscasSuite()) {
+    if (cfg.smoke && info.name != "c432" && info.name != "c880") continue;
+    circuits.emplace_back(info.name, circuits::MakeIscas(info.name));
+  }
+  for (const auto& info : circuits::Itc99Suite()) {
+    if (cfg.smoke && info.name != "b14") continue;
+    circuits.emplace_back(info.name, circuits::MakeItc99(info.name, itc_scale));
+  }
+
+  std::printf(
+      "%-6s | %8s | %7s | %12s | %13s | %8s | %12s | %12s | %8s\n", "name",
+      "gates", "faults", "detect full", "detect event", "speedup",
+      "dip full", "dip incr", "speedup");
+  for (auto& [name, nl] : circuits) {
+    KernelRecord rec = RunCircuit(name, std::move(nl), cfg);
+    std::printf(
+        "%-6s | %8zu | %7zu | %10.4fs | %11.4fs | %7.1fx | %10.4fs | "
+        "%10.4fs | %7.1fx\n",
+        rec.name.c_str(), rec.gates, rec.faults, rec.detect_full_s,
+        rec.detect_event_s, rec.DetectSpeedup(), rec.dip_full_s,
+        rec.dip_incremental_s, rec.DipSpeedup());
+    records.push_back(std::move(rec));
+  }
+
+  size_t mismatches = 0;
+  for (const KernelRecord& r : records) {
+    mismatches += r.detect_mismatches + r.dip_mismatches;
+  }
+  std::printf("cross-check: %zu mismatches %s\n", mismatches,
+              mismatches == 0 ? "(all kernels bit-identical)"
+                              : "(BUG: kernels diverge!)");
+
+  const std::string json = ToJson(records, cfg.smoke);
+  std::printf("%s\n", json.c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::printf("perf record written to %s\n", json_path.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace splitlock::bench
+
+int main(int argc, char** argv) { return splitlock::bench::Main(argc, argv); }

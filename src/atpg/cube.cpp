@@ -26,7 +26,7 @@ std::optional<std::vector<uint64_t>> EnumerateConeMinterms(const Netlist& nl,
   std::vector<uint64_t> values(nl.NumNets(), 0);
   std::vector<uint64_t> minterms;
   const uint64_t words = (total + 63) / 64;
-  uint64_t fanin_words[4];
+  uint64_t fanin_words[kMaxFanin];
   for (uint64_t w = 0; w < words; ++w) {
     for (size_t i = 0; i < k; ++i) {
       const uint64_t word =

@@ -10,22 +10,79 @@
 
 namespace splitlock::atpg {
 
+SimTopology::SimTopology(const Netlist& nl)
+    : topo(nl.TopoOrder()),
+      topo_pos(nl.NumGates(), 0),
+      level(nl.NumGates(), 0),
+      fanout_offset(nl.NumNets() + 1, 0),
+      net_observed(nl.NumNets(), 0) {
+  for (uint32_t i = 0; i < topo.size(); ++i) topo_pos[topo[i]] = i;
+
+  // Levels: sources sit at 0, every other gate one past its deepest fanin.
+  for (GateId g : topo) {
+    const Gate& gate = nl.gate(g);
+    uint32_t lvl = 0;
+    for (NetId n : gate.fanins) {
+      lvl = std::max(lvl, level[nl.DriverOf(n)] + 1);
+    }
+    level[g] = lvl;
+    num_levels = std::max(num_levels, lvl + 1);
+  }
+
+  // CSR fanout over evaluatable sinks. kOutput observers never propagate
+  // further; they are folded into net_observed so DetectMask can accumulate
+  // detection the moment an observed net is touched.
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    for (const Pin& p : nl.net(n).sinks) {
+      const GateOp op = nl.gate(p.gate).op;
+      if (op == GateOp::kOutput) {
+        net_observed[n] = 1;
+      } else if (op != GateOp::kDeleted) {
+        ++fanout_offset[n + 1];
+      }
+    }
+  }
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    fanout_offset[n + 1] += fanout_offset[n];
+  }
+  fanout_gates.resize(fanout_offset.back());
+  std::vector<uint32_t> fill(fanout_offset.begin(), fanout_offset.end() - 1);
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    for (const Pin& p : nl.net(n).sinks) {
+      const GateOp op = nl.gate(p.gate).op;
+      if (op != GateOp::kOutput && op != GateOp::kDeleted) {
+        fanout_gates[fill[n]++] = p.gate;
+      }
+    }
+  }
+}
+
 FaultSimulator::FaultSimulator(const Netlist& nl)
     : nl_(&nl),
-      topo_(nl.TopoOrder()),
-      topo_pos_(nl.NumGates(), 0),
+      owned_topo_(std::make_unique<SimTopology>(nl)),
+      topo_(owned_topo_.get()),
       good_(nl.NumNets(), 0),
-      faulty_(nl.NumNets(), 0) {
-  for (uint32_t i = 0; i < topo_.size(); ++i) topo_pos_[topo_[i]] = i;
-}
+      faulty_(nl.NumNets(), 0),
+      touched_flag_(nl.NumNets(), 0),
+      scheduled_(nl.NumGates(), 0),
+      buckets_(topo_->num_levels) {}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const SimTopology& topo)
+    : nl_(&nl),
+      topo_(&topo),
+      good_(nl.NumNets(), 0),
+      faulty_(nl.NumNets(), 0),
+      touched_flag_(nl.NumNets(), 0),
+      scheduled_(nl.NumGates(), 0),
+      buckets_(topo.num_levels) {}
 
 void FaultSimulator::LoadPatterns(std::span<const uint64_t> pi_words) {
   assert(pi_words.size() == nl_->inputs().size());
   for (size_t i = 0; i < pi_words.size(); ++i) {
     good_[nl_->gate(nl_->inputs()[i]).out] = pi_words[i];
   }
-  uint64_t fanin_words[4];
-  for (GateId g : topo_) {
+  uint64_t fanin_words[kMaxFanin];
+  for (GateId g : topo_->topo) {
     const Gate& gate = nl_->gate(g);
     switch (gate.op) {
       case GateOp::kInput:
@@ -50,22 +107,95 @@ void FaultSimulator::LoadRandomPatterns(Rng& rng) {
 }
 
 uint64_t FaultSimulator::DetectMask(const Fault& fault) const {
-  // Fast exit: lanes where the good value already equals the stuck value
-  // cannot be affected; if that is all lanes, nothing propagates.
+  last_evals_ = 0;
+  // Lanes where the good value already equals the stuck value cannot be
+  // affected; if that is all lanes, nothing propagates.
+  const uint64_t forced = fault.stuck_at ? ~0ULL : 0ULL;
+  if ((good_[fault.net] ^ forced) == 0) return 0;
+
+  const SimTopology& st = *topo_;
+  uint64_t detect = 0;
+  size_t pending = 0;
+  uint32_t min_level = st.num_levels;
+  uint32_t max_level = 0;
+
+  const auto touch = [&](NetId net, uint64_t value) {
+    faulty_[net] = value;
+    touched_flag_[net] = 1;
+    touched_.push_back(net);
+    if (st.net_observed[net]) detect |= good_[net] ^ value;
+    for (uint32_t i = st.fanout_offset[net]; i < st.fanout_offset[net + 1];
+         ++i) {
+      const GateId g = st.fanout_gates[i];
+      if (scheduled_[g]) continue;
+      scheduled_[g] = 1;
+      const uint32_t lvl = st.level[g];
+      buckets_[lvl].push_back(g);
+      ++pending;
+      min_level = std::min(min_level, lvl);
+      max_level = std::max(max_level, lvl);
+    }
+  };
+  touch(fault.net, forced);
+
+  uint64_t fanin_words[kMaxFanin];
+  for (uint32_t lvl = min_level; pending > 0 && lvl <= max_level; ++lvl) {
+    std::vector<GateId>& bucket = buckets_[lvl];
+    // Scheduled sinks always land at strictly higher levels, so this
+    // bucket cannot grow while it is being drained.
+    for (size_t bi = 0; bi < bucket.size(); ++bi) {
+      const GateId g = bucket[bi];
+      scheduled_[g] = 0;
+      --pending;
+      const Gate& gate = nl_->gate(g);
+      const size_t n = gate.fanins.size();
+      for (size_t k = 0; k < n; ++k) {
+        const NetId fn = gate.fanins[k];
+        fanin_words[k] = touched_flag_[fn] ? faulty_[fn] : good_[fn];
+      }
+      const uint64_t v =
+          EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
+      ++last_evals_;
+      const NetId out = gate.out;
+      assert(out != fault.net && "fault-site driver cannot be re-triggered");
+      // Level order finalizes every fanin before its sinks run, so each
+      // gate is evaluated at most once per fault and `out` is untouched
+      // here: the frontier dies at this gate iff v matches the good value.
+      if (v != good_[out]) touch(out, v);
+    }
+    bucket.clear();
+    if (detect == ~0ULL && pending > 0) {
+      // Every lane already detects; further propagation cannot change the
+      // mask. Unschedule the remaining frontier instead of running it.
+      for (uint32_t l = lvl + 1; l <= max_level; ++l) {
+        for (GateId g : buckets_[l]) scheduled_[g] = 0;
+        buckets_[l].clear();
+      }
+      pending = 0;
+    }
+  }
+
+  for (NetId n : touched_) touched_flag_[n] = 0;
+  touched_.clear();
+  return detect;
+}
+
+uint64_t FaultSimulator::DetectMaskFull(const Fault& fault) const {
+  last_evals_ = 0;
   const uint64_t forced = fault.stuck_at ? ~0ULL : 0ULL;
   const uint64_t excited = good_[fault.net] ^ forced;
   if (excited == 0) return 0;
 
-  // Re-evaluate only gates topologically at or after the fault site,
+  // Re-evaluate every gate topologically at or after the fault site,
   // seeding from the forced net. Copy-on-touch into the faulty_ scratch.
   faulty_ = good_;
   faulty_[fault.net] = forced;
   const GateId origin = nl_->DriverOf(fault.net);
-  const uint32_t start = origin == kNullId ? 0 : topo_pos_[origin] + 1;
+  const uint32_t start = origin == kNullId ? 0 : topo_->topo_pos[origin] + 1;
 
-  uint64_t fanin_words[4];
-  for (uint32_t i = start; i < topo_.size(); ++i) {
-    const Gate& gate = nl_->gate(topo_[i]);
+  uint64_t fanin_words[kMaxFanin];
+  for (uint32_t i = start; i < topo_->topo.size(); ++i) {
+    const Gate& gate = nl_->gate(topo_->topo[i]);
     switch (gate.op) {
       case GateOp::kInput:
       case GateOp::kKeyIn:
@@ -80,6 +210,7 @@ uint64_t FaultSimulator::DetectMask(const Fault& fault) const {
     for (size_t k = 0; k < n; ++k) fanin_words[k] = faulty_[gate.fanins[k]];
     faulty_[gate.out] =
         EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
+    ++last_evals_;
   }
 
   uint64_t detect = 0;
@@ -102,13 +233,16 @@ constexpr size_t kWordsPerShard = 16;
 // the grid, sharded across the pool. Stimulus for word w comes from the
 // counter-based stream (seed, kStimulus, w); the final word's dead lanes
 // are masked out. `fold` merges one tile's partial into the global
-// accumulator and is invoked sequentially in tile order.
+// accumulator and is invoked sequentially in tile order. All tiles share
+// one read-only SimTopology so per-tile setup is O(nets), not O(circuit
+// traversal).
 template <typename Partial, typename Tile, typename Fold>
 void ShardedFaultSweep(const Netlist& nl, const std::vector<Fault>& faults,
                        uint64_t patterns, uint64_t seed, const Tile& tile,
                        const Fold& fold) {
   const uint64_t words = (patterns + 63) / 64;
   if (words == 0 || faults.empty()) return;
+  const SimTopology topo(nl);
   const size_t fault_blocks = exec::NumChunks(faults.size(), kFaultsPerBlock);
   const size_t word_shards =
       exec::NumChunks(static_cast<size_t>(words), kWordsPerShard);
@@ -123,7 +257,7 @@ void ShardedFaultSweep(const Netlist& nl, const std::vector<Fault>& faults,
       const uint64_t w_lo = ws * kWordsPerShard;
       const uint64_t w_hi =
           std::min<uint64_t>(words, w_lo + kWordsPerShard);
-      FaultSimulator sim(nl);
+      FaultSimulator sim(nl, topo);
       std::vector<uint64_t> stimulus(nl.inputs().size());
       Partial& partial = partials[t];
       for (uint64_t w = w_lo; w < w_hi; ++w) {

@@ -6,15 +6,28 @@
 // fault. Aggregate coverage sweeps support the test suite and the locking
 // cost model.
 //
+// DetectMask is *event-driven*: starting from the fault site, only gates
+// whose fanins actually changed are re-evaluated, in topological-level
+// order, and the sweep exits early when the difference frontier dies before
+// reaching a primary output. Faulty values live in a touched-net overlay on
+// top of the good-machine values; the overlay is reset by walking the
+// touched list, never by copying the whole net array. Work per fault is
+// O(active fanout cone), not O(circuit). DetectMaskFull keeps the reference
+// full-resimulation implementation for equivalence tests and benchmarks;
+// both return bit-identical masks.
+//
 // The aggregate sweeps (FaultCoverage, DetectionProfile) shard BOTH the
 // fault list and the pattern words across the exec thread pool: the
 // (fault-block x word-shard) grid is tiled, each tile simulates its words
 // from counter-based stimulus streams keyed by (seed, word index) and
-// OR/sum-folds per-fault results. Final results are bit-identical for a
-// given seed at any thread count (and for any tile shape).
+// OR/sum-folds per-fault results. All tiles share one immutable SimTopology
+// (levels + fanout CSR), built once per sweep. Final results are
+// bit-identical for a given seed at any thread count (and for any tile
+// shape).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,9 +37,33 @@
 
 namespace splitlock::atpg {
 
+// Immutable levelized-fanout side table for event-driven simulation:
+// topological order/positions, per-gate topological levels, and a CSR
+// net -> evaluatable-sink-gates map (kOutput observers are folded into
+// net_observed instead). Built once per netlist and shared read-only by
+// every FaultSimulator of a sweep; the netlist must not change structurally
+// while a SimTopology for it is in use.
+struct SimTopology {
+  explicit SimTopology(const Netlist& nl);
+
+  std::vector<GateId> topo;       // live gates, sources first
+  std::vector<uint32_t> topo_pos; // gate -> index in topo
+  std::vector<uint32_t> level;    // gate -> topological level (sources = 0)
+  uint32_t num_levels = 0;        // max level + 1
+  std::vector<uint32_t> fanout_offset; // net -> CSR range [n, n+1)
+  std::vector<GateId> fanout_gates;    // evaluatable sink gates per net
+  std::vector<uint8_t> net_observed;   // net feeds at least one primary output
+};
+
 class FaultSimulator {
  public:
+  // Builds (and owns) a private SimTopology.
   explicit FaultSimulator(const Netlist& nl);
+
+  // Shares an externally owned SimTopology (must outlive the simulator).
+  // Sweeps constructing many simulators over one netlist use this to pay
+  // the O(circuit) topology cost once.
+  FaultSimulator(const Netlist& nl, const SimTopology& topo);
 
   // Loads one 64-pattern word per primary input and simulates the good
   // machine.
@@ -36,8 +73,18 @@ class FaultSimulator {
   void LoadRandomPatterns(Rng& rng);
 
   // Lane mask of patterns (within the loaded word) detecting `fault` at any
-  // primary output.
+  // primary output. Event-driven: O(active fanout cone) per call.
   uint64_t DetectMask(const Fault& fault) const;
+
+  // Reference implementation of DetectMask: full linear re-simulation of
+  // the topological suffix after the fault site. Bit-identical to
+  // DetectMask; kept for equivalence tests and old-vs-new benchmarks.
+  uint64_t DetectMaskFull(const Fault& fault) const;
+
+  // Number of gate evaluations performed by the most recent DetectMask /
+  // DetectMaskFull call (0 when the fault was not excited). Instrumentation
+  // for the early-exit tests and the kernel benchmarks.
+  size_t LastDetectGateEvals() const { return last_evals_; }
 
   // Good-machine value of a net for the loaded word.
   uint64_t GoodValue(NetId net) const { return good_[net]; }
@@ -46,10 +93,19 @@ class FaultSimulator {
 
  private:
   const Netlist* nl_;
-  std::vector<GateId> topo_;
-  std::vector<uint32_t> topo_pos_;  // gate -> index in topo_
+  std::unique_ptr<SimTopology> owned_topo_;  // null when sharing
+  const SimTopology* topo_;
   std::vector<uint64_t> good_;
-  mutable std::vector<uint64_t> faulty_;  // scratch
+
+  // Event-driven scratch. faulty_[n] is meaningful only while
+  // touched_flag_[n] is set; DetectMask resets flags by walking touched_,
+  // so stale faulty_ values are never observed.
+  mutable std::vector<uint64_t> faulty_;
+  mutable std::vector<uint8_t> touched_flag_;      // per net
+  mutable std::vector<NetId> touched_;             // reset list
+  mutable std::vector<uint8_t> scheduled_;         // per gate
+  mutable std::vector<std::vector<GateId>> buckets_;  // per level
+  mutable size_t last_evals_ = 0;
 };
 
 struct CoverageResult {

@@ -147,7 +147,7 @@ class Podem {
 
  private:
   void Imply() {
-    uint8_t fan[4];
+    uint8_t fan[kMaxFanin];
     for (GateId g : topo_) {
       const Gate& gate = nl_.gate(g);
       if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) continue;

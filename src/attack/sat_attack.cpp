@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cassert>
+#include <optional>
 #include <set>
 
 #include "exec/parallel.hpp"
@@ -14,6 +15,45 @@
 #include "util/rng.hpp"
 
 namespace splitlock::attack {
+
+DipOracle::DipOracle(const Netlist& oracle)
+    : sim_(oracle),
+      num_pis_(oracle.inputs().size()),
+      num_pos_(oracle.outputs().size()) {}
+
+size_t DipOracle::Enqueue(std::span<const uint8_t> input_bits) {
+  assert(input_bits.size() == num_pis_);
+  pending_.emplace_back(input_bits.begin(), input_bits.end());
+  return responses_.size() + pending_.size() - 1;
+}
+
+void DipOracle::Flush() {
+  if (pending_.empty()) return;
+  const size_t width = pending_.size();
+  sim_.BeginBatch(width);
+  std::vector<uint64_t> row(width);
+  const std::vector<GateId>& pis = sim_.netlist().inputs();
+  for (size_t i = 0; i < num_pis_; ++i) {
+    for (size_t q = 0; q < width; ++q) {
+      row[q] = pending_[q][i] ? ~0ULL : 0ULL;
+    }
+    sim_.SetSourceBatch(pis[i], row);
+  }
+  sim_.RunBatch();
+  for (size_t q = 0; q < width; ++q) {
+    std::vector<uint8_t> response(num_pos_);
+    for (size_t o = 0; o < num_pos_; ++o) {
+      response[o] = static_cast<uint8_t>(sim_.BatchOutputWord(o, q) & 1);
+    }
+    responses_.push_back(std::move(response));
+  }
+  pending_.clear();
+}
+
+bool DipOracle::OutputBit(size_t q, size_t po) const {
+  assert(q < responses_.size() && "query not flushed");
+  return responses_[q][po] != 0;
+}
 
 SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
                              const SatAttackOptions& options) {
@@ -53,7 +93,11 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
     solver.AddClause(clause);  // diff_any -> OR(diffs)
   }
 
-  Simulator oracle_sim(oracle);
+  DipOracle oracle_sim(oracle);
+  // Per-round constraint encoder: the locked netlist's topology and
+  // key-dependent cone are cached here once, outside the DIP loop.
+  std::optional<sat::IncrementalDipEncoder> dip_enc;
+  if (options.incremental_dip_encoding) dip_enc.emplace(enc, locked);
 
   for (size_t round = 0; round < options.max_dips; ++round) {
     const std::vector<sat::Lit> assumptions{diff_any};
@@ -72,24 +116,32 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
     }
     ++result.dips_used;
 
-    // Oracle response.
-    for (size_t i = 0; i < num_pis; ++i) {
-      oracle_sim.SetSourceWord(oracle.inputs()[i], dip[i] ? ~0ULL : 0);
-    }
-    oracle_sim.Run();
+    // Oracle response, via the batched SoA path (one query this round;
+    // the sweep widens for free when rounds queue several).
+    const size_t query = oracle_sim.Enqueue(dip);
+    oracle_sim.Flush();
 
     // Constrain both key hypotheses to agree with the oracle on the DIP.
-    // Encoding the locked netlist with constant inputs folds down to a
-    // small cone over the key literals.
-    std::vector<sat::Lit> const_in(num_pis);
-    for (size_t i = 0; i < num_pis; ++i) {
-      const_in[i] = dip[i] ? enc.TrueLit() : enc.FalseLit();
+    // Under constant inputs all non-key logic folds to constants; only the
+    // key-dependent cone produces CNF. The two paths below emit
+    // bit-identical clause streams (see IncrementalDipEncoder); the
+    // incremental one skips the per-round full-netlist walks.
+    std::vector<sat::Lit> const_in;
+    if (options.incremental_dip_encoding) {
+      dip_enc->SetDip(dip);
+    } else {
+      const_in.resize(num_pis);
+      for (size_t i = 0; i < num_pis; ++i) {
+        const_in[i] = dip[i] ? enc.TrueLit() : enc.FalseLit();
+      }
     }
     for (const auto& keys : {k1, k2}) {
       const std::vector<sat::Lit> outs =
-          enc.EncodeNetlist(locked, const_in, keys);
+          options.incremental_dip_encoding
+              ? dip_enc->Encode(keys)
+              : enc.EncodeNetlist(locked, const_in, keys);
       for (size_t o = 0; o < num_pos; ++o) {
-        const bool want = (oracle_sim.OutputWord(o) & 1) != 0;
+        const bool want = oracle_sim.OutputBit(query, o);
         solver.AddUnit(want ? outs[o] : sat::Negate(outs[o]));
       }
     }

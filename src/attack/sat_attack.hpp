@@ -23,11 +23,45 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
 
 namespace splitlock::attack {
+
+// Batched functional-oracle frontend. Queries (one input bit-vector each)
+// are queued and answered through Simulator::RunBatch: one
+// structure-of-arrays sweep per Flush(), one batch column per queued
+// query, instead of a full word-at-a-time Run() per query. RunSatAttack
+// routes its DIP responses through this (the sequential DIP loop flushes
+// one query per round; multi-DIP rounds and portfolio solvers batch
+// wider at no extra cost per sweep).
+class DipOracle {
+ public:
+  explicit DipOracle(const Netlist& oracle);
+
+  // Queues a query (one bit per primary input, inputs() order); returns
+  // its query index.
+  size_t Enqueue(std::span<const uint8_t> input_bits);
+
+  // Answers every queued query in one RunBatch sweep.
+  void Flush();
+
+  // Output bit `po` (outputs() order) of query `q`; q must be flushed.
+  bool OutputBit(size_t q, size_t po) const;
+
+  size_t pending() const { return pending_.size(); }
+  size_t answered() const { return responses_.size(); }
+
+ private:
+  Simulator sim_;
+  size_t num_pis_;
+  size_t num_pos_;
+  std::vector<std::vector<uint8_t>> pending_;    // queued input vectors
+  std::vector<std::vector<uint8_t>> responses_;  // per query: num_pos bits
+};
 
 struct SatAttackResult {
   bool finished = false;   // DIP loop reached UNSAT within the budget
@@ -44,6 +78,12 @@ struct SatAttackOptions {
   uint64_t conflict_limit_per_solve = 2000000;
   uint64_t verify_patterns = 4096;
   uint64_t seed = 1;
+  // Encode per-round DIP constraints with sat::IncrementalDipEncoder
+  // (O(key cone) CNF work per round) instead of re-encoding the full
+  // locked netlist twice per round. Both paths feed the solver a
+  // bit-identical clause stream, so results do not depend on this flag;
+  // the legacy path is kept for equivalence tests and benchmarks.
+  bool incremental_dip_encoding = true;
 };
 
 // Oracle-guided SAT attack on `locked` using `oracle` as the black-box

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 namespace splitlock {
 
@@ -114,6 +115,16 @@ bool ArityOk(GateOp op, size_t n) {
   }
 }
 
+// Enforced unconditionally: downstream simulation kernels index fixed
+// `uint64_t[kMaxFanin]` stack buffers by fanin position.
+void CheckMaxFanin(size_t n) {
+  if (n > kMaxFanin) {
+    throw std::invalid_argument("gate fanin count " + std::to_string(n) +
+                                " exceeds kMaxFanin (" +
+                                std::to_string(kMaxFanin) + ")");
+  }
+}
+
 }  // namespace
 
 NetId Netlist::NewNet(std::string name, GateId driver) {
@@ -139,6 +150,7 @@ GateId Netlist::AddOutput(NetId net, std::string name) {
 
 NetId Netlist::AddGate(GateOp op, std::span<const NetId> fanins,
                        std::string name) {
+  CheckMaxFanin(fanins.size());
   assert(ArityOk(op, fanins.size()) && "bad gate arity");
   const GateId g = static_cast<GateId>(gates_.size());
   Gate gate;
@@ -192,6 +204,7 @@ void Netlist::DeleteGate(GateId gate) {
 
 void Netlist::MorphGate(GateId gate, GateOp op,
                         std::span<const NetId> fanins) {
+  CheckMaxFanin(fanins.size());
   assert(ArityOk(op, fanins.size()));
   Gate& g = gates_[gate];
   for (uint32_t i = 0; i < g.fanins.size(); ++i) DetachPin(gate, i);

@@ -21,6 +21,13 @@ using GateId = uint32_t;
 using NetId = uint32_t;
 inline constexpr uint32_t kNullId = std::numeric_limits<uint32_t>::max();
 
+// Hard upper bound on gate fanin count. Hot simulation loops (sim/simulator,
+// atpg/fault_sim, atpg/cube) size fixed stack buffers `uint64_t[kMaxFanin]`
+// from this; Netlist::AddGate / MorphGate enforce it unconditionally (even in
+// Release builds, where asserts vanish) so an oversized gate fails loudly at
+// construction instead of corrupting those stacks.
+inline constexpr size_t kMaxFanin = 4;
+
 // Boolean function of a gate. AND/NAND/OR/NOR accept 2..4 fanins; the rest
 // have fixed arity. kKeyIn is a key-bit source: it behaves like an input
 // during analysis (its value comes from a key assignment) and is implemented

@@ -137,6 +137,76 @@ Lit StructuralEncoder::EncodeOp(GateOp op, std::span<const Lit> f) {
   }
 }
 
+IncrementalDipEncoder::IncrementalDipEncoder(StructuralEncoder& enc,
+                                             const Netlist& nl)
+    : enc_(&enc),
+      nl_(&nl),
+      key_gates_(nl.KeyInputs()),
+      key_dep_(nl.NumNets(), 0),
+      value_(nl.NumNets(), 0),
+      net_lit_(nl.NumNets(), -1) {
+  for (GateId g : key_gates_) key_dep_[nl.gate(g).out] = 1;
+  for (GateId g : nl.TopoOrder()) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kInput || gate.op == GateOp::kKeyIn ||
+        gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) {
+      continue;
+    }
+    bool dep = false;
+    for (NetId n : gate.fanins) dep = dep || key_dep_[n] != 0;
+    if (dep) {
+      key_dep_[gate.out] = 1;
+      cone_gates_.push_back(g);
+    } else {
+      free_gates_.push_back(g);
+    }
+  }
+}
+
+void IncrementalDipEncoder::SetDip(std::span<const uint8_t> dip) {
+  assert(dip.size() == nl_->inputs().size());
+  for (size_t i = 0; i < dip.size(); ++i) {
+    value_[nl_->gate(nl_->inputs()[i]).out] = dip[i] ? ~0ULL : 0ULL;
+  }
+  uint64_t fanin_words[kMaxFanin];
+  for (GateId g : free_gates_) {
+    const Gate& gate = nl_->gate(g);
+    const size_t n = gate.fanins.size();
+    for (size_t i = 0; i < n; ++i) fanin_words[i] = value_[gate.fanins[i]];
+    value_[gate.out] =
+        EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
+  }
+  dip_loaded_ = true;
+}
+
+std::vector<Lit> IncrementalDipEncoder::Encode(std::span<const Lit> key_lits) {
+  assert(dip_loaded_ && "SetDip must run before Encode");
+  assert(key_lits.size() == key_gates_.size());
+  for (size_t i = 0; i < key_lits.size(); ++i) {
+    net_lit_[nl_->gate(key_gates_[i]).out] = key_lits[i];
+  }
+  // Constant nets map to True/False exactly as EncodeNetlist's folding
+  // would produce; key-dependent nets carry the cone's literals.
+  const auto lit_of = [&](NetId n) {
+    return key_dep_[n] != 0
+               ? net_lit_[n]
+               : ((value_[n] & 1) != 0 ? enc_->TrueLit() : enc_->FalseLit());
+  };
+  std::vector<Lit> fanin_lits;
+  for (GateId g : cone_gates_) {
+    const Gate& gate = nl_->gate(g);
+    fanin_lits.clear();
+    for (NetId n : gate.fanins) fanin_lits.push_back(lit_of(n));
+    net_lit_[gate.out] = enc_->EncodeOp(gate.op, fanin_lits);
+  }
+  std::vector<Lit> outs;
+  outs.reserve(nl_->outputs().size());
+  for (GateId g : nl_->outputs()) {
+    outs.push_back(lit_of(nl_->gate(g).fanins[0]));
+  }
+  return outs;
+}
+
 std::vector<Lit> StructuralEncoder::EncodeNetlist(
     const Netlist& nl, std::span<const Lit> input_lits,
     std::span<const Lit> key_lits) {

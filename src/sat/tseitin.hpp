@@ -75,4 +75,50 @@ class StructuralEncoder {
   std::unordered_map<NodeKey, Lit, NodeKeyHash> cache_;
 };
 
+// Incremental DIP-round encoder: encodes a netlist's primary outputs under
+// CONSTANT primary inputs and symbolic key literals, doing CNF work only
+// for the key-dependent cone.
+//
+// EncodeNetlist already constant-folds non-key logic per call, but it still
+// walks (and re-topo-sorts) the whole netlist every round. This encoder
+// hoists all the per-round O(circuit) symbolic work out of the DIP loop:
+// construction computes, once, the topological order and the key-dependent
+// cone; SetDip() constant-folds every non-key-dependent gate with one plain
+// 64-lane simulation sweep (no hashing, no CNF); Encode() walks only the
+// cached cone. The emitted CNF is bit-identical to
+// EncodeNetlist(nl, constants, key_lits) — same literals, same clause
+// order, same variable numbering — because constant gates never create
+// variables, clauses, or cache entries in the structural encoder, and cone
+// gates are visited in the identical topological order with identical
+// fanin literals.
+class IncrementalDipEncoder {
+ public:
+  // Caches nl's topology and key cone. The encoder and netlist must
+  // outlive this object; the netlist must not change structurally.
+  IncrementalDipEncoder(StructuralEncoder& enc, const Netlist& nl);
+
+  // Loads a DIP (one bit per primary input, inputs() order) and simulates
+  // all non-key-dependent logic under it.
+  void SetDip(std::span<const uint8_t> dip);
+
+  // Encodes the primary outputs under the loaded DIP with `key_lits` bound
+  // to the key inputs (KeyInputs() order). O(key cone) CNF work; call
+  // repeatedly (e.g. once per key hypothesis) without re-simulating.
+  std::vector<Lit> Encode(std::span<const Lit> key_lits);
+
+  // Key-dependent logic gates — the per-round symbolic workload.
+  size_t ConeSize() const { return cone_gates_.size(); }
+
+ private:
+  StructuralEncoder* enc_;
+  const Netlist* nl_;
+  std::vector<GateId> free_gates_;  // non-key logic gates, topo order
+  std::vector<GateId> cone_gates_;  // key-dependent logic gates, topo order
+  std::vector<GateId> key_gates_;   // kKeyIn gates, key-bit order
+  std::vector<uint8_t> key_dep_;    // per net: value depends on the key
+  std::vector<uint64_t> value_;     // per net: constant value under the DIP
+  std::vector<Lit> net_lit_;        // per net: scratch for cone encoding
+  bool dip_loaded_ = false;
+};
+
 }  // namespace splitlock::sat

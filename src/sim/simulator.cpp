@@ -37,7 +37,7 @@ void Simulator::SetKeyBits(std::span<const uint8_t> bits) {
 }
 
 void Simulator::Run() {
-  uint64_t fanin_words[4];
+  uint64_t fanin_words[kMaxFanin];
   for (GateId g : topo_) {
     const Gate& gate = nl_->gate(g);
     switch (gate.op) {
@@ -87,7 +87,7 @@ void Simulator::SetKeyBitsBatch(std::span<const uint8_t> bits) {
 void Simulator::RunBatch() {
   const size_t width = batch_width_;
   assert(width > 0);
-  uint64_t fanin_words[4];
+  uint64_t fanin_words[kMaxFanin];
   for (GateId g : topo_) {
     const Gate& gate = nl_->gate(g);
     switch (gate.op) {

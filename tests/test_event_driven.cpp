@@ -1,0 +1,250 @@
+// Equivalence and regression coverage for the event-driven hot paths:
+// the fanout-cone DetectMask rewrite (vs the reference full re-simulation)
+// and the incremental DIP-round encoder (vs full EncodeNetlist), plus the
+// batched DipOracle frontend.
+#include <gtest/gtest.h>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "attack/sat_attack.hpp"
+#include "circuits/c17.hpp"
+#include "circuits/random_circuit.hpp"
+#include "lock/atpg_lock.hpp"
+#include "lock/epic.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace splitlock {
+namespace {
+
+Netlist RandomCircuit(uint64_t seed, size_t gates = 300, size_t inputs = 14,
+                      size_t outputs = 8) {
+  circuits::CircuitSpec spec;
+  spec.num_inputs = inputs;
+  spec.num_outputs = outputs;
+  spec.num_gates = gates;
+  spec.seed = seed;
+  return circuits::GenerateCircuit(spec);
+}
+
+// --- Event-driven DetectMask ------------------------------------------------
+
+class EventDetect : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventDetect, MatchesFullResimOnRandomCircuits) {
+  const Netlist nl = RandomCircuit(GetParam());
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  ASSERT_FALSE(faults.empty());
+  atpg::FaultSimulator sim(nl);
+  Rng rng(GetParam() ^ 0xD1CE);
+  for (int word = 0; word < 4; ++word) {
+    sim.LoadRandomPatterns(rng);
+    for (const atpg::Fault& f : faults) {
+      const uint64_t full = sim.DetectMaskFull(f);
+      const uint64_t event = sim.DetectMask(f);
+      ASSERT_EQ(event, full) << atpg::FaultName(nl, f) << " word " << word;
+    }
+  }
+}
+
+TEST_P(EventDetect, SharedTopologyMatchesOwned) {
+  const Netlist nl = RandomCircuit(GetParam(), 200);
+  const atpg::SimTopology topo(nl);
+  atpg::FaultSimulator owned(nl);
+  atpg::FaultSimulator shared(nl, topo);
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  Rng rng(GetParam());
+  std::vector<uint64_t> words(nl.inputs().size());
+  for (uint64_t& w : words) w = rng.NextWord();
+  owned.LoadPatterns(words);
+  shared.LoadPatterns(words);
+  for (const atpg::Fault& f : faults) {
+    ASSERT_EQ(owned.DetectMask(f), shared.DetectMask(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventDetect,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(EventDetect, AggregateSweepsMatchC17Reference) {
+  const Netlist nl = circuits::MakeC17();
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  const atpg::CoverageResult cov = atpg::FaultCoverage(nl, faults, 1024, 3);
+  EXPECT_EQ(cov.detected, cov.total_faults);
+}
+
+TEST(EventDetect, FrontierDiesBeforeOutputsEarlyExit) {
+  // y = (a AND b) OR c. With b=0 and c=1 the fault a/sa1 is excited but the
+  // difference dies at the AND (b=0 masks) — and even if it got through,
+  // c=1 masks at the OR. The event sweep must stop after evaluating the
+  // AND gate alone; the reference resim walks the whole suffix.
+  Netlist nl("mask");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId c = nl.AddInput("c");
+  const NetId x = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId y = nl.AddGate(GateOp::kOr, {x, c});
+  nl.AddOutput(y, "y");
+  atpg::FaultSimulator sim(nl);
+  sim.LoadPatterns(std::vector<uint64_t>{0, 0, ~0ULL});  // a=0 b=0 c=1
+  const atpg::Fault f{a, true};  // a stuck-at-1: excited in every lane
+  EXPECT_EQ(sim.DetectMaskFull(f), 0u);
+  const size_t full_evals = sim.LastDetectGateEvals();
+  EXPECT_EQ(sim.DetectMask(f), 0u);
+  const size_t event_evals = sim.LastDetectGateEvals();
+  EXPECT_EQ(event_evals, 1u);  // only the AND ran; frontier died there
+  EXPECT_GT(full_evals, event_evals);
+}
+
+TEST(EventDetect, UnexcitedFaultDoesNoWork) {
+  Netlist nl("unexcited");
+  const NetId a = nl.AddInput("a");
+  const NetId y = nl.AddGate(GateOp::kBuf, {a});
+  nl.AddOutput(y, "y");
+  atpg::FaultSimulator sim(nl);
+  sim.LoadPatterns(std::vector<uint64_t>{~0ULL});
+  EXPECT_EQ(sim.DetectMask(atpg::Fault{a, true}), 0u);  // a already 1
+  EXPECT_EQ(sim.LastDetectGateEvals(), 0u);
+}
+
+TEST(EventDetect, OversizedGateFailsLoudly) {
+  Netlist nl("overfanin");
+  std::vector<NetId> ins;
+  for (int i = 0; i < 5; ++i) {
+    ins.push_back(nl.AddInput("i" + std::to_string(i)));
+  }
+  EXPECT_THROW(nl.AddGate(GateOp::kAnd, std::span<const NetId>(ins)),
+               std::invalid_argument);
+}
+
+// --- Incremental DIP encoder ------------------------------------------------
+
+class IncrementalDip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalDip, BitIdenticalToFullEncodeNetlist) {
+  const Netlist original = RandomCircuit(GetParam(), 250);
+  Rng lock_rng(GetParam());
+  const lock::EpicResult locked =
+      lock::LockWithEpic(original, 12, lock_rng);
+  const Netlist& nl = locked.locked;
+  const size_t num_pis = nl.inputs().size();
+  const size_t num_keys = nl.KeyInputs().size();
+  ASSERT_GT(num_keys, 0u);
+
+  // Two fresh solver/encoder pairs receive the same call sequence; the
+  // incremental path must leave them in bit-identical states: same
+  // variable count and literal-identical output vectors, round after
+  // round (cache reuse across rounds included).
+  sat::Solver full_solver, inc_solver;
+  sat::StructuralEncoder full_enc(full_solver), inc_enc(inc_solver);
+  std::vector<sat::Lit> full_keys(num_keys), inc_keys(num_keys);
+  for (auto& l : full_keys) l = full_enc.FreshLit();
+  for (auto& l : inc_keys) l = inc_enc.FreshLit();
+  ASSERT_EQ(full_keys, inc_keys);
+
+  sat::IncrementalDipEncoder dip_enc(inc_enc, nl);
+  EXPECT_LT(dip_enc.ConeSize(), nl.NumLogicGates());
+
+  Rng rng(GetParam() ^ 0xD1F);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<uint8_t> dip(num_pis);
+    for (auto& b : dip) b = rng.NextBool() ? 1 : 0;
+    std::vector<sat::Lit> const_in(num_pis);
+    for (size_t i = 0; i < num_pis; ++i) {
+      const_in[i] = dip[i] ? full_enc.TrueLit() : full_enc.FalseLit();
+    }
+    const std::vector<sat::Lit> full_outs =
+        full_enc.EncodeNetlist(nl, const_in, full_keys);
+    dip_enc.SetDip(dip);
+    const std::vector<sat::Lit> inc_outs = dip_enc.Encode(inc_keys);
+    ASSERT_EQ(inc_outs, full_outs) << "round " << round;
+    ASSERT_EQ(inc_solver.NumVars(), full_solver.NumVars())
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDip,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(IncrementalDip, HandlesKeylessNetlist) {
+  const Netlist nl = circuits::MakeC17();
+  sat::Solver solver;
+  sat::StructuralEncoder enc(solver);
+  sat::IncrementalDipEncoder dip_enc(enc, nl);
+  EXPECT_EQ(dip_enc.ConeSize(), 0u);
+  std::vector<uint8_t> dip(nl.inputs().size(), 1);
+  dip_enc.SetDip(dip);
+  const std::vector<sat::Lit> outs = dip_enc.Encode({});
+  // Everything folds: outputs are constants matching plain simulation.
+  Simulator sim(nl);
+  std::vector<uint64_t> words(nl.inputs().size(), ~0ULL);
+  sim.SetInputWords(words);
+  sim.Run();
+  ASSERT_EQ(outs.size(), nl.outputs().size());
+  for (size_t o = 0; o < outs.size(); ++o) {
+    const sat::Lit want =
+        (sim.OutputWord(o) & 1) != 0 ? enc.TrueLit() : enc.FalseLit();
+    EXPECT_EQ(outs[o], want);
+  }
+}
+
+TEST(SatAttackPaths, IncrementalAndLegacyResultsAreBitIdentical) {
+  const Netlist original = RandomCircuit(42, 350, 16, 8);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 16;
+  opts.seed = 42;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+
+  attack::SatAttackOptions incremental, legacy;
+  incremental.incremental_dip_encoding = true;
+  legacy.incremental_dip_encoding = false;
+  const attack::SatAttackResult a =
+      attack::RunSatAttack(locked.locked, original, incremental);
+  const attack::SatAttackResult b =
+      attack::RunSatAttack(locked.locked, original, legacy);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.key_found, b.key_found);
+  EXPECT_EQ(a.dips_used, b.dips_used);
+  EXPECT_EQ(a.recovered_key, b.recovered_key);
+  EXPECT_EQ(a.functionally_correct, b.functionally_correct);
+}
+
+// --- Batched oracle ---------------------------------------------------------
+
+TEST(DipOracle, BatchedResponsesMatchSequentialSimulation) {
+  const Netlist nl = RandomCircuit(7, 200, 12, 6);
+  attack::DipOracle oracle(nl);
+  Simulator reference(nl);
+  Rng rng(7);
+  constexpr size_t kQueries = 9;
+  std::vector<std::vector<uint8_t>> queries;
+  for (size_t q = 0; q < kQueries; ++q) {
+    std::vector<uint8_t> bits(nl.inputs().size());
+    for (auto& b : bits) b = rng.NextBool() ? 1 : 0;
+    EXPECT_EQ(oracle.Enqueue(bits), q);
+    queries.push_back(std::move(bits));
+  }
+  EXPECT_EQ(oracle.pending(), kQueries);
+  oracle.Flush();  // one SoA sweep answers all queries
+  EXPECT_EQ(oracle.pending(), 0u);
+  EXPECT_EQ(oracle.answered(), kQueries);
+  for (size_t q = 0; q < kQueries; ++q) {
+    for (size_t i = 0; i < queries[q].size(); ++i) {
+      reference.SetSourceWord(nl.inputs()[i], queries[q][i] ? ~0ULL : 0ULL);
+    }
+    reference.Run();
+    for (size_t o = 0; o < nl.outputs().size(); ++o) {
+      EXPECT_EQ(oracle.OutputBit(q, o), (reference.OutputWord(o) & 1) != 0)
+          << "query " << q << " po " << o;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splitlock
