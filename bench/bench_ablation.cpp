@@ -30,10 +30,8 @@ const PostprocRow& RunPostprocCached(int split_layer) {
   if (it != cache.end()) return it->second;
 
   const FlowScore& base = RunItcFlowCached(kBenchName, split_layer);
-  attack::ProximityOptions no_pp;
-  no_pp.postprocess_key_gates = false;
-  const attack::ProximityResult raw =
-      attack::RunProximityAttack(base.flow.feol, no_pp);
+  const attack::AttackReport raw =
+      RunEngineOnFeol(base.flow.feol, "proximity:postprocess=false");
   PostprocRow row;
   row.with_pp_logical = base.score.ccr.key_logical_ccr_percent;
   row.without_pp_logical =
@@ -65,8 +63,7 @@ PolicyRow RunPolicy(bool randomize_ties, bool lift) {
   for (NetId kn : key_nets) {
     if (!flow.feol.net_broken[kn]) ++row.exposed_in_feol;
   }
-  const attack::ProximityResult atk =
-      attack::RunProximityAttack(flow.feol);
+  const attack::AttackReport atk = RunEngineOnFeol(flow.feol, "proximity");
   const attack::CcrReport ccr =
       attack::ComputeCcr(flow.feol, atk.assignment);
   row.logical_ccr = ccr.key_logical_ccr_percent;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/engine.hpp"
 #include "attack/metrics.hpp"
 #include "attack/proximity.hpp"
 #include "circuits/suites.hpp"
@@ -24,6 +25,23 @@
 #include "util/env.hpp"
 
 namespace splitlock::bench {
+
+// Shared engine-adapter entry for layout-level attacks: dispatches `spec`
+// through the attack-engine registry against an FEOL view. The default
+// seed 1 matches the legacy free functions' option defaults, so tables
+// stay comparable across the API migration. Throws when the engine fails.
+inline attack::AttackReport RunEngineOnFeol(const split::FeolView& feol,
+                                            const std::string& spec,
+                                            uint64_t seed = 1) {
+  attack::AttackContext ctx;
+  ctx.feol = &feol;
+  ctx.seed = seed;
+  attack::AttackReport report = attack::RunAttack(ctx, spec);
+  if (!report.ok) {
+    throw std::runtime_error("attack engine " + spec + ": " + report.error);
+  }
+  return report;
+}
 
 // One secure-flow run plus its attack scorecard.
 struct FlowScore {

@@ -7,14 +7,15 @@
 // simulation pass.
 #include "bench_common.hpp"
 
-#include "attack/ideal.hpp"
 #include "lock/atpg_lock.hpp"
 
 namespace splitlock::bench {
 namespace {
 
 struct IdealRow {
-  attack::IdealAttackResult result;
+  uint64_t guesses = 0;
+  uint64_t exact_guesses = 0;
+  double oer_percent = 0.0;
   size_t key_bits = 0;
 };
 
@@ -30,10 +31,24 @@ const IdealRow& RunIdealCached(const std::string& name) {
   opts.verify_lec = false;  // LEC exercised by the flow benches/tests
   const lock::AtpgLockResult lock = lock::LockWithAtpg(original, opts);
 
+  // Guess-sweep mode of the shared "ideal" engine adapter: the context
+  // carries locked+oracle+key, no FEOL view.
+  attack::AttackContext ctx;
+  ctx.locked = &lock.locked;
+  ctx.oracle = &original;
+  ctx.correct_key = lock.key;
+  ctx.seed = 2019;
+  const attack::AttackReport report = attack::RunAttack(
+      ctx, "ideal:guesses=" + std::to_string(ReproGuesses()) +
+               ",patterns_per_guess=48");
+  if (!report.ok) throw std::runtime_error(report.error);
+
   IdealRow row;
   row.key_bits = lock.key.size();
-  row.result = attack::RunIdealAttack(original, lock.locked, lock.key,
-                                      ReproGuesses(), 48, 2019);
+  row.guesses = static_cast<uint64_t>(report.counters.at("guesses"));
+  row.exact_guesses =
+      static_cast<uint64_t>(report.counters.at("exact_guesses"));
+  row.oer_percent = report.counters.at("oer_percent");
   return cache.emplace(name, std::move(row)).first->second;
 }
 
@@ -47,9 +62,8 @@ void PrintTable() {
     const IdealRow& row = RunIdealCached(info.name);
     std::printf("%-6s | %12zu | %16llu | %12llu | %10.3f\n",
                 info.name.c_str(), row.key_bits,
-                (unsigned long long)row.result.guesses,
-                (unsigned long long)row.result.exact_guesses,
-                row.result.OerPercent());
+                (unsigned long long)row.guesses,
+                (unsigned long long)row.exact_guesses, row.oer_percent);
   }
   PrintRule(72);
   std::printf(
@@ -61,10 +75,9 @@ void PrintTable() {
 void RunRow(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
     const IdealRow& row = RunIdealCached(name);
-    state.counters["oer_percent"] = row.result.OerPercent();
-    state.counters["guesses"] = static_cast<double>(row.result.guesses);
-    state.counters["exact_hits"] =
-        static_cast<double>(row.result.exact_guesses);
+    state.counters["oer_percent"] = row.oer_percent;
+    state.counters["guesses"] = static_cast<double>(row.guesses);
+    state.counters["exact_hits"] = static_cast<double>(row.exact_guesses);
   }
 }
 

@@ -30,7 +30,7 @@ const std::map<std::string, Row> kPaperProposed = {
 };
 
 Row ScoreDefense(const defense::DefenseResult& d, uint64_t seed) {
-  const attack::ProximityResult atk = attack::RunProximityAttack(d.feol);
+  const attack::AttackReport atk = RunEngineOnFeol(d.feol, "proximity");
   Row row;
   row.pnr = attack::ComputePnrPercent(d.feol, atk.assignment);
   row.ccr = attack::ComputeCcr(d.feol, atk.assignment).regular_ccr_percent;
@@ -72,7 +72,7 @@ const AllRows& RunBenchmarkCached(const std::string& name) {
   core::FlowOptions ours = options;
   ours.lock.require_area_gain = false;
   const core::FlowResult flow = core::RunSecureFlow(original, ours);
-  const attack::ProximityResult atk = attack::RunProximityAttack(flow.feol);
+  const attack::AttackReport atk = RunEngineOnFeol(flow.feol, "proximity");
   const attack::AttackScore score = attack::ScoreAttack(
       flow.feol, atk.assignment, ReproPatterns(), ours.seed);
   rows.proposed.pnr = score.pnr_percent;

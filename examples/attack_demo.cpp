@@ -7,11 +7,14 @@
 //                   in/through the FEOL (Fig. 2(b));
 //   (c) secure    — randomized TIE cells AND key-nets lifted to the BEOL
 //                   through stacked vias (Fig. 2(c)/(d)).
-// For each, reports how much of the key an FEOL attacker learns.
+// For each, reports how much of the key an FEOL attacker learns. Attacks
+// dispatch through the attack-engine registry (attack/engine.hpp) — swap
+// the engine spec below for "ml" or "ideal" to pit a different attacker
+// model against the same layouts.
 #include <cstdio>
 
+#include "attack/engine.hpp"
 #include "attack/metrics.hpp"
-#include "attack/proximity.hpp"
 #include "circuits/random_circuit.hpp"
 #include "core/flow.hpp"
 #include "phys/router.hpp"
@@ -42,7 +45,9 @@ PolicyResult RunPolicy(const char* name, const splitlock::Netlist& original,
   for (NetId kn : phys::KeyNetsOf(*flow.physical.netlist)) {
     if (!flow.feol.net_broken[kn]) ++exposed;
   }
-  const attack::ProximityResult atk = attack::RunProximityAttack(flow.feol);
+  attack::AttackContext ctx;
+  ctx.feol = &flow.feol;
+  const attack::AttackReport atk = attack::RunAttack(ctx, "proximity");
   const attack::CcrReport ccr = attack::ComputeCcr(flow.feol, atk.assignment);
   return PolicyResult{name, exposed, ccr.key_connections,
                       ccr.key_logical_ccr_percent,

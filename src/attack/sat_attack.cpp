@@ -1,7 +1,11 @@
 #include "attack/sat_attack.hpp"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <set>
 
@@ -13,8 +17,132 @@
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace splitlock::attack {
+namespace {
+
+// Shared scaffolding of the oracle-guided attack: the two-copy miter over
+// the locked netlist, the batched oracle frontend and the per-round DIP
+// constraint encoding. Both the sequential DIP loop and the portfolio loop
+// drive one of these; only the miter-solve step differs.
+class MiterAttack {
+ public:
+  MiterAttack(const Netlist& locked, const Netlist& oracle, bool incremental)
+      : locked_(locked),
+        enc_(solver_),
+        oracle_sim_(oracle),
+        num_pis_(locked.inputs().size()),
+        num_pos_(locked.outputs().size()),
+        num_keys_(locked.KeyInputs().size()),
+        incremental_(incremental) {
+    x_.resize(num_pis_);
+    for (auto& l : x_) l = enc_.FreshLit();
+    k1_.resize(num_keys_);
+    k2_.resize(num_keys_);
+    for (auto& l : k1_) l = enc_.FreshLit();
+    for (auto& l : k2_) l = enc_.FreshLit();
+
+    const std::vector<sat::Lit> outs1 = enc_.EncodeNetlist(locked, x_, k1_);
+    const std::vector<sat::Lit> outs2 = enc_.EncodeNetlist(locked, x_, k2_);
+
+    // Miter: exists an input where the two key hypotheses disagree.
+    std::vector<sat::Lit> diffs;
+    for (size_t o = 0; o < num_pos_; ++o) {
+      const sat::Lit d = enc_.EncodeOp(
+          GateOp::kXor, std::array<sat::Lit, 2>{outs1[o], outs2[o]});
+      if (d != enc_.FalseLit()) diffs.push_back(d);
+    }
+    // diff_any <-> OR(diffs): encode via a fresh selector we can assume.
+    diff_any_ = enc_.FreshLit();
+    std::vector<sat::Lit> clause{sat::Negate(diff_any_)};
+    clause.insert(clause.end(), diffs.begin(), diffs.end());
+    solver_.AddClause(clause);  // diff_any -> OR(diffs)
+
+    if (incremental_) dip_enc_.emplace(enc_, locked_);
+  }
+
+  sat::Solver& solver() { return solver_; }
+  sat::Lit diff_any() const { return diff_any_; }
+
+  // The DIP carried by the model currently held in solver().
+  std::vector<uint8_t> ExtractDip() const {
+    std::vector<uint8_t> dip(num_pis_);
+    for (size_t i = 0; i < num_pis_; ++i) {
+      const bool v = solver_.ModelValue(sat::VarOf(x_[i]));
+      dip[i] = static_cast<uint8_t>(sat::IsNegated(x_[i]) ? !v : v);
+    }
+    return dip;
+  }
+
+  // Queries the oracle on `dip` and constrains both key hypotheses to agree
+  // with it. Fills the telemetry entry's oracle/encode timings.
+  void ConstrainWithOracle(std::span<const uint8_t> dip,
+                           SatRoundTelemetry* round) {
+    const Stopwatch oracle_sw;
+    const size_t query = oracle_sim_.Enqueue(dip);
+    oracle_sim_.Flush();
+    round->oracle_ms = oracle_sw.Ms();
+
+    // Under constant inputs all non-key logic folds to constants; only the
+    // key-dependent cone produces CNF. The two paths below emit
+    // bit-identical clause streams (see IncrementalDipEncoder); the
+    // incremental one skips the per-round full-netlist walks.
+    const Stopwatch encode_sw;
+    std::vector<sat::Lit> const_in;
+    if (incremental_) {
+      dip_enc_->SetDip(dip);
+    } else {
+      const_in.resize(num_pis_);
+      for (size_t i = 0; i < num_pis_; ++i) {
+        const_in[i] = dip[i] ? enc_.TrueLit() : enc_.FalseLit();
+      }
+    }
+    for (const auto& keys : {k1_, k2_}) {
+      const std::vector<sat::Lit> outs =
+          incremental_ ? dip_enc_->Encode(keys)
+                       : enc_.EncodeNetlist(locked_, const_in, keys);
+      for (size_t o = 0; o < num_pos_; ++o) {
+        const bool want = oracle_sim_.OutputBit(query, o);
+        solver_.AddUnit(want ? outs[o] : sat::Negate(outs[o]));
+      }
+    }
+    round->encode_ms = encode_sw.Ms();
+  }
+
+  // All DIPs exhausted: any key satisfying the accumulated IO constraints
+  // is functionally correct. Solve once more without the miter assumption.
+  void ExtractKey(uint64_t conflict_limit, SatAttackResult* result) {
+    const Stopwatch final_sw;
+    const sat::SolveResult final_sr = solver_.Solve({}, conflict_limit);
+    result->telemetry.final_solve_ms = final_sw.Ms();
+    if (final_sr != sat::SolveResult::kSat) return;
+    result->key_found = true;
+    result->recovered_key.resize(num_keys_);
+    for (size_t i = 0; i < num_keys_; ++i) {
+      const bool v = solver_.ModelValue(sat::VarOf(k1_[i]));
+      result->recovered_key[i] =
+          static_cast<uint8_t>(sat::IsNegated(k1_[i]) ? !v : v);
+    }
+  }
+
+ private:
+  const Netlist& locked_;
+  sat::Solver solver_;  // master solver; declared before the encoder
+  sat::StructuralEncoder enc_;
+  DipOracle oracle_sim_;
+  const size_t num_pis_;
+  const size_t num_pos_;
+  const size_t num_keys_;
+  const bool incremental_;
+  std::vector<sat::Lit> x_;
+  std::vector<sat::Lit> k1_;
+  std::vector<sat::Lit> k2_;
+  sat::Lit diff_any_ = 0;
+  std::optional<sat::IncrementalDipEncoder> dip_enc_;
+};
+
+}  // namespace
 
 DipOracle::DipOracle(const Netlist& oracle)
     : sim_(oracle),
@@ -60,110 +188,205 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
   assert(locked.inputs().size() == oracle.inputs().size());
   assert(locked.outputs().size() == oracle.outputs().size());
   SatAttackResult result;
+  const Stopwatch total_sw;
 
-  sat::Solver solver;
-  sat::StructuralEncoder enc(solver);
-
-  const size_t num_pis = locked.inputs().size();
-  const size_t num_pos = locked.outputs().size();
-  const size_t num_keys = locked.KeyInputs().size();
-
-  std::vector<sat::Lit> x(num_pis);
-  for (auto& l : x) l = enc.FreshLit();
-  std::vector<sat::Lit> k1(num_keys);
-  std::vector<sat::Lit> k2(num_keys);
-  for (auto& l : k1) l = enc.FreshLit();
-  for (auto& l : k2) l = enc.FreshLit();
-
-  const std::vector<sat::Lit> outs1 = enc.EncodeNetlist(locked, x, k1);
-  const std::vector<sat::Lit> outs2 = enc.EncodeNetlist(locked, x, k2);
-
-  // Miter: exists an input where the two key hypotheses disagree.
-  std::vector<sat::Lit> diffs;
-  for (size_t o = 0; o < num_pos; ++o) {
-    const sat::Lit d = enc.EncodeOp(
-        GateOp::kXor, std::array<sat::Lit, 2>{outs1[o], outs2[o]});
-    if (d != enc.FalseLit()) diffs.push_back(d);
-  }
-  // diff_any <-> OR(diffs): encode via a fresh selector we can assume.
-  const sat::Lit diff_any = enc.FreshLit();
-  {
-    std::vector<sat::Lit> clause{sat::Negate(diff_any)};
-    clause.insert(clause.end(), diffs.begin(), diffs.end());
-    solver.AddClause(clause);  // diff_any -> OR(diffs)
-  }
-
-  DipOracle oracle_sim(oracle);
-  // Per-round constraint encoder: the locked netlist's topology and
-  // key-dependent cone are cached here once, outside the DIP loop.
-  std::optional<sat::IncrementalDipEncoder> dip_enc;
-  if (options.incremental_dip_encoding) dip_enc.emplace(enc, locked);
+  MiterAttack miter(locked, oracle, options.incremental_dip_encoding);
+  sat::Solver& solver = miter.solver();
+  const std::vector<sat::Lit> assumptions{miter.diff_any()};
 
   for (size_t round = 0; round < options.max_dips; ++round) {
-    const std::vector<sat::Lit> assumptions{diff_any};
+    if (options.wall_budget_s > 0.0 &&
+        total_sw.Ms() >= options.wall_budget_s * 1000.0) {
+      break;  // advisory wall budget blown; report as unfinished
+    }
+    SatRoundTelemetry tel;
+    const Stopwatch solve_sw;
+    const uint64_t conflicts_before = solver.conflicts();
     const sat::SolveResult sr =
         solver.Solve(assumptions, options.conflict_limit_per_solve);
-    if (sr == sat::SolveResult::kUnknown) return result;  // budget blown
+    tel.solve_ms = solve_sw.Ms();
+    tel.conflicts = solver.conflicts() - conflicts_before;
+    result.telemetry.rounds.push_back(tel);
+    if (sr == sat::SolveResult::kUnknown) {  // budget blown
+      result.telemetry.total_conflicts = solver.conflicts();
+      result.telemetry.total_ms = total_sw.Ms();
+      return result;
+    }
     if (sr == sat::SolveResult::kUnsat) {
       result.finished = true;
       break;
     }
-    // Extract the DIP.
-    std::vector<uint8_t> dip(num_pis);
-    for (size_t i = 0; i < num_pis; ++i) {
-      const bool v = solver.ModelValue(sat::VarOf(x[i]));
-      dip[i] = static_cast<uint8_t>(sat::IsNegated(x[i]) ? !v : v);
-    }
+    const std::vector<uint8_t> dip = miter.ExtractDip();
     ++result.dips_used;
-
-    // Oracle response, via the batched SoA path (one query this round;
-    // the sweep widens for free when rounds queue several).
-    const size_t query = oracle_sim.Enqueue(dip);
-    oracle_sim.Flush();
-
-    // Constrain both key hypotheses to agree with the oracle on the DIP.
-    // Under constant inputs all non-key logic folds to constants; only the
-    // key-dependent cone produces CNF. The two paths below emit
-    // bit-identical clause streams (see IncrementalDipEncoder); the
-    // incremental one skips the per-round full-netlist walks.
-    std::vector<sat::Lit> const_in;
-    if (options.incremental_dip_encoding) {
-      dip_enc->SetDip(dip);
-    } else {
-      const_in.resize(num_pis);
-      for (size_t i = 0; i < num_pis; ++i) {
-        const_in[i] = dip[i] ? enc.TrueLit() : enc.FalseLit();
-      }
-    }
-    for (const auto& keys : {k1, k2}) {
-      const std::vector<sat::Lit> outs =
-          options.incremental_dip_encoding
-              ? dip_enc->Encode(keys)
-              : enc.EncodeNetlist(locked, const_in, keys);
-      for (size_t o = 0; o < num_pos; ++o) {
-        const bool want = oracle_sim.OutputBit(query, o);
-        solver.AddUnit(want ? outs[o] : sat::Negate(outs[o]));
-      }
+    ++result.telemetry.oracle_queries;
+    miter.ConstrainWithOracle(dip, &result.telemetry.rounds.back());
+  }
+  if (result.finished) {
+    miter.ExtractKey(options.conflict_limit_per_solve, &result);
+    if (result.key_found) {
+      const Stopwatch verify_sw;
+      result.functionally_correct =
+          RandomPatternsAgree(oracle, locked, options.verify_patterns,
+                              options.seed, {}, result.recovered_key);
+      result.telemetry.verify_ms = verify_sw.Ms();
     }
   }
-  if (!result.finished) return result;
-
-  // All DIPs exhausted: any key satisfying the accumulated IO constraints
-  // is functionally correct. Solve once more without the miter assumption.
-  const sat::SolveResult final_sr =
-      solver.Solve({}, options.conflict_limit_per_solve);
-  if (final_sr != sat::SolveResult::kSat) return result;
-  result.key_found = true;
-  result.recovered_key.resize(num_keys);
-  for (size_t i = 0; i < num_keys; ++i) {
-    const bool v = solver.ModelValue(sat::VarOf(k1[i]));
-    result.recovered_key[i] =
-        static_cast<uint8_t>(sat::IsNegated(k1[i]) ? !v : v);
-  }
-  result.functionally_correct =
-      RandomPatternsAgree(oracle, locked, options.verify_patterns,
-                          options.seed, {}, result.recovered_key);
+  result.telemetry.total_conflicts = solver.conflicts();
+  result.telemetry.total_ms = total_sw.Ms();
   return result;
+}
+
+sat::SolverConfig PortfolioMemberConfig(uint64_t seed, size_t round,
+                                        size_t index) {
+  sat::SolverConfig config;
+  if (index == 0) return config;  // baseline: the sequential attack's config
+  const uint64_t h = exec::Mix64(seed ^ exec::Mix64(round * 8191 + index));
+  config.branch_seed = h;
+  switch (index % 3) {
+    case 0:
+      config.polarity = sat::PolarityMode::kTrue;
+      break;
+    case 1:
+      config.polarity = sat::PolarityMode::kRandom;
+      break;
+    case 2:
+      config.polarity = sat::PolarityMode::kFalse;
+      break;
+  }
+  config.random_branch_freq = 0.01 * static_cast<double>(1 + index % 4);
+  config.restart_unit = 64ULL << (index % 4);
+  return config;
+}
+
+PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
+                                         const Netlist& oracle,
+                                         const PortfolioSatOptions& options) {
+  assert(locked.inputs().size() == oracle.inputs().size());
+  assert(locked.outputs().size() == oracle.outputs().size());
+  PortfolioSatResult out;
+  const size_t num_configs = std::max<size_t>(options.num_configs, 1);
+  out.wins_per_config.assign(num_configs, 0);
+  SatAttackResult& result = out.attack;
+  const Stopwatch total_sw;
+
+  MiterAttack miter(locked, oracle, /*incremental=*/true);
+  sat::Solver& master = miter.solver();
+  const std::vector<sat::Lit> assumptions{miter.diff_any()};
+
+  // One race participant. Heap-allocated because std::atomic is immovable.
+  struct ConfigRun {
+    sat::Solver solver;
+    sat::SolveResult result = sat::SolveResult::kUnknown;
+    std::atomic<bool> abort{false};
+  };
+
+  for (size_t round = 0; round < options.max_dips; ++round) {
+    if (options.total_conflict_budget > 0 &&
+        master.conflicts() >= options.total_conflict_budget) {
+      break;  // cumulative conflict ceiling (deterministic); unfinished
+    }
+    if (options.wall_budget_s > 0.0 &&
+        total_sw.Ms() >= options.wall_budget_s * 1000.0) {
+      break;  // advisory wall budget blown; report as unfinished
+    }
+    SatRoundTelemetry tel;
+    const Stopwatch solve_sw;
+    const uint64_t conflicts_before = master.conflicts();
+
+    // Phase 1: the baseline configuration runs directly on the master — no
+    // clone. Easy rounds (the common case) therefore cost exactly what the
+    // sequential attack pays; the diversified race below is reserved for
+    // rounds where the baseline stalls.
+    master.SetConfig(PortfolioMemberConfig(options.seed, round, 0));
+    sat::SolveResult sr = master.Solve(
+        assumptions, master.conflicts() + options.conflicts_per_round);
+    if (sr != sat::SolveResult::kUnknown) tel.winner = 0;
+
+    if (sr == sat::SolveResult::kUnknown && num_configs > 1) {
+      // Phase 2: the probe blew its per-round budget. Race diversified
+      // clones of the (probe-enriched) master; each keeps its learnt
+      // clauses from phase 1.
+      std::vector<std::unique_ptr<ConfigRun>> runs(num_configs);
+      for (size_t i = 1; i < num_configs; ++i) {
+        runs[i] = std::make_unique<ConfigRun>();
+      }
+      // Lowest configuration index known to have completed; runs above it
+      // can no longer win and may be aborted or skipped outright.
+      std::atomic<size_t> best_completed{num_configs};
+      exec::TaskGroup group;
+      for (size_t i = 1; i < num_configs; ++i) {
+        group.Run([&, i] {
+          ConfigRun& run = *runs[i];
+          if (best_completed.load(std::memory_order_acquire) < i) return;
+          run.solver = master.Clone();
+          run.solver.SetConfig(PortfolioMemberConfig(options.seed, round, i));
+          run.solver.SetAbortFlag(&run.abort);
+          run.result = run.solver.Solve(
+              assumptions, run.solver.conflicts() + options.conflicts_per_round);
+          if (run.result != sat::SolveResult::kUnknown) {
+            size_t prev = best_completed.load(std::memory_order_acquire);
+            while (i < prev && !best_completed.compare_exchange_weak(
+                                   prev, i, std::memory_order_acq_rel)) {
+            }
+            for (size_t j = i + 1; j < num_configs; ++j) {
+              runs[j]->abort.store(true, std::memory_order_release);
+            }
+          }
+        });
+      }
+      group.Wait();
+      // Deterministic winner: lowest index that completed. (An aborted run
+      // reports kUnknown; it was aborted only because a lower index
+      // completed, so it could not have been the winner anyway.)
+      for (size_t i = 1; i < num_configs; ++i) {
+        if (runs[i]->result != sat::SolveResult::kUnknown) {
+          sr = runs[i]->result;
+          tel.winner = static_cast<int>(i);
+          // Adopt the winner: its clause database (with this round's learnt
+          // clauses), activities and saved phases become the next round's
+          // master. The encoder keeps pointing at the same Solver object,
+          // and clones never add variables, so literal numbering stays
+          // aligned.
+          master = std::move(runs[i]->solver);
+          master.SetAbortFlag(nullptr);  // the flag dies with this round
+          break;
+        }
+      }
+    }
+    tel.solve_ms = solve_sw.Ms();
+    tel.conflicts = master.conflicts() - conflicts_before;
+    result.telemetry.rounds.push_back(tel);
+    if (sr == sat::SolveResult::kUnknown) {  // no configuration completed
+      result.telemetry.total_conflicts = master.conflicts();
+      result.telemetry.total_ms = total_sw.Ms();
+      return out;
+    }
+    ++out.wins_per_config[static_cast<size_t>(tel.winner)];
+    if (sr == sat::SolveResult::kUnsat) {
+      result.finished = true;
+      break;
+    }
+    const std::vector<uint8_t> dip = miter.ExtractDip();
+    ++result.dips_used;
+    ++result.telemetry.oracle_queries;
+    miter.ConstrainWithOracle(dip, &result.telemetry.rounds.back());
+  }
+  if (result.finished) {
+    // Key extraction runs on the adopted master under the baseline config.
+    master.SetConfig(sat::SolverConfig{});
+    miter.ExtractKey(master.conflicts() + options.conflicts_per_round,
+                     &result);
+    if (result.key_found) {
+      const Stopwatch verify_sw;
+      result.functionally_correct =
+          RandomPatternsAgree(oracle, locked, options.verify_patterns,
+                              options.seed, {}, result.recovered_key);
+      result.telemetry.verify_ms = verify_sw.Ms();
+    }
+  }
+  result.telemetry.total_conflicts = master.conflicts();
+  result.telemetry.total_ms = total_sw.Ms();
+  return out;
 }
 
 OracleLessProbe ProbeOracleLessKeySpace(const Netlist& locked, size_t samples,

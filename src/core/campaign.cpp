@@ -8,6 +8,19 @@
 
 namespace splitlock::core {
 
+const attack::AttackReport* CampaignOutcome::AssignmentReport() const {
+  // The empty-stub guard keeps key-only engines (whose assignment is
+  // legitimately empty) from being mistaken for a layout recovery when the
+  // split broke nothing; splitlock_cli applies the same condition.
+  if (flow.feol.sink_stubs.empty()) return nullptr;
+  for (const attack::AttackReport& report : attacks) {
+    if (report.ok && report.assignment.size() == flow.feol.sink_stubs.size()) {
+      return &report;
+    }
+  }
+  return nullptr;
+}
+
 CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
   CampaignOutcome outcome;
   outcome.name = job.name;
@@ -16,11 +29,24 @@ CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
     const Netlist original = job.make_netlist();
     outcome.flow = RunSecureFlow(original, job.flow);
     if (options_.run_attack) {
-      outcome.proximity =
-          attack::RunProximityAttack(outcome.flow.feol, job.attack);
-      outcome.score =
-          attack::ScoreAttack(outcome.flow.feol, outcome.proximity.assignment,
-                              options_.score_patterns, job.flow.seed);
+      // Everything the engines may see. The oracle (the original function)
+      // and the designer key are available for the threat-model-violating
+      // and scoring-only engines; layout engines only read the FEOL view.
+      attack::AttackContext ctx;
+      ctx.feol = &outcome.flow.feol;
+      ctx.locked = &outcome.flow.lock.locked;
+      ctx.oracle = &original;
+      ctx.correct_key = outcome.flow.lock.key;
+      ctx.seed = job.flow.seed;
+      outcome.attacks.reserve(job.attacks.size());
+      for (const attack::AttackConfig& config : job.attacks) {
+        outcome.attacks.push_back(attack::RunAttack(ctx, config));
+      }
+      if (const attack::AttackReport* report = outcome.AssignmentReport()) {
+        outcome.score =
+            attack::ScoreAttack(outcome.flow.feol, report->assignment,
+                                options_.score_patterns, job.flow.seed);
+      }
     }
     outcome.ok = true;
   } catch (const std::exception& e) {

@@ -3,15 +3,21 @@
 //
 // One campaign job is the full per-benchmark evaluation pipeline the bench
 // harnesses and the CLI run: build the circuit, run the secure split
-// manufacturing flow, split the layout, run the proximity attack, score it
-// (CCR / PNR / HD / OER). Jobs are independent, so the runner executes them
-// as tasks on the exec thread pool; the parallel sweeps inside each job
-// (fault sim, HD/OER, probes) run as nested parallel regions on the same
-// pool, so a single large job still saturates the machine once the queue of
+// manufacturing flow, split the layout, run a *portfolio of attack engines*
+// against the result, score it (CCR / PNR / HD / OER). Jobs are
+// independent, so the runner executes them as tasks on the exec thread
+// pool; the parallel sweeps inside each job (fault sim, HD/OER, probes,
+// portfolio solver races) run as nested parallel regions on the same pool,
+// so a single large job still saturates the machine once the queue of
 // whole jobs drains. Per-job failures are captured in the outcome instead
 // of aborting the campaign. Outcomes keep job order; all per-job randomness
 // is seeded from the job's own options, so a campaign's results do not
 // depend on thread count or completion order.
+//
+// Attacks are described by attack::AttackConfig values and dispatched
+// through the attack-engine registry (attack/engine.hpp): any registered
+// engine — proximity, ml, ideal, sat, oracle-less, sat-portfolio — can run
+// per job, not just the proximity attack.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "attack/engine.hpp"
 #include "attack/metrics.hpp"
-#include "attack/proximity.hpp"
 #include "core/flow.hpp"
 
 namespace splitlock::core {
@@ -32,7 +38,12 @@ struct CampaignJob {
   // concurrently.
   std::function<Netlist()> make_netlist;
   FlowOptions flow;
-  attack::ProximityOptions attack;
+  // Attack portfolio for this job, run in order through the engine
+  // registry. Engines see the job's FEOL view, locked netlist, the
+  // original as oracle, and the designer key; the scorecard is computed
+  // from the first report that carries a complete assignment.
+  std::vector<attack::AttackConfig> attacks = {
+      attack::AttackConfig{.engine = "proximity"}};
 };
 
 struct CampaignOutcome {
@@ -40,15 +51,21 @@ struct CampaignOutcome {
   bool ok = false;
   std::string error;  // exception text when !ok
   FlowResult flow;
-  attack::ProximityResult proximity;
-  attack::AttackScore score;
+  // One report per configured attack, in job order. A failed engine run
+  // (unknown name, missing context) yields a !ok report; it does not fail
+  // the job.
+  std::vector<attack::AttackReport> attacks;
+  attack::AttackScore score;  // from the first assignment-carrying report
   double elapsed_s = 0.0;
+
+  // The first report with a complete assignment (nullptr when none).
+  const attack::AttackReport* AssignmentReport() const;
 };
 
 struct CampaignOptions {
   // Random patterns for the attack scorecard's HD/OER estimate.
   uint64_t score_patterns = 4096;
-  // Skip the proximity attack + scorecard (flow-only campaigns).
+  // Skip the attack portfolio + scorecard (flow-only campaigns).
   bool run_attack = true;
 };
 

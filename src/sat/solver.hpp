@@ -7,6 +7,7 @@
 // SAT-based cross-checks in the test suite.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -25,9 +26,55 @@ inline bool IsNegated(Lit l) { return (l & 1) != 0; }
 
 enum class SolveResult { kSat, kUnsat, kUnknown };
 
+// Decision-polarity policy for PickBranchLit.
+enum class PolarityMode : uint8_t {
+  kSaved,   // phase saving (default)
+  kFalse,   // always branch negative first
+  kTrue,    // always branch positive first
+  kRandom,  // uniform coin per decision, from the diversification stream
+};
+
+// Diversification knobs for portfolio solving. Every knob is deterministic:
+// two solvers with identical clause databases and identical configs walk
+// identical search trees. Distinct configs explore the space differently,
+// which is what a portfolio races (mallob-style).
+struct SolverConfig {
+  PolarityMode polarity = PolarityMode::kSaved;
+  // Probability of replacing a VSIDS decision with a uniformly random
+  // unassigned variable. 0 disables the diversification stream entirely.
+  double random_branch_freq = 0.0;
+  // Seed for the per-solver diversification stream (random decisions and
+  // random polarities). Ignored until a random knob is enabled.
+  uint64_t branch_seed = 0;
+  // Base interval of the Luby restart sequence, in conflicts.
+  uint64_t restart_unit = 128;
+
+  bool operator==(const SolverConfig&) const = default;
+};
+
 class Solver {
  public:
   Solver() = default;
+
+  // Deep copy: clause database (including learnt clauses), assignment
+  // trail, heuristic state (activities, saved phases) and config. A clone
+  // with the same config solves future queries identically to the
+  // original; diverging behaviour requires diverging configs. The abort
+  // flag is NOT inherited — clones start unabortable.
+  Solver Clone() const;
+
+  // Diversification knobs. Call between Solve()s (root level). Re-seeds
+  // the diversification stream from config.branch_seed.
+  void SetConfig(const SolverConfig& config) {
+    config_ = config;
+    div_seeded_ = false;
+  }
+  const SolverConfig& config() const { return config_; }
+
+  // Cooperative cancellation: when `flag` becomes true, an in-flight
+  // Solve() returns kUnknown at the next conflict/decision boundary.
+  // Pass nullptr to detach. The flag must outlive the solve.
+  void SetAbortFlag(const std::atomic<bool>* flag) { abort_flag_ = flag; }
 
   Var NewVar();
   int NumVars() const { return static_cast<int>(assign_.size()); }
@@ -110,9 +157,18 @@ class Solver {
 
   std::vector<int8_t> seen_;  // per var, scratch for Analyze
 
+  // Diversification stream: SplitMix64 over branch_seed, advanced only
+  // when a random knob consumes a draw, so kSaved/kFalse/kTrue configs are
+  // bit-compatible with the pre-diversification solver.
+  uint64_t NextDiversificationWord();
+
   double var_inc_ = 1.0;
   uint64_t conflicts_ = 0;
   bool unsat_at_root_ = false;
+  SolverConfig config_;
+  uint64_t div_state_ = 0;
+  bool div_seeded_ = false;
+  const std::atomic<bool>* abort_flag_ = nullptr;
 
   int DecisionLevel() const { return static_cast<int>(trail_limits_.size()); }
 };

@@ -1,0 +1,31 @@
+// Monotonic wall-clock stopwatch, started at construction. One shared
+// helper for the timing idiom the flow, attack and bench layers all need;
+// the unit is explicit in the accessor name to keep ms/s mix-ups out of
+// call sites.
+#pragma once
+
+#include <chrono>
+
+namespace splitlock {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace splitlock

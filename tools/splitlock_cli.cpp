@@ -6,17 +6,30 @@
 //       and prints the correct key to stdout.
 //   flow   <in.bench>  [--key-bits N] [--split M] [--seed S] [--naive]
 //       Full secure flow + proximity attack; prints the scorecard.
-//   attack <in.bench>  [--split M] [--seed S]
+//   attack <in.bench>  [--split M] [--seed S] [--engine E]... [--json]
 //       Treats the input as an unprotected design: lays it out, splits it
-//       and reports how much a proximity attacker recovers.
+//       and runs the configured attack engines (default: proximity) against
+//       the FEOL view. --engine list prints the registry.
+//   report <in.bench>  [--key-bits N] [--split M] [--seed S]
+//                      [--engine E]... [--json]
+//       Full secure flow, then every configured attack engine (default:
+//       proximity) against the protected design — engines additionally see
+//       the locked netlist, the original as oracle, and the designer key,
+//       so SAT-family engines run too. Prints one scorecard per engine.
 //   stats  <in.bench>
 //       Prints netlist statistics (gates by type, depth, area).
 //   suite  <iscas|itc>  [--key-bits N] [--split M] [--seed S] [--threads T]
+//                       [--engine E]...
 //       Concurrent campaign over a whole benchmark suite: each member runs
-//       the full lock -> place/route -> split -> proximity-attack pipeline
+//       the full lock -> place/route -> split -> attack-portfolio pipeline
 //       as a job on the exec thread pool; prints one scorecard row per
 //       member. --threads sizes the pool (default: SPLITLOCK_THREADS or
 //       hardware concurrency).
+//
+// Engines are attack::AttackConfig specs: a registry name, optionally with
+// key=value params — e.g. --engine proximity --engine "sat-portfolio:configs=8".
+// --json makes `attack` and `report` emit one machine-readable JSON object
+// per run on stdout (for scripting and CI diffing) instead of the tables.
 //
 // Sequential .bench files (DFF statements) are analyzed as their FF-cut
 // combinational cores.
@@ -26,9 +39,10 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "attack/engine.hpp"
 #include "attack/metrics.hpp"
-#include "attack/proximity.hpp"
 #include "core/campaign.hpp"
 #include "core/flow.hpp"
 #include "exec/thread_pool.hpp"
@@ -49,15 +63,19 @@ struct Args {
   uint64_t seed = 1;
   size_t threads = 0;  // 0 = default pool width
   bool naive = false;
+  bool json = false;
+  std::vector<std::string> engines;  // AttackConfig specs
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: splitlock_cli <lock|flow|attack|stats> <in.bench> "
-               "[out.bench] [--key-bits N] [--split M] [--seed S] "
-               "[--naive]\n"
-               "       splitlock_cli suite <iscas|itc> [--key-bits N] "
-               "[--split M] [--seed S] [--threads T]\n");
+  std::fprintf(
+      stderr,
+      "usage: splitlock_cli <lock|flow|attack|report|stats> <in.bench> "
+      "[out.bench] [--key-bits N] [--split M] [--seed S] [--naive] "
+      "[--engine E]... [--json]\n"
+      "       splitlock_cli suite <iscas|itc> [--key-bits N] [--split M] "
+      "[--seed S] [--threads T] [--engine E]...\n"
+      "       --engine list   print the attack-engine registry\n");
   return 2;
 }
 
@@ -67,6 +85,109 @@ Netlist Load(const std::string& path) {
   std::stringstream buf;
   buf << in.rdbuf();
   return ReadBench(buf.str(), path);
+}
+
+// Parsed --engine specs (default: proximity). Throws on malformed specs.
+std::vector<attack::AttackConfig> EngineConfigs(const Args& args) {
+  std::vector<attack::AttackConfig> configs;
+  for (const std::string& spec : args.engines) {
+    configs.push_back(attack::AttackConfig::Parse(spec));
+  }
+  if (configs.empty()) {
+    configs.push_back(attack::AttackConfig{.engine = "proximity"});
+  }
+  return configs;
+}
+
+int PrintEngineList() {
+  attack::EngineRegistry& registry = attack::EngineRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    std::printf("%-14s %s\n", name.c_str(),
+                registry.Create(name)->description().c_str());
+  }
+  return 0;
+}
+
+std::string ScoreJson(const attack::AttackScore& score) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"regular_ccr_percent\":%.4f,"
+                "\"key_logical_ccr_percent\":%.4f,"
+                "\"key_physical_ccr_percent\":%.4f,"
+                "\"pnr_percent\":%.4f,\"hd_percent\":%.4f,"
+                "\"oer_percent\":%.4f}",
+                score.ccr.regular_ccr_percent,
+                score.ccr.key_logical_ccr_percent,
+                score.ccr.key_physical_ccr_percent, score.pnr_percent,
+                score.functional.hd_percent, score.functional.oer_percent);
+  return buf;
+}
+
+void PrintReportText(const attack::AttackReport& report) {
+  std::printf("engine %s (%s): %s\n", report.engine.c_str(),
+              report.config.c_str(),
+              report.ok ? "ok" : report.error.c_str());
+  if (!report.ok) return;
+  if (report.key_found) {
+    std::printf("  key recovered (%zu bits), functionally correct: %s\n",
+                report.recovered_key.size(),
+                report.functionally_correct ? "YES" : "no");
+  }
+  for (const auto& [name, value] : report.counters) {
+    std::printf("  %-24s %.4g\n", name.c_str(), value);
+  }
+  std::printf("  elapsed %.2f s\n", report.elapsed_s);
+}
+
+// Runs `configs` against `ctx`; when a report carries a full assignment it
+// is scored against the FEOL ground truth. In JSON mode `runs_json` holds
+// the combined runs array (nothing is printed here); in text mode results
+// print directly and `runs_json` stays empty.
+struct EngineRunOutcome {
+  std::string runs_json;
+  bool any_failed = false;
+};
+
+EngineRunOutcome RunEnginesAndRender(
+    const attack::AttackContext& ctx,
+    const std::vector<attack::AttackConfig>& configs, uint64_t score_patterns,
+    bool json) {
+  EngineRunOutcome out;
+  if (json) out.runs_json = "[";
+  bool first = true;
+  for (const attack::AttackConfig& config : configs) {
+    const attack::AttackReport report = attack::RunAttack(ctx, config);
+    if (!report.ok) out.any_failed = true;
+    const bool scorable =
+        report.ok && ctx.feol &&
+        report.assignment.size() == ctx.feol->sink_stubs.size() &&
+        !ctx.feol->sink_stubs.empty();
+    attack::AttackScore score;
+    if (scorable) {
+      score = attack::ScoreAttack(*ctx.feol, report.assignment, score_patterns,
+                                  ctx.seed);
+    }
+    if (json) {
+      if (!first) out.runs_json += ',';
+      out.runs_json += "{\"report\":" + report.ToJson();
+      if (scorable) out.runs_json += ",\"score\":" + ScoreJson(score);
+      out.runs_json += '}';
+    } else {
+      PrintReportText(report);
+      if (scorable) {
+        std::printf(
+            "  CCR key log/phys %.1f/%.1f %%, regular %.1f %%  "
+            "PNR %.1f %%  HD %.1f %%  OER %.1f %%\n",
+            score.ccr.key_logical_ccr_percent,
+            score.ccr.key_physical_ccr_percent, score.ccr.regular_ccr_percent,
+            score.pnr_percent, score.functional.hd_percent,
+            score.functional.oer_percent);
+      }
+    }
+    first = false;
+  }
+  if (json) out.runs_json += ']';
+  return out;
 }
 
 int CmdStats(const Args& args) {
@@ -121,7 +242,11 @@ int CmdFlow(const Args& args) {
     opts.lift_key_nets = false;
   }
   const core::FlowResult flow = core::RunSecureFlow(original, opts);
-  const attack::ProximityResult atk = attack::RunProximityAttack(flow.feol);
+  attack::AttackContext ctx;
+  ctx.feol = &flow.feol;
+  ctx.seed = args.seed;
+  const attack::AttackReport atk =
+      attack::RunAttack(ctx, attack::AttackConfig{.engine = "proximity"});
   const attack::AttackScore score = attack::ScoreAttack(
       flow.feol, atk.assignment, ReproPatterns(), args.seed);
   std::printf("%s @ M%d (%s): %zu broken connections\n",
@@ -148,16 +273,63 @@ int CmdAttack(const Args& args) {
   const core::PhysicalBundle bundle = core::BuildPhysical(original, opts);
   const split::FeolView feol =
       split::SplitLayout(*bundle.layout, args.split_layer);
-  const attack::ProximityResult atk = attack::RunProximityAttack(feol);
-  const attack::AttackScore score =
-      attack::ScoreAttack(feol, atk.assignment, ReproPatterns(), args.seed);
-  std::printf("%s unprotected @ M%d: %zu broken connections\n",
-              original.name().c_str(), args.split_layer,
-              feol.sink_stubs.size());
-  std::printf("regular CCR %.1f %%  PNR %.1f %%  HD %.1f %%  OER %.1f %%\n",
-              score.ccr.regular_ccr_percent, score.pnr_percent,
-              score.functional.hd_percent, score.functional.oer_percent);
-  return 0;
+
+  attack::AttackContext ctx;
+  ctx.feol = &feol;
+  ctx.seed = args.seed;
+  if (!args.json) {
+    std::printf("%s unprotected @ M%d: %zu broken connections\n",
+                original.name().c_str(), args.split_layer,
+                feol.sink_stubs.size());
+  }
+  const EngineRunOutcome runs =
+      RunEnginesAndRender(ctx, EngineConfigs(args), ReproPatterns(), args.json);
+  if (args.json) {
+    std::printf("{\"command\":\"attack\",\"design\":%s,"
+                "\"split_layer\":%d,\"seed\":%llu,"
+                "\"broken_connections\":%zu,\"runs\":%s}\n",
+                attack::JsonEscape(original.name()).c_str(), args.split_layer,
+                (unsigned long long)args.seed, feol.sink_stubs.size(),
+                runs.runs_json.c_str());
+  }
+  return runs.any_failed ? 1 : 0;
+}
+
+int CmdReport(const Args& args) {
+  const Netlist original = Load(args.input);
+  core::FlowOptions opts;
+  opts.key_bits = args.key_bits;
+  opts.split_layer = args.split_layer;
+  opts.seed = args.seed;
+  if (args.naive) {
+    opts.randomize_tie_placement = false;
+    opts.lift_key_nets = false;
+  }
+  const core::FlowResult flow = core::RunSecureFlow(original, opts);
+
+  attack::AttackContext ctx;
+  ctx.feol = &flow.feol;
+  ctx.locked = &flow.lock.locked;
+  ctx.oracle = &original;
+  ctx.correct_key = flow.lock.key;
+  ctx.seed = args.seed;
+  if (!args.json) {
+    std::printf("%s @ M%d (%s): %zu key bits, %zu broken connections\n",
+                original.name().c_str(), args.split_layer,
+                args.naive ? "naive layout" : "secure flow",
+                flow.lock.key.size(), flow.feol.sink_stubs.size());
+  }
+  const EngineRunOutcome runs =
+      RunEnginesAndRender(ctx, EngineConfigs(args), ReproPatterns(), args.json);
+  if (args.json) {
+    std::printf("{\"command\":\"report\",\"design\":%s,"
+                "\"split_layer\":%d,\"seed\":%llu,\"key_bits\":%zu,"
+                "\"broken_connections\":%zu,\"runs\":%s}\n",
+                attack::JsonEscape(original.name()).c_str(), args.split_layer,
+                (unsigned long long)args.seed, flow.lock.key.size(),
+                flow.feol.sink_stubs.size(), runs.runs_json.c_str());
+  }
+  return runs.any_failed ? 1 : 0;
 }
 
 int CmdSuite(const Args& args) {
@@ -168,20 +340,27 @@ int CmdSuite(const Args& args) {
   opts.key_bits = args.key_bits;
   opts.split_layer = args.split_layer;
   opts.seed = args.seed;
-  const std::vector<core::CampaignJob> jobs =
+  std::vector<core::CampaignJob> jobs =
       args.input == "iscas"
           ? core::IscasCampaignJobs(opts)
           : core::Itc99CampaignJobs(opts, ReproScale());
+  const std::vector<attack::AttackConfig> configs = EngineConfigs(args);
+  for (core::CampaignJob& job : jobs) job.attacks = configs;
 
   core::CampaignOptions campaign_options;
   campaign_options.score_patterns = ReproPatterns();
   const std::vector<core::CampaignOutcome> outcomes =
       core::CampaignRunner(campaign_options).Run(jobs);
 
-  std::printf("%zu-job campaign @ M%d, %zu key bits, %zu threads\n",
+  std::printf("%zu-job campaign @ M%d, %zu key bits, %zu threads, "
+              "attacks:",
               jobs.size(), args.split_layer, args.key_bits,
               args.threads > 0 ? args.threads
                                : exec::ThreadPool::DefaultThreadCount());
+  for (const attack::AttackConfig& config : configs) {
+    std::printf(" %s", config.ToString().c_str());
+  }
+  std::printf("\n");
   std::printf("%-6s | %8s | %7s | %7s | %7s | %7s | %8s\n", "", "broken",
               "CCR %", "PNR %", "HD %", "OER %", "time (s)");
   int rc = 0;
@@ -196,6 +375,13 @@ int CmdSuite(const Args& args) {
                 oc.score.ccr.regular_ccr_percent, oc.score.pnr_percent,
                 oc.score.functional.hd_percent,
                 oc.score.functional.oer_percent, oc.elapsed_s);
+    for (const attack::AttackReport& report : oc.attacks) {
+      if (!report.ok) {
+        std::printf("%-6s |   engine %s FAILED: %s\n", "",
+                    report.engine.c_str(), report.error.c_str());
+        rc = 1;
+      }
+    }
   }
   return rc;
 }
@@ -203,6 +389,15 @@ int CmdSuite(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--engine list` needs no input file; honor it wherever it appears so
+  // `splitlock_cli attack --engine list` works as the usage line suggests.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine=list") == 0 ||
+        (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc &&
+         std::strcmp(argv[i + 1], "list") == 0)) {
+      return PrintEngineList();
+    }
+  }
   if (argc < 3) return Usage();
   Args args;
   args.command = argv[1];
@@ -228,6 +423,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       args.threads = std::strtoull(v, nullptr, 10);
+    } else if (a == "--engine") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.engines.emplace_back(v);
+    } else if (a.rfind("--engine=", 0) == 0) {
+      args.engines.emplace_back(a.substr(9));
+    } else if (a == "--json") {
+      args.json = true;
     } else if (a == "--naive") {
       args.naive = true;
     } else if (a[0] != '-' && args.output.empty()) {
@@ -241,6 +444,7 @@ int main(int argc, char** argv) {
     if (args.command == "lock") return CmdLock(args);
     if (args.command == "flow") return CmdFlow(args);
     if (args.command == "attack") return CmdAttack(args);
+    if (args.command == "report") return CmdReport(args);
     if (args.command == "suite") return CmdSuite(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
