@@ -148,7 +148,8 @@ std::string CcrJson(const attack::CcrReport& ccr) {
 }
 
 std::string ToJson() {
-  std::string json = "{\"bench\":\"bench_advanced_attacks\",\"schema\":1,";
+  std::string json = "{\"bench\":\"bench_advanced_attacks\",\"schema_version\":" +
+                     std::to_string(store::kResultSchemaVersion) + ",";
   char buf[256];
   std::snprintf(buf, sizeof(buf), "\"repro_scale\":%.4f,\"design\":\"%s\",",
                 ReproScale(), kBenchName);

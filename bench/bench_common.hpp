@@ -11,9 +11,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/engine.hpp"
@@ -22,6 +26,7 @@
 #include "circuits/suites.hpp"
 #include "core/campaign.hpp"
 #include "core/flow.hpp"
+#include "store/result_store.hpp"
 #include "util/env.hpp"
 
 namespace splitlock::bench {
@@ -43,10 +48,11 @@ inline attack::AttackReport RunEngineOnFeol(const split::FeolView& feol,
   return report;
 }
 
-// One secure-flow run plus its attack scorecard.
+// One secure-flow run plus its attack scorecard and serializable record.
 struct FlowScore {
   core::FlowResult flow;
   attack::AttackScore score;
+  store::CampaignRecord record;
 };
 
 inline core::FlowOptions DefaultFlowOptions(int split_layer, uint64_t seed) {
@@ -59,65 +65,191 @@ inline core::FlowOptions DefaultFlowOptions(int split_layer, uint64_t seed) {
 
 namespace internal {
 
-inline std::map<std::pair<std::string, int>, FlowScore>& FlowCache() {
-  static std::map<std::pair<std::string, int>, FlowScore> cache;
+// Process-global persistent store, enabled by SPLITLOCK_STORE=<dir>.
+// When set, every computed flow's record is persisted, and record-only
+// consumers (RunItcRecordCached) are served from disk on later runs —
+// that is what makes repeated table-bench invocations near-instant.
+inline store::ResultStore* PersistentStore() {
+  static store::ResultStore* store_ptr = []() -> store::ResultStore* {
+    const char* dir = std::getenv("SPLITLOCK_STORE");
+    if (!dir || !*dir) return nullptr;
+    static store::ResultStore instance{std::string(dir)};
+    return &instance;
+  }();
+  return store_ptr;
+}
+
+// Single-flight memo entry: the first caller computes under `mu`, every
+// concurrent caller for the same key blocks on it instead of racing a
+// duplicate multi-second flow.
+struct FlowEntry {
+  std::mutex mu;
+  bool ready = false;
+  FlowScore score;
+};
+
+inline std::mutex& FlowCacheMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+inline std::map<std::pair<std::string, int>, std::unique_ptr<FlowEntry>>&
+FlowCache() {
+  static std::map<std::pair<std::string, int>, std::unique_ptr<FlowEntry>>
+      cache;
+  return cache;
+}
+
+inline FlowEntry& FlowEntryFor(const std::string& name, int split_layer) {
+  std::lock_guard<std::mutex> lock(FlowCacheMu());
+  std::unique_ptr<FlowEntry>& slot =
+      FlowCache()[std::make_pair(name, split_layer)];
+  if (!slot) slot = std::make_unique<FlowEntry>();
+  return *slot;
+}
+
+// In-memory record cache (separate from FlowCache: store hits have records
+// but no in-memory FlowResult). Entries are write-once — inserted with
+// emplace, never overwritten — so the const references RunItcRecordCached
+// hands out stay valid and race-free while other keys are inserted
+// (std::map never invalidates node references).
+inline std::map<std::pair<std::string, int>, store::CampaignRecord>&
+RecordCache() {
+  static std::map<std::pair<std::string, int>, store::CampaignRecord> cache;
   return cache;
 }
 
 inline core::CampaignRunner ItcCampaignRunner() {
   core::CampaignOptions campaign_options;
   campaign_options.score_patterns = ReproPatterns();
+  campaign_options.store = PersistentStore();
   return core::CampaignRunner(campaign_options);
 }
 
-inline void CacheOutcome(core::CampaignOutcome&& outcome, int split_layer) {
+inline core::CampaignJob ItcJob(const std::string& name, int split_layer,
+                                bool force_compute) {
+  core::CampaignJob job;
+  job.name = name;
+  job.make_netlist = [name] { return circuits::MakeItc99(name, ReproScale()); };
+  job.flow = DefaultFlowOptions(split_layer, 2019);
+  job.cache_id = "itc/" + name;
+  job.cache_scale = store::CanonicalDouble(ReproScale());
+  job.force_compute = force_compute;
+  return job;
+}
+
+inline FlowScore OutcomeToFlowScore(core::CampaignOutcome&& outcome) {
   if (!outcome.ok) {
     throw std::runtime_error("campaign job " + outcome.name +
                              " failed: " + outcome.error);
   }
-  FlowCache().emplace(std::make_pair(outcome.name, split_layer),
-                      FlowScore{std::move(outcome.flow), outcome.score});
+  return FlowScore{std::move(outcome.flow), outcome.score,
+                   std::move(outcome.record)};
 }
 
 }  // namespace internal
 
 // Runs every ITC'99 benchmark for `split_layer` as one concurrent campaign
-// on the exec thread pool and memoizes the results. Table harnesses that
-// touch the whole suite call this up front; single-benchmark harnesses
-// (ablations) skip it and pay only for the rows they read.
+// on the exec thread pool and memoizes the results. Members already in the
+// persistent store come back as records without recomputing the flow (the
+// record cache serves the table harnesses); members that do compute land
+// in both caches. Table harnesses that touch the whole suite call this up
+// front; single-benchmark harnesses (ablations) skip it and pay only for
+// the rows they read.
 inline void WarmItcSuiteCache(int split_layer) {
   const core::FlowOptions options = DefaultFlowOptions(split_layer, 2019);
   std::vector<core::CampaignJob> jobs;
+  // Claim each missing entry's lock up front so concurrent warmers (or a
+  // racing RunItcFlowCached) never duplicate a flow; locks are held for
+  // the duration of the campaign and released with the results filled.
+  std::vector<std::pair<internal::FlowEntry*, std::unique_lock<std::mutex>>>
+      claimed;
   for (core::CampaignJob& job :
        core::Itc99CampaignJobs(options, ReproScale())) {
-    if (!internal::FlowCache().count({job.name, split_layer})) {
-      jobs.push_back(std::move(job));
-    }
+    internal::FlowEntry& entry = internal::FlowEntryFor(job.name, split_layer);
+    std::unique_lock<std::mutex> entry_lock(entry.mu, std::try_to_lock);
+    if (!entry_lock.owns_lock() || entry.ready) continue;
+    jobs.push_back(std::move(job));
+    claimed.emplace_back(&entry, std::move(entry_lock));
   }
   std::vector<core::CampaignOutcome> outcomes =
       internal::ItcCampaignRunner().Run(jobs);
-  for (core::CampaignOutcome& outcome : outcomes) {
-    internal::CacheOutcome(std::move(outcome), split_layer);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    core::CampaignOutcome& outcome = outcomes[i];
+    if (!outcome.ok) {
+      throw std::runtime_error("campaign job " + outcome.name +
+                               " failed: " + outcome.error);
+    }
+    {
+      std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
+      internal::RecordCache().emplace(
+          std::make_pair(outcome.name, split_layer), outcome.record);
+    }
+    if (!outcome.from_store) {
+      internal::FlowEntry& entry = *claimed[i].first;
+      entry.score = internal::OutcomeToFlowScore(std::move(outcome));
+      entry.ready = true;
+    }
+    // Store hits leave the FlowEntry unfilled; a later RunItcFlowCached
+    // (which needs the in-memory artifacts) recomputes it.
   }
 }
 
 // Runs the secure flow + proximity attack on an ITC'99 benchmark at the
-// configured scale. Results are memoized per (name, split); a miss runs
-// just that benchmark (see WarmItcSuiteCache for concurrent suite warming).
+// configured scale and returns the full in-memory result. Memoized per
+// (name, split) with single-flight semantics: concurrent first calls for
+// the same key run the flow exactly once. Always computes on a cold cache
+// (the in-memory FEOL view cannot be served from the persistent store) but
+// persists its record for record-only consumers.
 inline const FlowScore& RunItcFlowCached(const std::string& name,
                                          int split_layer) {
-  const auto key = std::make_pair(name, split_layer);
-  auto it = internal::FlowCache().find(key);
-  if (it != internal::FlowCache().end()) return it->second;
+  internal::FlowEntry& entry = internal::FlowEntryFor(name, split_layer);
+  std::lock_guard<std::mutex> entry_lock(entry.mu);
+  if (entry.ready) return entry.score;
+  entry.score = internal::OutcomeToFlowScore(internal::ItcCampaignRunner().RunOne(
+      internal::ItcJob(name, split_layer, /*force_compute=*/true)));
+  entry.ready = true;
+  {
+    std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
+    internal::RecordCache().emplace(std::make_pair(name, split_layer),
+                                    entry.score.record);
+  }
+  return entry.score;
+}
 
-  const core::FlowOptions options = DefaultFlowOptions(split_layer, 2019);
-  core::CampaignJob job;
-  job.name = name;
-  job.make_netlist = [name] { return circuits::MakeItc99(name, ReproScale()); };
-  job.flow = options;
-  internal::CacheOutcome(internal::ItcCampaignRunner().RunOne(job),
-                         split_layer);
-  return internal::FlowCache().at(key);
+// Record-only variant for harnesses that read numbers, not netlists: the
+// scorecard, layout cost, gate/stub counts and stage times. Served in
+// order from the in-memory record cache, the persistent store
+// (SPLITLOCK_STORE), and finally a real flow run. Returns a reference to
+// the write-once cache entry — benchmark loops repeat this call, so it
+// must not deep-copy the record per iteration.
+inline const store::CampaignRecord& RunItcRecordCached(const std::string& name,
+                                                       int split_layer) {
+  const auto key = std::make_pair(name, split_layer);
+  {
+    std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
+    auto it = internal::RecordCache().find(key);
+    if (it != internal::RecordCache().end()) return it->second;
+  }
+  core::CampaignRunner runner = internal::ItcCampaignRunner();
+  if (store::ResultStore* persistent = internal::PersistentStore()) {
+    const core::CampaignJob job =
+        internal::ItcJob(name, split_layer, /*force_compute=*/false);
+    std::optional<store::CampaignRecord> record =
+        persistent->Lookup(runner.KeyFor(job));
+    // A failed record (only a foreign/stale store can contain one) must
+    // not serve zeroed table rows; fall through and recompute, which
+    // throws loudly on failure like the cold path always has.
+    if (record && record->ok) {
+      std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
+      return internal::RecordCache()
+          .emplace(key, std::move(*record))
+          .first->second;
+    }
+  }
+  RunItcFlowCached(name, split_layer);  // fills RecordCache on completion
+  std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
+  return internal::RecordCache().at(key);
 }
 
 // Table printing -----------------------------------------------------------

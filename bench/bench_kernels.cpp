@@ -35,6 +35,7 @@
 #include "lock/epic.hpp"
 #include "sat/solver.hpp"
 #include "sat/tseitin.hpp"
+#include "store/result_store.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 
@@ -181,7 +182,8 @@ KernelRecord RunCircuit(const std::string& name, Netlist nl,
 
 std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
   char buf[512];
-  std::string json = "{\"bench\":\"bench_kernels\",\"schema\":1,";
+  std::string json = "{\"bench\":\"bench_kernels\",\"schema_version\":" +
+                     std::to_string(store::kResultSchemaVersion) + ",";
   std::snprintf(buf, sizeof(buf), "\"smoke\":%s,\"repro_scale\":%.3f,",
                 smoke ? "true" : "false", ReproScale());
   json += buf;

@@ -26,14 +26,14 @@ void PrintTable() {
   PrintRule(68);
   double total = 0.0;
   for (const auto& info : circuits::Itc99Suite()) {
-    const FlowScore& r = RunItcFlowCached(info.name, 4);
-    const double lock_s = r.flow.times.lock_s;
-    const double layout_s = r.flow.times.place_s;
-    std::printf("%-6s | %10zu | %12.2f | %14.2f | %12.2f\n",
+    // Records only: a warm persistent store (SPLITLOCK_STORE) serves the
+    // recorded stage times of the run that produced the entry.
+    const store::CampaignRecord r = RunItcRecordCached(info.name, 4);
+    std::printf("%-6s | %10llu | %12.2f | %14.2f | %12.2f\n",
                 info.name.c_str(),
-                r.flow.physical.netlist->NumLogicGates(), lock_s, layout_s,
-                lock_s + layout_s);
-    total += lock_s + layout_s;
+                static_cast<unsigned long long>(r.logic_gates), r.lock_s,
+                r.place_s, r.lock_s + r.place_s);
+    total += r.lock_s + r.place_s;
   }
   PrintRule(68);
   std::printf("suite total: %.1f s (paper: 5-18 h per benchmark on a\n"
@@ -43,9 +43,9 @@ void PrintTable() {
 
 void RunRow(benchmark::State& state, const std::string& name) {
   for (auto _ : state) {
-    const FlowScore& r = RunItcFlowCached(name, 4);
-    state.counters["lock_s"] = r.flow.times.lock_s;
-    state.counters["layout_s"] = r.flow.times.place_s;
+    const store::CampaignRecord r = RunItcRecordCached(name, 4);
+    state.counters["lock_s"] = r.lock_s;
+    state.counters["layout_s"] = r.place_s;
   }
 }
 
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   // NO concurrent suite warm-up here, deliberately: this harness reports
   // per-benchmark wall-clock stage times, which running the flows
   // side-by-side would inflate with scheduler contention. Rows fill the
-  // cache sequentially via RunItcFlowCached.
+  // cache sequentially via RunItcRecordCached (store-served when warm).
   for (const auto& info : splitlock::circuits::Itc99Suite()) {
     benchmark::RegisterBenchmark(
         ("Runtime/" + info.name).c_str(),

@@ -29,12 +29,11 @@ const std::map<std::string, std::array<PaperRow, 2>> kPaper = {
 void RunRow(benchmark::State& state, const std::string& name,
             int split_layer) {
   for (auto _ : state) {
-    const FlowScore& r = RunItcFlowCached(name, split_layer);
-    state.counters["key_logical_ccr"] = r.score.ccr.key_logical_ccr_percent;
-    state.counters["key_physical_ccr"] = r.score.ccr.key_physical_ccr_percent;
-    state.counters["regular_ccr"] = r.score.ccr.regular_ccr_percent;
-    state.counters["broken_conns"] =
-        static_cast<double>(r.flow.feol.sink_stubs.size());
+    const store::CampaignRecord r = RunItcRecordCached(name, split_layer);
+    state.counters["key_logical_ccr"] = r.key_logical_ccr_percent;
+    state.counters["key_physical_ccr"] = r.key_physical_ccr_percent;
+    state.counters["regular_ccr"] = r.regular_ccr_percent;
+    state.counters["broken_conns"] = static_cast<double>(r.broken_connections);
   }
 }
 
@@ -52,10 +51,11 @@ void PrintTable() {
     std::string cells[2][3];
     double measured[6];
     for (int s = 0; s < 2; ++s) {
-      const FlowScore& r = RunItcFlowCached(info.name, s == 0 ? 4 : 6);
-      measured[s * 3 + 0] = r.score.ccr.key_logical_ccr_percent;
-      measured[s * 3 + 1] = r.score.ccr.key_physical_ccr_percent;
-      measured[s * 3 + 2] = r.score.ccr.regular_ccr_percent;
+      const store::CampaignRecord r =
+          RunItcRecordCached(info.name, s == 0 ? 4 : 6);
+      measured[s * 3 + 0] = r.key_logical_ccr_percent;
+      measured[s * 3 + 1] = r.key_physical_ccr_percent;
+      measured[s * 3 + 2] = r.regular_ccr_percent;
       cells[s][0] = Cell(measured[s * 3 + 0], paper[s].key_logical);
       cells[s][1] = Cell(measured[s * 3 + 1], paper[s].key_physical);
       cells[s][2] = Cell(measured[s * 3 + 2], paper[s].regular);

@@ -27,11 +27,10 @@ const std::map<std::string, std::array<PaperRow, 2>> kPaper = {
 void RunRow(benchmark::State& state, const std::string& name,
             int split_layer) {
   for (auto _ : state) {
-    const FlowScore& r = RunItcFlowCached(name, split_layer);
-    state.counters["hd_percent"] = r.score.functional.hd_percent;
-    state.counters["oer_percent"] = r.score.functional.oer_percent;
-    state.counters["patterns"] =
-        static_cast<double>(r.score.functional.patterns);
+    const store::CampaignRecord r = RunItcRecordCached(name, split_layer);
+    state.counters["hd_percent"] = r.hd_percent;
+    state.counters["oer_percent"] = r.oer_percent;
+    state.counters["patterns"] = static_cast<double>(r.score_patterns);
   }
 }
 
@@ -46,11 +45,12 @@ void PrintTable() {
     const auto& paper = kPaper.at(info.name);
     std::string cells[2][2];
     for (int s = 0; s < 2; ++s) {
-      const FlowScore& r = RunItcFlowCached(info.name, s == 0 ? 4 : 6);
-      sums[s * 2 + 0] += r.score.functional.hd_percent;
-      sums[s * 2 + 1] += r.score.functional.oer_percent;
-      cells[s][0] = Cell(r.score.functional.hd_percent, paper[s].hd);
-      cells[s][1] = Cell(r.score.functional.oer_percent, paper[s].oer);
+      const store::CampaignRecord r =
+          RunItcRecordCached(info.name, s == 0 ? 4 : 6);
+      sums[s * 2 + 0] += r.hd_percent;
+      sums[s * 2 + 1] += r.oer_percent;
+      cells[s][0] = Cell(r.hd_percent, paper[s].hd);
+      cells[s][1] = Cell(r.oer_percent, paper[s].oer);
     }
     std::printf("%-6s | %s %s | %s %s\n", info.name.c_str(),
                 cells[0][0].c_str(), cells[0][1].c_str(),

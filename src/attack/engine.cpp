@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/hash.hpp"
 #include "util/stopwatch.hpp"
 
 namespace splitlock::attack {
@@ -58,12 +59,7 @@ std::string AttackConfig::ToString() const {
 
 uint64_t AttackConfig::Hash() const {
   // FNV-1a over the canonical string form: stable across processes.
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : ToString()) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return util::Fnv1a(ToString());
 }
 
 uint64_t AttackConfig::GetUint(const std::string& key, uint64_t def) const {

@@ -5,18 +5,12 @@
 
 #include "circuits/c17.hpp"
 #include "circuits/random_circuit.hpp"
+#include "util/hash.hpp"
 
 namespace splitlock::circuits {
 namespace {
 
-uint64_t SeedFromName(const std::string& name) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (char c : name) {
-    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+uint64_t SeedFromName(const std::string& name) { return util::Fnv1a(name); }
 
 Netlist Synthesize(const BenchmarkInfo& info, double scale) {
   CircuitSpec spec;

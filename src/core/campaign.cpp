@@ -21,10 +21,102 @@ const attack::AttackReport* CampaignOutcome::AssignmentReport() const {
   return nullptr;
 }
 
+store::StoreKey CampaignRunner::KeyFor(const CampaignJob& job) const {
+  store::StoreKey key;
+  key.suite = job.cache_id;
+  key.scale = job.cache_scale;
+  key.flow_hash = FlowOptionsHash(job.flow);
+  std::vector<std::string> configs;
+  configs.reserve(job.attacks.size());
+  for (const attack::AttackConfig& config : job.attacks) {
+    configs.push_back(config.ToString());
+  }
+  key.attack_hash = store::PortfolioHash(configs, options_.score_patterns,
+                                         options_.run_attack);
+  return key;
+}
+
+store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
+                                         uint64_t score_patterns) {
+  store::CampaignRecord r;
+  r.name = outcome.name;
+  r.ok = outcome.ok;
+  r.error = outcome.error;
+  r.broken_connections = outcome.flow.feol.sink_stubs.size();
+  r.key_bits = outcome.flow.lock.key.size();
+  if (outcome.flow.physical.netlist) {
+    r.logic_gates = outcome.flow.physical.netlist->NumLogicGates();
+  }
+  r.die_area_um2 = outcome.flow.physical.cost.die_area_um2;
+  r.power_uw = outcome.flow.physical.cost.power_uw;
+  r.critical_path_ps = outcome.flow.physical.cost.critical_path_ps;
+  r.regular_ccr_percent = outcome.score.ccr.regular_ccr_percent;
+  r.key_logical_ccr_percent = outcome.score.ccr.key_logical_ccr_percent;
+  r.key_physical_ccr_percent = outcome.score.ccr.key_physical_ccr_percent;
+  r.pnr_percent = outcome.score.pnr_percent;
+  r.hd_percent = outcome.score.functional.hd_percent;
+  r.oer_percent = outcome.score.functional.oer_percent;
+  r.score_patterns =
+      outcome.score.functional.patterns > 0 ? score_patterns : 0;
+  for (const attack::AttackReport& report : outcome.attacks) {
+    store::AttackRecord a;
+    a.engine = report.engine;
+    a.config = report.config;
+    a.ok = report.ok;
+    a.error = report.error;
+    a.key_found = report.key_found;
+    a.functionally_correct = report.functionally_correct;
+    a.counters = report.counters;
+    a.elapsed_s = report.elapsed_s;
+    r.attacks.push_back(std::move(a));
+  }
+  r.lock_s = outcome.flow.times.lock_s;
+  r.place_s = outcome.flow.times.place_s;
+  r.route_s = outcome.flow.times.route_s;
+  r.lift_s = outcome.flow.times.lift_s;
+  r.elapsed_s = outcome.elapsed_s;
+  return r;
+}
+
+namespace {
+
+// Surfaces a stored record's scorecard through the legacy outcome fields,
+// so record-oblivious consumers read the same numbers either way.
+void ScoreFromRecord(const store::CampaignRecord& r, attack::AttackScore* s) {
+  s->ccr.regular_ccr_percent = r.regular_ccr_percent;
+  s->ccr.key_logical_ccr_percent = r.key_logical_ccr_percent;
+  s->ccr.key_physical_ccr_percent = r.key_physical_ccr_percent;
+  s->pnr_percent = r.pnr_percent;
+  s->functional.hd_percent = r.hd_percent;
+  s->functional.oer_percent = r.oer_percent;
+  s->functional.patterns = r.score_patterns;
+}
+
+}  // namespace
+
 CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
   CampaignOutcome outcome;
   outcome.name = job.name;
   const auto start = std::chrono::steady_clock::now();
+  const bool store_addressable = options_.store && !job.cache_id.empty();
+  if (store_addressable && !job.force_compute) {
+    std::optional<store::CampaignRecord> record =
+        options_.store->Lookup(KeyFor(job));
+    // Failed records are never inserted (below), but a foreign or stale
+    // store could still contain one; retrying the computation beats
+    // replaying a failure forever.
+    if (record && record->ok) {
+      outcome.record = std::move(*record);
+      outcome.from_store = true;
+      outcome.ok = outcome.record.ok;
+      outcome.error = outcome.record.error;
+      ScoreFromRecord(outcome.record, &outcome.score);
+      outcome.elapsed_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      return outcome;
+    }
+  }
   try {
     const Netlist original = job.make_netlist();
     outcome.flow = RunSecureFlow(original, job.flow);
@@ -57,6 +149,14 @@ CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
   outcome.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  outcome.record = MakeCampaignRecord(
+      outcome, options_.run_attack ? options_.score_patterns : 0);
+  // Only completed jobs are persisted: a transient failure (OOM, an
+  // interrupted run) must degrade to recomputation next time, never
+  // poison the cache for its key.
+  if (store_addressable && outcome.ok) {
+    options_.store->Insert(KeyFor(job), outcome.record);
+  }
   return outcome;
 }
 
@@ -78,6 +178,8 @@ std::vector<CampaignJob> IscasCampaignJobs(const FlowOptions& flow) {
     job.name = info.name;
     job.make_netlist = [name = info.name] { return circuits::MakeIscas(name); };
     job.flow = flow;
+    job.cache_id = "iscas/" + info.name;
+    job.cache_scale = store::CanonicalDouble(1.0);  // ISCAS sizes are fixed
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -93,6 +195,8 @@ std::vector<CampaignJob> Itc99CampaignJobs(const FlowOptions& flow,
       return circuits::MakeItc99(name, scale);
     };
     job.flow = flow;
+    job.cache_id = "itc/" + info.name;
+    job.cache_scale = store::CanonicalDouble(scale);
     jobs.push_back(std::move(job));
   }
   return jobs;

@@ -28,6 +28,7 @@
 #include "attack/engine.hpp"
 #include "attack/metrics.hpp"
 #include "core/flow.hpp"
+#include "store/result_store.hpp"
 
 namespace splitlock::core {
 
@@ -44,6 +45,18 @@ struct CampaignJob {
   // from the first report that carries a complete assignment.
   std::vector<attack::AttackConfig> attacks = {
       attack::AttackConfig{.engine = "proximity"}};
+
+  // Persistent-store identity of the benchmark this job evaluates
+  // (e.g. "itc/b14") and the canonical scale string; empty cache_id means
+  // the job is not store-addressable (ad-hoc netlists). The full
+  // store::StoreKey additionally hashes the flow options and the attack
+  // portfolio — see CampaignRunner::KeyFor.
+  std::string cache_id;
+  std::string cache_scale;
+  // Skip the store lookup (still inserts after computing). Consumers that
+  // need the in-memory FlowResult — not just the record — set this: a
+  // store hit cannot reconstruct netlists or layouts.
+  bool force_compute = false;
 };
 
 struct CampaignOutcome {
@@ -58,6 +71,13 @@ struct CampaignOutcome {
   attack::AttackScore score;  // from the first assignment-carrying report
   double elapsed_s = 0.0;
 
+  // Serializable summary of this outcome — always filled. On a store hit
+  // it IS the result (from_store=true) and `flow`/`attacks` stay empty;
+  // consumers that only read numbers (the CLI suite table, shard tables,
+  // the table benches) use the record and never notice the difference.
+  store::CampaignRecord record;
+  bool from_store = false;
+
   // The first report with a complete assignment (nullptr when none).
   const attack::AttackReport* AssignmentReport() const;
 };
@@ -67,6 +87,9 @@ struct CampaignOptions {
   uint64_t score_patterns = 4096;
   // Skip the attack portfolio + scorecard (flow-only campaigns).
   bool run_attack = true;
+  // Persistent result store (not owned; may be null). Jobs with a
+  // cache_id consult it before computing and insert after computing.
+  store::ResultStore* store = nullptr;
 };
 
 class CampaignRunner {
@@ -79,9 +102,19 @@ class CampaignRunner {
   // Runs a single job on the calling thread.
   CampaignOutcome RunOne(const CampaignJob& job) const;
 
+  // The persistent-store address of `job` under this runner's options:
+  // (cache_id, cache_scale, FlowOptionsHash(job.flow),
+  //  PortfolioHash(job.attacks, score_patterns, run_attack)).
+  store::StoreKey KeyFor(const CampaignJob& job) const;
+
  private:
   CampaignOptions options_;
 };
+
+// The runner's record-building rule, exposed for tests and for consumers
+// that assemble outcomes themselves.
+store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
+                                         uint64_t score_patterns);
 
 // Suite helpers: one job per benchmark, named after it. `scale` follows
 // circuits::MakeItc99's REPRO_SCALE semantics.

@@ -1,10 +1,13 @@
 #include "core/flow.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "lock/key.hpp"
 #include "phys/placer.hpp"
 #include "sim/simulator.hpp"
+#include "util/hash.hpp"
 
 namespace splitlock::core {
 namespace {
@@ -23,6 +26,42 @@ LayoutCost MeasureCost(const PhysicalBundle& bundle) {
 }
 
 }  // namespace
+
+std::string FlowOptionsCanonical(const FlowOptions& options) {
+  const auto num = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  const auto u64 = [](uint64_t v) { return std::to_string(v); };
+  // lock.key_bits/lock.seed are synced from the top-level fields by
+  // RunSecureFlow, so they are intentionally absent here.
+  std::string s = "v1";
+  s += ";key_bits=" + u64(options.key_bits);
+  s += ";split_layer=" + std::to_string(options.split_layer);
+  s += ";lift_layer=" + std::to_string(options.lift_layer);
+  s += ";utilization=" + num(options.utilization);
+  s += ";placer_moves_per_cell=" + std::to_string(options.placer_moves_per_cell);
+  s += ";seed=" + u64(options.seed);
+  s += ";power_patterns=" + u64(options.power_patterns);
+  s += ";randomize_tie_placement=" + u64(options.randomize_tie_placement);
+  s += ";lift_key_nets=" + u64(options.lift_key_nets);
+  s += ";package_mode=" + u64(options.package_mode);
+  s += ";lock.max_cut_leaves=" + u64(options.lock.max_cut_leaves);
+  s += ";lock.max_minterms=" + u64(options.lock.max_minterms);
+  s += ";lock.max_cubes=" + u64(options.lock.max_cubes);
+  s += ";lock.partitions=" + u64(options.lock.partitions);
+  s += ";lock.min_bias=" + num(options.lock.min_bias);
+  s += ";lock.bias_patterns=" + u64(options.lock.bias_patterns);
+  s += ";lock.check_patterns=" + u64(options.lock.check_patterns);
+  s += ";lock.verify_lec=" + u64(options.lock.verify_lec);
+  s += ";lock.require_area_gain=" + u64(options.lock.require_area_gain);
+  return s;
+}
+
+uint64_t FlowOptionsHash(const FlowOptions& options) {
+  return util::Fnv1a(FlowOptionsCanonical(options));
+}
 
 CostDelta CompareCost(const LayoutCost& base, const LayoutCost& ours) {
   auto pct = [](double b, double o) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "lock/atpg_lock.hpp"
 #include "netlist/netlist.hpp"
@@ -93,6 +94,18 @@ struct FlowResult {
   split::FeolView feol;        // references physical.{netlist,layout}
   StageTimes times;
 };
+
+// Canonical key=value string over every FlowOptions field that affects the
+// flow's result, with the same lock-option sync RunSecureFlow applies
+// (lock.key_bits/lock.seed are overridden by the top-level values, so they
+// do not participate independently). Versioned ("v1;..."): extend the
+// string when FlowOptions grows a field, never reorder it.
+std::string FlowOptionsCanonical(const FlowOptions& options);
+
+// FNV-1a of FlowOptionsCanonical: the flow-options component of a
+// store::StoreKey. Stable across processes; a golden test pins it so store
+// keys cannot silently change across refactors.
+uint64_t FlowOptionsHash(const FlowOptions& options);
 
 // The full secure flow on `original`.
 FlowResult RunSecureFlow(const Netlist& original,

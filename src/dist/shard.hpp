@@ -1,0 +1,80 @@
+// Multi-process campaign sharding.
+//
+// `CampaignRunner` saturates one machine; the paper-scale sweeps
+// (REPRO_SCALE=1.0 ITC'99 x split layers x attack portfolios) want a
+// cluster. The unit of distribution is the *campaign job*, and the whole
+// design leans on the determinism contract: a job's record is a pure
+// function of its key, so WHERE it ran is irrelevant and a merged
+// multi-process run is bit-identical to a single-process run.
+//
+//   ShardPlan   — deterministic round-robin partition of the job-index
+//                 space. Every process derives the same plan from
+//                 (num_shards, shard_index) alone; no coordinator.
+//   ShardTable  — one shard's outcome table: the campaign identity
+//                 (suite, scale, flow/attack hashes, total job count) plus
+//                 (job_index, CampaignRecord) entries. Serializes to
+//                 canonical JSON (timings excluded) so two shards that
+//                 computed the same job agree byte-for-byte.
+//   MergeShards — validates that shard tables describe the same campaign,
+//                 that every job index 0..job_count-1 appears exactly once,
+//                 and joins them into the canonical job-ordered table —
+//                 the same table a `--shards 1` run emits.
+//
+// Driving it from the shell:
+//   splitlock_cli suite itc --shards 4 --shard-index I --store DIR --out I.json
+//   splitlock_cli merge 0.json 1.json 2.json 3.json
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/result_store.hpp"
+
+namespace splitlock::dist {
+
+// Round-robin ownership of job indices. Round-robin (rather than
+// contiguous blocks) balances suites whose cost grows along the job list
+// (the ITC'99 suite is roughly size-ordered).
+struct ShardPlan {
+  uint64_t num_shards = 1;
+  uint64_t shard_index = 0;
+
+  bool Valid() const { return num_shards >= 1 && shard_index < num_shards; }
+  bool Owns(uint64_t job_index) const {
+    return job_index % num_shards == shard_index;
+  }
+  // The owned subset of 0..job_count-1, ascending.
+  std::vector<uint64_t> Select(uint64_t job_count) const;
+};
+
+struct ShardEntry {
+  uint64_t job_index = 0;
+  store::CampaignRecord record;
+};
+
+struct ShardTable {
+  std::string suite;  // campaign id, e.g. "itc"
+  std::string scale;  // store::CanonicalDouble of the scale in effect
+  uint64_t flow_hash = 0;
+  uint64_t attack_hash = 0;
+  uint64_t job_count = 0;  // total jobs in the campaign, across all shards
+  uint64_t num_shards = 1;
+  uint64_t shard_index = 0;
+  std::vector<ShardEntry> entries;  // ascending job_index
+
+  // Canonical JSON (single line + trailing newline): deterministic fields
+  // only, entries in job-index order. Parse(ToJson()) round-trips.
+  std::string ToJson() const;
+  // Throws std::runtime_error with a reason on malformed/mismatched input.
+  static ShardTable Parse(std::string_view json);
+};
+
+// Joins shard tables into the canonical single-process table
+// (num_shards=1, shard_index=0, all entries in job order). Throws
+// std::runtime_error when the tables disagree on the campaign identity or
+// schema, or when job indices are missing/duplicated.
+ShardTable MergeShards(const std::vector<ShardTable>& shards);
+
+}  // namespace splitlock::dist

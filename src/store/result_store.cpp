@@ -1,0 +1,320 @@
+#include "store/result_store.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "attack/engine.hpp"  // JsonEscape
+#include "util/hash.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define SPLITLOCK_GETPID _getpid
+#else
+#include <unistd.h>
+#define SPLITLOCK_GETPID getpid
+#endif
+
+namespace splitlock::store {
+
+namespace {
+
+void AppendKv(std::string* out, const char* key, const std::string& value,
+              bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += value;
+}
+
+std::string Quoted(std::string_view s) { return attack::JsonEscape(s); }
+
+std::string U64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t GetU64(const util::JsonValue& v, const std::string& key) {
+  const double d = v.GetNumber(key, 0.0);
+  return d <= 0.0 ? 0 : static_cast<uint64_t>(d);
+}
+
+}  // namespace
+
+std::string CanonicalDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string StoreKey::Filename() const {
+  std::string suite_part = suite;
+  for (char& c : suite_part) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!safe) c = '_';
+  }
+  std::string scale_part = scale;
+  for (char& c : scale_part) {
+    if (!((c >= '0' && c <= '9') || c == '.')) c = '_';
+  }
+  return suite_part + "-s" + scale_part + "-f" + util::HexU64(flow_hash) +
+         "-a" + util::HexU64(attack_hash) + ".json";
+}
+
+uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
+                       uint64_t score_patterns, bool run_attack) {
+  std::string canonical = "v1;run_attack=";
+  canonical += run_attack ? '1' : '0';
+  canonical += ";patterns=";
+  canonical += U64(score_patterns);
+  for (const std::string& config : config_strings) {
+    canonical += ';';
+    canonical += config;
+  }
+  return util::Fnv1a(canonical);
+}
+
+// --- CampaignRecord ---------------------------------------------------------
+
+std::string CampaignRecord::ToJson(bool include_timings) const {
+  std::string out = "{";
+  bool first = true;
+  AppendKv(&out, "name", Quoted(name), &first);
+  AppendKv(&out, "ok", ok ? "true" : "false", &first);
+  AppendKv(&out, "error", Quoted(error), &first);
+  AppendKv(&out, "broken_connections", U64(broken_connections), &first);
+  AppendKv(&out, "key_bits", U64(key_bits), &first);
+  AppendKv(&out, "logic_gates", U64(logic_gates), &first);
+
+  std::string cost = "{\"die_area_um2\":" + CanonicalDouble(die_area_um2) +
+                     ",\"power_uw\":" + CanonicalDouble(power_uw) +
+                     ",\"critical_path_ps\":" + CanonicalDouble(critical_path_ps) +
+                     "}";
+  AppendKv(&out, "cost", cost, &first);
+
+  std::string score =
+      "{\"regular_ccr_percent\":" + CanonicalDouble(regular_ccr_percent) +
+      ",\"key_logical_ccr_percent\":" + CanonicalDouble(key_logical_ccr_percent) +
+      ",\"key_physical_ccr_percent\":" + CanonicalDouble(key_physical_ccr_percent) +
+      ",\"pnr_percent\":" + CanonicalDouble(pnr_percent) +
+      ",\"hd_percent\":" + CanonicalDouble(hd_percent) +
+      ",\"oer_percent\":" + CanonicalDouble(oer_percent) +
+      ",\"score_patterns\":" + U64(score_patterns) + "}";
+  AppendKv(&out, "score", score, &first);
+
+  std::string attacks_json = "[";
+  bool first_attack = true;
+  for (const AttackRecord& a : attacks) {
+    if (!first_attack) attacks_json += ',';
+    first_attack = false;
+    attacks_json += "{";
+    bool fa = true;
+    AppendKv(&attacks_json, "engine", Quoted(a.engine), &fa);
+    AppendKv(&attacks_json, "config", Quoted(a.config), &fa);
+    AppendKv(&attacks_json, "ok", a.ok ? "true" : "false", &fa);
+    AppendKv(&attacks_json, "error", Quoted(a.error), &fa);
+    AppendKv(&attacks_json, "key_found", a.key_found ? "true" : "false", &fa);
+    AppendKv(&attacks_json, "functionally_correct",
+             a.functionally_correct ? "true" : "false", &fa);
+    std::string counters = "{";
+    bool fc = true;
+    for (const auto& [cname, cvalue] : a.counters) {
+      if (!fc) counters += ',';
+      fc = false;
+      counters += Quoted(cname) + ":" + CanonicalDouble(cvalue);
+    }
+    counters += '}';
+    AppendKv(&attacks_json, "counters", counters, &fa);
+    if (include_timings) {
+      AppendKv(&attacks_json, "elapsed_s", CanonicalDouble(a.elapsed_s), &fa);
+    }
+    attacks_json += '}';
+  }
+  attacks_json += ']';
+  AppendKv(&out, "attacks", attacks_json, &first);
+
+  if (include_timings) {
+    std::string times = "{\"lock_s\":" + CanonicalDouble(lock_s) +
+                        ",\"place_s\":" + CanonicalDouble(place_s) +
+                        ",\"route_s\":" + CanonicalDouble(route_s) +
+                        ",\"lift_s\":" + CanonicalDouble(lift_s) + "}";
+    AppendKv(&out, "times", times, &first);
+    AppendKv(&out, "elapsed_s", CanonicalDouble(elapsed_s), &first);
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<CampaignRecord> CampaignRecord::FromJson(
+    const util::JsonValue& v) {
+  if (!v.IsObject()) return std::nullopt;
+  const util::JsonValue* name = v.Get("name");
+  const util::JsonValue* ok = v.Get("ok");
+  if (!name || !name->IsString() || !ok || !ok->IsBool()) return std::nullopt;
+
+  CampaignRecord r;
+  r.name = name->string;
+  r.ok = ok->boolean;
+  r.error = v.GetString("error", "");
+  r.broken_connections = GetU64(v, "broken_connections");
+  r.key_bits = GetU64(v, "key_bits");
+  r.logic_gates = GetU64(v, "logic_gates");
+
+  if (const util::JsonValue* cost = v.Get("cost"); cost && cost->IsObject()) {
+    r.die_area_um2 = cost->GetNumber("die_area_um2", 0.0);
+    r.power_uw = cost->GetNumber("power_uw", 0.0);
+    r.critical_path_ps = cost->GetNumber("critical_path_ps", 0.0);
+  }
+  if (const util::JsonValue* score = v.Get("score");
+      score && score->IsObject()) {
+    r.regular_ccr_percent = score->GetNumber("regular_ccr_percent", 0.0);
+    r.key_logical_ccr_percent =
+        score->GetNumber("key_logical_ccr_percent", 0.0);
+    r.key_physical_ccr_percent =
+        score->GetNumber("key_physical_ccr_percent", 0.0);
+    r.pnr_percent = score->GetNumber("pnr_percent", 0.0);
+    r.hd_percent = score->GetNumber("hd_percent", 0.0);
+    r.oer_percent = score->GetNumber("oer_percent", 0.0);
+    r.score_patterns = GetU64(*score, "score_patterns");
+  }
+  if (const util::JsonValue* attacks = v.Get("attacks");
+      attacks && attacks->IsArray()) {
+    for (const util::JsonValue& av : attacks->array) {
+      if (!av.IsObject()) return std::nullopt;
+      AttackRecord a;
+      a.engine = av.GetString("engine", "");
+      a.config = av.GetString("config", "");
+      a.ok = av.GetBool("ok", false);
+      a.error = av.GetString("error", "");
+      a.key_found = av.GetBool("key_found", false);
+      a.functionally_correct = av.GetBool("functionally_correct", false);
+      if (const util::JsonValue* counters = av.Get("counters");
+          counters && counters->IsObject()) {
+        for (const auto& [cname, cvalue] : counters->object) {
+          if (cvalue.IsNumber()) a.counters[cname] = cvalue.number;
+        }
+      }
+      a.elapsed_s = av.GetNumber("elapsed_s", 0.0);
+      r.attacks.push_back(std::move(a));
+    }
+  }
+  if (const util::JsonValue* times = v.Get("times");
+      times && times->IsObject()) {
+    r.lock_s = times->GetNumber("lock_s", 0.0);
+    r.place_s = times->GetNumber("place_s", 0.0);
+    r.route_s = times->GetNumber("route_s", 0.0);
+    r.lift_s = times->GetNumber("lift_s", 0.0);
+  }
+  r.elapsed_s = v.GetNumber("elapsed_s", 0.0);
+  return r;
+}
+
+// --- ResultStore ------------------------------------------------------------
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("result store: cannot create directory " + dir_);
+  }
+}
+
+std::string ResultStore::PathFor(const StoreKey& key) const {
+  return dir_ + "/" + key.Filename();
+}
+
+std::optional<CampaignRecord> ResultStore::Lookup(const StoreKey& key) {
+  std::string text;
+  {
+    std::FILE* f = std::fopen(PathFor(key).c_str(), "rb");
+    if (!f) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+
+  const auto corrupt_miss = [&]() -> std::optional<CampaignRecord> {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    ++stats_.corrupt;
+    return std::nullopt;
+  };
+
+  const std::optional<util::JsonValue> doc = util::ParseJson(text);
+  if (!doc || !doc->IsObject()) return corrupt_miss();
+  if (static_cast<int>(doc->GetNumber("schema_version", -1.0)) !=
+      kResultSchemaVersion) {
+    return corrupt_miss();
+  }
+  // Key echo: a record must describe the key it is filed under, so a
+  // filename collision or a copied/tampered file reads as corrupt, not as
+  // a wrong answer.
+  const util::JsonValue* k = doc->Get("key");
+  if (!k || !k->IsObject() || k->GetString("suite", "") != key.suite ||
+      k->GetString("scale", "") != key.scale ||
+      util::ParseHexU64(k->GetString("flow_hash", "")) != key.flow_hash ||
+      util::ParseHexU64(k->GetString("attack_hash", "")) != key.attack_hash) {
+    return corrupt_miss();
+  }
+  const util::JsonValue* rec = doc->Get("record");
+  if (!rec) return corrupt_miss();
+  std::optional<CampaignRecord> record = CampaignRecord::FromJson(*rec);
+  if (!record) return corrupt_miss();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  return record;
+}
+
+bool ResultStore::Insert(const StoreKey& key, const CampaignRecord& record) {
+  std::string doc = "{\"schema_version\":" + std::to_string(kResultSchemaVersion) +
+                    ",\"key\":{\"suite\":" + Quoted(key.suite) +
+                    ",\"scale\":" + Quoted(key.scale) +
+                    ",\"flow_hash\":" + Quoted(util::HexU64(key.flow_hash)) +
+                    ",\"attack_hash\":" + Quoted(util::HexU64(key.attack_hash)) +
+                    "},\"record\":" + record.ToJson(/*include_timings=*/true) +
+                    "}\n";
+
+  // Unique temp name in the same directory (rename must not cross
+  // filesystems), then atomic publish.
+  static std::atomic<uint64_t> counter{0};
+  const std::string path = PathFor(key);
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(SPLITLOCK_GETPID()) + "." +
+                          std::to_string(counter.fetch_add(1));
+
+  const auto fail = [&]() {
+    std::remove(tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.insert_errors;
+    return false;
+  };
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return fail();
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) return fail();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.inserts;
+  return true;
+}
+
+StoreStats ResultStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace splitlock::store

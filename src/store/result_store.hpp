@@ -1,0 +1,164 @@
+// Persistent, content-addressed campaign-result store.
+//
+// The paper's tables are suite-scale sweeps; every bench/CI run used to
+// recompute identical lock -> place/route -> split -> attack pipelines
+// because the only cache was an in-process map. This store persists the
+// *deterministic summary* of one campaign job — the scorecard, layout
+// cost, broken-connection count, per-attack verdicts — as one JSON file
+// per key in a cache directory, so repeated runs (and the shards of a
+// distributed run, see dist/shard.hpp) skip straight to the answer.
+//
+// Keying. A record is addressed by the quadruple the determinism contract
+// guarantees results are a pure function of:
+//     (suite member, scale, flow-options hash, attack-portfolio hash)
+// The hashes are FNV-1a over canonical strings (core::FlowOptionsHash,
+// attack::AttackConfig::Hash composed by PortfolioHash), stable across
+// processes and pinned by golden tests — a silent hash change would
+// repartition the cache, so tests fail loudly instead.
+//
+// Durability. Writes go to a unique temp file in the same directory and
+// are published with rename(2), so readers only ever observe absent or
+// complete records — a shard killed mid-insert leaves no torn JSON behind.
+// Reads are corruption-tolerant: unparseable files, schema-version
+// mismatches and key-echo mismatches count as misses (and bump the
+// `corrupt` stat) rather than erroring, so a damaged cache degrades to
+// recomputation, never to a failed campaign.
+//
+// The records deliberately do NOT contain netlists or layouts: consumers
+// that need the physical artifacts themselves (ablation benches probing
+// the FEOL view) recompute; consumers that need numbers (the table
+// harnesses, `splitlock_cli suite`, CI) are served from the store.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace splitlock::store {
+
+// Version of the on-disk record layout AND of every CLI/bench JSON
+// emitter's envelope ("schema_version" field). Bump on any incompatible
+// change; old records then read as misses and old shard tables refuse to
+// merge with new ones.
+inline constexpr int kResultSchemaVersion = 1;
+
+// Canonical double formatting for record JSON: round-trip exact (%.17g),
+// so re-serializing a parsed record is bit-identical.
+std::string CanonicalDouble(double value);
+
+// Address of one campaign-job result.
+struct StoreKey {
+  std::string suite;   // suite member id, e.g. "itc/b14"
+  std::string scale;   // CanonicalDouble of the REPRO_SCALE in effect
+  uint64_t flow_hash = 0;    // core::FlowOptionsHash
+  uint64_t attack_hash = 0;  // PortfolioHash over the job's attack configs
+
+  // Filesystem-safe record filename ('/' in suite ids becomes '_').
+  std::string Filename() const;
+  bool operator==(const StoreKey&) const = default;
+};
+
+// Hash of one attack portfolio + its scoring parameters. Composes each
+// config's canonical string with the score-pattern count (scores depend on
+// it) so any change to what would be computed changes the key.
+uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
+                       uint64_t score_patterns, bool run_attack);
+
+// Summary of one attack-engine run inside a job (subset of
+// attack::AttackReport that is serializable and small).
+struct AttackRecord {
+  std::string engine;
+  std::string config;
+  bool ok = false;
+  std::string error;
+  bool key_found = false;
+  bool functionally_correct = false;
+  std::map<std::string, double> counters;  // deterministic
+  double elapsed_s = 0.0;                  // timing: non-canonical
+};
+
+// The deterministic summary of one campaign job, plus (non-canonical)
+// timings from the run that produced it.
+struct CampaignRecord {
+  std::string name;
+  bool ok = false;
+  std::string error;
+
+  uint64_t broken_connections = 0;
+  uint64_t key_bits = 0;
+  uint64_t logic_gates = 0;
+
+  // Layout cost (core::LayoutCost fields, inlined to keep the store
+  // dependency-free).
+  double die_area_um2 = 0.0;
+  double power_uw = 0.0;
+  double critical_path_ps = 0.0;
+
+  // Attack scorecard (attack::AttackScore fields).
+  double regular_ccr_percent = 0.0;
+  double key_logical_ccr_percent = 0.0;
+  double key_physical_ccr_percent = 0.0;
+  double pnr_percent = 0.0;
+  double hd_percent = 0.0;
+  double oer_percent = 0.0;
+  uint64_t score_patterns = 0;
+
+  std::vector<AttackRecord> attacks;
+
+  // Timings from the producing run (excluded from canonical JSON: two
+  // processes computing the same key agree on everything above, never on
+  // wall clocks).
+  double lock_s = 0.0;
+  double place_s = 0.0;
+  double route_s = 0.0;
+  double lift_s = 0.0;
+  double elapsed_s = 0.0;
+
+  // One JSON object. Canonical form omits every timing field and is
+  // bit-identical across processes/thread counts for the same key — the
+  // merge determinism contract builds on it. The full form (what the
+  // store persists) appends the timings.
+  std::string ToJson(bool include_timings) const;
+  // nullopt when `v` is not a record object. Absent timing fields read
+  // as 0 (canonical-form input is valid).
+  static std::optional<CampaignRecord> FromJson(const util::JsonValue& v);
+};
+
+struct StoreStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t insert_errors = 0;
+  uint64_t corrupt = 0;  // present-but-unusable files (counted as misses too)
+};
+
+// The on-disk store. Thread-safe: campaign workers look up and insert
+// concurrently; distinct keys map to distinct files and same-key races are
+// resolved by atomic rename (last writer wins with an identical record).
+class ResultStore {
+ public:
+  // Creates `dir` (and parents) if needed. Throws std::runtime_error when
+  // the directory cannot be created.
+  explicit ResultStore(std::string dir);
+
+  std::optional<CampaignRecord> Lookup(const StoreKey& key);
+  // False on I/O failure (counted in stats, never throws).
+  bool Insert(const StoreKey& key, const CampaignRecord& record);
+
+  StoreStats Stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const StoreKey& key) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  StoreStats stats_;
+};
+
+}  // namespace splitlock::store

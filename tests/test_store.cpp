@@ -1,0 +1,327 @@
+// The persistent result store: JSON parsing, record round-trips, atomic
+// insert/lookup, corruption tolerance, and the golden store-key hashes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "attack/engine.hpp"
+#include "core/flow.hpp"
+#include "exec/parallel.hpp"
+#include "store/result_store.hpp"
+#include "util/json.hpp"
+
+namespace splitlock::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test store directory under the system temp dir.
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("splitlock_store_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+CampaignRecord SampleRecord() {
+  CampaignRecord r;
+  r.name = "b14";
+  r.ok = true;
+  r.broken_connections = 123;
+  r.key_bits = 128;
+  r.logic_gates = 2456;
+  r.die_area_um2 = 1234.5;
+  r.power_uw = 88.25;
+  r.critical_path_ps = 901.0 / 3.0;  // not exactly representable in decimal
+  r.regular_ccr_percent = 14.5;
+  r.key_logical_ccr_percent = 51.2;
+  r.key_physical_ccr_percent = 0.5;
+  r.pnr_percent = 7.0;
+  r.hd_percent = 49.5;
+  r.oer_percent = 100.0;
+  r.score_patterns = 4096;
+  AttackRecord a;
+  a.engine = "proximity";
+  a.config = "proximity";
+  a.ok = true;
+  a.counters["candidates"] = 17;
+  a.elapsed_s = 1.5;
+  r.attacks.push_back(a);
+  r.lock_s = 2.25;
+  r.place_s = 3.5;
+  r.elapsed_s = 9.75;
+  return r;
+}
+
+StoreKey SampleKey() {
+  StoreKey key;
+  key.suite = "itc/b14";
+  key.scale = CanonicalDouble(0.25);
+  key.flow_hash = 0x0123456789abcdefULL;
+  key.attack_hash = 0xfedcba9876543210ULL;
+  return key;
+}
+
+// --- JSON parser ------------------------------------------------------------
+
+TEST(Json, ParsesScalarsObjectsArrays) {
+  const auto v = util::ParseJson(
+      R"({"a":1.5,"b":"x\n\"yz","c":[true,false,null],"d":{"e":-2e3}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->GetNumber("a", 0), 1.5);
+  EXPECT_EQ(v->GetString("b", ""), "x\n\"yz");
+  const util::JsonValue* c = v->Get("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[0].boolean);
+  EXPECT_EQ(c->array[2].type, util::JsonValue::Type::kNull);
+  ASSERT_NE(v->Get("d"), nullptr);
+  EXPECT_DOUBLE_EQ(v->Get("d")->GetNumber("e", 0), -2000.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(util::ParseJson("").has_value());
+  EXPECT_FALSE(util::ParseJson("{").has_value());
+  EXPECT_FALSE(util::ParseJson("{\"a\":1,}").has_value());
+  EXPECT_FALSE(util::ParseJson("[1 2]").has_value());
+  EXPECT_FALSE(util::ParseJson("\"unterminated").has_value());
+  EXPECT_FALSE(util::ParseJson("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(util::ParseJson("nul").has_value());
+}
+
+TEST(Json, HexU64RoundTrips) {
+  for (const uint64_t v :
+       {0ULL, 1ULL, 0xdeadbeefULL, 0xffffffffffffffffULL}) {
+    EXPECT_EQ(util::ParseHexU64(util::HexU64(v)), v);
+  }
+  EXPECT_FALSE(util::ParseHexU64("").has_value());
+  EXPECT_FALSE(util::ParseHexU64("xyz").has_value());
+  EXPECT_FALSE(util::ParseHexU64("00000000000000000").has_value());  // 17
+}
+
+// --- Record round-trip ------------------------------------------------------
+
+TEST(CampaignRecord, JsonRoundTripIsExact) {
+  const CampaignRecord r = SampleRecord();
+  const std::string json = r.ToJson(/*include_timings=*/true);
+  const auto parsed = util::ParseJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  const auto back = CampaignRecord::FromJson(*parsed);
+  ASSERT_TRUE(back.has_value());
+  // Re-serializing the parsed record must be byte-identical: canonical
+  // %.17g doubles survive the round trip exactly.
+  EXPECT_EQ(back->ToJson(true), json);
+  EXPECT_EQ(back->name, r.name);
+  EXPECT_EQ(back->broken_connections, 123u);
+  EXPECT_DOUBLE_EQ(back->critical_path_ps, r.critical_path_ps);
+  ASSERT_EQ(back->attacks.size(), 1u);
+  EXPECT_DOUBLE_EQ(back->attacks[0].counters.at("candidates"), 17.0);
+}
+
+TEST(CampaignRecord, CanonicalJsonExcludesTimings) {
+  const CampaignRecord r = SampleRecord();
+  const std::string canonical = r.ToJson(/*include_timings=*/false);
+  EXPECT_EQ(canonical.find("elapsed_s"), std::string::npos);
+  EXPECT_EQ(canonical.find("\"times\""), std::string::npos);
+  // Two runs of the same key that differ only in wall clocks agree.
+  CampaignRecord slower = r;
+  slower.elapsed_s = 99.0;
+  slower.lock_s = 42.0;
+  slower.attacks[0].elapsed_s = 7.0;
+  EXPECT_EQ(slower.ToJson(false), canonical);
+  EXPECT_NE(slower.ToJson(true), r.ToJson(true));
+}
+
+// --- Store ------------------------------------------------------------------
+
+TEST_F(StoreTest, InsertThenLookupRoundTrips) {
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  EXPECT_FALSE(store.Lookup(key).has_value());  // cold
+  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  const auto hit = store.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ToJson(true), SampleRecord().ToJson(true));
+
+  const StoreStats stats = store.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+
+  // A second store over the same directory sees the record (persistence).
+  ResultStore reopened(dir_);
+  EXPECT_TRUE(reopened.Lookup(key).has_value());
+}
+
+TEST_F(StoreTest, DistinctKeysDistinctFiles) {
+  ResultStore store(dir_);
+  StoreKey key = SampleKey();
+  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  StoreKey other = key;
+  other.attack_hash ^= 1;
+  EXPECT_FALSE(store.Lookup(other).has_value());
+  CampaignRecord different = SampleRecord();
+  different.hd_percent = 1.0;
+  EXPECT_TRUE(store.Insert(other, different));
+  EXPECT_DOUBLE_EQ(store.Lookup(key)->hd_percent, 49.5);
+  EXPECT_DOUBLE_EQ(store.Lookup(other)->hd_percent, 1.0);
+}
+
+TEST_F(StoreTest, CorruptFileReadsAsMiss) {
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  {  // truncate the record mid-file, as a crashed non-atomic writer would
+    std::ofstream f(dir_ + "/" + key.Filename(), std::ios::binary);
+    f << "{\"schema_version\":1,\"key\":{\"suite\":\"itc/b14\"";
+  }
+  EXPECT_FALSE(store.Lookup(key).has_value());
+  EXPECT_EQ(store.Stats().corrupt, 1u);
+  // The store recovers by overwriting.
+  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  EXPECT_TRUE(store.Lookup(key).has_value());
+}
+
+TEST_F(StoreTest, SchemaVersionMismatchReadsAsMiss) {
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  const std::string path = dir_ + "/" + key.Filename();
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::string needle = "\"schema_version\":1";
+  const size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"schema_version\":0");
+  std::ofstream(path, std::ios::binary) << text;
+  EXPECT_FALSE(store.Lookup(key).has_value());
+  EXPECT_EQ(store.Stats().corrupt, 1u);
+}
+
+TEST_F(StoreTest, KeyEchoMismatchReadsAsCorrupt) {
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  // File copied/renamed under a different key: must not be served.
+  StoreKey other = key;
+  other.flow_hash ^= 0xff;
+  fs::copy_file(dir_ + "/" + key.Filename(), dir_ + "/" + other.Filename());
+  EXPECT_FALSE(store.Lookup(other).has_value());
+  EXPECT_EQ(store.Stats().corrupt, 1u);
+}
+
+TEST_F(StoreTest, InsertLeavesNoTempFiles) {
+  ResultStore store(dir_);
+  StoreKey key = SampleKey();
+  for (int i = 0; i < 4; ++i) {
+    key.flow_hash = static_cast<uint64_t>(i);
+    EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  }
+  size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 4u);
+}
+
+TEST_F(StoreTest, ConcurrentSameKeyInsertsAndLookupsAreSafe) {
+  // Campaign workers race Lookup/Insert on the pool; same-key writers are
+  // resolved by atomic rename, so readers must only ever see a miss or a
+  // complete record — never a torn one.
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  const CampaignRecord record = SampleRecord();
+  exec::ParallelFor(64, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (i % 2 == 0) {
+        EXPECT_TRUE(store.Insert(key, record));
+      } else if (const auto hit = store.Lookup(key)) {
+        EXPECT_EQ(hit->ToJson(true), record.ToJson(true));
+      }
+    }
+  });
+  EXPECT_EQ(store.Stats().corrupt, 0u);
+  EXPECT_EQ(store.Stats().insert_errors, 0u);
+  ASSERT_TRUE(store.Lookup(key).has_value());
+}
+
+TEST(StoreKeyTest, FilenameSanitizesAndDisambiguates) {
+  StoreKey key = SampleKey();
+  const std::string name = key.Filename();
+  EXPECT_EQ(name.find('/'), std::string::npos);
+  StoreKey other = key;
+  other.scale = CanonicalDouble(0.5);
+  EXPECT_NE(other.Filename(), name);
+}
+
+// --- Golden store-key hashes ------------------------------------------------
+//
+// These values ARE the on-disk cache partitioning: a refactor that changes
+// any canonical string or hash silently orphans every stored record (and,
+// worse, could collide shard tables from different campaigns). Update the
+// constants ONLY for a deliberate, schema-version-bumping change.
+
+TEST(GoldenHashes, AttackConfigHashIsPinned) {
+  EXPECT_EQ(attack::AttackConfig::Parse("proximity").Hash(),
+            14686014519266357090ULL);
+  EXPECT_EQ(attack::AttackConfig::Parse("sat-portfolio:configs=8").Hash(),
+            9371812277043906062ULL);
+  // Params are canonically ordered: spec order must not matter.
+  EXPECT_EQ(attack::AttackConfig::Parse("sat:b=1,a=2").Hash(),
+            attack::AttackConfig::Parse("sat:a=2,b=1").Hash());
+  EXPECT_EQ(attack::AttackConfig::Parse("sat:b=1,a=2").Hash(),
+            15138703352570698769ULL);
+}
+
+TEST(GoldenHashes, FlowOptionsHashIsPinned) {
+  const core::FlowOptions defaults;
+  EXPECT_EQ(core::FlowOptionsCanonical(defaults),
+            "v1;key_bits=128;split_layer=4;lift_layer=0;"
+            "utilization=0.69999999999999996;placer_moves_per_cell=60;seed=1;"
+            "power_patterns=2048;randomize_tie_placement=1;lift_key_nets=1;"
+            "package_mode=0;lock.max_cut_leaves=12;lock.max_minterms=512;"
+            "lock.max_cubes=6;lock.partitions=8;lock.min_bias=0.75;"
+            "lock.bias_patterns=4096;lock.check_patterns=2048;"
+            "lock.verify_lec=1;lock.require_area_gain=1");
+  EXPECT_EQ(core::FlowOptionsHash(defaults), 3339888385804500872ULL);
+
+  core::FlowOptions m6 = defaults;
+  m6.split_layer = 6;
+  EXPECT_EQ(core::FlowOptionsHash(m6), 12318144755518929478ULL);
+
+  // Synced lock fields must not shift the key (RunSecureFlow overrides
+  // them with the top-level values).
+  core::FlowOptions synced = defaults;
+  synced.lock.key_bits = 7;
+  synced.lock.seed = 99;
+  EXPECT_EQ(core::FlowOptionsHash(synced), core::FlowOptionsHash(defaults));
+}
+
+TEST(GoldenHashes, PortfolioHashIsPinned) {
+  EXPECT_EQ(PortfolioHash({"proximity"}, 4096, true),
+            16128696088342593761ULL);
+  // Every component participates.
+  EXPECT_NE(PortfolioHash({"proximity"}, 4096, true),
+            PortfolioHash({"proximity"}, 8192, true));
+  EXPECT_NE(PortfolioHash({"proximity"}, 4096, true),
+            PortfolioHash({"proximity"}, 4096, false));
+  EXPECT_NE(PortfolioHash({"proximity"}, 4096, true),
+            PortfolioHash({"proximity", "ml"}, 4096, true));
+}
+
+}  // namespace
+}  // namespace splitlock::store

@@ -19,17 +19,31 @@
 //   stats  <in.bench>
 //       Prints netlist statistics (gates by type, depth, area).
 //   suite  <iscas|itc>  [--key-bits N] [--split M] [--seed S] [--threads T]
-//                       [--engine E]...
+//                       [--engine E]... [--shards N] [--shard-index I]
+//                       [--store DIR] [--store-stats] [--json] [--out F]
 //       Concurrent campaign over a whole benchmark suite: each member runs
 //       the full lock -> place/route -> split -> attack-portfolio pipeline
 //       as a job on the exec thread pool; prints one scorecard row per
 //       member. --threads sizes the pool (default: SPLITLOCK_THREADS or
-//       hardware concurrency).
+//       hardware concurrency). --shards/--shard-index runs one
+//       deterministic round-robin shard of the job list in this process
+//       (see `merge`). --store consults/fills a persistent result-store
+//       directory, so repeated runs skip completed jobs; --store-stats
+//       prints the hit/miss/insert counters to stderr at exit. --json
+//       emits the shard outcome table (canonical JSON, timings excluded)
+//       instead of text; --out additionally writes it to a file.
+//   merge  <shard.json>... [--json] [--out F]
+//       Joins shard outcome tables written by sharded `suite` runs into
+//       the canonical job-ordered table — bit-identical to what a
+//       single-process `suite --json` run emits. Refuses tables from
+//       different campaigns (suite/scale/option-hash mismatch) or with
+//       missing/duplicate jobs.
 //
 // Engines are attack::AttackConfig specs: a registry name, optionally with
 // key=value params — e.g. --engine proximity --engine "sat-portfolio:configs=8".
 // --json makes `attack` and `report` emit one machine-readable JSON object
 // per run on stdout (for scripting and CI diffing) instead of the tables.
+// All JSON outputs carry "schema_version" (store::kResultSchemaVersion).
 //
 // Sequential .bench files (DFF statements) are analyzed as their FF-cut
 // combinational cores.
@@ -37,6 +51,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,9 +60,11 @@
 #include "attack/metrics.hpp"
 #include "core/campaign.hpp"
 #include "core/flow.hpp"
+#include "dist/shard.hpp"
 #include "exec/thread_pool.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/libcell.hpp"
+#include "store/result_store.hpp"
 #include "util/env.hpp"
 
 namespace {
@@ -65,6 +82,13 @@ struct Args {
   bool naive = false;
   bool json = false;
   std::vector<std::string> engines;  // AttackConfig specs
+  // suite/merge distribution + persistence:
+  uint64_t shards = 1;
+  uint64_t shard_index = 0;
+  std::string store_dir;
+  bool store_stats = false;
+  std::string out_path;              // shard/merged table file
+  std::vector<std::string> inputs;   // merge: all shard table files
 };
 
 int Usage() {
@@ -74,7 +98,9 @@ int Usage() {
       "[out.bench] [--key-bits N] [--split M] [--seed S] [--naive] "
       "[--engine E]... [--json]\n"
       "       splitlock_cli suite <iscas|itc> [--key-bits N] [--split M] "
-      "[--seed S] [--threads T] [--engine E]...\n"
+      "[--seed S] [--threads T] [--engine E]... [--shards N] "
+      "[--shard-index I] [--store DIR] [--store-stats] [--json] [--out F]\n"
+      "       splitlock_cli merge <shard.json>... [--json] [--out F]\n"
       "       --engine list   print the attack-engine registry\n");
   return 2;
 }
@@ -285,9 +311,10 @@ int CmdAttack(const Args& args) {
   const EngineRunOutcome runs =
       RunEnginesAndRender(ctx, EngineConfigs(args), ReproPatterns(), args.json);
   if (args.json) {
-    std::printf("{\"command\":\"attack\",\"design\":%s,"
-                "\"split_layer\":%d,\"seed\":%llu,"
+    std::printf("{\"command\":\"attack\",\"schema_version\":%d,"
+                "\"design\":%s,\"split_layer\":%d,\"seed\":%llu,"
                 "\"broken_connections\":%zu,\"runs\":%s}\n",
+                store::kResultSchemaVersion,
                 attack::JsonEscape(original.name()).c_str(), args.split_layer,
                 (unsigned long long)args.seed, feol.sink_stubs.size(),
                 runs.runs_json.c_str());
@@ -322,9 +349,10 @@ int CmdReport(const Args& args) {
   const EngineRunOutcome runs =
       RunEnginesAndRender(ctx, EngineConfigs(args), ReproPatterns(), args.json);
   if (args.json) {
-    std::printf("{\"command\":\"report\",\"design\":%s,"
-                "\"split_layer\":%d,\"seed\":%llu,\"key_bits\":%zu,"
-                "\"broken_connections\":%zu,\"runs\":%s}\n",
+    std::printf("{\"command\":\"report\",\"schema_version\":%d,"
+                "\"design\":%s,\"split_layer\":%d,\"seed\":%llu,"
+                "\"key_bits\":%zu,\"broken_connections\":%zu,\"runs\":%s}\n",
+                store::kResultSchemaVersion,
                 attack::JsonEscape(original.name()).c_str(), args.split_layer,
                 (unsigned long long)args.seed, flow.lock.key.size(),
                 flow.feol.sink_stubs.size(), runs.runs_json.c_str());
@@ -332,56 +360,189 @@ int CmdReport(const Args& args) {
   return runs.any_failed ? 1 : 0;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  return out.good();
+}
+
+// One scorecard row per record; shared by `suite` (text mode) and `merge`.
+// The time column only exists when the caller has wall clocks (a live run);
+// merged tables are canonical and carry none.
+int PrintRecordTable(const dist::ShardTable& table,
+                     const std::vector<double>* elapsed) {
+  std::printf("%-6s | %8s | %7s | %7s | %7s | %7s%s\n", "", "broken",
+              "CCR %", "PNR %", "HD %", "OER %",
+              elapsed ? " | time (s)" : "");
+  int rc = 0;
+  for (size_t i = 0; i < table.entries.size(); ++i) {
+    const store::CampaignRecord& r = table.entries[i].record;
+    if (!r.ok) {
+      std::printf("%-6s | FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%-6s | %8llu | %7.1f | %7.1f | %7.1f | %7.1f",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.broken_connections),
+                r.regular_ccr_percent, r.pnr_percent, r.hd_percent,
+                r.oer_percent);
+    if (elapsed) std::printf(" | %8.2f", (*elapsed)[i]);
+    std::printf("\n");
+    for (const store::AttackRecord& attack : r.attacks) {
+      if (!attack.ok) {
+        std::printf("%-6s |   engine %s FAILED: %s\n", "",
+                    attack.engine.c_str(), attack.error.c_str());
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
 int CmdSuite(const Args& args) {
   if (args.input != "iscas" && args.input != "itc") return Usage();
   if (args.threads > 0) exec::ThreadPool::SetDefaultThreadCount(args.threads);
+  const dist::ShardPlan plan{args.shards, args.shard_index};
+  if (!plan.Valid()) {
+    std::fprintf(stderr, "error: --shard-index must be < --shards\n");
+    return 2;
+  }
 
   core::FlowOptions opts;
   opts.key_bits = args.key_bits;
   opts.split_layer = args.split_layer;
   opts.seed = args.seed;
+  const double scale = args.input == "itc" ? ReproScale() : 1.0;
   std::vector<core::CampaignJob> jobs =
-      args.input == "iscas"
-          ? core::IscasCampaignJobs(opts)
-          : core::Itc99CampaignJobs(opts, ReproScale());
+      args.input == "iscas" ? core::IscasCampaignJobs(opts)
+                            : core::Itc99CampaignJobs(opts, ReproScale());
   const std::vector<attack::AttackConfig> configs = EngineConfigs(args);
   for (core::CampaignJob& job : jobs) job.attacks = configs;
 
+  std::unique_ptr<store::ResultStore> result_store;
+  if (!args.store_dir.empty()) {
+    result_store = std::make_unique<store::ResultStore>(args.store_dir);
+  }
   core::CampaignOptions campaign_options;
   campaign_options.score_patterns = ReproPatterns();
-  const std::vector<core::CampaignOutcome> outcomes =
-      core::CampaignRunner(campaign_options).Run(jobs);
+  campaign_options.store = result_store.get();
+  const core::CampaignRunner runner(campaign_options);
 
-  std::printf("%zu-job campaign @ M%d, %zu key bits, %zu threads, "
-              "attacks:",
-              jobs.size(), args.split_layer, args.key_bits,
-              args.threads > 0 ? args.threads
-                               : exec::ThreadPool::DefaultThreadCount());
-  for (const attack::AttackConfig& config : configs) {
-    std::printf(" %s", config.ToString().c_str());
+  const std::vector<uint64_t> owned = plan.Select(jobs.size());
+  std::vector<core::CampaignJob> shard_jobs;
+  for (const uint64_t job_index : owned) {
+    shard_jobs.push_back(jobs[job_index]);
   }
-  std::printf("\n");
-  std::printf("%-6s | %8s | %7s | %7s | %7s | %7s | %8s\n", "", "broken",
-              "CCR %", "PNR %", "HD %", "OER %", "time (s)");
-  int rc = 0;
-  for (const core::CampaignOutcome& oc : outcomes) {
-    if (!oc.ok) {
-      std::printf("%-6s | FAILED: %s\n", oc.name.c_str(), oc.error.c_str());
-      rc = 1;
-      continue;
+  const std::vector<core::CampaignOutcome> outcomes = runner.Run(shard_jobs);
+
+  dist::ShardTable table;
+  table.suite = args.input;
+  table.scale = store::CanonicalDouble(scale);
+  table.flow_hash = core::FlowOptionsHash(opts);
+  {
+    std::vector<std::string> config_strings;
+    for (const attack::AttackConfig& config : configs) {
+      config_strings.push_back(config.ToString());
     }
-    std::printf("%-6s | %8zu | %7.1f | %7.1f | %7.1f | %7.1f | %8.2f\n",
-                oc.name.c_str(), oc.flow.feol.sink_stubs.size(),
-                oc.score.ccr.regular_ccr_percent, oc.score.pnr_percent,
-                oc.score.functional.hd_percent,
-                oc.score.functional.oer_percent, oc.elapsed_s);
-    for (const attack::AttackReport& report : oc.attacks) {
-      if (!report.ok) {
-        std::printf("%-6s |   engine %s FAILED: %s\n", "",
-                    report.engine.c_str(), report.error.c_str());
-        rc = 1;
+    table.attack_hash = store::PortfolioHash(config_strings, ReproPatterns(),
+                                             /*run_attack=*/true);
+  }
+  table.job_count = jobs.size();
+  table.num_shards = plan.num_shards;
+  table.shard_index = plan.shard_index;
+  std::vector<double> elapsed;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    table.entries.push_back(dist::ShardEntry{owned[i], outcomes[i].record});
+    elapsed.push_back(outcomes[i].elapsed_s);
+  }
+
+  int rc = 0;
+  if (args.json) {
+    std::fputs(table.ToJson().c_str(), stdout);
+    for (const dist::ShardEntry& entry : table.entries) {
+      if (!entry.record.ok) rc = 1;
+      for (const store::AttackRecord& attack : entry.record.attacks) {
+        if (!attack.ok) rc = 1;
       }
     }
+  } else {
+    std::printf("%zu-job campaign @ M%d, %zu key bits, %zu threads",
+                shard_jobs.size(), args.split_layer, args.key_bits,
+                args.threads > 0 ? args.threads
+                                 : exec::ThreadPool::DefaultThreadCount());
+    if (plan.num_shards > 1) {
+      std::printf(", shard %llu/%llu",
+                  static_cast<unsigned long long>(plan.shard_index),
+                  static_cast<unsigned long long>(plan.num_shards));
+    }
+    std::printf(", attacks:");
+    for (const attack::AttackConfig& config : configs) {
+      std::printf(" %s", config.ToString().c_str());
+    }
+    std::printf("\n");
+    rc = PrintRecordTable(table, &elapsed);
+  }
+  if (!args.out_path.empty() && !WriteFile(args.out_path, table.ToJson())) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.out_path.c_str());
+    rc = 1;
+  }
+  if (args.store_stats && !result_store) {
+    std::fprintf(stderr, "store-stats: no --store directory configured\n");
+  }
+  if (result_store && args.store_stats) {
+    const store::StoreStats stats = result_store->Stats();
+    std::fprintf(stderr,
+                 "store-stats: hits=%llu misses=%llu inserts=%llu "
+                 "insert_errors=%llu corrupt=%llu\n",
+                 (unsigned long long)stats.hits,
+                 (unsigned long long)stats.misses,
+                 (unsigned long long)stats.inserts,
+                 (unsigned long long)stats.insert_errors,
+                 (unsigned long long)stats.corrupt);
+  }
+  return rc;
+}
+
+int CmdMerge(const Args& args) {
+  if (args.inputs.empty()) return Usage();
+  std::vector<dist::ShardTable> shards;
+  for (const std::string& path : args.inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      shards.push_back(dist::ShardTable::Parse(buf.str()));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ": " + e.what());
+    }
+  }
+  const dist::ShardTable merged = dist::MergeShards(shards);
+
+  int rc = 0;
+  if (args.json) {
+    std::fputs(merged.ToJson().c_str(), stdout);
+    // Same exit-code rule as `suite`: a failed job OR a failed attack
+    // engine is a failure, so gating on merge behaves like gating on the
+    // equivalent single-process run.
+    for (const dist::ShardEntry& entry : merged.entries) {
+      if (!entry.record.ok) rc = 1;
+      for (const store::AttackRecord& attack : entry.record.attacks) {
+        if (!attack.ok) rc = 1;
+      }
+    }
+  } else {
+    std::printf("%llu-job campaign '%s' @ scale %s, merged from %zu shard "
+                "table(s)\n",
+                static_cast<unsigned long long>(merged.job_count),
+                merged.suite.c_str(), merged.scale.c_str(), shards.size());
+    rc = PrintRecordTable(merged, nullptr);
+  }
+  if (!args.out_path.empty() && !WriteFile(args.out_path, merged.ToJson())) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.out_path.c_str());
+    rc = 1;
   }
   return rc;
 }
@@ -401,8 +562,15 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   Args args;
   args.command = argv[1];
-  args.input = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // merge takes a variable list of positional shard files, so every arg
+  // from argv[2] on goes through the flag loop; the other subcommands
+  // take their input file at argv[2] unconditionally.
+  int first_flag = 2;
+  if (args.command != "merge") {
+    args.input = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -429,10 +597,30 @@ int main(int argc, char** argv) {
       args.engines.emplace_back(v);
     } else if (a.rfind("--engine=", 0) == 0) {
       args.engines.emplace_back(a.substr(9));
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.shards = std::strtoull(v, nullptr, 10);
+    } else if (a == "--shard-index") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.shard_index = std::strtoull(v, nullptr, 10);
+    } else if (a == "--store") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.store_dir = v;
+    } else if (a == "--store-stats") {
+      args.store_stats = true;
+    } else if (a == "--out") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.out_path = v;
     } else if (a == "--json") {
       args.json = true;
     } else if (a == "--naive") {
       args.naive = true;
+    } else if (a[0] != '-' && args.command == "merge") {
+      args.inputs.push_back(a);
     } else if (a[0] != '-' && args.output.empty()) {
       args.output = a;
     } else {
@@ -446,6 +634,7 @@ int main(int argc, char** argv) {
     if (args.command == "attack") return CmdAttack(args);
     if (args.command == "report") return CmdReport(args);
     if (args.command == "suite") return CmdSuite(args);
+    if (args.command == "merge") return CmdMerge(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
