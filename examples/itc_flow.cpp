@@ -63,8 +63,10 @@ int main(int argc, char** argv) {
                 "timing %+5.1f %%\n",
                 delta.area_percent, delta.power_percent,
                 delta.timing_percent);
-    std::printf("flow runtime: lock %.1f s, layout %.1f s\n",
-                flow.times.lock_s, flow.times.place_s);
+    std::printf("flow runtime: lock %.1f s, place %.1f s, route %.1f s, "
+                "lift %.1f s\n",
+                flow.times.lock_s, flow.times.place_s, flow.times.route_s,
+                flow.times.lift_s);
   }
   return 0;
 }

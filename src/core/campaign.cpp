@@ -74,6 +74,7 @@ store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
   r.place_s = outcome.flow.times.place_s;
   r.route_s = outcome.flow.times.route_s;
   r.lift_s = outcome.flow.times.lift_s;
+  r.analyze_s = outcome.flow.times.analyze_s;
   r.elapsed_s = outcome.elapsed_s;
   return r;
 }

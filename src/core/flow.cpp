@@ -85,13 +85,17 @@ PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
   placer.moves_per_cell = options.placer_moves_per_cell;
   placer.randomize_tie_cells = options.randomize_tie_placement;
   placer.key_inputs_as_pads = options.package_mode;
+  const auto t_place = std::chrono::steady_clock::now();
   bundle.layout = std::make_unique<phys::Layout>(phys::PlaceDesign(
       *bundle.netlist, phys::Tech::Nangate45Like(), placer));
+  bundle.times.place_s = SecondsSince(t_place);
 
   phys::RouterOptions router;
   router.seed = options.seed ^ 0x51ed2701;
   router.route_key_nets_as_regular = !options.lift_key_nets;
+  const auto t_route = std::chrono::steady_clock::now();
   phys::RouteDesign(*bundle.layout, router);
+  bundle.times.route_s = SecondsSince(t_route);
 
   if (options.lift_key_nets) {
     // Package mode routes the key-nets on the top metal pair out to the
@@ -100,14 +104,18 @@ PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
         options.package_mode
             ? bundle.layout->tech.NumLayers() - 1
             : options.EffectiveLiftLayer();
+    const auto t_lift = std::chrono::steady_clock::now();
     bundle.lift = phys::LiftKeyNets(*bundle.layout, *bundle.netlist,
                                     lift_layer, options.seed ^ 0x1f2e3d4c);
+    bundle.times.lift_s = SecondsSince(t_lift);
   }
 
+  const auto t_analyze = std::chrono::steady_clock::now();
   bundle.timing = phys::RunSta(*bundle.layout);
   const std::vector<double> toggles = EstimateToggleRates(
       *bundle.netlist, options.power_patterns, options.seed ^ 0x777);
   bundle.power = phys::EstimatePower(*bundle.layout, toggles);
+  bundle.times.analyze_s = SecondsSince(t_analyze);
   bundle.cost = MeasureCost(bundle);
   return bundle;
 }
@@ -129,9 +137,11 @@ FlowResult RunSecureFlow(const Netlist& original, const FlowOptions& options) {
           ? result.lock.locked
           : lock::RealizeKeyAsTies(result.lock.locked, result.lock.key);
 
-  const auto t_place = std::chrono::steady_clock::now();
   result.physical = BuildPhysical(realized, options);
-  result.times.place_s = SecondsSince(t_place);
+  result.times.place_s = result.physical.times.place_s;
+  result.times.route_s = result.physical.times.route_s;
+  result.times.lift_s = result.physical.times.lift_s;
+  result.times.analyze_s = result.physical.times.analyze_s;
 
   result.feol =
       split::SplitLayout(*result.physical.layout, options.split_layer);

@@ -42,11 +42,22 @@ struct CostDelta {
 };
 CostDelta CompareCost(const LayoutCost& base, const LayoutCost& ours);
 
+// Wall-clock of each flow phase, from the run that produced the result
+// (non-canonical: two runs of the same key agree on everything but this).
+// place/route/lift are measured inside BuildPhysical around exactly the
+// PlaceDesign / RouteDesign / LiftKeyNets calls, so campaign records expose
+// where a job's physical-design time goes (see bench_runtime, bench_phys).
 struct StageTimes {
   double lock_s = 0.0;
   double place_s = 0.0;
   double route_s = 0.0;
   double lift_s = 0.0;
+  double analyze_s = 0.0;  // STA + toggle-rate + power estimation
+
+  // Everything BuildPhysical spends (lock_s is the synthesis stage).
+  double LayoutTotalS() const {
+    return place_s + route_s + lift_s + analyze_s;
+  }
 };
 
 struct FlowOptions {
@@ -86,6 +97,7 @@ struct PhysicalBundle {
   phys::PowerReport power;
   phys::LiftStats lift;
   LayoutCost cost;
+  StageTimes times;  // place_s/route_s/lift_s of this build (lock_s unused)
 };
 
 struct FlowResult {

@@ -30,9 +30,13 @@ inline uint64_t Mix64(uint64_t x) {
 // Stream domains used by the library's parallel sweeps. Distinct domains
 // under the same (seed, stream) yield independent draws.
 enum class StreamDomain : uint64_t {
-  kStimulus = 0x53,   // per-word primary-input stimulus
-  kKeySample = 0x4b,  // per-sample random key bits
-  kShard = 0x5a,      // generic per-shard streams
+  kStimulus = 0x53,    // per-word primary-input stimulus
+  kKeySample = 0x4b,   // per-sample random key bits
+  kShard = 0x5a,       // generic per-shard streams
+  kPlacerMove = 0x50,  // per-move annealing draws (gate, slot, acceptance)
+  kRouteNet = 0x52,    // per-net layer-pair / corner draws in RouteDesign
+  kLiftNet = 0x4c,     // per-net corner draws when lifting to the BEOL
+  kEcoDetour = 0x45,   // per-net detour draws in the ECO re-route
 };
 
 class StreamRng {
@@ -56,6 +60,13 @@ class StreamRng {
     return static_cast<uint64_t>(
         (static_cast<unsigned __int128>(NextWord()) * bound) >> 64);
   }
+
+  // Uniform double in [0, 1): the top 53 bits of one word scaled by 2^-53
+  // (the same portable fill as util/rng.hpp).
+  double NextDouble() { return (NextWord() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli draw with probability p of true.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
 
  private:
   uint64_t state_;

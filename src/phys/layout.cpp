@@ -1,8 +1,28 @@
 #include "phys/layout.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace splitlock::phys {
+namespace {
+
+// FNV-1a folded 64 bits at a time (byte-at-a-time FNV over megabytes of
+// geometry would dominate the fingerprint's cost).
+struct Digest {
+  uint64_t h = 0xcbf29ce484222325ULL;
+
+  void Mix(uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  void Mix(double v) { Mix(std::bit_cast<uint64_t>(v)); }
+  void Mix(const Point& p) {
+    Mix(p.x);
+    Mix(p.y);
+  }
+};
+
+}  // namespace
 
 int ConnRoute::MaxLayer() const {
   int max_layer = 0;
@@ -62,6 +82,39 @@ double Layout::NetWireCapFf(NetId n) const {
     for (const ViaStack& v : c.vias) cap += v.Count() * tech.via_c_ff;
   }
   return cap;
+}
+
+uint64_t LayoutFingerprint(const Layout& layout) {
+  Digest d;
+  const size_t num_gates = layout.position.size();
+  d.Mix(static_cast<uint64_t>(num_gates));
+  for (size_t g = 0; g < num_gates; ++g) {
+    d.Mix(static_cast<uint64_t>(layout.placed[g]) << 1 |
+          static_cast<uint64_t>(layout.fixed[g]));
+    if (layout.placed[g]) d.Mix(layout.position[g]);
+  }
+  d.Mix(static_cast<uint64_t>(layout.routes.size()));
+  for (const NetRoute& route : layout.routes) {
+    d.Mix(static_cast<uint64_t>(route.routed));
+    d.Mix(static_cast<uint64_t>(route.conns.size()));
+    for (const ConnRoute& c : route.conns) {
+      d.Mix(static_cast<uint64_t>(c.sink.gate) << 32 |
+            static_cast<uint64_t>(c.sink.index));
+      for (const Segment& s : c.segments) {
+        d.Mix(static_cast<uint64_t>(s.layer));
+        d.Mix(s.a);
+        d.Mix(s.b);
+      }
+      for (const ViaStack& v : c.vias) {
+        d.Mix(v.at);
+        d.Mix(static_cast<uint64_t>(v.from_layer) << 32 |
+              static_cast<uint64_t>(v.to_layer));
+      }
+      for (const Point& p : c.hop_points) d.Mix(p);
+      for (int l : c.hop_layers) d.Mix(static_cast<uint64_t>(l));
+    }
+  }
+  return d.h;
 }
 
 double Layout::NetWireResKohm(NetId n) const {

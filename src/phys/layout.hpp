@@ -103,4 +103,11 @@ struct Layout {
   double DieAreaUm2() const { return die.Area(); }
 };
 
+// Order-sensitive 64-bit digest of everything placement and routing
+// produced: positions, placed/fixed flags, and the full route geometry
+// (segments, vias, hop lists). Two layouts with equal fingerprints are
+// bit-identical for every consumer in the library; the parallel-phys tests
+// and bench_phys use it to assert the determinism contract.
+uint64_t LayoutFingerprint(const Layout& layout);
+
 }  // namespace splitlock::phys

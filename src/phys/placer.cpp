@@ -5,12 +5,32 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/parallel.hpp"
+#include "exec/stream_rng.hpp"
 #include "netlist/libcell.hpp"
 #include "phys/floorplan.hpp"
 #include "util/rng.hpp"
 
 namespace splitlock::phys {
 namespace {
+
+// A move touches at most the active nets of two gates.
+constexpr size_t kMaxTouchedNets = 2 * (kMaxFanin + 1);
+
+// Moves per speculative batch and per parallel evaluation chunk. Batch size
+// has NO effect on the result (clean moves reproduce the sequential
+// decision, conflicted moves are re-evaluated in sequential order); it only
+// trades snapshot staleness against scheduling overhead. Hot temperature
+// steps accept most moves, so far-ahead speculation is wasted re-evaluation;
+// cold steps accept few, so long batches amortize scheduling — the ramp
+// below picks the batch size from the step index alone (deterministic).
+constexpr int64_t kSpeculativeBatch = 256;
+constexpr size_t kSpeculativeGrain = 16;
+
+int64_t BatchSizeForStep(int step, int steps) {
+  constexpr int64_t kRamp[4] = {32, 64, 128, kSpeculativeBatch};
+  return kRamp[std::min(3, step * 4 / std::max(1, steps))];
+}
 
 bool IsTieLike(const Gate& g) {
   if (g.HasFlag(kFlagTie)) return true;
@@ -32,6 +52,187 @@ Point SlotCenter(const Layout& layout, int slot) {
   return Point{(col + 0.5) * layout.slot_width_um,
                (row + 0.5) * layout.row_height_um};
 }
+
+// One proposed annealing move: swap `g` from slot `src` with whatever
+// occupies `target` (`other`, possibly empty). Draws and evaluation are a
+// pure function of (seed, move index, placement state), so a move can be
+// proposed speculatively against a frozen snapshot and validated later.
+struct SpeculativeMove {
+  GateId g = kNullId;
+  GateId other = kNullId;
+  int src = -1;
+  int target = -1;
+  double delta = 0.0;
+  double u = 0.0;        // acceptance draw, always consumed
+  bool viable = false;   // false: self-swap or fixed occupant
+  uint32_t num_nets = 0;
+  NetId nets[kMaxTouchedNets];
+};
+
+// The annealing state PlaceDesign threads through both move loops.
+struct AnnealState {
+  Layout& layout;
+  const Netlist& nl;
+  const PlacerOptions& options;
+  const std::vector<GateId>& anneal_pool;
+  const std::vector<uint8_t>& net_active;
+  std::vector<GateId>& gate_at;
+  std::vector<int>& slot_of;
+  int num_slots;
+
+  // Active nets incident to `g` appended (unsorted) to out; returns count.
+  size_t ActiveNetsOf(GateId g, NetId* out) const {
+    size_t cnt = 0;
+    const Gate& gate = nl.gate(g);
+    for (NetId n : gate.fanins) {
+      if (net_active[n]) out[cnt++] = n;
+    }
+    if (gate.out != kNullId && net_active[gate.out]) out[cnt++] = gate.out;
+    return cnt;
+  }
+
+  // Net HPWL with the move's two positions overridden (read-only: the same
+  // bounding-box arithmetic as Layout::NetHpwl, so the sequential and the
+  // speculative evaluation produce bit-identical doubles).
+  double HpwlWith(NetId n, GateId a, Point pa, GateId b, Point pb) const {
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId || !layout.placed[net.driver]) return 0.0;
+    const auto pos = [&](GateId g) {
+      return g == a ? pa : g == b ? pb : layout.position[g];
+    };
+    Rect box = Rect::Around(pos(net.driver));
+    for (const Pin& p : net.sinks) {
+      if (layout.placed[p.gate]) box.Expand(pos(p.gate));
+    }
+    return box.HalfPerimeter();
+  }
+
+  // Fills nets/delta of a viable move against the current state; reads only.
+  void Evaluate(SpeculativeMove* mv) const {
+    size_t cnt = ActiveNetsOf(mv->g, mv->nets);
+    if (mv->other != kNullId) {
+      cnt += ActiveNetsOf(mv->other, mv->nets + cnt);
+    }
+    std::sort(mv->nets, mv->nets + cnt);
+    cnt = static_cast<size_t>(std::unique(mv->nets, mv->nets + cnt) -
+                              mv->nets);
+    mv->num_nets = static_cast<uint32_t>(cnt);
+    const Point src_center = layout.position[mv->g];
+    const Point dst_center = SlotCenter(layout, mv->target);
+    double before = 0.0;
+    double after = 0.0;
+    for (size_t i = 0; i < cnt; ++i) {
+      before += layout.NetHpwl(mv->nets[i]);
+      after += HpwlWith(mv->nets[i], mv->g, dst_center, mv->other, src_center);
+    }
+    mv->delta = after - before;
+  }
+
+  // Draw + evaluate move `index` against the current state. Each move owns
+  // stream (seed, kPlacerMove, index): any thread can reconstruct exactly
+  // its draws, which is what makes speculative batching deterministic.
+  SpeculativeMove Propose(uint64_t index) const {
+    SpeculativeMove mv;
+    exec::StreamRng rng(options.seed, exec::StreamDomain::kPlacerMove, index);
+    mv.g = anneal_pool[rng.NextUint(anneal_pool.size())];
+    mv.target = static_cast<int>(rng.NextUint(num_slots));
+    mv.u = rng.NextDouble();
+    mv.src = slot_of[mv.g];
+    mv.other = gate_at[mv.target];
+    if (mv.other == mv.g ||
+        (mv.other != kNullId && layout.fixed[mv.other])) {
+      return mv;
+    }
+    mv.viable = true;
+    Evaluate(&mv);
+    return mv;
+  }
+
+  // Re-derives occupancy-dependent fields against the *current* state (the
+  // conflicted-move path of the resolution pass).
+  void Revalidate(SpeculativeMove* mv) const {
+    mv->src = slot_of[mv->g];
+    mv->other = gate_at[mv->target];
+    mv->num_nets = 0;
+    mv->viable = !(mv->other == mv->g ||
+                   (mv->other != kNullId && layout.fixed[mv->other]));
+    if (mv->viable) Evaluate(mv);
+  }
+
+  static bool Accept(double delta, double u, double temperature) {
+    return delta <= 0.0 ||
+           (temperature > 0.0 && u < std::exp(-delta / temperature));
+  }
+
+  void Apply(const SpeculativeMove& mv) {
+    const Point src_center = layout.position[mv.g];
+    layout.position[mv.g] = SlotCenter(layout, mv.target);
+    if (mv.other != kNullId) layout.position[mv.other] = src_center;
+    gate_at[mv.src] = mv.other;  // kNullId empties the slot
+    gate_at[mv.target] = mv.g;
+    slot_of[mv.g] = mv.target;
+    if (mv.other != kNullId) slot_of[mv.other] = mv.src;
+  }
+};
+
+// Marks state touched by applied moves within one speculative batch, so the
+// resolution pass can tell which frozen evaluations are still exact.
+class DirtyTracker {
+ public:
+  DirtyTracker(size_t num_gates, size_t num_slots, size_t num_nets)
+      : gate_(num_gates, 0), slot_(num_slots, 0), net_(num_nets, 0) {}
+
+  void MarkApplied(const SpeculativeMove& mv) {
+    MarkGate(mv.g);
+    if (mv.other != kNullId) MarkGate(mv.other);
+    MarkSlot(mv.src);
+    MarkSlot(mv.target);
+    for (uint32_t i = 0; i < mv.num_nets; ++i) {
+      if (!net_[mv.nets[i]]) {
+        net_[mv.nets[i]] = 1;
+        net_log_.push_back(mv.nets[i]);
+      }
+    }
+  }
+
+  // A move is clean when nothing its frozen evaluation read — the two
+  // gates, the two slots' occupancy, the touched nets' pin positions —
+  // was modified by an earlier applied move of the same batch.
+  bool IsClean(const SpeculativeMove& mv) const {
+    if (gate_[mv.g] || slot_[mv.target] || slot_[mv.src]) return false;
+    if (mv.other != kNullId && gate_[mv.other]) return false;
+    for (uint32_t i = 0; i < mv.num_nets; ++i) {
+      if (net_[mv.nets[i]]) return false;
+    }
+    return true;
+  }
+
+  void Reset() {
+    for (uint32_t g : gate_log_) gate_[g] = 0;
+    for (uint32_t s : slot_log_) slot_[s] = 0;
+    for (uint32_t n : net_log_) net_[n] = 0;
+    gate_log_.clear();
+    slot_log_.clear();
+    net_log_.clear();
+  }
+
+ private:
+  void MarkGate(GateId g) {
+    if (!gate_[g]) {
+      gate_[g] = 1;
+      gate_log_.push_back(g);
+    }
+  }
+  void MarkSlot(int s) {
+    if (!slot_[s]) {
+      slot_[s] = 1;
+      slot_log_.push_back(static_cast<uint32_t>(s));
+    }
+  }
+
+  std::vector<uint8_t> gate_, slot_, net_;
+  std::vector<uint32_t> gate_log_, slot_log_, net_log_;
+};
 
 }  // namespace
 
@@ -125,58 +326,28 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
     net_active[n] = 1;
   }
 
-  // Nets incident to each gate (its fanin nets + its output net).
-  auto nets_of = [&](GateId g, std::vector<NetId>* out) {
-    out->clear();
-    const Gate& gate = nl.gate(g);
-    for (NetId n : gate.fanins) {
-      if (net_active[n]) out->push_back(n);
-    }
-    if (gate.out != kNullId && net_active[gate.out]) {
-      out->push_back(gate.out);
-    }
-    std::sort(out->begin(), out->end());
-    out->erase(std::unique(out->begin(), out->end()), out->end());
-  };
-
   if (anneal_pool.empty()) return layout;
 
-  // Simulated annealing over slot assignments.
-  std::vector<NetId> touched;
-  std::vector<NetId> touched2;
-  auto hpwl_of_nets = [&](const std::vector<NetId>& nets) {
-    double sum = 0.0;
-    for (NetId n : nets) sum += layout.NetHpwl(n);
-    return sum;
-  };
+  AnnealState state{layout,     nl,      options, anneal_pool,
+                    net_active, gate_at, slot_of, num_slots};
 
-  // Estimate the initial temperature from the cost spread of random swaps.
+  // Estimate the initial temperature from the cost spread of random swaps
+  // (read-only trial evaluations; runs before — and independent of — the
+  // move loop, so both move strategies see the same temperature).
   double delta_sum = 0.0;
   int samples = 0;
   for (int i = 0; i < 64; ++i) {
-    const GateId g = anneal_pool[rng.NextUint(anneal_pool.size())];
-    const int target = static_cast<int>(rng.NextUint(num_slots));
-    const GateId other = gate_at[target];
-    if (other == g || (other != kNullId && layout.fixed[other])) continue;
-    nets_of(g, &touched);
-    if (other != kNullId) {
-      nets_of(other, &touched2);
-      touched.insert(touched.end(), touched2.begin(), touched2.end());
-      std::sort(touched.begin(), touched.end());
-      touched.erase(std::unique(touched.begin(), touched.end()),
-                    touched.end());
+    SpeculativeMove mv;
+    mv.g = anneal_pool[rng.NextUint(anneal_pool.size())];
+    mv.target = static_cast<int>(rng.NextUint(num_slots));
+    mv.src = slot_of[mv.g];
+    mv.other = gate_at[mv.target];
+    if (mv.other == mv.g ||
+        (mv.other != kNullId && layout.fixed[mv.other])) {
+      continue;
     }
-    const double before = hpwl_of_nets(touched);
-    // Trial swap.
-    const int src = slot_of[g];
-    const Point gp = layout.position[g];
-    layout.position[g] = SlotCenter(layout, target);
-    if (other != kNullId) layout.position[other] = gp;
-    const double after = hpwl_of_nets(touched);
-    layout.position[g] = gp;
-    if (other != kNullId) layout.position[other] = SlotCenter(layout, target);
-    (void)src;
-    delta_sum += std::abs(after - before);
+    state.Evaluate(&mv);
+    delta_sum += std::abs(mv.delta);
     ++samples;
   }
   double temperature =
@@ -192,45 +363,58 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
   const double cooling =
       std::pow(1e-4, 1.0 / static_cast<double>(steps));  // T -> T * 1e-4
 
-  for (int step = 0; step < steps; ++step) {
-    for (int64_t m = 0; m < moves_per_step; ++m) {
-      const GateId g = anneal_pool[rng.NextUint(anneal_pool.size())];
-      const int target = static_cast<int>(rng.NextUint(num_slots));
-      const GateId other = gate_at[target];
-      if (other == g) continue;
-      if (other != kNullId && layout.fixed[other]) continue;
-
-      nets_of(g, &touched);
-      if (other != kNullId) {
-        nets_of(other, &touched2);
-        touched.insert(touched.end(), touched2.begin(), touched2.end());
-        std::sort(touched.begin(), touched.end());
-        touched.erase(std::unique(touched.begin(), touched.end()),
-                      touched.end());
+  if (!options.parallel_moves) {
+    // Sequential reference annealer: one move at a time, in move-index
+    // order. This is the semantics the speculative path below must (and
+    // does) reproduce bit-exactly.
+    uint64_t move_index = 0;
+    for (int step = 0; step < steps; ++step) {
+      for (int64_t m = 0; m < moves_per_step; ++m) {
+        SpeculativeMove mv = state.Propose(move_index++);
+        if (!mv.viable) continue;
+        if (AnnealState::Accept(mv.delta, mv.u, temperature)) {
+          state.Apply(mv);
+        }
       }
-      const double before = hpwl_of_nets(touched);
-      const int src = slot_of[g];
-      const Point src_center = layout.position[g];
-      const Point dst_center = SlotCenter(layout, target);
-      layout.position[g] = dst_center;
-      if (other != kNullId) layout.position[other] = src_center;
-      const double after = hpwl_of_nets(touched);
-      const double delta = after - before;
-
-      bool accept = delta <= 0.0;
-      if (!accept && temperature > 0.0) {
-        accept = rng.NextDouble() < std::exp(-delta / temperature);
-      }
-      if (accept) {
-        gate_at[src] = other;
-        gate_at[target] = g;
-        slot_of[g] = target;
-        if (other != kNullId) slot_of[other] = src;
-      } else {
-        layout.position[g] = src_center;
-        if (other != kNullId) layout.position[other] = dst_center;
-      }
+      temperature *= cooling;
     }
+    return layout;
+  }
+
+  // Speculative batched annealing. Each batch proposes and evaluates
+  // kSpeculativeBatch moves concurrently against the frozen batch-entry
+  // snapshot, then a serial resolution pass walks them in move-index order:
+  // a move whose inputs no earlier applied move touched ("clean") carries
+  // its frozen decision over unchanged — it is exactly what the sequential
+  // annealer would have computed — and a conflicted move is re-evaluated
+  // on the spot against the current state, which again matches the
+  // sequential computation. The outcome is therefore bit-identical to the
+  // reference path above at every thread count and batch size.
+  std::vector<SpeculativeMove> batch(static_cast<size_t>(
+      std::min<int64_t>(kSpeculativeBatch, moves_per_step)));
+  DirtyTracker dirty(nl.NumGates(), num_slots, nl.NumNets());
+  uint64_t move_base = 0;
+  for (int step = 0; step < steps; ++step) {
+    const int64_t batch_moves = BatchSizeForStep(step, steps);
+    for (int64_t base = 0; base < moves_per_step; base += batch_moves) {
+      const size_t bn = static_cast<size_t>(
+          std::min<int64_t>(batch_moves, moves_per_step - base));
+      exec::ParallelFor(bn, kSpeculativeGrain, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          batch[i] = state.Propose(move_base + base + i);
+        }
+      });
+      for (size_t i = 0; i < bn; ++i) {
+        SpeculativeMove& mv = batch[i];
+        if (!dirty.IsClean(mv)) state.Revalidate(&mv);
+        if (mv.viable && AnnealState::Accept(mv.delta, mv.u, temperature)) {
+          state.Apply(mv);
+          dirty.MarkApplied(mv);
+        }
+      }
+      dirty.Reset();
+    }
+    move_base += moves_per_step;
     temperature *= cooling;
   }
   return layout;

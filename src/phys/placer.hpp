@@ -27,6 +27,15 @@ struct PlacerOptions {
   int moves_per_cell = 60;
   int temperature_steps = 40;
   bool randomize_tie_cells = true;  // secure flow; false = naive layout
+  // Speculative batched move evaluation on the exec pool (the production
+  // path): each temperature step proposes chunks of moves concurrently from
+  // per-move counter-based streams, evaluates them against the frozen
+  // batch-entry snapshot, and a serial lowest-index-wins resolution pass
+  // adopts clean decisions and re-evaluates conflicted moves in order.
+  // Bit-identical to the sequential reference annealer (false) at any
+  // thread count — a pure performance knob, deliberately absent from
+  // core::FlowOptionsCanonical.
+  bool parallel_moves = true;
   // Future-work mode (paper Sec. V): key inputs become I/O pads on the die
   // boundary instead of on-die TIE cells; the key is tied to fixed logic
   // in the (trusted) package routing.

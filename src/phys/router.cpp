@@ -4,11 +4,16 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/parallel.hpp"
+#include "exec/stream_rng.hpp"
 #include "netlist/libcell.hpp"
-#include "util/rng.hpp"
 
 namespace splitlock::phys {
 namespace {
+
+// Per-net work in this file is a handful of geometry pushes; chunk enough
+// nets together that task overhead stays negligible.
+constexpr size_t kNetGrain = 64;
 
 bool IsTieLikeOp(const Gate& g) {
   if (g.HasFlag(kFlagTie)) return true;
@@ -79,8 +84,11 @@ ConnRoute MakeLRoute(Pin sink, Point src, Point dst, int h_layer, int v_layer,
 }
 
 // Chooses the (horizontal, vertical) metal pair for a regular net by span.
+// Draws come from the net's own counter-based stream, so nets are routable
+// in any order (and concurrently) with bit-identical results.
 void LayerPairForSpan(const Tech& tech, const RouterOptions& options,
-                      double span, Rng& rng, int* h_layer, int* v_layer) {
+                      double span, exec::StreamRng& rng, int* h_layer,
+                      int* v_layer) {
   int pair = 0;
   while (pair < 4 && span >= options.span_thresholds[pair]) ++pair;
   if (pair < 4 && rng.NextBernoulli(options.promote_probability)) ++pair;
@@ -95,6 +103,15 @@ void LayerPairForSpan(const Tech& tech, const RouterOptions& options,
     *h_layer = b;
     *v_layer = a;
   }
+}
+
+// Index of the first segment of `conn` routed on the lift pair, or -1.
+int LiftPairSegmentIndex(const ConnRoute& conn, int h_layer, int v_layer) {
+  for (size_t i = 0; i < conn.segments.size(); ++i) {
+    const int layer = conn.segments[i].layer;
+    if (layer == h_layer || layer == v_layer) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 }  // namespace
@@ -119,35 +136,77 @@ std::vector<NetId> KeyNetsOf(const Netlist& nl) {
   return nets;
 }
 
+bool ApplyEcoDetour(ConnRoute& conn, const Tech& tech, int h_layer,
+                    int v_layer) {
+  const int idx = LiftPairSegmentIndex(conn, h_layer, v_layer);
+  if (idx < 0) return false;
+
+  // Detour: shift the lift-pair segment sideways by six routing pitches,
+  // reconnecting its original endpoints with two jog segments on the
+  // *other* lift-pair metal plus a via at each end. (Copy fields first: the
+  // push_backs below invalidate references into the segment vector.)
+  Segment& seg = conn.segments[idx];
+  const int seg_layer = seg.layer;
+  const double jog = tech.Metal(seg_layer).pitch_um * 6.0;
+  const Point ja = seg.a;
+  const Point jb = seg.b;
+  if (ja == jb) return false;  // degenerate: nothing to shift
+  // Layer direction, not geometry, decides the shift axis: a segment on the
+  // pair's horizontal metal jogs vertically and vice versa, so the jogs land
+  // on the correctly-oriented partner metal.
+  const bool seg_horizontal = seg_layer == h_layer;
+  const int jog_layer = seg_horizontal ? v_layer : h_layer;
+  if (seg_horizontal) {
+    seg.a.y += jog;
+    seg.b.y += jog;
+    conn.segments.push_back(Segment{jog_layer, ja, Point{ja.x, ja.y + jog}});
+    conn.segments.push_back(Segment{jog_layer, Point{jb.x, jb.y + jog}, jb});
+  } else {
+    seg.a.x += jog;
+    seg.b.x += jog;
+    conn.segments.push_back(Segment{jog_layer, ja, Point{ja.x + jog, ja.y}});
+    conn.segments.push_back(Segment{jog_layer, Point{jb.x + jog, jb.y}, jb});
+  }
+  conn.vias.push_back(ViaStack{ja, std::min(jog_layer, seg_layer),
+                               std::max(jog_layer, seg_layer)});
+  conn.vias.push_back(ViaStack{jb, std::min(jog_layer, seg_layer),
+                               std::max(jog_layer, seg_layer)});
+  return true;
+}
+
 void RouteDesign(Layout& layout, const RouterOptions& options) {
   const Netlist& nl = *layout.netlist;
-  Rng rng(options.seed);
 
   std::vector<uint8_t> is_key_net(nl.NumNets(), 0);
   if (!options.route_key_nets_as_regular) {
     for (NetId n : KeyNetsOf(nl)) is_key_net[n] = 1;
   }
 
-  for (NetId n = 0; n < nl.NumNets(); ++n) {
-    NetRoute& route = layout.routes[n];
-    route = NetRoute{};
-    const Net& net = nl.net(n);
-    if (net.driver == kNullId || net.sinks.empty()) continue;
-    if (!layout.placed[net.driver]) continue;
-    if (is_key_net[n]) continue;  // lifted separately
+  // Nets are independent: each writes only its own layout.routes[n] and
+  // draws only from its own (seed, kRouteNet, n) stream.
+  exec::ParallelFor(nl.NumNets(), kNetGrain, [&](size_t lo, size_t hi) {
+    for (NetId n = static_cast<NetId>(lo); n < hi; ++n) {
+      NetRoute& route = layout.routes[n];
+      route = NetRoute{};
+      const Net& net = nl.net(n);
+      if (net.driver == kNullId || net.sinks.empty()) continue;
+      if (!layout.placed[net.driver]) continue;
+      if (is_key_net[n]) continue;  // lifted separately
 
-    const Point src = layout.PinOf(net.driver);
-    int h_layer = 2;
-    int v_layer = 3;
-    LayerPairForSpan(layout.tech, options, layout.NetHpwl(n), rng, &h_layer,
-                     &v_layer);
-    for (const Pin& p : net.sinks) {
-      if (!layout.placed[p.gate]) continue;
-      route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate), h_layer,
-                                       v_layer, rng.NextBool()));
+      exec::StreamRng rng(options.seed, exec::StreamDomain::kRouteNet, n);
+      const Point src = layout.PinOf(net.driver);
+      int h_layer;
+      int v_layer;
+      LayerPairForSpan(layout.tech, options, layout.NetHpwl(n), rng, &h_layer,
+                       &v_layer);
+      for (const Pin& p : net.sinks) {
+        if (!layout.placed[p.gate]) continue;
+        route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate),
+                                         h_layer, v_layer, rng.NextBool()));
+      }
+      route.routed = true;
     }
-    route.routed = true;
-  }
+  });
 }
 
 void LiftNetsAbove(Layout& layout, std::span<const NetId> nets,
@@ -155,24 +214,27 @@ void LiftNetsAbove(Layout& layout, std::span<const NetId> nets,
   const Netlist& nl = *layout.netlist;
   const Tech& tech = layout.tech;
   assert(lift_layer + 1 <= tech.NumLayers());
-  Rng rng(seed);
   const int h_layer =
       tech.IsHorizontal(lift_layer) ? lift_layer : lift_layer + 1;
   const int v_layer =
       tech.IsHorizontal(lift_layer) ? lift_layer + 1 : lift_layer;
-  for (NetId n : nets) {
-    NetRoute& route = layout.routes[n];
-    route = NetRoute{};
-    const Net& net = nl.net(n);
-    if (net.driver == kNullId || !layout.placed[net.driver]) continue;
-    const Point src = layout.PinOf(net.driver);
-    for (const Pin& p : net.sinks) {
-      if (!layout.placed[p.gate]) continue;
-      route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate), h_layer,
-                                       v_layer, rng.NextBool()));
+  exec::ParallelFor(nets.size(), kNetGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const NetId n = nets[i];
+      NetRoute& route = layout.routes[n];
+      route = NetRoute{};
+      const Net& net = nl.net(n);
+      if (net.driver == kNullId || !layout.placed[net.driver]) continue;
+      exec::StreamRng rng(seed, exec::StreamDomain::kLiftNet, n);
+      const Point src = layout.PinOf(net.driver);
+      for (const Pin& p : net.sinks) {
+        if (!layout.placed[p.gate]) continue;
+        route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate),
+                                         h_layer, v_layer, rng.NextBool()));
+      }
+      route.routed = true;
     }
-    route.routed = true;
-  }
+  });
 }
 
 LiftStats LiftKeyNets(Layout& layout, Netlist& mutable_netlist,
@@ -181,7 +243,6 @@ LiftStats LiftKeyNets(Layout& layout, Netlist& mutable_netlist,
   const Netlist& nl = mutable_netlist;
   const Tech& tech = layout.tech;
   assert(lift_layer + 1 <= tech.NumLayers());
-  Rng rng(seed);
   LiftStats stats;
 
   const int h_layer =
@@ -193,22 +254,35 @@ LiftStats LiftKeyNets(Layout& layout, Netlist& mutable_netlist,
   std::vector<uint8_t> is_key_net(nl.NumNets(), 0);
   for (NetId n : key_nets) is_key_net[n] = 1;
 
-  for (NetId n : key_nets) {
-    NetRoute& route = layout.routes[n];
-    route = NetRoute{};
-    const Net& net = nl.net(n);
-    if (!layout.placed[net.driver]) continue;
-    const Point src = layout.PinOf(net.driver);
-    for (const Pin& p : net.sinks) {
-      // Whole connection on the lift pair. The endpoint via stacks
-      // (M1 -> lift pair) are exactly the paper's stacked vias on the TIE
-      // output pin and the key-gate input pin.
-      route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate), h_layer,
-                                       v_layer, rng.NextBool()));
-      stats.stacked_vias += 2;
+  // Lift every key-net concurrently (per-net routes + per-net streams), then
+  // fold the per-net stats serially in key-net order so the floating-point
+  // wirelength sum is bit-identical at any thread count.
+  std::vector<size_t> vias_of(key_nets.size(), 0);
+  std::vector<double> length_of(key_nets.size(), 0.0);
+  exec::ParallelFor(key_nets.size(), kNetGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const NetId n = key_nets[i];
+      NetRoute& route = layout.routes[n];
+      route = NetRoute{};
+      const Net& net = nl.net(n);
+      if (!layout.placed[net.driver]) continue;
+      exec::StreamRng rng(seed, exec::StreamDomain::kLiftNet, n);
+      const Point src = layout.PinOf(net.driver);
+      for (const Pin& p : net.sinks) {
+        // Whole connection on the lift pair. The endpoint via stacks
+        // (M1 -> lift pair) are exactly the paper's stacked vias on the TIE
+        // output pin and the key-gate input pin.
+        route.conns.push_back(MakeLRoute(p, src, layout.PinOf(p.gate),
+                                         h_layer, v_layer, rng.NextBool()));
+        vias_of[i] += 2;
+      }
+      route.routed = true;
+      length_of[i] = route.TotalLength();
     }
-    route.routed = true;
-    stats.lifted_wirelength_um += route.TotalLength();
+  });
+  for (size_t i = 0; i < key_nets.size(); ++i) {
+    stats.stacked_vias += vias_of[i];
+    stats.lifted_wirelength_um += length_of[i];
   }
   stats.key_nets_lifted = key_nets.size();
 
@@ -227,71 +301,72 @@ LiftStats LiftKeyNets(Layout& layout, Netlist& mutable_netlist,
           : std::min(1.0, stats.lifted_wirelength_um * 48.0 /
                               track_capacity_um);
 
-  for (NetId n = 0; n < nl.NumNets(); ++n) {
-    NetRoute& route = layout.routes[n];
-    if (!route.routed || is_key_net[n]) continue;
-    for (ConnRoute& conn : route.conns) {
-      bool on_lift_pair = false;
-      for (const Segment& s : conn.segments) {
-        if (s.layer == h_layer || s.layer == v_layer) {
-          on_lift_pair = true;
-          break;
+  // Two-phase detour. Mark: every net draws from its own (seed, kEcoDetour,
+  // n) stream, one Bernoulli per connection touching the lift pair, and
+  // records which connections detour. Apply: the marked connections get the
+  // geometry edit. Both phases are per-net independent; the split keeps the
+  // draws (which define the result) apart from the edits.
+  std::vector<std::vector<uint32_t>> marked(nl.NumNets());
+  exec::ParallelFor(nl.NumNets(), kNetGrain, [&](size_t lo, size_t hi) {
+    for (NetId n = static_cast<NetId>(lo); n < hi; ++n) {
+      const NetRoute& route = layout.routes[n];
+      if (!route.routed || is_key_net[n]) continue;
+      exec::StreamRng rng(seed, exec::StreamDomain::kEcoDetour, n);
+      for (uint32_t c = 0; c < route.conns.size(); ++c) {
+        if (LiftPairSegmentIndex(route.conns[c], h_layer, v_layer) < 0) {
+          continue;
         }
+        if (rng.NextBernoulli(demand_fraction)) marked[n].push_back(c);
       }
-      if (!on_lift_pair || conn.segments.empty()) continue;
-      if (!rng.NextBernoulli(demand_fraction)) continue;
-
-      // Detour: shift the first segment sideways by two pitches, adding two
-      // jog segments and two vias. (Copy fields first: the push_backs below
-      // invalidate references into the segment vector.)
-      const int seg_layer = conn.segments.front().layer;
-      const double jog = tech.Metal(seg_layer).pitch_um * 6.0;
-      const Point ja = conn.segments.front().a;
-      const Point jb = conn.segments.front().b;
-      const bool seg_horizontal = ja.y == jb.y;
-      const int jog_layer = seg_horizontal ? v_layer : h_layer;
-      if (seg_horizontal) {
-        conn.segments.front().a.y += jog;
-        conn.segments.front().b.y += jog;
-        conn.segments.push_back(
-            Segment{jog_layer, ja, Point{ja.x, ja.y + jog}});
-        conn.segments.push_back(
-            Segment{jog_layer, Point{jb.x, jb.y + jog}, jb});
-      } else {
-        conn.segments.front().a.x += jog;
-        conn.segments.front().b.x += jog;
-        conn.segments.push_back(
-            Segment{jog_layer, ja, Point{ja.x + jog, ja.y}});
-        conn.segments.push_back(
-            Segment{jog_layer, Point{jb.x + jog, jb.y}, jb});
-      }
-      conn.vias.push_back(ViaStack{ja, std::min(jog_layer, seg_layer),
-                                   std::max(jog_layer, seg_layer)});
-      conn.vias.push_back(ViaStack{jb, std::min(jog_layer, seg_layer),
-                                   std::max(jog_layer, seg_layer)});
-      ++stats.regular_nets_detoured;
     }
+  });
+  exec::ParallelFor(nl.NumNets(), kNetGrain, [&](size_t lo, size_t hi) {
+    for (NetId n = static_cast<NetId>(lo); n < hi; ++n) {
+      for (uint32_t c : marked[n]) {
+        ApplyEcoDetour(layout.routes[n].conns[c], tech, h_layer, v_layer);
+      }
+    }
+  });
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    stats.regular_nets_detoured += marked[n].size();
   }
 
   // Driver upsizing: after the detours, any regular driver whose wire +
   // pin load exceeds its max drivable load is bumped one drive step
   // (X1 -> X2 -> X4) — the paper's "upscaling of drivers ... to meet
-  // timing (applies only to regular nets, not key-nets)".
-  for (NetId n = 0; n < nl.NumNets(); ++n) {
-    if (!layout.routes[n].routed || is_key_net[n]) continue;
-    const Net& net = nl.net(n);
-    if (net.driver == kNullId) continue;
-    Gate& driver = mutable_netlist.gate(net.driver);
-    if (!IsPhysicalOp(driver.op) || IsTieLikeOp(driver)) continue;
-    double load_ff = layout.NetWireCapFf(n);
-    for (const Pin& p : net.sinks) {
-      const Gate& sink = nl.gate(p.gate);
-      if (IsPhysicalOp(sink.op)) load_ff += CellFor(sink).input_cap_ff;
-    }
-    while (driver.drive < 4 && load_ff > CellFor(driver).max_load_ff) {
+  // timing (applies only to regular nets, not key-nets)". Upsizing a gate
+  // raises its input capacitance, which adds load to the nets feeding it,
+  // so the mark/apply rounds iterate to a fixpoint; marks are computed
+  // against the state at the start of the round, which makes each round —
+  // unlike a single in-order sweep — independent of net order.
+  std::vector<uint8_t> bump(nl.NumNets(), 0);
+  for (;;) {
+    exec::ParallelFor(nl.NumNets(), kNetGrain, [&](size_t lo, size_t hi) {
+      for (NetId n = static_cast<NetId>(lo); n < hi; ++n) {
+        bump[n] = 0;
+        if (!layout.routes[n].routed || is_key_net[n]) continue;
+        const Net& net = nl.net(n);
+        if (net.driver == kNullId) continue;
+        const Gate& driver = nl.gate(net.driver);
+        if (!IsPhysicalOp(driver.op) || IsTieLikeOp(driver)) continue;
+        if (driver.drive >= 4) continue;
+        double load_ff = layout.NetWireCapFf(n);
+        for (const Pin& p : net.sinks) {
+          const Gate& sink = nl.gate(p.gate);
+          if (IsPhysicalOp(sink.op)) load_ff += CellFor(sink).input_cap_ff;
+        }
+        if (load_ff > CellFor(driver).max_load_ff) bump[n] = 1;
+      }
+    });
+    size_t bumped = 0;
+    for (NetId n = 0; n < nl.NumNets(); ++n) {
+      if (!bump[n]) continue;
+      Gate& driver = mutable_netlist.gate(nl.net(n).driver);
       driver.drive = driver.drive == 1 ? 2 : 4;
-      ++stats.drivers_upsized;
+      ++bumped;
     }
+    stats.drivers_upsized += bumped;
+    if (bumped == 0) break;
   }
   return stats;
 }

@@ -14,6 +14,12 @@
 // nets that share the lift layers detour around the key-net corridors
 // (added wirelength and vias -> power), and drivers that then miss their
 // load limit are upsized (area/power).
+//
+// Every routing pass is per-net independent: randomness comes from
+// counter-based streams keyed by net id (exec/stream_rng.hpp), never from a
+// shared sequential Rng, and each net writes only its own NetRoute — so the
+// passes run as ParallelFor sweeps over the net space with bit-identical
+// results at any thread count (the library-wide determinism contract).
 #pragma once
 
 #include <cstdint>
@@ -57,6 +63,15 @@ struct LiftStats {
 // same object the layout references.
 LiftStats LiftKeyNets(Layout& layout, Netlist& mutable_netlist,
                       int lift_layer, uint64_t seed);
+
+// Detours the first segment of `conn` routed on the (h_layer, v_layer) lift
+// pair: the segment shifts sideways by six routing pitches and its original
+// endpoints are reconnected through two jogs on the pair's other metal plus
+// a via at each end. Returns false — leaving `conn` untouched — when no
+// segment of the connection is on the pair. Exposed for tests; LiftKeyNets
+// applies it to the connections its congestion model marks.
+bool ApplyEcoDetour(ConnRoute& conn, const Tech& tech, int h_layer,
+                    int v_layer);
 
 // Re-routes the given nets entirely on the (lift_layer, lift_layer+1) pair
 // with stacked vias on their pins — the mechanism behind concerted wire

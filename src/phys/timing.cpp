@@ -18,12 +18,17 @@ TimingReport RunSta(const Layout& layout) {
       // Primary inputs and constant sources launch at t = 0.
       continue;
     }
+    // A gate can lose its output net through netlist surgery (morphing,
+    // partially-detached editing state); with no net to annotate there is
+    // nothing to time — and nl.net(kNullId) / net_arrival_ps[kNullId] would
+    // both be out-of-bounds accesses.
+    const NetId out = gate.out;
+    if (out == kNullId) continue;
     double input_arrival = 0.0;
     for (NetId n : gate.fanins) {
       input_arrival = std::max(input_arrival, report.net_arrival_ps[n]);
     }
     const LibCell& cell = CellFor(gate);
-    const NetId out = gate.out;
     double wire_cap = 0.0;
     double wire_res = 0.0;
     if (out < layout.routes.size() && layout.routes[out].routed) {
@@ -42,8 +47,11 @@ TimingReport RunSta(const Layout& layout) {
   }
 
   for (GateId g : nl.outputs()) {
-    report.critical_path_ps = std::max(
-        report.critical_path_ps, report.net_arrival_ps[nl.gate(g).fanins[0]]);
+    // Driver-less outputs (fanin detached by editing) observe nothing.
+    const Gate& po = nl.gate(g);
+    if (po.fanins.empty() || po.fanins[0] == kNullId) continue;
+    report.critical_path_ps =
+        std::max(report.critical_path_ps, report.net_arrival_ps[po.fanins[0]]);
   }
   return report;
 }

@@ -142,7 +142,8 @@ std::string CampaignRecord::ToJson(bool include_timings) const {
     std::string times = "{\"lock_s\":" + CanonicalDouble(lock_s) +
                         ",\"place_s\":" + CanonicalDouble(place_s) +
                         ",\"route_s\":" + CanonicalDouble(route_s) +
-                        ",\"lift_s\":" + CanonicalDouble(lift_s) + "}";
+                        ",\"lift_s\":" + CanonicalDouble(lift_s) +
+                        ",\"analyze_s\":" + CanonicalDouble(analyze_s) + "}";
     AppendKv(&out, "times", times, &first);
     AppendKv(&out, "elapsed_s", CanonicalDouble(elapsed_s), &first);
   }
@@ -209,6 +210,7 @@ std::optional<CampaignRecord> CampaignRecord::FromJson(
     r.place_s = times->GetNumber("place_s", 0.0);
     r.route_s = times->GetNumber("route_s", 0.0);
     r.lift_s = times->GetNumber("lift_s", 0.0);
+    r.analyze_s = times->GetNumber("analyze_s", 0.0);
   }
   r.elapsed_s = v.GetNumber("elapsed_s", 0.0);
   return r;

@@ -44,8 +44,10 @@ namespace splitlock::store {
 // Version of the on-disk record layout AND of every CLI/bench JSON
 // emitter's envelope ("schema_version" field). Bump on any incompatible
 // change; old records then read as misses and old shard tables refuse to
-// merge with new ones.
-inline constexpr int kResultSchemaVersion = 1;
+// merge with new ones. v2: portable in-repo RNG draws + per-net/per-move
+// stream restructure changed every seed-dependent result, and the stage
+// timings gained analyze_s — v1 records are unreproducible by v2 binaries.
+inline constexpr int kResultSchemaVersion = 2;
 
 // Canonical double formatting for record JSON: round-trip exact (%.17g),
 // so re-serializing a parsed record is bit-identical.
@@ -117,6 +119,7 @@ struct CampaignRecord {
   double place_s = 0.0;
   double route_s = 0.0;
   double lift_s = 0.0;
+  double analyze_s = 0.0;  // STA + toggle-rate + power estimation
   double elapsed_s = 0.0;
 
   // One JSON object. Canonical form omits every timing field and is

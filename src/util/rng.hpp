@@ -2,6 +2,11 @@
 //
 // Every randomized algorithm in the library takes an explicit seed (or an
 // Rng&) so experiments are reproducible run-to-run and machine-to-machine.
+// The draw shapes are implemented in-repo (Lemire-style multiply-shift for
+// bounded ints, a fixed 53-bit mantissa fill for doubles) rather than via
+// std::uniform_*_distribution, whose output is implementation-defined —
+// stdlib-dependent draws would silently break the machine-to-machine
+// promise and the cross-process shard/merge bit-identity contract.
 #pragma once
 
 #include <cstdint>
@@ -11,26 +16,32 @@
 
 namespace splitlock {
 
-// Thin wrapper over std::mt19937_64 with the handful of draw shapes the
-// library needs. Copyable so callers can fork independent streams.
+// Thin wrapper over std::mt19937_64 (whose raw output IS specified by the
+// standard) with the handful of draw shapes the library needs. Copyable so
+// callers can fork independent streams.
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
-  // Uniform integer in [0, bound). bound must be > 0.
+  // Uniform integer in [0, bound). bound must be > 0. Lemire multiply-shift:
+  // draws feed Monte-Carlo estimates, not cryptography, so the rejection
+  // step is omitted.
   uint64_t NextUint(uint64_t bound) {
-    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(engine_()) * bound) >> 64);
   }
 
   // Uniform integer in [lo, hi] inclusive.
   int64_t NextInt(int64_t lo, int64_t hi) {
-    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    const uint64_t width =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    // width == 0 means the full 64-bit range: every word is in range.
+    return width == 0 ? static_cast<int64_t>(engine_())
+                      : lo + static_cast<int64_t>(NextUint(width));
   }
 
-  // Uniform double in [0, 1).
-  double NextDouble() {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-  }
+  // Uniform double in [0, 1): the top 53 bits of one word scaled by 2^-53.
+  double NextDouble() { return (engine_() >> 11) * 0x1.0p-53; }
 
   bool NextBool() { return (engine_() & 1u) != 0; }
 

@@ -83,9 +83,11 @@ TEST(ShardTable, ParseRejectsBadInput) {
   EXPECT_THROW(ShardTable::Parse("not json"), std::runtime_error);
   EXPECT_THROW(ShardTable::Parse("{}"), std::runtime_error);
   std::string wrong_version = SmallTable().ToJson();
-  const size_t pos = wrong_version.find("\"schema_version\":1");
+  const std::string needle =
+      "\"schema_version\":" + std::to_string(store::kResultSchemaVersion);
+  const size_t pos = wrong_version.find(needle);
   ASSERT_NE(pos, std::string::npos);
-  wrong_version.replace(pos, 18, "\"schema_version\":9");
+  wrong_version.replace(pos, needle.size(), "\"schema_version\":0");
   EXPECT_THROW(ShardTable::Parse(wrong_version), std::runtime_error);
 }
 

@@ -202,7 +202,8 @@ TEST_F(StoreTest, SchemaVersionMismatchReadsAsMiss) {
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   in.close();
-  const std::string needle = "\"schema_version\":1";
+  const std::string needle =
+      "\"schema_version\":" + std::to_string(kResultSchemaVersion);
   const size_t pos = text.find(needle);
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, needle.size(), "\"schema_version\":0");
