@@ -11,6 +11,12 @@
 //    constant inputs (full netlist walk, twice per round like the SAT
 //    attack's two key hypotheses) vs IncrementalDipEncoder (one constant
 //    simulation + two key-cone walks).
+//  * Multi-word fault sweeps — W independent one-word event sweeps
+//    (LoadRandomPatterns + DetectMask) vs one W-word sweep
+//    (LoadPatternsWide + DetectMasks) over the same stimulus.
+//  * Wide-DIP rounds — RunSatAttack at dips_per_round 1 vs 4 on the
+//    EPIC-locked circuit; records wall time and the mean/max DipOracle
+//    batch width (capped at sat_max_gates — larger circuits log a skip).
 //
 // Every timed pair is also cross-checked (masks / output literals must be
 // bit-identical) and mismatch counts land in the record. The JSON record
@@ -31,6 +37,7 @@
 
 #include "atpg/fault.hpp"
 #include "atpg/fault_sim.hpp"
+#include "attack/sat_attack.hpp"
 #include "circuits/suites.hpp"
 #include "lock/epic.hpp"
 #include "sat/solver.hpp"
@@ -62,12 +69,29 @@ struct KernelRecord {
   double dip_full_s = 0;
   double dip_incremental_s = 0;
   size_t dip_mismatches = 0;
+  size_t wide_width = 0;
+  double sweep_narrow_s = 0;  // wide_width separate one-word event sweeps
+  double sweep_wide_s = 0;    // one wide_width-word DetectMasks sweep
+  size_t wide_mismatches = 0;
+  bool sat_ran = false;
+  bool sat_single_finished = false;
+  bool sat_multi_finished = false;
+  double sat_single_s = 0;       // RunSatAttack, dips_per_round = 1
+  double sat_multi_s = 0;        // RunSatAttack, dips_per_round = 4
+  size_t sat_dips_single = 0;
+  size_t sat_dips_multi = 0;
+  double dip_batch_mean = 0;     // mean DipOracle batch of the multi run
+  size_t dip_batch_max = 0;
+  size_t sat_mismatches = 0;     // key-equivalence cross-check failures
 
   double DetectSpeedup() const {
     return detect_event_s > 0 ? detect_full_s / detect_event_s : 0;
   }
   double DipSpeedup() const {
     return dip_incremental_s > 0 ? dip_full_s / dip_incremental_s : 0;
+  }
+  double WideSpeedup() const {
+    return sweep_wide_s > 0 ? sweep_narrow_s / sweep_wide_s : 0;
   }
 };
 
@@ -77,6 +101,15 @@ struct BenchConfig {
   size_t words = 4;
   size_t dip_rounds = 6;
   size_t key_bits = 32;
+  size_t wide_width = atpg::kMaxSweepWords;
+  size_t wide_groups = 4;       // timed wide-sweep repetitions
+  size_t sat_max_gates = 4000;  // wide-DIP attack runs only below this
+  size_t sat_max_dips = 64;
+  // Cumulative master-solver conflict ceiling per attack. SAT-hard
+  // instances (c6288's multiplier cones, notably) would otherwise run
+  // unbounded; a capped attack reports finished=false identically in both
+  // variants, and batch widths are still measured on the rounds that ran.
+  uint64_t sat_conflict_budget = 300000;
 };
 
 // The sweep shape mirrors ShardedFaultSweep's inner tile: per word, load
@@ -91,6 +124,34 @@ double TimeDetectSweep(atpg::FaultSimulator& sim,
     sim.LoadRandomPatterns(rng);
     for (const atpg::Fault& f : faults) {
       *acc ^= full ? sim.DetectMaskFull(f) : sim.DetectMask(f);
+    }
+  }
+  return Now() - start;
+}
+
+// Old-vs-new multi-word sweep over the same stimulus: both variants draw
+// `groups * width` words from a fresh Rng(seed) in matching order, so the
+// per-word masks are comparable lane for lane.
+double TimeWideSweep(atpg::FaultSimulator& sim,
+                     const std::vector<atpg::Fault>& faults, size_t groups,
+                     size_t width, uint64_t seed, bool wide, uint64_t* acc) {
+  Rng rng(seed);
+  const double start = Now();
+  if (wide) {
+    std::vector<uint64_t> masks(width);
+    for (size_t g = 0; g < groups; ++g) {
+      sim.LoadRandomPatternsWide(rng, width);
+      for (const atpg::Fault& f : faults) {
+        sim.DetectMasks(f, masks);
+        for (const uint64_t m : masks) *acc ^= m;
+      }
+    }
+  } else {
+    for (size_t g = 0; g < groups; ++g) {
+      for (size_t w = 0; w < width; ++w) {
+        sim.LoadRandomPatterns(rng);
+        for (const atpg::Fault& f : faults) *acc ^= sim.DetectMask(f);
+      }
     }
   }
   return Now() - start;
@@ -125,6 +186,31 @@ KernelRecord RunCircuit(const std::string& name, Netlist nl,
       TimeDetectSweep(sim, faults, cfg.words, 2026, /*full=*/true, &acc);
   rec.detect_event_s =
       TimeDetectSweep(sim, faults, cfg.words, 2026, /*full=*/false, &acc);
+
+  // --- Multi-word sweep: W one-word sweeps vs one W-word sweep ---
+  rec.wide_width = cfg.wide_width;
+  {
+    // Cross-check outside the timed region: per-word masks bit-identical.
+    Rng wide_rng(77), narrow_rng(77);
+    sim.LoadRandomPatternsWide(wide_rng, cfg.wide_width);
+    std::vector<std::vector<uint64_t>> expected(
+        faults.size(), std::vector<uint64_t>(cfg.wide_width));
+    for (size_t w = 0; w < cfg.wide_width; ++w) {
+      sim.LoadRandomPatterns(narrow_rng);
+      for (size_t f = 0; f < faults.size(); ++f) {
+        expected[f][w] = sim.DetectMask(faults[f]);
+      }
+    }
+    std::vector<uint64_t> masks(cfg.wide_width);
+    for (size_t f = 0; f < faults.size(); ++f) {
+      sim.DetectMasks(faults[f], masks);
+      if (masks != expected[f]) ++rec.wide_mismatches;
+    }
+  }
+  rec.sweep_narrow_s = TimeWideSweep(sim, faults, cfg.wide_groups,
+                                     cfg.wide_width, 2027, false, &acc);
+  rec.sweep_wide_s = TimeWideSweep(sim, faults, cfg.wide_groups,
+                                   cfg.wide_width, 2027, true, &acc);
 
   // --- DIP-round encoding: full EncodeNetlist vs incremental ---
   Rng lock_rng(4242);
@@ -176,12 +262,51 @@ KernelRecord RunCircuit(const std::string& name, Netlist nl,
     if (full_outs[i] != inc_outs[i]) ++rec.dip_mismatches;
   }
 
+  // --- Wide-DIP rounds: dips_per_round 1 vs 4 against the same oracle ---
+  if (nl.NumLogicGates() <= cfg.sat_max_gates) {
+    rec.sat_ran = true;
+    attack::SatAttackOptions single, multi;
+    single.dips_per_round = 1;
+    multi.dips_per_round = 4;
+    single.max_dips = multi.max_dips = cfg.sat_max_dips;
+    single.conflict_limit_per_solve = multi.conflict_limit_per_solve =
+        cfg.sat_conflict_budget;
+    double start = Now();
+    const attack::SatAttackResult rs = attack::RunSatAttack(lk, nl, single);
+    rec.sat_single_s = Now() - start;
+    start = Now();
+    const attack::SatAttackResult rm = attack::RunSatAttack(lk, nl, multi);
+    rec.sat_multi_s = Now() - start;
+    rec.sat_dips_single = rs.dips_used;
+    rec.sat_dips_multi = rm.dips_used;
+    rec.dip_batch_mean = rm.telemetry.MeanDipBatch();
+    for (const attack::SatRoundTelemetry& round : rm.telemetry.rounds) {
+      rec.dip_batch_max = std::max(rec.dip_batch_max, round.dip_batch);
+    }
+    rec.sat_single_finished = rs.finished;
+    rec.sat_multi_finished = rm.finished;
+    // Key-equivalence cross-check: every finished attack must have
+    // recovered a functionally correct key (each verified independently
+    // against the oracle). The finished flags may legitimately differ
+    // under the shared conflict budget — wide rounds spend extra
+    // conflicts on the intra-round re-solves.
+    if (rs.finished && !(rs.key_found && rs.functionally_correct)) {
+      ++rec.sat_mismatches;
+    }
+    if (rm.finished && !(rm.key_found && rm.functionally_correct)) {
+      ++rec.sat_mismatches;
+    }
+  } else {
+    std::printf("%s: wide-DIP attack skipped (%zu gates > cap %zu)\n",
+                name.c_str(), nl.NumLogicGates(), cfg.sat_max_gates);
+  }
+
   if (acc == 0x5a5a5a5a5a5a5a5aULL) std::printf("(unlikely)\n");  // keep acc
   return rec;
 }
 
 std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
-  char buf[512];
+  char buf[1024];
   std::string json = "{\"bench\":\"bench_kernels\",\"schema_version\":" +
                      std::to_string(store::kResultSchemaVersion) + ",";
   std::snprintf(buf, sizeof(buf), "\"smoke\":%s,\"repro_scale\":%.3f,",
@@ -197,11 +322,25 @@ std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
         "\"detect_speedup\":%.2f,\"detect_mismatches\":%zu,"
         "\"dip_rounds\":%zu,\"key_bits\":%zu,\"cone_gates\":%zu,"
         "\"dip_full_s\":%.6f,\"dip_incremental_s\":%.6f,"
-        "\"dip_speedup\":%.2f,\"dip_mismatches\":%zu}",
+        "\"dip_speedup\":%.2f,\"dip_mismatches\":%zu,"
+        "\"wide_width\":%zu,\"sweep_narrow_s\":%.6f,\"sweep_wide_s\":%.6f,"
+        "\"wide_speedup\":%.2f,\"wide_mismatches\":%zu,"
+        "\"sat_ran\":%s,\"sat_single_finished\":%s,"
+        "\"sat_multi_finished\":%s,"
+        "\"sat_single_s\":%.6f,\"sat_multi_s\":%.6f,"
+        "\"sat_dips_single\":%zu,\"sat_dips_multi\":%zu,"
+        "\"dip_batch_mean\":%.3f,\"dip_batch_max\":%zu,"
+        "\"sat_mismatches\":%zu}",
         i == 0 ? "" : ",", r.name.c_str(), r.gates, r.faults, r.words,
         r.detect_full_s, r.detect_event_s, r.DetectSpeedup(),
         r.detect_mismatches, r.dip_rounds, r.key_bits, r.cone_gates,
-        r.dip_full_s, r.dip_incremental_s, r.DipSpeedup(), r.dip_mismatches);
+        r.dip_full_s, r.dip_incremental_s, r.DipSpeedup(), r.dip_mismatches,
+        r.wide_width, r.sweep_narrow_s, r.sweep_wide_s, r.WideSpeedup(),
+        r.wide_mismatches, r.sat_ran ? "true" : "false",
+        r.sat_single_finished ? "true" : "false",
+        r.sat_multi_finished ? "true" : "false", r.sat_single_s,
+        r.sat_multi_s, r.sat_dips_single, r.sat_dips_multi, r.dip_batch_mean,
+        r.dip_batch_max, r.sat_mismatches);
     json += buf;
   }
   json += "]}";
@@ -224,6 +363,7 @@ int Main(int argc, char** argv) {
     cfg.words = 1;
     cfg.dip_rounds = 2;
     cfg.key_bits = 16;
+    cfg.wide_groups = 1;
   }
 
   std::vector<KernelRecord> records;
@@ -239,23 +379,26 @@ int Main(int argc, char** argv) {
   }
 
   std::printf(
-      "%-6s | %8s | %7s | %12s | %13s | %8s | %12s | %12s | %8s\n", "name",
-      "gates", "faults", "detect full", "detect event", "speedup",
-      "dip full", "dip incr", "speedup");
+      "%-6s | %8s | %7s | %12s | %13s | %8s | %12s | %12s | %8s | %8s | "
+      "%6s\n",
+      "name", "gates", "faults", "detect full", "detect event", "speedup",
+      "dip full", "dip incr", "speedup", "W8 sweep", "batchw");
   for (auto& [name, nl] : circuits) {
     KernelRecord rec = RunCircuit(name, std::move(nl), cfg);
     std::printf(
         "%-6s | %8zu | %7zu | %10.4fs | %11.4fs | %7.1fx | %10.4fs | "
-        "%10.4fs | %7.1fx\n",
+        "%10.4fs | %7.1fx | %7.1fx | %6.2f\n",
         rec.name.c_str(), rec.gates, rec.faults, rec.detect_full_s,
         rec.detect_event_s, rec.DetectSpeedup(), rec.dip_full_s,
-        rec.dip_incremental_s, rec.DipSpeedup());
+        rec.dip_incremental_s, rec.DipSpeedup(), rec.WideSpeedup(),
+        rec.dip_batch_mean);
     records.push_back(std::move(rec));
   }
 
   size_t mismatches = 0;
   for (const KernelRecord& r : records) {
-    mismatches += r.detect_mismatches + r.dip_mismatches;
+    mismatches += r.detect_mismatches + r.dip_mismatches +
+                  r.wide_mismatches + r.sat_mismatches;
   }
   std::printf("cross-check: %zu mismatches %s\n", mismatches,
               mismatches == 0 ? "(all kernels bit-identical)"

@@ -9,6 +9,65 @@
 #include "util/lanes.hpp"
 
 namespace splitlock::atpg {
+namespace {
+
+// W-word gate evaluation over contiguous SoA rows, with tight specialized
+// loops for the common shapes (mirrors Simulator::RunBatch): each case is a
+// straight-line pass over `width` contiguous words that vectorizes.
+inline void EvalGateWide(GateOp op, const uint64_t* const* fan, size_t n,
+                         size_t width, uint64_t* out) {
+  if (n == 2) {
+    const uint64_t* a = fan[0];
+    const uint64_t* b = fan[1];
+    switch (op) {
+      case GateOp::kAnd:
+        for (size_t w = 0; w < width; ++w) out[w] = a[w] & b[w];
+        return;
+      case GateOp::kNand:
+        for (size_t w = 0; w < width; ++w) out[w] = ~(a[w] & b[w]);
+        return;
+      case GateOp::kOr:
+        for (size_t w = 0; w < width; ++w) out[w] = a[w] | b[w];
+        return;
+      case GateOp::kNor:
+        for (size_t w = 0; w < width; ++w) out[w] = ~(a[w] | b[w]);
+        return;
+      case GateOp::kXor:
+        for (size_t w = 0; w < width; ++w) out[w] = a[w] ^ b[w];
+        return;
+      case GateOp::kXnor:
+        for (size_t w = 0; w < width; ++w) out[w] = ~(a[w] ^ b[w]);
+        return;
+      default:
+        break;
+    }
+  } else if (n == 1) {
+    const uint64_t* a = fan[0];
+    if (op == GateOp::kBuf) {
+      for (size_t w = 0; w < width; ++w) out[w] = a[w];
+      return;
+    }
+    if (op == GateOp::kInv) {
+      for (size_t w = 0; w < width; ++w) out[w] = ~a[w];
+      return;
+    }
+  } else if (n == 3 && op == GateOp::kMux) {
+    const uint64_t* s = fan[0];
+    const uint64_t* a = fan[1];
+    const uint64_t* b = fan[2];
+    for (size_t w = 0; w < width; ++w) {
+      out[w] = (s[w] & b[w]) | (~s[w] & a[w]);
+    }
+    return;
+  }
+  uint64_t fanin_words[kMaxFanin];
+  for (size_t w = 0; w < width; ++w) {
+    for (size_t i = 0; i < n; ++i) fanin_words[i] = fan[i][w];
+    out[w] = EvalGateWord(op, std::span<const uint64_t>(fanin_words, n));
+  }
+}
+
+}  // namespace
 
 SimTopology::SimTopology(const Netlist& nl)
     : topo(nl.TopoOrder()),
@@ -55,6 +114,26 @@ SimTopology::SimTopology(const Netlist& nl)
       }
     }
   }
+
+  // Flattened evaluation records, one per gate (dead/source/output gates
+  // get empty fanin ranges; they are never scheduled, so the uniform layout
+  // costs nothing and keeps indexing branch-free).
+  const GateId num_gates = static_cast<GateId>(nl.NumGates());
+  eval_offset.assign(num_gates + 1, 0);
+  eval_out.assign(num_gates, kNullId);
+  eval_op.assign(num_gates, GateOp::kDeleted);
+  for (GateId g = 0; g < num_gates; ++g) {
+    const Gate& gate = nl.gate(g);
+    eval_offset[g + 1] =
+        eval_offset[g] + static_cast<uint32_t>(gate.fanins.size());
+    eval_out[g] = gate.out;
+    eval_op[g] = gate.op;
+  }
+  eval_fanins.resize(eval_offset.back());
+  for (GateId g = 0; g < num_gates; ++g) {
+    std::copy(nl.gate(g).fanins.begin(), nl.gate(g).fanins.end(),
+              eval_fanins.begin() + eval_offset[g]);
+  }
 }
 
 FaultSimulator::FaultSimulator(const Netlist& nl)
@@ -64,7 +143,10 @@ FaultSimulator::FaultSimulator(const Netlist& nl)
       good_(nl.NumNets(), 0),
       faulty_(nl.NumNets(), 0),
       touched_flag_(nl.NumNets(), 0),
+      changed_wide_(nl.NumNets(), 0),
+      wide_row_(nl.NumNets(), nullptr),
       scheduled_(nl.NumGates(), 0),
+      sched_live_(nl.NumGates(), 0),
       buckets_(topo_->num_levels) {}
 
 FaultSimulator::FaultSimulator(const Netlist& nl, const SimTopology& topo)
@@ -73,7 +155,10 @@ FaultSimulator::FaultSimulator(const Netlist& nl, const SimTopology& topo)
       good_(nl.NumNets(), 0),
       faulty_(nl.NumNets(), 0),
       touched_flag_(nl.NumNets(), 0),
+      changed_wide_(nl.NumNets(), 0),
+      wide_row_(nl.NumNets(), nullptr),
       scheduled_(nl.NumGates(), 0),
+      sched_live_(nl.NumGates(), 0),
       buckets_(topo.num_levels) {}
 
 void FaultSimulator::LoadPatterns(std::span<const uint64_t> pi_words) {
@@ -106,8 +191,65 @@ void FaultSimulator::LoadRandomPatterns(Rng& rng) {
   LoadPatterns(words);
 }
 
+void FaultSimulator::LoadPatternsWide(std::span<const uint64_t> pi_words,
+                                      size_t width) {
+  assert(width > 0 && width <= kMaxSweepWords);
+  assert(pi_words.size() == nl_->inputs().size() * width);
+  wide_width_ = width;
+  // Zero-fill covers undriven nets and key inputs (which default to 0,
+  // matching LoadPatterns); every other net is overwritten by the sweep.
+  good_wide_.assign(nl_->NumNets() * width, 0);
+  const std::vector<GateId>& pis = nl_->inputs();
+  for (size_t i = 0; i < pis.size(); ++i) {
+    std::copy_n(pi_words.data() + i * width, width,
+                good_wide_.begin() + nl_->gate(pis[i]).out * width);
+  }
+  const uint64_t* fan[kMaxFanin];
+  for (GateId g : topo_->topo) {
+    const Gate& gate = nl_->gate(g);
+    switch (gate.op) {
+      case GateOp::kInput:
+      case GateOp::kKeyIn:
+      case GateOp::kOutput:
+      case GateOp::kDeleted:
+        continue;
+      default:
+        break;
+    }
+    const size_t n = gate.fanins.size();
+    for (size_t k = 0; k < n; ++k) {
+      fan[k] = good_wide_.data() + gate.fanins[k] * width;
+    }
+    EvalGateWide(gate.op, fan, n, width,
+                 good_wide_.data() + gate.out * width);
+  }
+  // Pre-size the overlay arena for the worst case (every net touched) so
+  // rows handed out during a sweep never move, and point every net's
+  // current row at its good row; DetectMasks retargets touched nets to
+  // arena rows and restores them on its reset walk.
+  wide_arena_.resize(nl_->NumNets() * width);
+  const NetId num_nets = static_cast<NetId>(nl_->NumNets());
+  for (NetId n = 0; n < num_nets; ++n) {
+    wide_row_[n] = good_wide_.data() + n * width;
+  }
+}
+
+void FaultSimulator::LoadRandomPatternsWide(Rng& rng, size_t width) {
+  // (word, input) draw order: word w's stimulus is exactly what the w-th
+  // consecutive LoadRandomPatterns call would have drawn, so wide sweeps
+  // are directly comparable to per-word sweeps from the same Rng state.
+  std::vector<uint64_t> words(nl_->inputs().size() * width);
+  for (size_t w = 0; w < width; ++w) {
+    for (size_t i = 0; i < nl_->inputs().size(); ++i) {
+      words[i * width + w] = rng.NextWord();
+    }
+  }
+  LoadPatternsWide(words, width);
+}
+
 uint64_t FaultSimulator::DetectMask(const Fault& fault) const {
   last_evals_ = 0;
+  last_visits_ = 0;
   // Lanes where the good value already equals the stuck value cannot be
   // affected; if that is all lanes, nothing propagates.
   const uint64_t forced = fault.stuck_at ? ~0ULL : 0ULL;
@@ -156,6 +298,7 @@ uint64_t FaultSimulator::DetectMask(const Fault& fault) const {
       const uint64_t v =
           EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
       ++last_evals_;
+      ++last_visits_;
       const NetId out = gate.out;
       assert(out != fault.net && "fault-site driver cannot be re-triggered");
       // Level order finalizes every fanin before its sinks run, so each
@@ -180,8 +323,172 @@ uint64_t FaultSimulator::DetectMask(const Fault& fault) const {
   return detect;
 }
 
+void FaultSimulator::DetectMasks(const Fault& fault,
+                                 std::span<uint64_t> out) const {
+  const size_t width = wide_width_;
+  assert(width > 0 && "LoadPatternsWide must run before DetectMasks");
+  assert(out.size() == width);
+  last_evals_ = 0;
+  last_visits_ = 0;
+  std::fill(out.begin(), out.end(), 0);
+  const uint64_t forced = fault.stuck_at ? ~0ULL : 0ULL;
+  const uint64_t* site = good_wide_.data() + fault.net * width;
+  // Per-word excitation: only words where the good value differs from the
+  // stuck value can propagate anything.
+  uint32_t site_changed = 0;
+  for (size_t w = 0; w < width; ++w) {
+    if (site[w] != forced) site_changed |= 1u << w;
+  }
+  if (site_changed == 0) return;
+
+  const SimTopology& st = *topo_;
+  const uint32_t all_words = (1u << width) - 1;
+  size_t pending = 0;
+  uint32_t min_level = st.num_levels;
+  uint32_t max_level = 0;
+  // Words whose detect mask is already all-ones: they retire from the
+  // sweep (dropped from every gate's live set), generalizing the
+  // single-word all-lanes early exit per word.
+  uint32_t done_words = 0;
+
+  // Hands out the overlay row for a net about to be touched — the next
+  // dense arena slot, in touch order — and retargets the net's current-row
+  // pointer at it (LoadPatternsWide pre-sized the arena, so rows are
+  // stable).
+  const auto claim_row = [&](NetId net) -> uint64_t* {
+    uint64_t* row = wide_arena_.data() + touched_.size() * width;
+    wide_row_[net] = row;
+    return row;
+  };
+
+  // The caller has claimed and written the net's overlay row and
+  // changed_wide_ mask; record detection on the changed words and schedule
+  // evaluatable sinks.
+  const auto touch = [&](NetId net) {
+    touched_flag_[net] = 1;
+    touched_.push_back(net);
+    if (st.net_observed[net]) {
+      const uint64_t* fv = wide_row_[net];
+      const uint64_t* gv = good_wide_.data() + net * width;
+      for (uint32_t m = changed_wide_[net]; m != 0; m &= m - 1) {
+        const size_t w = static_cast<size_t>(std::countr_zero(m));
+        if (out[w] == ~0ULL) continue;
+        out[w] |= gv[w] ^ fv[w];
+        if (out[w] == ~0ULL) done_words |= 1u << w;
+      }
+    }
+    // A net is touched at most once per sweep (single driver, gates pop at
+    // most once), so `mask` is its final changed-word set: sched_live_[g]
+    // accumulates the union of touched-fanin masks and doubles as the
+    // scheduled flag (level order guarantees no touch after g pops).
+    const uint8_t mask = changed_wide_[net];
+    for (uint32_t i = st.fanout_offset[net]; i < st.fanout_offset[net + 1];
+         ++i) {
+      const GateId g = st.fanout_gates[i];
+      uint8_t& live_acc = sched_live_[g];
+      if (live_acc == 0) {
+        const uint32_t lvl = st.level[g];
+        buckets_[lvl].push_back(g);
+        ++pending;
+        min_level = std::min(min_level, lvl);
+        max_level = std::max(max_level, lvl);
+      }
+      live_acc |= mask;
+    }
+  };
+  std::fill_n(claim_row(fault.net), width, forced);
+  changed_wide_[fault.net] = static_cast<uint8_t>(site_changed);
+  touch(fault.net);
+
+  const uint64_t* fan[kMaxFanin];
+  uint64_t vals[kMaxSweepWords];
+  for (uint32_t lvl = min_level; pending > 0 && lvl <= max_level; ++lvl) {
+    std::vector<GateId>& bucket = buckets_[lvl];
+    // Scheduled sinks always land at strictly higher levels, so this
+    // bucket cannot grow while it is being drained.
+    for (size_t bi = 0; bi < bucket.size(); ++bi) {
+      const GateId g = bucket[bi];
+      // Live words: words in which some fanin still differs from the good
+      // machine (accumulated into sched_live_ as those fanins were
+      // touched), minus retired (all-ones) words. Only these can change
+      // the gate's output; a dead pop decides from this hot array alone,
+      // never dereferencing the cold Gate record. GateEvals counts live
+      // words — the per-word cones a narrow sweep would have walked —
+      // though evaluation below always runs all `width` words: one column
+      // of a row shares its cache line with the whole row, so the
+      // contiguous vectorized pass costs no more memory traffic than a
+      // gather and skips the per-column dispatch.
+      const uint32_t live = sched_live_[g] & ~done_words;
+      sched_live_[g] = 0;
+      --pending;
+      if (live == 0) continue;
+      last_evals_ += static_cast<size_t>(std::popcount(live));
+      ++last_visits_;
+      const uint32_t fo = st.eval_offset[g];
+      const size_t n = st.eval_offset[g + 1] - fo;
+      const NetId* fanins = st.eval_fanins.data() + fo;
+      if (bi + 1 < bucket.size() &&
+          (sched_live_[bucket[bi + 1]] & ~done_words) != 0) {
+        // The wide rows (one cache line each at width 8) blow the narrow
+        // sweep's L1-resident working set; pull the next live bucket
+        // entry's side-input and output rows in while this gate evaluates.
+        const GateId ng = bucket[bi + 1];
+        const uint32_t nfo = st.eval_offset[ng];
+        const uint32_t nfe = st.eval_offset[ng + 1];
+        for (uint32_t k = nfo; k < nfe; ++k) {
+          __builtin_prefetch(good_wide_.data() + st.eval_fanins[k] * width);
+        }
+        __builtin_prefetch(good_wide_.data() + st.eval_out[ng] * width);
+      }
+      const NetId onet = st.eval_out[g];
+      assert(onet != fault.net && "fault-site driver cannot be re-triggered");
+      const uint64_t* gv = good_wide_.data() + onet * width;
+      for (size_t k = 0; k < n; ++k) fan[k] = wide_row_[fanins[k]];
+      // Evaluate into a stack row: most visits are frontier deaths, and
+      // keeping those out of the arena avoids dirtying a cache line per
+      // dead-end gate.
+      EvalGateWide(st.eval_op[g], fan, n, width, vals);
+      // Words outside `live` evaluate to their good value (their fanins all
+      // equal the good machine there), except retired words, whose columns
+      // may carry stale values — masking them out of out_changed keeps any
+      // stale column inert: it is never read for detection (only changed
+      // words are) and never counted live downstream.
+      uint32_t out_changed = 0;
+      for (size_t w = 0; w < width; ++w) {
+        if (vals[w] != gv[w]) out_changed |= 1u << w;
+      }
+      out_changed &= ~done_words;
+      // The frontier dies at this gate (for every live word) iff the output
+      // matches the good machine in every live word.
+      if (out_changed != 0) {
+        std::copy_n(vals, width, claim_row(onet));
+        changed_wide_[onet] = static_cast<uint8_t>(out_changed);
+        touch(onet);
+      }
+    }
+    bucket.clear();
+    if (done_words == all_words && pending > 0) {
+      // Every lane of every word already detects; further propagation
+      // cannot change any mask. Unschedule the remaining frontier.
+      for (uint32_t l = lvl + 1; l <= max_level; ++l) {
+        for (GateId g : buckets_[l]) sched_live_[g] = 0;
+        buckets_[l].clear();
+      }
+      pending = 0;
+    }
+  }
+
+  for (NetId n : touched_) {
+    touched_flag_[n] = 0;
+    changed_wide_[n] = 0;
+    wide_row_[n] = good_wide_.data() + n * width;
+  }
+  touched_.clear();
+}
+
 uint64_t FaultSimulator::DetectMaskFull(const Fault& fault) const {
   last_evals_ = 0;
+  last_visits_ = 0;
   const uint64_t forced = fault.stuck_at ? ~0ULL : 0ULL;
   const uint64_t excited = good_[fault.net] ^ forced;
   if (excited == 0) return 0;
@@ -211,6 +518,7 @@ uint64_t FaultSimulator::DetectMaskFull(const Fault& fault) const {
     faulty_[gate.out] =
         EvalGateWord(gate.op, std::span<const uint64_t>(fanin_words, n));
     ++last_evals_;
+    ++last_visits_;
   }
 
   uint64_t detect = 0;
@@ -229,13 +537,18 @@ namespace {
 constexpr size_t kFaultsPerBlock = 256;
 constexpr size_t kWordsPerShard = 16;
 
-// Runs `visit(fault_index, detect_mask)` for every (fault, word) cell of
-// the grid, sharded across the pool. Stimulus for word w comes from the
-// counter-based stream (seed, kStimulus, w); the final word's dead lanes
-// are masked out. `fold` merges one tile's partial into the global
-// accumulator and is invoked sequentially in tile order. All tiles share
-// one read-only SimTopology so per-tile setup is O(nets), not O(circuit
-// traversal).
+// Runs `tile(partial, sim, f_lo, f_hi, lane_masks)` for every (fault-block,
+// word-group) cell of the grid, sharded across the pool. Words are loaded
+// in groups of up to kMaxSweepWords via LoadPatternsWide, so one
+// DetectMasks event sweep per fault covers the whole group; stimulus for
+// word w still comes from the counter-based stream (seed, kStimulus, w), so
+// the patterns — and therefore the per-word masks, and therefore the folded
+// results — are bit-identical to the historical one-word-at-a-time sweep.
+// lane_masks[i] masks the dead lanes of group word i (only the final word
+// of the sweep can have any). `fold` merges one tile's partial into the
+// global accumulator and is invoked sequentially in tile order. All tiles
+// share one read-only SimTopology so per-tile setup is O(nets), not
+// O(circuit traversal).
 template <typename Partial, typename Tile, typename Fold>
 void ShardedFaultSweep(const Netlist& nl, const std::vector<Fault>& faults,
                        uint64_t patterns, uint64_t seed, const Tile& tile,
@@ -258,13 +571,26 @@ void ShardedFaultSweep(const Netlist& nl, const std::vector<Fault>& faults,
       const uint64_t w_hi =
           std::min<uint64_t>(words, w_lo + kWordsPerShard);
       FaultSimulator sim(nl, topo);
-      std::vector<uint64_t> stimulus(nl.inputs().size());
+      const size_t num_pis = nl.inputs().size();
+      std::vector<uint64_t> stimulus(num_pis * kMaxSweepWords);
+      uint64_t lane_masks[kMaxSweepWords];
       Partial& partial = partials[t];
-      for (uint64_t w = w_lo; w < w_hi; ++w) {
-        exec::StreamRng rng(seed, exec::StreamDomain::kStimulus, w);
-        for (uint64_t& word : stimulus) word = rng.NextWord();
-        sim.LoadPatterns(stimulus);
-        tile(partial, sim, f_lo, f_hi, LaneMaskForWord(w, words, patterns));
+      for (uint64_t base = w_lo; base < w_hi; base += kMaxSweepWords) {
+        const size_t group =
+            static_cast<size_t>(std::min<uint64_t>(kMaxSweepWords,
+                                                   w_hi - base));
+        for (size_t w = 0; w < group; ++w) {
+          exec::StreamRng rng(seed, exec::StreamDomain::kStimulus, base + w);
+          for (size_t i = 0; i < num_pis; ++i) {
+            stimulus[i * group + w] = rng.NextWord();
+          }
+          lane_masks[w] = LaneMaskForWord(base + w, words, patterns);
+        }
+        sim.LoadPatternsWide(
+            std::span<const uint64_t>(stimulus.data(), num_pis * group),
+            group);
+        tile(partial, sim, f_lo, f_hi,
+             std::span<const uint64_t>(lane_masks, group));
       }
     }
   });
@@ -284,12 +610,18 @@ CoverageResult FaultCoverage(const Netlist& nl,
   ShardedFaultSweep<std::vector<uint8_t>>(
       nl, faults, patterns, seed,
       [&](std::vector<uint8_t>& partial, const FaultSimulator& sim,
-          size_t f_lo, size_t f_hi, uint64_t lane_mask) {
+          size_t f_lo, size_t f_hi, std::span<const uint64_t> lane_masks) {
         if (partial.empty()) partial.assign(f_hi - f_lo, 0);
+        uint64_t masks[kMaxSweepWords];
+        const std::span<uint64_t> out(masks, lane_masks.size());
         for (size_t f = f_lo; f < f_hi; ++f) {
           if (partial[f - f_lo]) continue;  // already detected in this tile
-          if ((sim.DetectMask(faults[f]) & lane_mask) != 0) {
-            partial[f - f_lo] = 1;
+          sim.DetectMasks(faults[f], out);
+          for (size_t w = 0; w < lane_masks.size(); ++w) {
+            if ((masks[w] & lane_masks[w]) != 0) {
+              partial[f - f_lo] = 1;
+              break;
+            }
           }
         }
       },
@@ -311,11 +643,17 @@ std::vector<uint64_t> DetectionProfile(const Netlist& nl,
   ShardedFaultSweep<std::vector<uint64_t>>(
       nl, faults, patterns, seed,
       [&](std::vector<uint64_t>& partial, const FaultSimulator& sim,
-          size_t f_lo, size_t f_hi, uint64_t lane_mask) {
+          size_t f_lo, size_t f_hi, std::span<const uint64_t> lane_masks) {
         if (partial.empty()) partial.assign(f_hi - f_lo, 0);
+        uint64_t masks[kMaxSweepWords];
+        const std::span<uint64_t> out(masks, lane_masks.size());
         for (size_t f = f_lo; f < f_hi; ++f) {
-          partial[f - f_lo] +=
-              std::popcount(sim.DetectMask(faults[f]) & lane_mask);
+          sim.DetectMasks(faults[f], out);
+          uint64_t count = 0;
+          for (size_t w = 0; w < lane_masks.size(); ++w) {
+            count += std::popcount(masks[w] & lane_masks[w]);
+          }
+          partial[f - f_lo] += count;
         }
       },
       [&](const std::vector<uint64_t>& partial, size_t f_lo) {

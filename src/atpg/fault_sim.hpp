@@ -16,14 +16,25 @@
 // full-resimulation implementation for equivalence tests and benchmarks;
 // both return bit-identical masks.
 //
+// DetectMasks is the *multi-word* form: LoadPatternsWide loads W words per
+// primary input into structure-of-arrays good-value buffers (the W words of
+// one net are contiguous), and a single levelized event sweep — one
+// topology walk, one touched-list reset, one scheduling pass — then covers
+// all W x 64 patterns for a fault at once. A gate joins the frontier when
+// ANY of its W output words differs from the good machine, and the W-word
+// inner loops are straight-line passes over contiguous memory that
+// vectorize. Output is bit-identical to W independent DetectMask calls on
+// the same per-word stimulus. W is capped at kMaxSweepWords.
+//
 // The aggregate sweeps (FaultCoverage, DetectionProfile) shard BOTH the
 // fault list and the pattern words across the exec thread pool: the
-// (fault-block x word-shard) grid is tiled, each tile simulates its words
-// from counter-based stimulus streams keyed by (seed, word index) and
-// OR/sum-folds per-fault results. All tiles share one immutable SimTopology
-// (levels + fanout CSR), built once per sweep. Final results are
-// bit-identical for a given seed at any thread count (and for any tile
-// shape).
+// (fault-block x word-shard) grid is tiled, each tile loads its words in
+// groups of up to kMaxSweepWords from counter-based stimulus streams keyed
+// by (seed, word index) and issues ONE multi-word DetectMasks sweep per
+// fault per group, OR/sum-folding per-fault results. All tiles share one
+// immutable SimTopology (levels + fanout CSR), built once per sweep. Final
+// results are bit-identical for a given seed at any thread count (and for
+// any tile shape or sweep width), because per-word detect masks are.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +47,12 @@
 #include "util/rng.hpp"
 
 namespace splitlock::atpg {
+
+// Cap on the word width of one multi-word event sweep. Beyond ~8 words the
+// live-word gate-evaluation cost dominates the once-per-sweep scheduling
+// cost the batching amortizes, and the per-net changed-word masks would no
+// longer fit a byte; sweeps over more words issue multiple groups.
+inline constexpr size_t kMaxSweepWords = 8;
 
 // Immutable levelized-fanout side table for event-driven simulation:
 // topological order/positions, per-gate topological levels, and a CSR
@@ -53,6 +70,16 @@ struct SimTopology {
   std::vector<uint32_t> fanout_offset; // net -> CSR range [n, n+1)
   std::vector<GateId> fanout_gates;    // evaluatable sink gates per net
   std::vector<uint8_t> net_observed;   // net feeds at least one primary output
+
+  // Flattened gate-evaluation records: everything a sweep needs to evaluate
+  // gate g — op, output net, fanin nets — in three contiguous arrays. The
+  // Gate records proper scatter each gate's fanin list (and name) across
+  // the heap, costing a dependent cache miss per visited gate; the wide
+  // sweep reads only this table on its hot path.
+  std::vector<uint32_t> eval_offset;  // gate -> eval_fanins range [g, g+1)
+  std::vector<NetId> eval_fanins;     // concatenated fanin nets
+  std::vector<NetId> eval_out;        // gate -> output net
+  std::vector<GateOp> eval_op;        // gate -> op
 };
 
 class FaultSimulator {
@@ -72,22 +99,61 @@ class FaultSimulator {
   // Random-pattern convenience wrapper for LoadPatterns.
   void LoadRandomPatterns(Rng& rng);
 
+  // Loads `width` 64-pattern words per primary input (SoA layout:
+  // pi_words[i * width + w] is word w of input i, 1 <= width <=
+  // kMaxSweepWords) and simulates the good machine for all words in one
+  // sweep. Enables DetectMasks; independent of the single-word state
+  // loaded by LoadPatterns.
+  void LoadPatternsWide(std::span<const uint64_t> pi_words, size_t width);
+
+  // Random-pattern convenience wrapper for LoadPatternsWide; words are
+  // drawn in (word, input) order.
+  void LoadRandomPatternsWide(Rng& rng, size_t width);
+
+  size_t sweep_width() const { return wide_width_; }
+
   // Lane mask of patterns (within the loaded word) detecting `fault` at any
   // primary output. Event-driven: O(active fanout cone) per call.
   uint64_t DetectMask(const Fault& fault) const;
+
+  // Multi-word DetectMask: out[w] is the detect mask of word w of the
+  // LoadPatternsWide stimulus (out.size() must equal sweep_width()). One
+  // event-driven sweep covers all words: scheduling is shared (a gate runs
+  // when ANY word's difference reaches it) but evaluation is per-word
+  // sparse — each gate evaluates only the words whose difference is still
+  // alive at it, and words whose detect mask is already all-ones retire
+  // from the sweep. Bit-identical to sweep_width() independent DetectMask
+  // calls.
+  void DetectMasks(const Fault& fault, std::span<uint64_t> out) const;
 
   // Reference implementation of DetectMask: full linear re-simulation of
   // the topological suffix after the fault site. Bit-identical to
   // DetectMask; kept for equivalence tests and old-vs-new benchmarks.
   uint64_t DetectMaskFull(const Fault& fault) const;
 
-  // Number of gate evaluations performed by the most recent DetectMask /
-  // DetectMaskFull call (0 when the fault was not excited). Instrumentation
-  // for the early-exit tests and the kernel benchmarks.
-  size_t LastDetectGateEvals() const { return last_evals_; }
+  // Total gate evaluations performed by the most recent DetectMask /
+  // DetectMasks / DetectMaskFull call, counted per evaluated (gate, word)
+  // cell: a gate in a W-word DetectMasks sweep contributes one per word
+  // still live at it (words whose difference died earlier, were never
+  // excited, or whose detect mask is already all-ones are skipped). 0 when
+  // the fault was not excited in any word. Instrumentation for the
+  // early-exit tests and the kernel benchmarks; well-defined for
+  // multi-word sweeps (the whole sweep's total, not any single word's).
+  size_t GateEvals() const { return last_evals_; }
+
+  // Scheduled-gate pops with at least one live word in the most recent
+  // DetectMask / DetectMasks call (narrow sweeps visit once per eval).
+  // Together with GateEvals this exposes the sharing factor of a wide
+  // sweep: evals / visits = average live words per visited gate.
+  size_t GateVisits() const { return last_visits_; }
 
   // Good-machine value of a net for the loaded word.
   uint64_t GoodValue(NetId net) const { return good_[net]; }
+
+  // Good-machine value of a net for word `w` of the wide-loaded stimulus.
+  uint64_t GoodValueWide(NetId net, size_t w) const {
+    return good_wide_[net * wide_width_ + w];
+  }
 
   const Netlist& netlist() const { return *nl_; }
 
@@ -97,15 +163,39 @@ class FaultSimulator {
   const SimTopology* topo_;
   std::vector<uint64_t> good_;
 
-  // Event-driven scratch. faulty_[n] is meaningful only while
+  // Multi-word good machine (SoA: good_wide_[net * wide_width_ + w]);
+  // sized by LoadPatternsWide. The faulty overlay for DetectMasks lives in
+  // wide_arena_: touched nets' rows are handed out in touch order, so one
+  // sweep's overlay is a dense cache-resident block no matter how large
+  // the netlist is. wide_row_[n] always points at net n's current row —
+  // its good row, or its arena row while touched (LoadPatternsWide sizes
+  // the arena for the worst case up front, so rows never move) — making
+  // the per-fanin row lookup on the sweep's hot path one load, no branch.
+  size_t wide_width_ = 0;
+  std::vector<uint64_t> good_wide_;
+  mutable std::vector<uint64_t> wide_arena_;
+  mutable std::vector<const uint64_t*> wide_row_;
+
+  // Event-driven scratch, shared by the single- and multi-word sweeps
+  // (calls never interleave). faulty_[n] is meaningful only while
   // touched_flag_[n] is set; DetectMask resets flags by walking touched_,
   // so stale faulty_ values are never observed.
   mutable std::vector<uint64_t> faulty_;
   mutable std::vector<uint8_t> touched_flag_;      // per net
+  // Per-net bitmask of words (bit w = word w) whose wide-overlay value
+  // differs from the good machine; meaningful only while touched_flag_ is
+  // set, reset with it. Lets DetectMasks evaluate only live words.
+  mutable std::vector<uint8_t> changed_wide_;      // per net
   mutable std::vector<NetId> touched_;             // reset list
-  mutable std::vector<uint8_t> scheduled_;         // per gate
+  mutable std::vector<uint8_t> scheduled_;         // per gate (narrow sweep)
+  // Wide-sweep scheduling state: nonzero iff the gate sits in a level
+  // bucket, and the value is the union of its touched fanins' changed-word
+  // masks so far. Lets a popped gate decide its live words from this hot
+  // array alone — dead pops never read the (cold) Gate record.
+  mutable std::vector<uint8_t> sched_live_;        // per gate (wide sweep)
   mutable std::vector<std::vector<GateId>> buckets_;  // per level
   mutable size_t last_evals_ = 0;
+  mutable size_t last_visits_ = 0;
 };
 
 struct CoverageResult {

@@ -207,6 +207,8 @@ std::string AttackReport::ToJson() const {
       AppendJsonNumber(&out, round.oracle_ms);
       out += ",\"winner\":";
       AppendJsonNumber(&out, static_cast<double>(round.winner));
+      out += ",\"dip_batch\":";
+      AppendJsonNumber(&out, static_cast<double>(round.dip_batch));
       out += '}';
     }
     out += ']';

@@ -123,6 +123,7 @@ struct RoundStat {
   double encode_ms = 0.0;
   double oracle_ms = 0.0;
   int winner = -1;  // portfolio config index; -1 = sequential solve
+  uint64_t dip_batch = 0;  // DIPs oracle-queried this round (batch width)
 };
 
 // The uniform attack result. Engines fill the sections that apply to their

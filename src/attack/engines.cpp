@@ -29,6 +29,7 @@ void FillSatReport(const SatAttackResult& result, AttackReport* report) {
       static_cast<double>(result.telemetry.total_conflicts);
   report->counters["rounds"] =
       static_cast<double>(result.telemetry.rounds.size());
+  report->counters["mean_dip_batch"] = result.telemetry.MeanDipBatch();
   double solve_ms = 0.0;
   double encode_ms = 0.0;
   double oracle_ms = 0.0;
@@ -48,8 +49,8 @@ void FillSatReport(const SatAttackResult& result, AttackReport* report) {
   report->rounds.reserve(rounds);
   for (const SatRoundTelemetry& round : result.telemetry.rounds) {
     report->rounds.push_back({round.conflicts, round.solve_ms,
-                              round.encode_ms, round.oracle_ms,
-                              round.winner});
+                              round.encode_ms, round.oracle_ms, round.winner,
+                              round.dip_batch});
   }
 }
 
@@ -188,6 +189,8 @@ class SatEngine : public Engine {
     SatAttackOptions options;
     options.seed = config.GetUint("seed", ctx.seed);
     options.max_dips = config.GetUint("max_dips", options.max_dips);
+    options.dips_per_round =
+        config.GetUint("dips_per_round", options.dips_per_round);
     options.conflict_limit_per_solve =
         config.GetUint("conflicts", ctx.conflict_budget);
     options.verify_patterns =
@@ -249,6 +252,8 @@ class PortfolioSatAttackEngine : public Engine {
     options.seed = config.GetUint("seed", ctx.seed);
     options.num_configs = config.GetUint("configs", options.num_configs);
     options.max_dips = config.GetUint("max_dips", options.max_dips);
+    options.dips_per_round =
+        config.GetUint("dips_per_round", options.dips_per_round);
     options.conflicts_per_round =
         config.GetUint("conflicts_per_round", options.conflicts_per_round);
     // The context's conflict budget is a *cumulative* ceiling — the same

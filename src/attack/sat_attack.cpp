@@ -75,14 +75,38 @@ class MiterAttack {
     return dip;
   }
 
-  // Queries the oracle on `dip` and constrains both key hypotheses to agree
-  // with it. Fills the telemetry entry's oracle/encode timings.
-  void ConstrainWithOracle(std::span<const uint8_t> dip,
+  // Permanently excludes input assignment `dip` from the miter search so a
+  // re-solve must surface a *different* DIP. The clause is guarded by the
+  // miter selector (¬diff_any ∨ ¬(x = dip)): the final key-extraction
+  // solve, which runs without the diff_any assumption, is unaffected, and
+  // once the oracle constraints for `dip` are added both key hypotheses
+  // agree on it, making the clause implied — so keeping it forever is
+  // sound.
+  void BlockDip(std::span<const uint8_t> dip) {
+    std::vector<sat::Lit> clause;
+    clause.reserve(num_pis_ + 1);
+    clause.push_back(sat::Negate(diff_any_));
+    for (size_t i = 0; i < num_pis_; ++i) {
+      clause.push_back(dip[i] ? sat::Negate(x_[i]) : x_[i]);
+    }
+    solver_.AddClause(std::move(clause));
+  }
+
+  // Queries the oracle on the round's whole DIP batch — ONE
+  // DipOracle::Flush sweep, one batch column per DIP — and constrains both
+  // key hypotheses to agree with every response. Fills the telemetry
+  // entry's oracle/encode timings and batch width.
+  void ConstrainWithOracle(std::span<const std::vector<uint8_t>> dips,
                            SatRoundTelemetry* round) {
     const Stopwatch oracle_sw;
-    const size_t query = oracle_sim_.Enqueue(dip);
+    std::vector<size_t> queries;
+    queries.reserve(dips.size());
+    for (const std::vector<uint8_t>& dip : dips) {
+      queries.push_back(oracle_sim_.Enqueue(dip));
+    }
     oracle_sim_.Flush();
     round->oracle_ms = oracle_sw.Ms();
+    round->dip_batch = dips.size();
 
     // Under constant inputs all non-key logic folds to constants; only the
     // key-dependent cone produces CNF. The two paths below emit
@@ -90,25 +114,30 @@ class MiterAttack {
     // incremental one skips the per-round full-netlist walks.
     const Stopwatch encode_sw;
     std::vector<sat::Lit> const_in;
-    if (incremental_) {
-      dip_enc_->SetDip(dip);
-    } else {
-      const_in.resize(num_pis_);
-      for (size_t i = 0; i < num_pis_; ++i) {
-        const_in[i] = dip[i] ? enc_.TrueLit() : enc_.FalseLit();
+    for (size_t d = 0; d < dips.size(); ++d) {
+      const std::vector<uint8_t>& dip = dips[d];
+      if (incremental_) {
+        dip_enc_->SetDip(dip);
+      } else {
+        const_in.resize(num_pis_);
+        for (size_t i = 0; i < num_pis_; ++i) {
+          const_in[i] = dip[i] ? enc_.TrueLit() : enc_.FalseLit();
+        }
       }
-    }
-    for (const auto& keys : {k1_, k2_}) {
-      const std::vector<sat::Lit> outs =
-          incremental_ ? dip_enc_->Encode(keys)
-                       : enc_.EncodeNetlist(locked_, const_in, keys);
-      for (size_t o = 0; o < num_pos_; ++o) {
-        const bool want = oracle_sim_.OutputBit(query, o);
-        solver_.AddUnit(want ? outs[o] : sat::Negate(outs[o]));
+      for (const auto& keys : {k1_, k2_}) {
+        const std::vector<sat::Lit> outs =
+            incremental_ ? dip_enc_->Encode(keys)
+                         : enc_.EncodeNetlist(locked_, const_in, keys);
+        for (size_t o = 0; o < num_pos_; ++o) {
+          const bool want = oracle_sim_.OutputBit(queries[d], o);
+          solver_.AddUnit(want ? outs[o] : sat::Negate(outs[o]));
+        }
       }
     }
     round->encode_ms = encode_sw.Ms();
   }
+
+  const DipOracle& oracle() const { return oracle_sim_; }
 
   // All DIPs exhausted: any key satisfying the accumulated IO constraints
   // is functionally correct. Solve once more without the miter assumption.
@@ -158,6 +187,8 @@ size_t DipOracle::Enqueue(std::span<const uint8_t> input_bits) {
 void DipOracle::Flush() {
   if (pending_.empty()) return;
   const size_t width = pending_.size();
+  ++flushes_;
+  max_batch_ = std::max(max_batch_, width);
   sim_.BeginBatch(width);
   std::vector<uint64_t> row(width);
   const std::vector<GateId>& pis = sim_.netlist().inputs();
@@ -194,7 +225,7 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
   sat::Solver& solver = miter.solver();
   const std::vector<sat::Lit> assumptions{miter.diff_any()};
 
-  for (size_t round = 0; round < options.max_dips; ++round) {
+  while (result.dips_used < options.max_dips) {
     if (options.wall_budget_s > 0.0 &&
         total_sw.Ms() >= options.wall_budget_s * 1000.0) {
       break;  // advisory wall budget blown; report as unfinished
@@ -204,22 +235,43 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
     const uint64_t conflicts_before = solver.conflicts();
     const sat::SolveResult sr =
         solver.Solve(assumptions, options.conflict_limit_per_solve);
-    tel.solve_ms = solve_sw.Ms();
-    tel.conflicts = solver.conflicts() - conflicts_before;
-    result.telemetry.rounds.push_back(tel);
     if (sr == sat::SolveResult::kUnknown) {  // budget blown
+      tel.solve_ms = solve_sw.Ms();
+      tel.conflicts = solver.conflicts() - conflicts_before;
+      result.telemetry.rounds.push_back(tel);
       result.telemetry.total_conflicts = solver.conflicts();
       result.telemetry.total_ms = total_sw.Ms();
       return result;
     }
     if (sr == sat::SolveResult::kUnsat) {
+      tel.solve_ms = solve_sw.Ms();
+      tel.conflicts = solver.conflicts() - conflicts_before;
+      result.telemetry.rounds.push_back(tel);
       result.finished = true;
       break;
     }
-    const std::vector<uint8_t> dip = miter.ExtractDip();
-    ++result.dips_used;
-    ++result.telemetry.oracle_queries;
-    miter.ConstrainWithOracle(dip, &result.telemetry.rounds.back());
+    // Multi-DIP round: keep re-solving under blocking clauses until K
+    // distinct DIPs are in hand (or the miter runs dry / the budget
+    // blows, either of which just ends the batch early — the next round's
+    // plain solve re-establishes the loop invariant).
+    const size_t batch_cap =
+        std::min(std::max<size_t>(options.dips_per_round, 1),
+                 options.max_dips - result.dips_used);
+    std::vector<std::vector<uint8_t>> dips;
+    dips.push_back(miter.ExtractDip());
+    while (dips.size() < batch_cap) {
+      miter.BlockDip(dips.back());
+      const sat::SolveResult extra =
+          solver.Solve(assumptions, options.conflict_limit_per_solve);
+      if (extra != sat::SolveResult::kSat) break;
+      dips.push_back(miter.ExtractDip());
+    }
+    tel.solve_ms = solve_sw.Ms();
+    tel.conflicts = solver.conflicts() - conflicts_before;
+    result.telemetry.rounds.push_back(tel);
+    result.dips_used += dips.size();
+    result.telemetry.oracle_queries += dips.size();
+    miter.ConstrainWithOracle(dips, &result.telemetry.rounds.back());
   }
   if (result.finished) {
     miter.ExtractKey(options.conflict_limit_per_solve, &result);
@@ -280,7 +332,8 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
     std::atomic<bool> abort{false};
   };
 
-  for (size_t round = 0; round < options.max_dips; ++round) {
+  size_t round = 0;
+  while (result.dips_used < options.max_dips) {
     if (options.total_conflict_budget > 0 &&
         master.conflicts() >= options.total_conflict_budget) {
       break;  // cumulative conflict ceiling (deterministic); unfinished
@@ -353,23 +406,46 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
         }
       }
     }
-    tel.solve_ms = solve_sw.Ms();
-    tel.conflicts = master.conflicts() - conflicts_before;
-    result.telemetry.rounds.push_back(tel);
     if (sr == sat::SolveResult::kUnknown) {  // no configuration completed
+      tel.solve_ms = solve_sw.Ms();
+      tel.conflicts = master.conflicts() - conflicts_before;
+      result.telemetry.rounds.push_back(tel);
       result.telemetry.total_conflicts = master.conflicts();
       result.telemetry.total_ms = total_sw.Ms();
       return out;
     }
     ++out.wins_per_config[static_cast<size_t>(tel.winner)];
     if (sr == sat::SolveResult::kUnsat) {
+      tel.solve_ms = solve_sw.Ms();
+      tel.conflicts = master.conflicts() - conflicts_before;
+      result.telemetry.rounds.push_back(tel);
       result.finished = true;
       break;
     }
-    const std::vector<uint8_t> dip = miter.ExtractDip();
-    ++result.dips_used;
-    ++result.telemetry.oracle_queries;
-    miter.ConstrainWithOracle(dip, &result.telemetry.rounds.back());
+    // Multi-DIP round: extra DIPs come from sequential blocking-clause
+    // re-solves on the adopted master — a serial, deterministic tail, so
+    // the batch is identical at any thread count. Each re-solve gets the
+    // usual per-round conflict allowance; a dry miter or a blown budget
+    // just ends the batch.
+    const size_t batch_cap =
+        std::min(std::max<size_t>(options.dips_per_round, 1),
+                 options.max_dips - result.dips_used);
+    std::vector<std::vector<uint8_t>> dips;
+    dips.push_back(miter.ExtractDip());
+    while (dips.size() < batch_cap) {
+      miter.BlockDip(dips.back());
+      const sat::SolveResult extra = master.Solve(
+          assumptions, master.conflicts() + options.conflicts_per_round);
+      if (extra != sat::SolveResult::kSat) break;
+      dips.push_back(miter.ExtractDip());
+    }
+    tel.solve_ms = solve_sw.Ms();
+    tel.conflicts = master.conflicts() - conflicts_before;
+    result.telemetry.rounds.push_back(tel);
+    result.dips_used += dips.size();
+    result.telemetry.oracle_queries += dips.size();
+    miter.ConstrainWithOracle(dips, &result.telemetry.rounds.back());
+    ++round;
   }
   if (result.finished) {
     // Key extraction runs on the adopted master under the baseline config.

@@ -17,20 +17,25 @@ namespace {
 // A move touches at most the active nets of two gates.
 constexpr size_t kMaxTouchedNets = 2 * (kMaxFanin + 1);
 
-// Moves per speculative batch and per parallel evaluation chunk. Batch size
+// Speculative batch-size bounds and parallel evaluation chunk. Batch size
 // has NO effect on the result (clean moves reproduce the sequential
 // decision, conflicted moves are re-evaluated in sequential order); it only
-// trades snapshot staleness against scheduling overhead. Hot temperature
-// steps accept most moves, so far-ahead speculation is wasted re-evaluation;
-// cold steps accept few, so long batches amortize scheduling — the ramp
-// below picks the batch size from the step index alone (deterministic).
-constexpr int64_t kSpeculativeBatch = 256;
+// trades snapshot staleness against scheduling overhead. High-acceptance
+// batches invalidate most far-ahead speculation (wasted re-evaluation);
+// low-acceptance batches leave the snapshot fresh, so long batches amortize
+// scheduling. Instead of guessing from the step index, the ramp below is
+// steered by the *measured* acceptance rate of each resolved batch: halve
+// on hot batches, double on cold ones. The measurement folds into the
+// deterministic per-batch state — acceptance decisions come out of the
+// serial resolution pass and are bit-identical at any thread count — so
+// the batch-size trajectory, like the placement itself, is deterministic.
+constexpr int64_t kSpeculativeMinBatch = 32;
+constexpr int64_t kSpeculativeMaxBatch = 256;
 constexpr size_t kSpeculativeGrain = 16;
-
-int64_t BatchSizeForStep(int step, int steps) {
-  constexpr int64_t kRamp[4] = {32, 64, 128, kSpeculativeBatch};
-  return kRamp[std::min(3, step * 4 / std::max(1, steps))];
-}
+// Acceptance-rate thresholds for the adaptive ramp: above kHotAcceptance
+// the batch halves, below kColdAcceptance it doubles, in between it holds.
+constexpr double kHotAcceptance = 0.5;
+constexpr double kColdAcceptance = 0.15;
 
 bool IsTieLike(const Gate& g) {
   if (g.HasFlag(kFlagTie)) return true;
@@ -391,12 +396,15 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
   // sequential computation. The outcome is therefore bit-identical to the
   // reference path above at every thread count and batch size.
   std::vector<SpeculativeMove> batch(static_cast<size_t>(
-      std::min<int64_t>(kSpeculativeBatch, moves_per_step)));
+      std::min<int64_t>(kSpeculativeMaxBatch, moves_per_step)));
   DirtyTracker dirty(nl.NumGates(), num_slots, nl.NumNets());
   uint64_t move_base = 0;
+  // Adaptive ramp state: hot early steps accept most moves and quickly
+  // drive the batch to the minimum; as the anneal cools and acceptance
+  // drops the batch grows back toward the maximum.
+  int64_t batch_moves = kSpeculativeMinBatch;
   for (int step = 0; step < steps; ++step) {
-    const int64_t batch_moves = BatchSizeForStep(step, steps);
-    for (int64_t base = 0; base < moves_per_step; base += batch_moves) {
+    for (int64_t base = 0; base < moves_per_step;) {
       const size_t bn = static_cast<size_t>(
           std::min<int64_t>(batch_moves, moves_per_step - base));
       exec::ParallelFor(bn, kSpeculativeGrain, [&](size_t lo, size_t hi) {
@@ -404,15 +412,25 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
           batch[i] = state.Propose(move_base + base + i);
         }
       });
+      size_t accepted = 0;
       for (size_t i = 0; i < bn; ++i) {
         SpeculativeMove& mv = batch[i];
         if (!dirty.IsClean(mv)) state.Revalidate(&mv);
         if (mv.viable && AnnealState::Accept(mv.delta, mv.u, temperature)) {
           state.Apply(mv);
           dirty.MarkApplied(mv);
+          ++accepted;
         }
       }
       dirty.Reset();
+      base += static_cast<int64_t>(bn);
+      const double rate =
+          static_cast<double>(accepted) / static_cast<double>(bn);
+      if (rate > kHotAcceptance) {
+        batch_moves = std::max(kSpeculativeMinBatch, batch_moves / 2);
+      } else if (rate < kColdAcceptance) {
+        batch_moves = std::min(kSpeculativeMaxBatch, batch_moves * 2);
+      }
     }
     move_base += moves_per_step;
     temperature *= cooling;

@@ -31,10 +31,12 @@ struct PlacerOptions {
   // path): each temperature step proposes chunks of moves concurrently from
   // per-move counter-based streams, evaluates them against the frozen
   // batch-entry snapshot, and a serial lowest-index-wins resolution pass
-  // adopts clean decisions and re-evaluates conflicted moves in order.
-  // Bit-identical to the sequential reference annealer (false) at any
-  // thread count — a pure performance knob, deliberately absent from
-  // core::FlowOptionsCanonical.
+  // adopts clean decisions and re-evaluates conflicted moves in order. The
+  // batch size adapts to each batch's measured acceptance rate (halve when
+  // hot, double when cold), which is itself a deterministic product of the
+  // serial resolution pass. Bit-identical to the sequential reference
+  // annealer (false) at any thread count — a pure performance knob,
+  // deliberately absent from core::FlowOptionsCanonical.
   bool parallel_moves = true;
   // Future-work mode (paper Sec. V): key inputs become I/O pads on the die
   // boundary instead of on-die TIE cells; the key is tied to fixed logic

@@ -176,19 +176,23 @@ void SweepRandomPatterns(const Netlist& nl, uint64_t patterns, uint64_t seed,
   Rng rng(seed);
   const uint64_t words = (patterns + 63) / 64;
   const std::vector<GateId>& pis = nl.inputs();
+  // One flat SoA stimulus buffer reused across batches (only the final
+  // batch can be narrower).
+  std::vector<uint64_t> rows(pis.size() * kBatchWords);
   for (uint64_t base = 0; base < words; base += kBatchWords) {
     const size_t width =
         static_cast<size_t>(std::min<uint64_t>(kBatchWords, words - base));
     sim.BeginBatch(width);
     if (!key_bits.empty()) sim.SetKeyBitsBatch(key_bits);
-    // Per-source rows, drawn in (word, input) order.
-    std::vector<std::vector<uint64_t>> rows(pis.size(),
-                                            std::vector<uint64_t>(width));
+    // Drawn in (word, input) order to match the historical sweep.
     for (size_t w = 0; w < width; ++w) {
-      for (size_t i = 0; i < pis.size(); ++i) rows[i][w] = rng.NextWord();
+      for (size_t i = 0; i < pis.size(); ++i) {
+        rows[i * width + w] = rng.NextWord();
+      }
     }
     for (size_t i = 0; i < pis.size(); ++i) {
-      sim.SetSourceBatch(pis[i], rows[i]);
+      sim.SetSourceBatch(
+          pis[i], std::span<const uint64_t>(rows.data() + i * width, width));
     }
     sim.RunBatch();
     for (NetId n = 0; n < nl.NumNets(); ++n) {

@@ -9,7 +9,9 @@
 // values of one net occupy N contiguous words, so each gate's inner loop is
 // a straight-line pass over contiguous memory that vectorizes. The parallel
 // sweeps in sim/metrics, atpg/fault_sim and attack/ shard word-batches
-// across the exec thread pool, one Simulator per shard.
+// across the exec thread pool, one Simulator per shard; attack::DipOracle
+// answers each flushed DIP batch (one batch column per query, width > 1
+// under multi-DIP SAT rounds) with one RunBatch sweep.
 #pragma once
 
 #include <cstdint>

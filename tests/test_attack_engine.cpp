@@ -306,6 +306,51 @@ TEST(PortfolioSat, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(PortfolioSat, MultiDipRoundsBitIdenticalAcrossThreadCounts) {
+  // Wide rounds extract extra DIPs serially on the deterministically
+  // adopted master, so the full determinism contract — key, DIP count,
+  // winner sequence, per-round batch widths — must hold at any pool width.
+  PoolWidthGuard guard;
+  const Netlist original = TestCircuit(12);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = 12;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+  PortfolioSatOptions popts;
+  popts.num_configs = 4;
+  popts.seed = 12;
+  popts.dips_per_round = 4;
+
+  std::vector<PortfolioSatResult> results;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    results.push_back(RunPortfolioSatAttack(locked.locked, original, popts));
+  }
+  const PortfolioSatResult& ref = results[0];
+  ASSERT_TRUE(ref.attack.key_found);
+  EXPECT_TRUE(ref.attack.functionally_correct);
+  for (size_t i = 1; i < results.size(); ++i) {
+    const PortfolioSatResult& r = results[i];
+    EXPECT_EQ(r.attack.recovered_key, ref.attack.recovered_key)
+        << "width " << i;
+    EXPECT_EQ(r.attack.dips_used, ref.attack.dips_used) << "width " << i;
+    EXPECT_EQ(r.wins_per_config, ref.wins_per_config) << "width " << i;
+    ASSERT_EQ(r.attack.telemetry.rounds.size(),
+              ref.attack.telemetry.rounds.size())
+        << "width " << i;
+    for (size_t round = 0; round < ref.attack.telemetry.rounds.size();
+         ++round) {
+      EXPECT_EQ(r.attack.telemetry.rounds[round].dip_batch,
+                ref.attack.telemetry.rounds[round].dip_batch)
+          << "width " << i << " round " << round;
+      EXPECT_EQ(r.attack.telemetry.rounds[round].winner,
+                ref.attack.telemetry.rounds[round].winner)
+          << "width " << i << " round " << round;
+    }
+  }
+}
+
 TEST(PortfolioSat, SingleConfigDegeneratesToSequentialShape) {
   const Netlist original = circuits::MakeC17();
   Rng rng(2);

@@ -4,9 +4,15 @@
 // batched DipOracle frontend.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <span>
+#include <vector>
+
 #include "atpg/fault.hpp"
 #include "atpg/fault_sim.hpp"
 #include "attack/sat_attack.hpp"
+#include "exec/stream_rng.hpp"
+#include "exec/thread_pool.hpp"
 #include "circuits/c17.hpp"
 #include "circuits/random_circuit.hpp"
 #include "lock/atpg_lock.hpp"
@@ -94,9 +100,9 @@ TEST(EventDetect, FrontierDiesBeforeOutputsEarlyExit) {
   sim.LoadPatterns(std::vector<uint64_t>{0, 0, ~0ULL});  // a=0 b=0 c=1
   const atpg::Fault f{a, true};  // a stuck-at-1: excited in every lane
   EXPECT_EQ(sim.DetectMaskFull(f), 0u);
-  const size_t full_evals = sim.LastDetectGateEvals();
+  const size_t full_evals = sim.GateEvals();
   EXPECT_EQ(sim.DetectMask(f), 0u);
-  const size_t event_evals = sim.LastDetectGateEvals();
+  const size_t event_evals = sim.GateEvals();
   EXPECT_EQ(event_evals, 1u);  // only the AND ran; frontier died there
   EXPECT_GT(full_evals, event_evals);
 }
@@ -109,7 +115,7 @@ TEST(EventDetect, UnexcitedFaultDoesNoWork) {
   atpg::FaultSimulator sim(nl);
   sim.LoadPatterns(std::vector<uint64_t>{~0ULL});
   EXPECT_EQ(sim.DetectMask(atpg::Fault{a, true}), 0u);  // a already 1
-  EXPECT_EQ(sim.LastDetectGateEvals(), 0u);
+  EXPECT_EQ(sim.GateEvals(), 0u);
 }
 
 TEST(EventDetect, OversizedGateFailsLoudly) {
@@ -120,6 +126,148 @@ TEST(EventDetect, OversizedGateFailsLoudly) {
   }
   EXPECT_THROW(nl.AddGate(GateOp::kAnd, std::span<const NetId>(ins)),
                std::invalid_argument);
+}
+
+// --- Multi-word DetectMasks -------------------------------------------------
+
+struct PoolWidthGuard {
+  ~PoolWidthGuard() { exec::ThreadPool::SetDefaultThreadCount(0); }
+};
+
+class WideDetect : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WideDetect, MatchesPerWordDetectMaskAndFull) {
+  const Netlist nl = RandomCircuit(GetParam());
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  ASSERT_FALSE(faults.empty());
+  const atpg::SimTopology topo(nl);
+  for (const size_t width : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    atpg::FaultSimulator wide(nl, topo);
+    atpg::FaultSimulator narrow(nl, topo);
+    // Same Rng state: word w of the wide load is exactly what the w-th
+    // consecutive LoadRandomPatterns call draws.
+    Rng wide_rng(GetParam() ^ (width << 8));
+    Rng narrow_rng(GetParam() ^ (width << 8));
+    wide.LoadRandomPatternsWide(wide_rng, width);
+    ASSERT_EQ(wide.sweep_width(), width);
+    std::vector<std::vector<uint64_t>> expected(
+        faults.size(), std::vector<uint64_t>(width));
+    for (size_t w = 0; w < width; ++w) {
+      narrow.LoadRandomPatterns(narrow_rng);
+      for (size_t f = 0; f < faults.size(); ++f) {
+        expected[f][w] = narrow.DetectMask(faults[f]);
+        ASSERT_EQ(narrow.DetectMaskFull(faults[f]), expected[f][w])
+            << atpg::FaultName(nl, faults[f]) << " W=" << width
+            << " word " << w;
+      }
+    }
+    std::vector<uint64_t> got(width);
+    for (size_t f = 0; f < faults.size(); ++f) {
+      wide.DetectMasks(faults[f], got);
+      ASSERT_EQ(got, expected[f])
+          << atpg::FaultName(nl, faults[f]) << " W=" << width;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideDetect, ::testing::Range<uint64_t>(1, 6));
+
+TEST(WideDetect, GateEvalsCountPerGateWordTotal) {
+  // y = (a AND b) OR c, as in FrontierDiesBeforeOutputsEarlyExit.
+  Netlist nl("wide_evals");
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId c = nl.AddInput("c");
+  const NetId x = nl.AddGate(GateOp::kAnd, {a, b});
+  const NetId y = nl.AddGate(GateOp::kOr, {x, c});
+  nl.AddOutput(y, "y");
+  atpg::FaultSimulator sim(nl);
+  const atpg::Fault f{a, true};
+  uint64_t masks[2];
+
+  // Both words: a=0 b=0 c=1 — the difference dies at the AND in every
+  // word, so the shared frontier evaluates one gate. GateEvals is the
+  // per evaluated (gate, word) total for the whole sweep: 1 gate x 2
+  // live words.
+  sim.LoadPatternsWide(std::vector<uint64_t>{0, 0, 0, 0, ~0ULL, ~0ULL}, 2);
+  sim.DetectMasks(f, std::span<uint64_t>(masks, 2));
+  EXPECT_EQ(masks[0], 0u);
+  EXPECT_EQ(masks[1], 0u);
+  EXPECT_EQ(sim.GateEvals(), 2u);
+
+  // Word 1 propagates (b=1, c=0) but word 0's difference dies at the AND:
+  // the OR is scheduled once for both words, yet only word 1 is still live
+  // there — 2 words at the AND + 1 word at the OR.
+  sim.LoadPatternsWide(std::vector<uint64_t>{0, 0, 0, ~0ULL, ~0ULL, 0}, 2);
+  sim.DetectMasks(f, std::span<uint64_t>(masks, 2));
+  EXPECT_EQ(masks[0], 0u);
+  EXPECT_EQ(masks[1], ~0ULL);
+  EXPECT_EQ(sim.GateEvals(), 3u);
+}
+
+TEST(WideDetect, UnexcitedInAllWordsDoesNoWork) {
+  Netlist nl("wide_unexcited");
+  const NetId a = nl.AddInput("a");
+  const NetId y = nl.AddGate(GateOp::kBuf, {a});
+  nl.AddOutput(y, "y");
+  atpg::FaultSimulator sim(nl);
+  sim.LoadPatternsWide(std::vector<uint64_t>{~0ULL, ~0ULL, ~0ULL}, 3);
+  uint64_t masks[3];
+  sim.DetectMasks(atpg::Fault{a, true}, std::span<uint64_t>(masks, 3));
+  EXPECT_EQ(masks[0], 0u);
+  EXPECT_EQ(masks[1], 0u);
+  EXPECT_EQ(masks[2], 0u);
+  EXPECT_EQ(sim.GateEvals(), 0u);
+}
+
+TEST(AggregateSweep, TailWordMaskAndRetilingMatchSerialReference) {
+  const Netlist nl = RandomCircuit(3, 300);
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  ASSERT_FALSE(faults.empty());
+  const uint64_t patterns = 173;  // 2 full words + a 45-lane tail word
+  const uint64_t seed = 11;
+  // Serial reference: one word at a time from the same counter-based
+  // stimulus streams the sharded sweep uses, dead tail lanes masked out.
+  const uint64_t words = (patterns + 63) / 64;
+  std::vector<uint64_t> expected(faults.size(), 0);
+  atpg::FaultSimulator sim(nl);
+  std::vector<uint64_t> stim(nl.inputs().size());
+  for (uint64_t w = 0; w < words; ++w) {
+    exec::StreamRng rng(seed, exec::StreamDomain::kStimulus, w);
+    for (uint64_t& s : stim) s = rng.NextWord();
+    sim.LoadPatterns(stim);
+    const uint64_t live = patterns - w * 64;
+    const uint64_t lane_mask = live >= 64 ? ~0ULL : (1ULL << live) - 1;
+    for (size_t f = 0; f < faults.size(); ++f) {
+      expected[f] += static_cast<uint64_t>(
+          std::popcount(sim.DetectMask(faults[f]) & lane_mask));
+    }
+  }
+  EXPECT_EQ(atpg::DetectionProfile(nl, faults, patterns, seed), expected);
+  const atpg::CoverageResult cov =
+      atpg::FaultCoverage(nl, faults, patterns, seed);
+  size_t detected = 0;
+  for (const uint64_t count : expected) detected += count > 0 ? 1 : 0;
+  EXPECT_EQ(cov.detected, detected);
+  EXPECT_EQ(cov.total_faults, faults.size());
+}
+
+TEST(AggregateSweep, BitIdenticalAcrossThreadCounts) {
+  PoolWidthGuard guard;
+  const Netlist nl = RandomCircuit(4, 400);
+  const std::vector<atpg::Fault> faults =
+      atpg::CollapseFaults(nl, atpg::EnumerateStemFaults(nl));
+  // 2100 patterns = 33 words: multiple word shards including a tail word,
+  // so the result folds across a real (fault-block x word-shard) grid.
+  std::vector<std::vector<uint64_t>> profiles;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    profiles.push_back(atpg::DetectionProfile(nl, faults, 2100, 13));
+  }
+  EXPECT_EQ(profiles[1], profiles[0]);
+  EXPECT_EQ(profiles[2], profiles[0]);
 }
 
 // --- Incremental DIP encoder ------------------------------------------------
@@ -234,6 +382,8 @@ TEST(DipOracle, BatchedResponsesMatchSequentialSimulation) {
   oracle.Flush();  // one SoA sweep answers all queries
   EXPECT_EQ(oracle.pending(), 0u);
   EXPECT_EQ(oracle.answered(), kQueries);
+  EXPECT_EQ(oracle.flushes(), 1u);
+  EXPECT_EQ(oracle.max_batch(), kQueries);
   for (size_t q = 0; q < kQueries; ++q) {
     for (size_t i = 0; i < queries[q].size(); ++i) {
       reference.SetSourceWord(nl.inputs()[i], queries[q][i] ? ~0ULL : 0ULL);

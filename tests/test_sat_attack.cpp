@@ -80,6 +80,83 @@ TEST(SatAttack, DipBudgetRespected) {
   }
 }
 
+TEST(SatAttack, MultiDipRoundsRecoverEquivalentKey) {
+  // Wide rounds (several DIPs per stalled solve, one oracle flush) must
+  // still terminate with a functionally correct key; the DIP *sequence*
+  // differs from one-at-a-time, so only functional results are compared.
+  const Netlist original = TestCircuit(10);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = 10;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+
+  SatAttackOptions single, wide;
+  single.dips_per_round = 1;
+  wide.dips_per_round = 4;
+  const SatAttackResult s = RunSatAttack(locked.locked, original, single);
+  const SatAttackResult w = RunSatAttack(locked.locked, original, wide);
+  ASSERT_TRUE(s.finished);
+  ASSERT_TRUE(w.finished);
+  EXPECT_TRUE(s.key_found);
+  EXPECT_TRUE(w.key_found);
+  EXPECT_TRUE(s.functionally_correct);
+  EXPECT_TRUE(w.functionally_correct);
+  // Batching can only merge rounds, never add them.
+  EXPECT_LE(w.telemetry.rounds.size(), s.telemetry.rounds.size());
+
+  // Single-DIP rounds pin every batch at exactly 1.
+  EXPECT_EQ(s.telemetry.MeanDipBatch(), 1.0);
+  for (const SatRoundTelemetry& round : s.telemetry.rounds) {
+    EXPECT_LE(round.dip_batch, 1u);
+  }
+  // The wide run's per-round batches never exceed the cap, and the total
+  // across rounds is exactly the DIPs spent.
+  size_t batched = 0;
+  for (const SatRoundTelemetry& round : w.telemetry.rounds) {
+    EXPECT_LE(round.dip_batch, wide.dips_per_round);
+    batched += round.dip_batch;
+  }
+  EXPECT_EQ(batched, w.dips_used);
+}
+
+TEST(SatAttack, WideRoundsActuallyBatch) {
+  // A lock that needs many DIPs must show at least one round with batch
+  // width > 1 when dips_per_round allows it — otherwise the feature is
+  // silently inert. MeanDipBatch is the acceptance-criteria metric.
+  const Netlist original = TestCircuit(11, 500);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 32;
+  opts.seed = 11;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+  SatAttackOptions aopts;
+  aopts.dips_per_round = 4;
+  const SatAttackResult r = RunSatAttack(locked.locked, original, aopts);
+  ASSERT_TRUE(r.finished);
+  ASSERT_TRUE(r.key_found);
+  EXPECT_TRUE(r.functionally_correct);
+  if (r.dips_used > 1) {
+    EXPECT_GT(r.telemetry.MeanDipBatch(), 1.0);
+  }
+}
+
+TEST(SatAttack, WideRoundsRespectDipBudget) {
+  // The per-round batch is capped at the remaining budget, so max_dips
+  // keeps its meaning even when dips_per_round exceeds it.
+  const Netlist original = TestCircuit(4);
+  lock::AtpgLockOptions opts;
+  opts.key_bits = 24;
+  opts.seed = 4;
+  opts.verify_lec = false;
+  const lock::AtpgLockResult locked = lock::LockWithAtpg(original, opts);
+  SatAttackOptions aopts;
+  aopts.max_dips = 3;
+  aopts.dips_per_round = 8;
+  const SatAttackResult r = RunSatAttack(locked.locked, original, aopts);
+  EXPECT_LE(r.dips_used, 3u);
+}
+
 TEST(OracleLess, KeySpaceStaysRich) {
   // Without an oracle there is nothing to prune with: sampled keys keep
   // inducing many observably distinct functions and the FEOL cannot rank
