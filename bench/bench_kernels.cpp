@@ -17,6 +17,10 @@
 //  * Wide-DIP rounds — RunSatAttack at dips_per_round 1 vs 4 on the
 //    EPIC-locked circuit; records wall time and the mean/max DipOracle
 //    batch width (capped at sat_max_gates — larger circuits log a skip).
+//  * Cold-vs-warm flow — full RunSecureFlow vs artifact deserialize +
+//    replayed analysis (store/artifact_io), with round-trip and replay
+//    equivalence cross-checks; plus serial-vs-parallel RunSta timing on
+//    the resulting layout (bit-identical TimingReport asserted).
 //
 // Every timed pair is also cross-checked (masks / output literals must be
 // bit-identical) and mismatch counts land in the record. The JSON record
@@ -32,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,9 +44,12 @@
 #include "atpg/fault_sim.hpp"
 #include "attack/sat_attack.hpp"
 #include "circuits/suites.hpp"
+#include "core/flow.hpp"
 #include "lock/epic.hpp"
+#include "phys/timing.hpp"
 #include "sat/solver.hpp"
 #include "sat/tseitin.hpp"
+#include "store/artifact_io.hpp"
 #include "store/result_store.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -83,6 +91,15 @@ struct KernelRecord {
   double dip_batch_mean = 0;     // mean DipOracle batch of the multi run
   size_t dip_batch_max = 0;
   size_t sat_mismatches = 0;     // key-equivalence cross-check failures
+  bool flow_ran = false;
+  double flow_cold_s = 0;        // full RunSecureFlow
+  double flow_warm_s = 0;        // artifact decode + replayed analysis
+  size_t artifact_bytes = 0;     // EncodeFlowArtifact payload size
+  size_t flow_mismatches = 0;    // round-trip / replay equivalence failures
+  size_t sta_reps = 0;
+  double sta_serial_s = 0;       // RunStaSerial over sta_reps
+  double sta_parallel_s = 0;     // RunSta (levelized parallel) over sta_reps
+  size_t sta_mismatches = 0;     // serial-vs-parallel TimingReport divergence
 
   double DetectSpeedup() const {
     return detect_event_s > 0 ? detect_full_s / detect_event_s : 0;
@@ -92,6 +109,12 @@ struct KernelRecord {
   }
   double WideSpeedup() const {
     return sweep_wide_s > 0 ? sweep_narrow_s / sweep_wide_s : 0;
+  }
+  double FlowWarmSpeedup() const {
+    return flow_warm_s > 0 ? flow_cold_s / flow_warm_s : 0;
+  }
+  double StaSpeedup() const {
+    return sta_parallel_s > 0 ? sta_serial_s / sta_parallel_s : 0;
   }
 };
 
@@ -110,6 +133,11 @@ struct BenchConfig {
   // unbounded; a capped attack reports finished=false identically in both
   // variants, and batch widths are still measured on the rounds that ran.
   uint64_t sat_conflict_budget = 300000;
+  // Cold-vs-warm flow + serial-vs-parallel STA section. The secure flow is
+  // the costliest kernel here, so it shares the attack section's gate cap.
+  size_t flow_max_gates = 4000;
+  size_t flow_key_bits = 32;
+  size_t sta_reps = 5;
 };
 
 // The sweep shape mirrors ShardedFaultSweep's inner tile: per word, load
@@ -301,12 +329,105 @@ KernelRecord RunCircuit(const std::string& name, Netlist nl,
                 name.c_str(), nl.NumLogicGates(), cfg.sat_max_gates);
   }
 
+  // --- Cold-vs-warm flow (artifact tier) + serial-vs-parallel STA ---
+  if (nl.NumLogicGates() <= cfg.flow_max_gates) {
+    try {
+      core::FlowOptions fopt;
+      // Small ISCAS members cannot pay for 32 restore comparators; scale
+      // the key down and relax the gates that exist to reject tiny runs.
+      fopt.key_bits = std::max<size_t>(
+          4, std::min(cfg.flow_key_bits, nl.NumLogicGates() / 8));
+      fopt.seed = 2019;
+      fopt.lock.verify_lec = false;
+      fopt.lock.require_area_gain = false;
+
+      double start = Now();
+      const core::FlowResult cold = core::RunSecureFlow(nl, fopt);
+      rec.flow_cold_s = Now() - start;
+      rec.flow_ran = true;
+
+      const std::string payload = store::EncodeFlowArtifact(
+          cold.lock, *cold.physical.netlist, *cold.physical.layout,
+          cold.physical.lift);
+      rec.artifact_bytes = payload.size();
+
+      // Warm path: deserialize + replay the analysis tail.
+      start = Now();
+      std::optional<store::FlowArtifact> art =
+          store::DecodeFlowArtifact(payload);
+      core::FlowResult warm;
+      if (art) {
+        warm = core::ReplayFlowFromArtifacts(
+            std::move(art->lock), std::move(art->netlist),
+            std::move(art->layout), art->lift, fopt);
+      }
+      rec.flow_warm_s = Now() - start;
+
+      // Equivalence cross-checks, outside the timed regions: the replayed
+      // flow must be indistinguishable from the computed one.
+      if (!art) {
+        ++rec.flow_mismatches;
+      } else {
+        const std::string reencoded = store::EncodeFlowArtifact(
+            warm.lock, *warm.physical.netlist, *warm.physical.layout,
+            warm.physical.lift);
+        if (reencoded != payload) ++rec.flow_mismatches;
+        if (warm.physical.timing.net_arrival_ps !=
+            cold.physical.timing.net_arrival_ps) {
+          ++rec.flow_mismatches;
+        }
+        if (warm.physical.cost.die_area_um2 !=
+                cold.physical.cost.die_area_um2 ||
+            warm.physical.cost.power_uw != cold.physical.cost.power_uw ||
+            warm.physical.cost.critical_path_ps !=
+                cold.physical.cost.critical_path_ps) {
+          ++rec.flow_mismatches;
+        }
+        if (phys::LayoutFingerprint(*warm.physical.layout) !=
+            phys::LayoutFingerprint(*cold.physical.layout)) {
+          ++rec.flow_mismatches;
+        }
+        if (warm.feol.sink_stubs.size() != cold.feol.sink_stubs.size()) {
+          ++rec.flow_mismatches;
+        }
+      }
+
+      // Serial vs parallel STA on the cold layout, cross-checked first.
+      rec.sta_reps = cfg.sta_reps;
+      const phys::TimingReport serial_ref =
+          phys::RunStaSerial(*cold.physical.layout);
+      const phys::TimingReport parallel_ref =
+          phys::RunSta(*cold.physical.layout);
+      if (serial_ref.net_arrival_ps != parallel_ref.net_arrival_ps ||
+          serial_ref.critical_path_ps != parallel_ref.critical_path_ps) {
+        ++rec.sta_mismatches;
+      }
+      double sink = 0.0;
+      start = Now();
+      for (size_t i = 0; i < cfg.sta_reps; ++i) {
+        sink += phys::RunStaSerial(*cold.physical.layout).critical_path_ps;
+      }
+      rec.sta_serial_s = Now() - start;
+      start = Now();
+      for (size_t i = 0; i < cfg.sta_reps; ++i) {
+        sink += phys::RunSta(*cold.physical.layout).critical_path_ps;
+      }
+      rec.sta_parallel_s = Now() - start;
+      if (sink < 0) std::printf("(unlikely)\n");  // keep sink live
+    } catch (const std::exception& e) {
+      std::printf("%s: flow section skipped (%s)\n", name.c_str(), e.what());
+    }
+  } else {
+    std::printf("%s: flow section skipped (%zu gates > cap %zu)\n",
+                name.c_str(), nl.NumLogicGates(), cfg.flow_max_gates);
+  }
+
   if (acc == 0x5a5a5a5a5a5a5a5aULL) std::printf("(unlikely)\n");  // keep acc
   return rec;
 }
 
 std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
-  char buf[1024];
+  char buf[2048];
   std::string json = "{\"bench\":\"bench_kernels\",\"schema_version\":" +
                      std::to_string(store::kResultSchemaVersion) + ",";
   std::snprintf(buf, sizeof(buf), "\"smoke\":%s,\"repro_scale\":%.3f,",
@@ -330,7 +451,12 @@ std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
         "\"sat_single_s\":%.6f,\"sat_multi_s\":%.6f,"
         "\"sat_dips_single\":%zu,\"sat_dips_multi\":%zu,"
         "\"dip_batch_mean\":%.3f,\"dip_batch_max\":%zu,"
-        "\"sat_mismatches\":%zu}",
+        "\"sat_mismatches\":%zu,"
+        "\"flow_ran\":%s,\"flow_cold_s\":%.6f,\"flow_warm_s\":%.6f,"
+        "\"flow_warm_speedup\":%.2f,\"artifact_bytes\":%zu,"
+        "\"flow_mismatches\":%zu,"
+        "\"sta_reps\":%zu,\"sta_serial_s\":%.6f,\"sta_parallel_s\":%.6f,"
+        "\"sta_speedup\":%.2f,\"sta_mismatches\":%zu}",
         i == 0 ? "" : ",", r.name.c_str(), r.gates, r.faults, r.words,
         r.detect_full_s, r.detect_event_s, r.DetectSpeedup(),
         r.detect_mismatches, r.dip_rounds, r.key_bits, r.cone_gates,
@@ -340,7 +466,10 @@ std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
         r.sat_single_finished ? "true" : "false",
         r.sat_multi_finished ? "true" : "false", r.sat_single_s,
         r.sat_multi_s, r.sat_dips_single, r.sat_dips_multi, r.dip_batch_mean,
-        r.dip_batch_max, r.sat_mismatches);
+        r.dip_batch_max, r.sat_mismatches, r.flow_ran ? "true" : "false",
+        r.flow_cold_s, r.flow_warm_s, r.FlowWarmSpeedup(), r.artifact_bytes,
+        r.flow_mismatches, r.sta_reps, r.sta_serial_s, r.sta_parallel_s,
+        r.StaSpeedup(), r.sta_mismatches);
     json += buf;
   }
   json += "]}";
@@ -364,6 +493,8 @@ int Main(int argc, char** argv) {
     cfg.dip_rounds = 2;
     cfg.key_bits = 16;
     cfg.wide_groups = 1;
+    cfg.flow_key_bits = 8;
+    cfg.sta_reps = 2;
   }
 
   std::vector<KernelRecord> records;
@@ -395,10 +526,24 @@ int Main(int argc, char** argv) {
     records.push_back(std::move(rec));
   }
 
+  std::printf("\n%-6s | %10s | %10s | %8s | %10s | %10s | %10s | %8s\n",
+              "name", "cold flow", "warm flow", "speedup", "blob (KB)",
+              "sta serial", "sta par", "speedup");
+  for (const KernelRecord& r : records) {
+    if (!r.flow_ran) continue;
+    std::printf(
+        "%-6s | %9.3fs | %9.3fs | %7.1fx | %10.1f | %9.4fs | %9.4fs | "
+        "%7.1fx\n",
+        r.name.c_str(), r.flow_cold_s, r.flow_warm_s, r.FlowWarmSpeedup(),
+        r.artifact_bytes / 1024.0, r.sta_serial_s, r.sta_parallel_s,
+        r.StaSpeedup());
+  }
+
   size_t mismatches = 0;
   for (const KernelRecord& r : records) {
     mismatches += r.detect_mismatches + r.dip_mismatches +
-                  r.wide_mismatches + r.sat_mismatches;
+                  r.wide_mismatches + r.sat_mismatches +
+                  r.flow_mismatches + r.sta_mismatches;
   }
   std::printf("cross-check: %zu mismatches %s\n", mismatches,
               mismatches == 0 ? "(all kernels bit-identical)"

@@ -25,6 +25,25 @@ LayoutCost MeasureCost(const PhysicalBundle& bundle) {
   return cost;
 }
 
+// The analysis tail shared by the computed flow and the artifact replay:
+// STA (timed as sta_s), then toggle-rate + power estimation (analyze_s),
+// then the cost rollup. Pure function of (layout, netlist, options), which
+// is what makes replaying it on deserialized artifacts bit-identical to
+// the flow that produced them.
+void AnalyzePhysicalBundle(PhysicalBundle& bundle,
+                           const FlowOptions& options) {
+  const auto t_sta = std::chrono::steady_clock::now();
+  bundle.timing = phys::RunSta(*bundle.layout);
+  bundle.times.sta_s = SecondsSince(t_sta);
+
+  const auto t_analyze = std::chrono::steady_clock::now();
+  const std::vector<double> toggles = EstimateToggleRates(
+      *bundle.netlist, options.power_patterns, options.seed ^ 0x777);
+  bundle.power = phys::EstimatePower(*bundle.layout, toggles);
+  bundle.times.analyze_s = SecondsSince(t_analyze);
+  bundle.cost = MeasureCost(bundle);
+}
+
 }  // namespace
 
 std::string FlowOptionsCanonical(const FlowOptions& options) {
@@ -110,13 +129,7 @@ PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
     bundle.times.lift_s = SecondsSince(t_lift);
   }
 
-  const auto t_analyze = std::chrono::steady_clock::now();
-  bundle.timing = phys::RunSta(*bundle.layout);
-  const std::vector<double> toggles = EstimateToggleRates(
-      *bundle.netlist, options.power_patterns, options.seed ^ 0x777);
-  bundle.power = phys::EstimatePower(*bundle.layout, toggles);
-  bundle.times.analyze_s = SecondsSince(t_analyze);
-  bundle.cost = MeasureCost(bundle);
+  AnalyzePhysicalBundle(bundle, options);
   return bundle;
 }
 
@@ -141,6 +154,28 @@ FlowResult RunSecureFlow(const Netlist& original, const FlowOptions& options) {
   result.times.place_s = result.physical.times.place_s;
   result.times.route_s = result.physical.times.route_s;
   result.times.lift_s = result.physical.times.lift_s;
+  result.times.sta_s = result.physical.times.sta_s;
+  result.times.analyze_s = result.physical.times.analyze_s;
+
+  result.feol =
+      split::SplitLayout(*result.physical.layout, options.split_layer);
+  return result;
+}
+
+FlowResult ReplayFlowFromArtifacts(lock::AtpgLockResult lock_result,
+                                   std::unique_ptr<Netlist> physical_netlist,
+                                   std::unique_ptr<phys::Layout> layout,
+                                   const phys::LiftStats& lift,
+                                   const FlowOptions& options) {
+  FlowResult result;
+  result.lock = std::move(lock_result);
+  result.physical.netlist = std::move(physical_netlist);
+  result.physical.layout = std::move(layout);
+  result.physical.layout->netlist = result.physical.netlist.get();
+  result.physical.lift = lift;
+
+  AnalyzePhysicalBundle(result.physical, options);
+  result.times.sta_s = result.physical.times.sta_s;
   result.times.analyze_s = result.physical.times.analyze_s;
 
   result.feol =

@@ -52,11 +52,17 @@ struct StageTimes {
   double place_s = 0.0;
   double route_s = 0.0;
   double lift_s = 0.0;
-  double analyze_s = 0.0;  // STA + toggle-rate + power estimation
+  double sta_s = 0.0;      // RunSta alone
+  double analyze_s = 0.0;  // toggle-rate + power estimation
+
+  // Artifact-tier I/O (store/artifact_io): zero on a computed flow without
+  // a store; a warm flow has artifact_load_s > 0 and place/route/lift == 0.
+  double artifact_load_s = 0.0;
+  double artifact_save_s = 0.0;
 
   // Everything BuildPhysical spends (lock_s is the synthesis stage).
   double LayoutTotalS() const {
-    return place_s + route_s + lift_s + analyze_s;
+    return place_s + route_s + lift_s + sta_s + analyze_s;
   }
 };
 
@@ -129,5 +135,18 @@ FlowResult RunSecureFlow(const Netlist& original,
 // they are lifted exactly as in the secure flow.
 PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
                              const FlowOptions& options);
+
+// Warm-start path: rebuilds a FlowResult from deserialized flow artifacts
+// (store/artifact_io) without running place/route/lift. The analysis stages
+// (STA, toggle rates, power) and the split are *replayed* — they are cheap,
+// deterministic functions of the layout, so the result is bit-identical to
+// the computed flow that produced the artifacts. `layout` must reference
+// `physical_netlist` (DecodeFlowArtifact guarantees this); lock_s, place_s,
+// route_s and lift_s stay zero, which is how callers observe the skip.
+FlowResult ReplayFlowFromArtifacts(lock::AtpgLockResult lock_result,
+                                   std::unique_ptr<Netlist> physical_netlist,
+                                   std::unique_ptr<phys::Layout> layout,
+                                   const phys::LiftStats& lift,
+                                   const FlowOptions& options);
 
 }  // namespace splitlock::core

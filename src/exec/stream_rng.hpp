@@ -34,6 +34,9 @@ enum class StreamDomain : uint64_t {
   kKeySample = 0x4b,   // per-sample random key bits
   kShard = 0x5a,       // generic per-shard streams
   kPlacerMove = 0x50,  // per-move annealing draws (gate, slot, acceptance)
+  kPlacerTie = 0x54,   // per-TIE-cell slot candidates (placement prefix)
+  kPlacerInit = 0x49,  // per-slot shuffle keys for the initial placement
+  kPlacerTemp = 0x74,  // per-sample draws for temperature estimation
   kRouteNet = 0x52,    // per-net layer-pair / corner draws in RouteDesign
   kLiftNet = 0x4c,     // per-net corner draws when lifting to the BEOL
   kEcoDetour = 0x45,   // per-net detour draws in the ECO re-route

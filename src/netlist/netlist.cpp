@@ -259,6 +259,18 @@ std::vector<GateId> Netlist::TopoOrder() const {
   return order;
 }
 
+Netlist Netlist::FromRawParts(std::string name, std::vector<Gate> gates,
+                              std::vector<Net> nets, std::vector<GateId> pis,
+                              std::vector<GateId> pos) {
+  for (const Gate& g : gates) CheckMaxFanin(g.fanins.size());
+  Netlist out(std::move(name));
+  out.gates_ = std::move(gates);
+  out.nets_ = std::move(nets);
+  out.pis_ = std::move(pis);
+  out.pos_ = std::move(pos);
+  return out;
+}
+
 std::string Netlist::Validate() const {
   std::ostringstream err;
   for (GateId g = 0; g < gates_.size(); ++g) {

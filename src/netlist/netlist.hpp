@@ -173,6 +173,15 @@ class Netlist {
   Netlist Compacted(std::vector<GateId>* gate_map = nullptr,
                     std::vector<NetId>* net_map = nullptr) const;
 
+  // Reassembles a netlist from raw component vectors — the deserialization
+  // path of store/artifact_io, which reads the components back through the
+  // public accessors above. The parts must already be mutually consistent
+  // (sink lists matching fanins, drivers matching outs); callers gate
+  // acceptance on Validate(), which checks exactly that.
+  static Netlist FromRawParts(std::string name, std::vector<Gate> gates,
+                              std::vector<Net> nets, std::vector<GateId> pis,
+                              std::vector<GateId> pos);
+
  private:
   NetId NewNet(std::string name, GateId driver);
   void DetachPin(GateId gate, uint32_t index);

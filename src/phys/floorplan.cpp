@@ -4,21 +4,44 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "netlist/libcell.hpp"
 
 namespace splitlock::phys {
 
+namespace {
+
+// Per-chunk tally for the cell census. Combined in chunk order, so the
+// width sum is bit-identical at any thread count.
+struct CellTally {
+  size_t cells = 0;
+  double width_um = 0.0;
+};
+
+constexpr size_t kFloorplanGrain = 256;
+
+}  // namespace
+
 void BuildFloorplan(Layout& layout, const FloorplanOptions& options) {
   const Netlist& nl = *layout.netlist;
 
-  size_t num_cells = 0;
-  double total_width_um = 0.0;
-  for (GateId g = 0; g < nl.NumGates(); ++g) {
-    const Gate& gate = nl.gate(g);
-    if (!IsPhysicalOp(gate.op)) continue;
-    ++num_cells;
-    total_width_um += CellFor(gate).WidthUm();
-  }
+  const CellTally tally = exec::ParallelReduce<CellTally>(
+      nl.NumGates(), kFloorplanGrain, CellTally{},
+      [&](size_t lo, size_t hi) {
+        CellTally t;
+        for (GateId g = static_cast<GateId>(lo); g < hi; ++g) {
+          const Gate& gate = nl.gate(g);
+          if (!IsPhysicalOp(gate.op)) continue;
+          ++t.cells;
+          t.width_um += CellFor(gate).WidthUm();
+        }
+        return t;
+      },
+      [](CellTally a, CellTally b) {
+        return CellTally{a.cells + b.cells, a.width_um + b.width_um};
+      });
+  const size_t num_cells = tally.cells;
+  const double total_width_um = tally.width_um;
   assert(num_cells > 0);
 
   layout.row_height_um = kRowHeightUm;
@@ -45,25 +68,29 @@ void BuildFloorplan(Layout& layout, const FloorplanOptions& options) {
   layout.routes.assign(nl.NumNets(), NetRoute{});
 
   // I/O pads: inputs along the left then top edge, outputs along the right
-  // then bottom edge, evenly spaced.
+  // then bottom edge, evenly spaced. Each pad's position is a pure function
+  // of its index, and the writes are index-disjoint.
   auto spread = [&](const std::vector<GateId>& pads, bool input_side) {
     const size_t n = pads.size();
-    for (size_t i = 0; i < n; ++i) {
-      const double t = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
-      Point p;
-      if (t < 0.5) {
-        const double along = t * 2.0;
-        p = input_side ? Point{0.0, along * height}
-                       : Point{width, along * height};
-      } else {
-        const double along = (t - 0.5) * 2.0;
-        p = input_side ? Point{along * width, height}
-                       : Point{along * width, 0.0};
+    exec::ParallelFor(n, kFloorplanGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const double t =
+            (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+        Point p;
+        if (t < 0.5) {
+          const double along = t * 2.0;
+          p = input_side ? Point{0.0, along * height}
+                         : Point{width, along * height};
+        } else {
+          const double along = (t - 0.5) * 2.0;
+          p = input_side ? Point{along * width, height}
+                         : Point{along * width, 0.0};
+        }
+        layout.position[pads[i]] = p;
+        layout.placed[pads[i]] = 1;
+        layout.fixed[pads[i]] = 1;
       }
-      layout.position[pads[i]] = p;
-      layout.placed[pads[i]] = 1;
-      layout.fixed[pads[i]] = 1;
-    }
+    });
   };
   spread(nl.inputs(), true);
   spread(nl.outputs(), false);

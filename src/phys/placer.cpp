@@ -9,7 +9,6 @@
 #include "exec/stream_rng.hpp"
 #include "netlist/libcell.hpp"
 #include "phys/floorplan.hpp"
-#include "util/rng.hpp"
 
 namespace splitlock::phys {
 namespace {
@@ -36,6 +35,19 @@ constexpr size_t kSpeculativeGrain = 16;
 // the batch halves, below kColdAcceptance it doubles, in between it holds.
 constexpr double kHotAcceptance = 0.5;
 constexpr double kColdAcceptance = 0.15;
+
+// Slot candidates pre-drawn per TIE cell by the parallel prefix. At sane
+// utilization the chance that all eight are occupied is negligible; the
+// serial fallback reconstructs the same stream and keeps drawing.
+constexpr size_t kTieDrawBatch = 8;
+constexpr size_t kPrefixGrain = 64;
+
+// Per-chunk tally for the initial-temperature estimate; combined in chunk
+// order so the delta sum is bit-identical at any thread count.
+struct TempTally {
+  double delta_sum = 0.0;
+  int samples = 0;
+};
 
 bool IsTieLike(const Gate& g) {
   if (g.HasFlag(kFlagTie)) return true;
@@ -249,7 +261,6 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
   FloorplanOptions fp;
   fp.utilization = options.utilization;
   BuildFloorplan(layout, fp);
-  Rng rng(options.seed);
 
   // Partition physical gates into TIE-like cells and regular movable cells.
   std::vector<GateId> tie_cells;
@@ -297,28 +308,77 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
     anneal_pool.insert(anneal_pool.end(), tie_cells.begin(), tie_cells.end());
   }
   if (options.randomize_tie_cells) {
-    for (GateId g : tie_cells) {
-      int slot;
-      do {
-        slot = static_cast<int>(rng.NextUint(num_slots));
-      } while (gate_at[slot] != kNullId);
-      occupy(g, slot);
-      layout.fixed[g] = 1;
+    // Each TIE cell owns stream (seed, kPlacerTie, index): candidate slots
+    // are pre-drawn concurrently, then resolved serially in TIE order
+    // against the evolving occupancy. Occupancy only grows here, so a
+    // candidate rejected at resolution time could never have been taken —
+    // the outcome is a pure function of (seed, tie_cells) at any thread
+    // count.
+    std::vector<uint32_t> candidates(tie_cells.size() * kTieDrawBatch);
+    exec::ParallelFor(tie_cells.size(), kPrefixGrain,
+                      [&](size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) {
+                          exec::StreamRng trng(options.seed,
+                                               exec::StreamDomain::kPlacerTie,
+                                               i);
+                          for (size_t d = 0; d < kTieDrawBatch; ++d) {
+                            candidates[i * kTieDrawBatch + d] =
+                                static_cast<uint32_t>(
+                                    trng.NextUint(num_slots));
+                          }
+                        }
+                      });
+    for (size_t i = 0; i < tie_cells.size(); ++i) {
+      int slot = -1;
+      for (size_t d = 0; d < kTieDrawBatch && slot < 0; ++d) {
+        const int s = static_cast<int>(candidates[i * kTieDrawBatch + d]);
+        if (gate_at[s] == kNullId) slot = s;
+      }
+      if (slot < 0) {
+        // All pre-drawn candidates taken: reconstruct stream i, skip the
+        // batch draws already consumed, continue the rejection loop.
+        exec::StreamRng trng(options.seed, exec::StreamDomain::kPlacerTie, i);
+        for (size_t d = 0; d < kTieDrawBatch; ++d) trng.NextWord();
+        do {
+          slot = static_cast<int>(trng.NextUint(num_slots));
+        } while (gate_at[slot] != kNullId);
+      }
+      occupy(tie_cells[i], slot);
+      layout.fixed[tie_cells[i]] = 1;
     }
   }
 
-  // Random initial placement of the annealing pool.
+  // Random initial placement of the annealing pool: a deterministic
+  // parallel shuffle. Every free slot is keyed by its own counter stream
+  // and the slots are sorted by key — unique slot ids break key ties, so
+  // the permutation is a pure function of (seed, free-slot set).
   {
     std::vector<int> free_slots;
     free_slots.reserve(num_slots);
     for (int s = 0; s < num_slots; ++s) {
       if (gate_at[s] == kNullId) free_slots.push_back(s);
     }
-    rng.Shuffle(free_slots);
     assert(free_slots.size() >= anneal_pool.size());
-    for (size_t i = 0; i < anneal_pool.size(); ++i) {
-      occupy(anneal_pool[i], free_slots[i]);
-    }
+    std::vector<std::pair<uint64_t, int>> keyed(free_slots.size());
+    exec::ParallelFor(
+        free_slots.size(), kPrefixGrain, [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            keyed[i] = {
+                exec::StreamRng(options.seed,
+                                exec::StreamDomain::kPlacerInit,
+                                static_cast<uint64_t>(free_slots[i]))
+                    .NextWord(),
+                free_slots[i]};
+          }
+        });
+    std::sort(keyed.begin(), keyed.end());
+    // occupy() writes are disjoint across i (distinct gate, distinct slot).
+    exec::ParallelFor(anneal_pool.size(), kPrefixGrain,
+                      [&](size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) {
+                          occupy(anneal_pool[i], keyed[i].second);
+                        }
+                      });
   }
 
   // Nets considered by the cost function. In secure mode, nets driven by
@@ -338,25 +398,37 @@ Layout PlaceDesign(const Netlist& nl, const Tech& tech,
 
   // Estimate the initial temperature from the cost spread of random swaps
   // (read-only trial evaluations; runs before — and independent of — the
-  // move loop, so both move strategies see the same temperature).
-  double delta_sum = 0.0;
-  int samples = 0;
-  for (int i = 0; i < 64; ++i) {
-    SpeculativeMove mv;
-    mv.g = anneal_pool[rng.NextUint(anneal_pool.size())];
-    mv.target = static_cast<int>(rng.NextUint(num_slots));
-    mv.src = slot_of[mv.g];
-    mv.other = gate_at[mv.target];
-    if (mv.other == mv.g ||
-        (mv.other != kNullId && layout.fixed[mv.other])) {
-      continue;
-    }
-    state.Evaluate(&mv);
-    delta_sum += std::abs(mv.delta);
-    ++samples;
-  }
-  double temperature =
-      samples == 0 ? 1.0 : 4.0 * delta_sum / std::max(1, samples);
+  // move loop, so both move strategies see the same temperature). Each
+  // sample owns stream (seed, kPlacerTemp, index), and the chunk-order
+  // reduction keeps the delta sum bit-identical at any thread count.
+  const TempTally tally = exec::ParallelReduce<TempTally>(
+      64, 8, TempTally{},
+      [&](size_t lo, size_t hi) {
+        TempTally t;
+        for (size_t i = lo; i < hi; ++i) {
+          exec::StreamRng srng(options.seed, exec::StreamDomain::kPlacerTemp,
+                               i);
+          SpeculativeMove mv;
+          mv.g = anneal_pool[srng.NextUint(anneal_pool.size())];
+          mv.target = static_cast<int>(srng.NextUint(num_slots));
+          mv.src = slot_of[mv.g];
+          mv.other = gate_at[mv.target];
+          if (mv.other == mv.g ||
+              (mv.other != kNullId && layout.fixed[mv.other])) {
+            continue;
+          }
+          state.Evaluate(&mv);
+          t.delta_sum += std::abs(mv.delta);
+          ++t.samples;
+        }
+        return t;
+      },
+      [](TempTally a, TempTally b) {
+        return TempTally{a.delta_sum + b.delta_sum, a.samples + b.samples};
+      });
+  double temperature = tally.samples == 0
+                           ? 1.0
+                           : 4.0 * tally.delta_sum / std::max(1, tally.samples);
   if (temperature <= 0.0) temperature = 1.0;
 
   const int64_t total_moves =

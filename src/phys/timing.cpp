@@ -2,57 +2,121 @@
 
 #include <algorithm>
 
+#include "exec/parallel.hpp"
 #include "netlist/libcell.hpp"
 
 namespace splitlock::phys {
 
-TimingReport RunSta(const Layout& layout) {
-  const Netlist& nl = *layout.netlist;
-  TimingReport report;
-  report.net_arrival_ps.assign(nl.NumNets(), 0.0);
+namespace {
 
-  for (GateId g : nl.TopoOrder()) {
-    const Gate& gate = nl.gate(g);
-    if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) continue;
-    if (IsSourceOp(gate.op)) {
-      // Primary inputs and constant sources launch at t = 0.
-      continue;
-    }
-    // A gate can lose its output net through netlist surgery (morphing,
-    // partially-detached editing state); with no net to annotate there is
-    // nothing to time — and nl.net(kNullId) / net_arrival_ps[kNullId] would
-    // both be out-of-bounds accesses.
-    const NetId out = gate.out;
-    if (out == kNullId) continue;
-    double input_arrival = 0.0;
-    for (NetId n : gate.fanins) {
-      input_arrival = std::max(input_arrival, report.net_arrival_ps[n]);
-    }
-    const LibCell& cell = CellFor(gate);
-    double wire_cap = 0.0;
-    double wire_res = 0.0;
-    if (out < layout.routes.size() && layout.routes[out].routed) {
-      wire_cap = layout.NetWireCapFf(out);
-      wire_res = layout.NetWireResKohm(out);
-    }
-    double pin_cap = 0.0;
-    for (const Pin& p : nl.net(out).sinks) {
-      const Gate& sink = nl.gate(p.gate);
-      if (IsPhysicalOp(sink.op)) pin_cap += CellFor(sink).input_cap_ff;
-    }
-    const double delay = cell.intrinsic_delay_ps +
-                         cell.drive_res_kohm * (wire_cap + pin_cap) +
-                         0.5 * wire_res * wire_cap;
-    report.net_arrival_ps[out] = input_arrival + delay;
+// Below this many gates the level-bucket setup costs more than the serial
+// walk it replaces.
+constexpr size_t kParallelStaMinGates = 512;
+constexpr size_t kStaGrain = 32;
+
+// Times one gate: reads finalized fanin arrivals, writes the arrival of the
+// gate's own output net. The single-driver invariant makes the write
+// exclusive, so this body runs unchanged (and produces identical doubles)
+// under both the serial walk and the per-level ParallelFor sweep.
+inline void TimeGate(const Layout& layout, const Netlist& nl, GateId g,
+                     std::vector<double>& arrival) {
+  const Gate& gate = nl.gate(g);
+  if (gate.op == GateOp::kOutput || gate.op == GateOp::kDeleted) return;
+  if (IsSourceOp(gate.op)) {
+    // Primary inputs and constant sources launch at t = 0.
+    return;
   }
+  // A gate can lose its output net through netlist surgery (morphing,
+  // partially-detached editing state); with no net to annotate there is
+  // nothing to time — and nl.net(kNullId) / arrival[kNullId] would both be
+  // out-of-bounds accesses.
+  const NetId out = gate.out;
+  if (out == kNullId) return;
+  double input_arrival = 0.0;
+  for (NetId n : gate.fanins) {
+    input_arrival = std::max(input_arrival, arrival[n]);
+  }
+  const LibCell& cell = CellFor(gate);
+  double wire_cap = 0.0;
+  double wire_res = 0.0;
+  if (out < layout.routes.size() && layout.routes[out].routed) {
+    wire_cap = layout.NetWireCapFf(out);
+    wire_res = layout.NetWireResKohm(out);
+  }
+  double pin_cap = 0.0;
+  for (const Pin& p : nl.net(out).sinks) {
+    const Gate& sink = nl.gate(p.gate);
+    if (IsPhysicalOp(sink.op)) pin_cap += CellFor(sink).input_cap_ff;
+  }
+  const double delay = cell.intrinsic_delay_ps +
+                       cell.drive_res_kohm * (wire_cap + pin_cap) +
+                       0.5 * wire_res * wire_cap;
+  arrival[out] = input_arrival + delay;
+}
 
+// Fixed-order max over primary outputs — the same loop for both engines, so
+// critical_path_ps is bit-identical regardless of how arrivals were swept.
+double CriticalPath(const Netlist& nl, const std::vector<double>& arrival) {
+  double critical = 0.0;
   for (GateId g : nl.outputs()) {
     // Driver-less outputs (fanin detached by editing) observe nothing.
     const Gate& po = nl.gate(g);
     if (po.fanins.empty() || po.fanins[0] == kNullId) continue;
-    report.critical_path_ps =
-        std::max(report.critical_path_ps, report.net_arrival_ps[po.fanins[0]]);
+    critical = std::max(critical, arrival[po.fanins[0]]);
   }
+  return critical;
+}
+
+}  // namespace
+
+TimingReport RunStaSerial(const Layout& layout) {
+  const Netlist& nl = *layout.netlist;
+  TimingReport report;
+  report.net_arrival_ps.assign(nl.NumNets(), 0.0);
+  for (GateId g : nl.TopoOrder()) {
+    TimeGate(layout, nl, g, report.net_arrival_ps);
+  }
+  report.critical_path_ps = CriticalPath(nl, report.net_arrival_ps);
+  return report;
+}
+
+TimingReport RunSta(const Layout& layout) {
+  const Netlist& nl = *layout.netlist;
+  if (nl.NumGates() < kParallelStaMinGates) return RunStaSerial(layout);
+
+  // Logic levels: level(g) = 1 + max level over fanin drivers. The topo
+  // order guarantees drivers are leveled before their sinks, and bucketing
+  // in topo order keeps the per-level gate order deterministic.
+  const std::vector<GateId> topo = nl.TopoOrder();
+  std::vector<uint32_t> level(nl.NumGates(), 0);
+  uint32_t max_level = 0;
+  for (GateId g : topo) {
+    const Gate& gate = nl.gate(g);
+    if (gate.op == GateOp::kDeleted) continue;
+    uint32_t lvl = 0;
+    for (NetId n : gate.fanins) {
+      if (n == kNullId) continue;  // detached kOutput observers
+      const GateId driver = nl.DriverOf(n);
+      if (driver != kNullId) lvl = std::max(lvl, level[driver] + 1);
+    }
+    level[g] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  std::vector<std::vector<GateId>> buckets(max_level + 1);
+  for (GateId g : topo) buckets[level[g]].push_back(g);
+
+  TimingReport report;
+  report.net_arrival_ps.assign(nl.NumNets(), 0.0);
+  for (const std::vector<GateId>& bucket : buckets) {
+    // Every fanin of a level-L gate was finalized by level < L, and each
+    // gate writes only its own output net: race-free, order-insensitive.
+    exec::ParallelFor(bucket.size(), kStaGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        TimeGate(layout, nl, bucket[i], report.net_arrival_ps);
+      }
+    });
+  }
+  report.critical_path_ps = CriticalPath(nl, report.net_arrival_ps);
   return report;
 }
 

@@ -1,0 +1,484 @@
+#include "store/artifact_io.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace splitlock::store {
+namespace {
+
+// Accepting an op byte outside the enum would make downstream switch
+// statements walk off the table; kDeleted is the last enumerator.
+constexpr uint8_t kMaxOpByte = static_cast<uint8_t>(GateOp::kDeleted);
+
+}  // namespace
+
+// --- ArtifactWriter -------------------------------------------------------
+
+void ArtifactWriter::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v));
+  U8(static_cast<uint8_t>(v >> 8));
+}
+
+void ArtifactWriter::U32(uint32_t v) {
+  U16(static_cast<uint16_t>(v));
+  U16(static_cast<uint16_t>(v >> 16));
+}
+
+void ArtifactWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void ArtifactWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ArtifactWriter::Str(std::string_view s) {
+  U64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+// --- ArtifactReader -------------------------------------------------------
+
+bool ArtifactReader::Ensure(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ArtifactReader::U8() {
+  if (!Ensure(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint16_t ArtifactReader::U16() {
+  const uint16_t lo = U8();
+  const uint16_t hi = U8();
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t ArtifactReader::U32() {
+  const uint32_t lo = U16();
+  const uint32_t hi = U16();
+  return lo | (hi << 16);
+}
+
+uint64_t ArtifactReader::U64() {
+  const uint64_t lo = U32();
+  const uint64_t hi = U32();
+  return lo | (hi << 32);
+}
+
+double ArtifactReader::F64() {
+  const uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ArtifactReader::Str() {
+  const uint64_t n = U64();
+  if (!Ensure(n)) return {};
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+size_t ArtifactReader::Count(size_t min_elem_bytes) {
+  const uint64_t n = U64();
+  if (!ok_) return 0;
+  const size_t remaining = data_.size() - pos_;
+  const size_t per = min_elem_bytes == 0 ? 1 : min_elem_bytes;
+  if (n > remaining / per) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<size_t>(n);
+}
+
+// --- Netlist --------------------------------------------------------------
+
+void EncodeNetlist(ArtifactWriter& w, const Netlist& nl) {
+  w.Str(nl.name());
+  w.U64(nl.NumGates());
+  for (GateId g = 0; g < nl.NumGates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    w.U8(static_cast<uint8_t>(gate.op));
+    w.U8(gate.drive);
+    w.U16(gate.flags);
+    w.U32(gate.out);
+    w.Str(gate.name);
+    w.U64(gate.fanins.size());
+    for (NetId f : gate.fanins) w.U32(f);
+  }
+  w.U64(nl.NumNets());
+  for (NetId n = 0; n < nl.NumNets(); ++n) {
+    const Net& net = nl.net(n);
+    w.Str(net.name);
+    w.U32(net.driver);
+    w.U64(net.sinks.size());
+    for (const Pin& p : net.sinks) {
+      w.U32(p.gate);
+      w.U32(p.index);
+    }
+  }
+  w.U64(nl.inputs().size());
+  for (GateId g : nl.inputs()) w.U32(g);
+  w.U64(nl.outputs().size());
+  for (GateId g : nl.outputs()) w.U32(g);
+}
+
+std::optional<Netlist> DecodeNetlist(ArtifactReader& r) {
+  std::string name = r.Str();
+
+  const size_t num_gates = r.Count(/*u8 op + u8 drive + u16 flags + u32 out +
+                                     u64 name len + u64 fanin count*/ 24);
+  std::vector<Gate> gates;
+  gates.reserve(num_gates);
+  for (size_t i = 0; i < num_gates && r.ok(); ++i) {
+    Gate g;
+    const uint8_t op = r.U8();
+    g.drive = r.U8();
+    g.flags = r.U16();
+    g.out = r.U32();
+    g.name = r.Str();
+    const size_t fanins = r.Count(4);
+    if (!r.ok() || op > kMaxOpByte || fanins > kMaxFanin) return std::nullopt;
+    g.op = static_cast<GateOp>(op);
+    g.fanins.reserve(fanins);
+    for (size_t f = 0; f < fanins; ++f) g.fanins.push_back(r.U32());
+    gates.push_back(std::move(g));
+  }
+
+  const size_t num_nets = r.Count(/*name len + driver + sink count*/ 20);
+  std::vector<Net> nets;
+  nets.reserve(num_nets);
+  for (size_t i = 0; i < num_nets && r.ok(); ++i) {
+    Net n;
+    n.name = r.Str();
+    n.driver = r.U32();
+    const size_t sinks = r.Count(8);
+    n.sinks.reserve(sinks);
+    for (size_t s = 0; s < sinks && r.ok(); ++s) {
+      Pin p;
+      p.gate = r.U32();
+      p.index = r.U32();
+      n.sinks.push_back(p);
+    }
+    nets.push_back(std::move(n));
+  }
+
+  const size_t num_pis = r.Count(4);
+  std::vector<GateId> pis(num_pis);
+  for (size_t i = 0; i < num_pis; ++i) pis[i] = r.U32();
+  const size_t num_pos = r.Count(4);
+  std::vector<GateId> pos(num_pos);
+  for (size_t i = 0; i < num_pos; ++i) pos[i] = r.U32();
+  if (!r.ok()) return std::nullopt;
+
+  // Bounds-check every cross-reference before handing the parts to
+  // Validate(), which assumes ids index into the vectors.
+  const auto net_ok = [&](NetId n) { return n == kNullId || n < nets.size(); };
+  const auto gate_ok = [&](GateId g) {
+    return g == kNullId || g < gates.size();
+  };
+  for (const Gate& g : gates) {
+    if (!net_ok(g.out)) return std::nullopt;
+    for (NetId f : g.fanins) {
+      if (f == kNullId || !net_ok(f)) return std::nullopt;
+    }
+  }
+  for (const Net& n : nets) {
+    if (!gate_ok(n.driver)) return std::nullopt;
+    for (const Pin& p : n.sinks) {
+      if (p.gate == kNullId || !gate_ok(p.gate)) return std::nullopt;
+    }
+  }
+  for (GateId g : pis) {
+    if (g == kNullId || !gate_ok(g)) return std::nullopt;
+  }
+  for (GateId g : pos) {
+    if (g == kNullId || !gate_ok(g)) return std::nullopt;
+  }
+
+  Netlist nl = Netlist::FromRawParts(std::move(name), std::move(gates),
+                                     std::move(nets), std::move(pis),
+                                     std::move(pos));
+  if (!nl.Validate().empty()) return std::nullopt;
+  return nl;
+}
+
+// --- Layout ---------------------------------------------------------------
+
+namespace {
+
+void EncodePoint(ArtifactWriter& w, const Point& p) {
+  w.F64(p.x);
+  w.F64(p.y);
+}
+
+Point DecodePoint(ArtifactReader& r) {
+  Point p;
+  p.x = r.F64();
+  p.y = r.F64();
+  return p;
+}
+
+void EncodeTech(ArtifactWriter& w, const phys::Tech& tech) {
+  w.U64(tech.layers.size());
+  for (const phys::Layer& l : tech.layers) {
+    w.Str(l.name);
+    w.U8(l.horizontal ? 1 : 0);
+    w.F64(l.r_kohm_per_um);
+    w.F64(l.c_ff_per_um);
+    w.F64(l.pitch_um);
+  }
+  w.F64(tech.via_r_kohm);
+  w.F64(tech.via_c_ff);
+}
+
+std::optional<phys::Tech> DecodeTech(ArtifactReader& r) {
+  phys::Tech tech;
+  const size_t layers = r.Count(33);
+  tech.layers.reserve(layers);
+  for (size_t i = 0; i < layers && r.ok(); ++i) {
+    phys::Layer l;
+    l.name = r.Str();
+    l.horizontal = r.U8() != 0;
+    l.r_kohm_per_um = r.F64();
+    l.c_ff_per_um = r.F64();
+    l.pitch_um = r.F64();
+    tech.layers.push_back(std::move(l));
+  }
+  tech.via_r_kohm = r.F64();
+  tech.via_c_ff = r.F64();
+  if (!r.ok()) return std::nullopt;
+  return tech;
+}
+
+}  // namespace
+
+void EncodeNetRoute(ArtifactWriter& w, const phys::NetRoute& route) {
+  w.U8(route.routed ? 1 : 0);
+  w.U64(route.conns.size());
+  for (const phys::ConnRoute& c : route.conns) {
+    w.U32(c.sink.gate);
+    w.U32(c.sink.index);
+    w.U64(c.segments.size());
+    for (const phys::Segment& s : c.segments) {
+      w.U32(static_cast<uint32_t>(s.layer));
+      EncodePoint(w, s.a);
+      EncodePoint(w, s.b);
+    }
+    w.U64(c.vias.size());
+    for (const phys::ViaStack& v : c.vias) {
+      EncodePoint(w, v.at);
+      w.U32(static_cast<uint32_t>(v.from_layer));
+      w.U32(static_cast<uint32_t>(v.to_layer));
+    }
+    w.U64(c.hop_points.size());
+    for (const Point& p : c.hop_points) EncodePoint(w, p);
+    w.U64(c.hop_layers.size());
+    for (int l : c.hop_layers) w.U32(static_cast<uint32_t>(l));
+  }
+}
+
+std::optional<phys::NetRoute> DecodeNetRoute(ArtifactReader& r) {
+  phys::NetRoute route;
+  route.routed = r.U8() != 0;
+  const size_t conns = r.Count(40);
+  route.conns.reserve(conns);
+  for (size_t i = 0; i < conns && r.ok(); ++i) {
+    phys::ConnRoute c;
+    c.sink.gate = r.U32();
+    c.sink.index = r.U32();
+    const size_t segments = r.Count(36);
+    c.segments.reserve(segments);
+    for (size_t s = 0; s < segments && r.ok(); ++s) {
+      phys::Segment seg;
+      seg.layer = static_cast<int>(r.U32());
+      seg.a = DecodePoint(r);
+      seg.b = DecodePoint(r);
+      c.segments.push_back(seg);
+    }
+    const size_t vias = r.Count(24);
+    c.vias.reserve(vias);
+    for (size_t v = 0; v < vias && r.ok(); ++v) {
+      phys::ViaStack via;
+      via.at = DecodePoint(r);
+      via.from_layer = static_cast<int>(r.U32());
+      via.to_layer = static_cast<int>(r.U32());
+      c.vias.push_back(via);
+    }
+    const size_t hops = r.Count(16);
+    c.hop_points.reserve(hops);
+    for (size_t h = 0; h < hops && r.ok(); ++h) {
+      c.hop_points.push_back(DecodePoint(r));
+    }
+    const size_t hop_layers = r.Count(4);
+    c.hop_layers.reserve(hop_layers);
+    for (size_t h = 0; h < hop_layers && r.ok(); ++h) {
+      c.hop_layers.push_back(static_cast<int>(r.U32()));
+    }
+    route.conns.push_back(std::move(c));
+  }
+  if (!r.ok()) return std::nullopt;
+  return route;
+}
+
+void EncodeLayout(ArtifactWriter& w, const phys::Layout& layout) {
+  EncodeTech(w, layout.tech);
+  EncodePoint(w, layout.die.lo);
+  EncodePoint(w, layout.die.hi);
+  w.F64(layout.row_height_um);
+  w.F64(layout.slot_width_um);
+  w.U32(static_cast<uint32_t>(layout.num_rows));
+  w.U32(static_cast<uint32_t>(layout.slots_per_row));
+  w.U64(layout.position.size());
+  for (const Point& p : layout.position) EncodePoint(w, p);
+  w.U64(layout.placed.size());
+  for (uint8_t v : layout.placed) w.U8(v);
+  w.U64(layout.fixed.size());
+  for (uint8_t v : layout.fixed) w.U8(v);
+  w.U64(layout.routes.size());
+  for (const phys::NetRoute& route : layout.routes) EncodeNetRoute(w, route);
+}
+
+std::optional<phys::Layout> DecodeLayout(ArtifactReader& r) {
+  phys::Layout layout;
+  auto tech = DecodeTech(r);
+  if (!tech) return std::nullopt;
+  layout.tech = std::move(*tech);
+  layout.die.lo = DecodePoint(r);
+  layout.die.hi = DecodePoint(r);
+  layout.row_height_um = r.F64();
+  layout.slot_width_um = r.F64();
+  layout.num_rows = static_cast<int>(r.U32());
+  layout.slots_per_row = static_cast<int>(r.U32());
+  const size_t positions = r.Count(16);
+  layout.position.reserve(positions);
+  for (size_t i = 0; i < positions && r.ok(); ++i) {
+    layout.position.push_back(DecodePoint(r));
+  }
+  const size_t placed = r.Count(1);
+  layout.placed.reserve(placed);
+  for (size_t i = 0; i < placed && r.ok(); ++i) {
+    layout.placed.push_back(r.U8());
+  }
+  const size_t fixed = r.Count(1);
+  layout.fixed.reserve(fixed);
+  for (size_t i = 0; i < fixed && r.ok(); ++i) {
+    layout.fixed.push_back(r.U8());
+  }
+  const size_t routes = r.Count(9);
+  layout.routes.reserve(routes);
+  for (size_t i = 0; i < routes && r.ok(); ++i) {
+    auto route = DecodeNetRoute(r);
+    if (!route) return std::nullopt;
+    layout.routes.push_back(std::move(*route));
+  }
+  if (!r.ok()) return std::nullopt;
+  return layout;
+}
+
+// --- Whole-flow artifact --------------------------------------------------
+
+std::string EncodeFlowArtifact(const lock::AtpgLockResult& lock,
+                               const Netlist& physical_netlist,
+                               const phys::Layout& layout,
+                               const phys::LiftStats& lift) {
+  ArtifactWriter w;
+  w.U32(kArtifactFormatVersion);
+  EncodeNetlist(w, lock.locked);
+  w.U64(lock.key.size());
+  for (uint8_t bit : lock.key) w.U8(bit);
+  w.U64(lock.faults.size());
+  for (const lock::InjectedFault& f : lock.faults) {
+    w.Str(f.net_name);
+    w.U8(f.stuck_value ? 1 : 0);
+    w.U64(f.cut_leaves);
+    w.U64(f.cubes);
+    w.U64(f.key_bits);
+    w.F64(f.cone_area_removed);
+  }
+  w.U64(lock.pattern_bits);
+  w.U64(lock.padding_bits);
+  w.F64(lock.original_area_um2);
+  w.F64(lock.locked_area_um2);
+  w.U8(lock.lec_proven ? 1 : 0);
+  w.U8(lock.lec_equivalent ? 1 : 0);
+  EncodeNetlist(w, physical_netlist);
+  EncodeLayout(w, layout);
+  w.U64(lift.key_nets_lifted);
+  w.U64(lift.stacked_vias);
+  w.F64(lift.lifted_wirelength_um);
+  w.U64(lift.regular_nets_detoured);
+  w.U64(lift.drivers_upsized);
+  return w.Take();
+}
+
+std::optional<FlowArtifact> DecodeFlowArtifact(std::string_view payload) {
+  ArtifactReader r(payload);
+  if (r.U32() != kArtifactFormatVersion || !r.ok()) return std::nullopt;
+
+  FlowArtifact art;
+  auto locked = DecodeNetlist(r);
+  if (!locked) return std::nullopt;
+  art.lock.locked = std::move(*locked);
+  const size_t key_bits = r.Count(1);
+  art.lock.key.reserve(key_bits);
+  for (size_t i = 0; i < key_bits && r.ok(); ++i) {
+    art.lock.key.push_back(r.U8());
+  }
+  const size_t faults = r.Count(38);
+  art.lock.faults.reserve(faults);
+  for (size_t i = 0; i < faults && r.ok(); ++i) {
+    lock::InjectedFault f;
+    f.net_name = r.Str();
+    f.stuck_value = r.U8() != 0;
+    f.cut_leaves = r.U64();
+    f.cubes = r.U64();
+    f.key_bits = r.U64();
+    f.cone_area_removed = r.F64();
+    art.lock.faults.push_back(std::move(f));
+  }
+  art.lock.pattern_bits = r.U64();
+  art.lock.padding_bits = r.U64();
+  art.lock.original_area_um2 = r.F64();
+  art.lock.locked_area_um2 = r.F64();
+  art.lock.lec_proven = r.U8() != 0;
+  art.lock.lec_equivalent = r.U8() != 0;
+  if (!r.ok()) return std::nullopt;
+
+  auto physical = DecodeNetlist(r);
+  if (!physical) return std::nullopt;
+  art.netlist = std::make_unique<Netlist>(std::move(*physical));
+
+  auto layout = DecodeLayout(r);
+  if (!layout) return std::nullopt;
+  art.layout = std::make_unique<phys::Layout>(std::move(*layout));
+  art.layout->netlist = art.netlist.get();
+  // A layout whose per-gate/per-net vectors disagree with the netlist it is
+  // about to reference would index out of range downstream.
+  if (art.layout->position.size() != art.netlist->NumGates() ||
+      art.layout->placed.size() != art.netlist->NumGates() ||
+      art.layout->fixed.size() != art.netlist->NumGates() ||
+      art.layout->routes.size() != art.netlist->NumNets()) {
+    return std::nullopt;
+  }
+
+  art.lift.key_nets_lifted = r.U64();
+  art.lift.stacked_vias = r.U64();
+  art.lift.lifted_wirelength_um = r.F64();
+  art.lift.regular_nets_detoured = r.U64();
+  art.lift.drivers_upsized = r.U64();
+  if (!r.AtEnd()) return std::nullopt;
+  return art;
+}
+
+}  // namespace splitlock::store

@@ -1,0 +1,117 @@
+// Versioned binary serialization of physical-flow artifacts.
+//
+// The result store's summary records answer "what score did this flow get";
+// the artifact tier answers "give me the flow's in-memory state back" — the
+// locked netlist, the physical (compacted) netlist, the placed-and-routed
+// layout, and the lift statistics — so a warm store skips place/route/lift
+// entirely and replays only the cheap analysis stages.
+//
+// Encoding is length-prefixed little-endian throughout: every integer is
+// written byte-by-byte with explicit shifts (no memcpy of host structs), so
+// blobs are portable across endianness and padding rules, and
+// serialize(deserialize(x)) is byte-identical because reads and writes walk
+// the same accessors in the same order. The blob starts with
+// kArtifactFormatVersion; the store envelope (result_store) adds its own
+// schema version, key echo, and content checksum on top. Decoders are
+// bounds-checked and return nullopt on any malformed input — corruption is a
+// cache miss, never a crash or a stale layout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lock/atpg_lock.hpp"
+#include "netlist/netlist.hpp"
+#include "phys/layout.hpp"
+#include "phys/router.hpp"
+
+namespace splitlock::store {
+
+// Bumped whenever the payload layout below changes shape. A mismatch makes
+// the whole blob a miss (recompute), never a partial parse.
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+// Everything RunSecureFlow needs to resume after place/route/lift: the lock
+// result (locked netlist + key + fault metadata), the physical netlist the
+// layout references, the layout itself, and the lift stats. `layout->netlist`
+// is re-pointed at `netlist` by DecodeFlowArtifact.
+struct FlowArtifact {
+  lock::AtpgLockResult lock;
+  std::unique_ptr<Netlist> netlist;
+  std::unique_ptr<phys::Layout> layout;
+  phys::LiftStats lift;
+};
+
+// --- Byte-stream primitives (exposed for tests) ---------------------------
+
+class ArtifactWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  void Str(std::string_view s);  // u64 length + bytes
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ArtifactReader {
+ public:
+  explicit ArtifactReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  std::string Str();
+
+  // Reads a u64 element count, rejecting counts that could not possibly fit
+  // in the remaining bytes (each element takes >= `min_elem_bytes`). Guards
+  // vector reserves against corrupt counts.
+  size_t Count(size_t min_elem_bytes);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Ensure(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Granular codecs (exposed for tests) ----------------------------------
+
+void EncodeNetlist(ArtifactWriter& w, const Netlist& nl);
+std::optional<Netlist> DecodeNetlist(ArtifactReader& r);
+
+void EncodeNetRoute(ArtifactWriter& w, const phys::NetRoute& route);
+std::optional<phys::NetRoute> DecodeNetRoute(ArtifactReader& r);
+
+// Layout geometry + tech; `netlist` pointer is NOT serialized — the decoded
+// layout's pointer is null until the caller re-attaches it.
+void EncodeLayout(ArtifactWriter& w, const phys::Layout& layout);
+std::optional<phys::Layout> DecodeLayout(ArtifactReader& r);
+
+// --- Whole-flow artifact --------------------------------------------------
+
+std::string EncodeFlowArtifact(const lock::AtpgLockResult& lock,
+                               const Netlist& physical_netlist,
+                               const phys::Layout& layout,
+                               const phys::LiftStats& lift);
+
+// Returns nullopt on any structural problem: truncation, trailing bytes,
+// format-version mismatch, or a decoded netlist that fails Validate().
+std::optional<FlowArtifact> DecodeFlowArtifact(std::string_view payload);
+
+}  // namespace splitlock::store

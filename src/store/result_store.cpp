@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "attack/engine.hpp"  // JsonEscape
+#include "store/artifact_io.hpp"  // ArtifactWriter/Reader for blob envelopes
 #include "util/hash.hpp"
 
 #ifdef _WIN32
@@ -43,6 +44,10 @@ uint64_t GetU64(const util::JsonValue& v, const std::string& key) {
   return d <= 0.0 ? 0 : static_cast<uint64_t>(d);
 }
 
+// First four bytes of every artifact blob ("SLAR" little-endian), so a
+// record JSON accidentally renamed to .art fails at byte 0.
+constexpr uint32_t kArtifactMagic = 0x52414c53u;
+
 }  // namespace
 
 std::string CanonicalDouble(double value) {
@@ -64,6 +69,14 @@ std::string StoreKey::Filename() const {
   }
   return suite_part + "-s" + scale_part + "-f" + util::HexU64(flow_hash) +
          "-a" + util::HexU64(attack_hash) + ".json";
+}
+
+std::string StoreKey::ArtifactFilename() const {
+  // Reuse Filename()'s sanitization, then drop the attack-hash component:
+  // artifacts are keyed by (suite, scale, flow) only.
+  const std::string record = Filename();
+  const size_t attack_pos = record.rfind("-a");
+  return record.substr(0, attack_pos) + ".art";
 }
 
 uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
@@ -143,7 +156,11 @@ std::string CampaignRecord::ToJson(bool include_timings) const {
                         ",\"place_s\":" + CanonicalDouble(place_s) +
                         ",\"route_s\":" + CanonicalDouble(route_s) +
                         ",\"lift_s\":" + CanonicalDouble(lift_s) +
-                        ",\"analyze_s\":" + CanonicalDouble(analyze_s) + "}";
+                        ",\"sta_s\":" + CanonicalDouble(sta_s) +
+                        ",\"analyze_s\":" + CanonicalDouble(analyze_s) +
+                        ",\"artifact_load_s\":" + CanonicalDouble(artifact_load_s) +
+                        ",\"artifact_save_s\":" + CanonicalDouble(artifact_save_s) +
+                        "}";
     AppendKv(&out, "times", times, &first);
     AppendKv(&out, "elapsed_s", CanonicalDouble(elapsed_s), &first);
   }
@@ -210,7 +227,10 @@ std::optional<CampaignRecord> CampaignRecord::FromJson(
     r.place_s = times->GetNumber("place_s", 0.0);
     r.route_s = times->GetNumber("route_s", 0.0);
     r.lift_s = times->GetNumber("lift_s", 0.0);
+    r.sta_s = times->GetNumber("sta_s", 0.0);
     r.analyze_s = times->GetNumber("analyze_s", 0.0);
+    r.artifact_load_s = times->GetNumber("artifact_load_s", 0.0);
+    r.artifact_save_s = times->GetNumber("artifact_save_s", 0.0);
   }
   r.elapsed_s = v.GetNumber("elapsed_s", 0.0);
   return r;
@@ -314,9 +334,116 @@ bool ResultStore::Insert(const StoreKey& key, const CampaignRecord& record) {
   return true;
 }
 
+// --- Artifact tier ----------------------------------------------------------
+
+std::string ResultStore::ArtifactPathFor(const StoreKey& key) const {
+  return dir_ + "/" + key.ArtifactFilename();
+}
+
+std::optional<std::string> ResultStore::LookupArtifact(const StoreKey& key) {
+  std::string blob;
+  {
+    std::FILE* f = std::fopen(ArtifactPathFor(key).c_str(), "rb");
+    if (!f) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++artifact_stats_.misses;
+      return std::nullopt;
+    }
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, n);
+    std::fclose(f);
+  }
+
+  const auto corrupt_miss = [&]() -> std::optional<std::string> {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++artifact_stats_.misses;
+    ++artifact_stats_.corrupt;
+    return std::nullopt;
+  };
+
+  ArtifactReader r(blob);
+  if (r.U32() != kArtifactMagic) return corrupt_miss();
+  if (static_cast<int>(r.U32()) != kResultSchemaVersion) return corrupt_miss();
+  // Key echo, mirroring the record path: a renamed or collided file reads
+  // as corrupt, never as somebody else's layout.
+  if (r.Str() != key.suite || r.Str() != key.scale ||
+      r.U64() != key.flow_hash || !r.ok()) {
+    return corrupt_miss();
+  }
+  const size_t payload_size = r.Count(1);
+  const uint64_t checksum = r.U64();
+  if (!r.ok()) return corrupt_miss();
+  std::string payload = r.Str();
+  // Str() re-reads the length prefix Count() validated; the two must agree
+  // and the payload must end the blob exactly.
+  if (!r.AtEnd() || payload.size() != payload_size ||
+      util::Fnv1a(payload) != checksum) {
+    return corrupt_miss();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++artifact_stats_.hits;
+  artifact_stats_.bytes_read += blob.size();
+  return payload;
+}
+
+bool ResultStore::InsertArtifact(const StoreKey& key,
+                                 std::string_view payload) {
+  ArtifactWriter w;
+  w.U32(kArtifactMagic);
+  w.U32(static_cast<uint32_t>(kResultSchemaVersion));
+  w.Str(key.suite);
+  w.Str(key.scale);
+  w.U64(key.flow_hash);
+  w.U64(payload.size());
+  w.U64(util::Fnv1a(payload));
+  w.Str(payload);
+  const std::string& doc = w.bytes();
+
+  static std::atomic<uint64_t> counter{0};
+  const std::string path = ArtifactPathFor(key);
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(SPLITLOCK_GETPID()) + "." +
+                          std::to_string(counter.fetch_add(1));
+
+  const auto fail = [&]() {
+    std::remove(tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++artifact_stats_.insert_errors;
+    return false;
+  };
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return fail();
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) return fail();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++artifact_stats_.inserts;
+  artifact_stats_.bytes_written += doc.size();
+  return true;
+}
+
+void ResultStore::NoteArtifactCorrupt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The lookup already counted a hit for the envelope; the payload turned
+  // out to be undecodable, so reclassify it.
+  if (artifact_stats_.hits > 0) --artifact_stats_.hits;
+  ++artifact_stats_.misses;
+  ++artifact_stats_.corrupt;
+}
+
 StoreStats ResultStore::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+ArtifactStats ResultStore::ArtifactTierStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return artifact_stats_;
 }
 
 }  // namespace splitlock::store

@@ -24,10 +24,16 @@
 // `corrupt` stat) rather than erroring, so a damaged cache degrades to
 // recomputation, never to a failed campaign.
 //
-// The records deliberately do NOT contain netlists or layouts: consumers
-// that need the physical artifacts themselves (ablation benches probing
-// the FEOL view) recompute; consumers that need numbers (the table
-// harnesses, `splitlock_cli suite`, CI) are served from the store.
+// The JSON records deliberately do NOT contain netlists or layouts — those
+// live in the *artifact tier*: per-flow binary blobs (store/artifact_io)
+// filed next to the records under the same suite/scale/flow-hash key (the
+// attack hash is excluded — artifacts capture the flow output, which every
+// attack portfolio over the same FEOL shares). Consumers that need the
+// physical state back (`force_compute` recomputes, ablation benches,
+// report portfolios) deserialize instead of re-running place/route/lift;
+// consumers that need numbers are served from the JSON records. Artifact
+// blobs ride the same temp-file + rename publish path and the same
+// corruption-tolerance policy: a damaged blob is a miss, never a crash.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +53,11 @@ namespace splitlock::store {
 // merge with new ones. v2: portable in-repo RNG draws + per-net/per-move
 // stream restructure changed every seed-dependent result, and the stage
 // timings gained analyze_s — v1 records are unreproducible by v2 binaries.
-inline constexpr int kResultSchemaVersion = 2;
+// v3: the floorplan/initial-placement prefix moved to counter-based
+// StreamRng draws and floorplan sizing to a chunked parallel reduction,
+// changing every seed-dependent placement; stage timings gained sta_s /
+// artifact_load_s / artifact_save_s and the artifact tier was introduced.
+inline constexpr int kResultSchemaVersion = 3;
 
 // Canonical double formatting for record JSON: round-trip exact (%.17g),
 // so re-serializing a parsed record is bit-identical.
@@ -62,6 +72,10 @@ struct StoreKey {
 
   // Filesystem-safe record filename ('/' in suite ids becomes '_').
   std::string Filename() const;
+  // Artifact-blob filename for the same key. Deliberately omits the attack
+  // hash: the blob captures the flow output, which is shared by every
+  // attack portfolio over the same (suite, scale, flow) triple.
+  std::string ArtifactFilename() const;
   bool operator==(const StoreKey&) const = default;
 };
 
@@ -119,7 +133,10 @@ struct CampaignRecord {
   double place_s = 0.0;
   double route_s = 0.0;
   double lift_s = 0.0;
-  double analyze_s = 0.0;  // STA + toggle-rate + power estimation
+  double sta_s = 0.0;      // RunSta alone
+  double analyze_s = 0.0;  // toggle-rate + power estimation
+  double artifact_load_s = 0.0;  // artifact-tier deserialize (warm path)
+  double artifact_save_s = 0.0;  // artifact-tier serialize + publish
   double elapsed_s = 0.0;
 
   // One JSON object. Canonical form omits every timing field and is
@@ -140,6 +157,18 @@ struct StoreStats {
   uint64_t corrupt = 0;  // present-but-unusable files (counted as misses too)
 };
 
+// Counters for the artifact tier, kept separate from the summary-record
+// stats so `--store-stats` can show both cache populations independently.
+struct ArtifactStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t insert_errors = 0;
+  uint64_t corrupt = 0;  // envelope- or payload-level failures (misses too)
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
 // The on-disk store. Thread-safe: campaign workers look up and insert
 // concurrently; distinct keys map to distinct files and same-key races are
 // resolved by atomic rename (last writer wins with an identical record).
@@ -153,15 +182,32 @@ class ResultStore {
   // False on I/O failure (counted in stats, never throws).
   bool Insert(const StoreKey& key, const CampaignRecord& record);
 
+  // --- Artifact tier ------------------------------------------------------
+  // Blobs are opaque payloads (store/artifact_io encodings) wrapped in an
+  // envelope carrying magic, schema version, key echo, payload length, and
+  // an FNV-1a content checksum. Lookup validates the whole envelope before
+  // returning the payload; anything malformed is a corrupt miss.
+
+  std::optional<std::string> LookupArtifact(const StoreKey& key);
+  // False on I/O failure (counted in stats, never throws).
+  bool InsertArtifact(const StoreKey& key, std::string_view payload);
+  // Callers that fail to *decode* a payload the envelope vouched for (e.g.
+  // a format-version mismatch inside artifact_io) report it here so the
+  // blob is reclassified from hit to corrupt miss.
+  void NoteArtifactCorrupt();
+
   StoreStats Stats() const;
+  ArtifactStats ArtifactTierStats() const;
   const std::string& dir() const { return dir_; }
 
  private:
   std::string PathFor(const StoreKey& key) const;
+  std::string ArtifactPathFor(const StoreKey& key) const;
 
   std::string dir_;
   mutable std::mutex mu_;
   StoreStats stats_;
+  ArtifactStats artifact_stats_;
 };
 
 }  // namespace splitlock::store

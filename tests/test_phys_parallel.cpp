@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "circuits/random_circuit.hpp"
+#include "circuits/suites.hpp"
 #include "exec/thread_pool.hpp"
 #include "lock/atpg_lock.hpp"
 #include "lock/key.hpp"
@@ -191,6 +192,63 @@ TEST(Sta, SinkLessAndDriverLessCornersDoNotCrash) {
     EXPECT_GE(t, 0.0);
   }
   (void)po;
+}
+
+TEST(ParallelSta, MatchesSerialReferenceExactly) {
+  // 800 logic gates puts the design above the parallel-dispatch threshold,
+  // so RunSta takes the levelized path while RunStaSerial walks the same
+  // netlist in plain topological order. The contract is bitwise equality:
+  // every gate's delay is computed identically and each net has exactly one
+  // driver, so the schedule cannot change any arrival time.
+  const Netlist nl = TestCircuit(6, 800);
+  PlacerOptions popts;
+  popts.seed = 66;
+  popts.moves_per_cell = 10;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 66;
+  RouteDesign(layout, ropts);
+
+  const TimingReport serial = RunStaSerial(layout);
+  const TimingReport parallel = RunSta(layout);
+  EXPECT_EQ(serial.critical_path_ps, parallel.critical_path_ps);
+  ASSERT_EQ(serial.net_arrival_ps.size(), parallel.net_arrival_ps.size());
+  for (size_t n = 0; n < serial.net_arrival_ps.size(); ++n) {
+    EXPECT_EQ(serial.net_arrival_ps[n], parallel.net_arrival_ps[n])
+        << "net " << n;
+  }
+}
+
+TEST(ParallelSta, ThreadCountInvariant) {
+  PoolWidthGuard guard;
+  // A realistic suite member (scaled down) rather than a random DAG: this
+  // is the shape the flow actually times.
+  const Netlist nl = circuits::MakeItc99("b14", 0.1);
+  ASSERT_GT(nl.NumLogicGates(), 512u);  // must exercise the parallel path
+  PlacerOptions popts;
+  popts.seed = 77;
+  popts.moves_per_cell = 5;
+  Layout layout = PlaceDesign(nl, Tech::Nangate45Like(), popts);
+  RouterOptions ropts;
+  ropts.seed = 77;
+  RouteDesign(layout, ropts);
+
+  TimingReport reference;
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    const TimingReport report = RunSta(layout);
+    if (threads == 1) {
+      reference = report;
+      continue;
+    }
+    EXPECT_EQ(report.critical_path_ps, reference.critical_path_ps)
+        << "critical path diverged at " << threads << " threads";
+    ASSERT_EQ(report.net_arrival_ps.size(), reference.net_arrival_ps.size());
+    for (size_t n = 0; n < report.net_arrival_ps.size(); ++n) {
+      EXPECT_EQ(report.net_arrival_ps[n], reference.net_arrival_ps[n])
+          << "net " << n << " diverged at " << threads << " threads";
+    }
+  }
 }
 
 TEST(EcoDetour, ShiftsTheSegmentOnTheLiftPair) {

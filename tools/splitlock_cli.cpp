@@ -28,8 +28,11 @@
 //       hardware concurrency). --shards/--shard-index runs one
 //       deterministic round-robin shard of the job list in this process
 //       (see `merge`). --store consults/fills a persistent result-store
-//       directory, so repeated runs skip completed jobs; --store-stats
-//       prints the hit/miss/insert counters to stderr at exit. --json
+//       directory, so repeated runs skip completed jobs — including the
+//       artifact tier, which warm-starts compute-path jobs from serialized
+//       layouts instead of re-running place/route/lift; --store-stats
+//       prints the hit/miss/insert counters of both tiers to stderr at
+//       exit (plus a JSON stats object on stderr under --json). --json
 //       emits the shard outcome table (canonical JSON, timings excluded)
 //       instead of text; --out additionally writes it to a file.
 //   merge  <shard.json>... [--json] [--out F]
@@ -493,6 +496,7 @@ int CmdSuite(const Args& args) {
   }
   if (result_store && args.store_stats) {
     const store::StoreStats stats = result_store->Stats();
+    const store::ArtifactStats art = result_store->ArtifactTierStats();
     std::fprintf(stderr,
                  "store-stats: hits=%llu misses=%llu inserts=%llu "
                  "insert_errors=%llu corrupt=%llu\n",
@@ -501,6 +505,37 @@ int CmdSuite(const Args& args) {
                  (unsigned long long)stats.inserts,
                  (unsigned long long)stats.insert_errors,
                  (unsigned long long)stats.corrupt);
+    std::fprintf(stderr,
+                 "store-stats: artifact_hits=%llu artifact_misses=%llu "
+                 "artifact_inserts=%llu artifact_insert_errors=%llu "
+                 "artifact_corrupt=%llu artifact_bytes_read=%llu "
+                 "artifact_bytes_written=%llu\n",
+                 (unsigned long long)art.hits, (unsigned long long)art.misses,
+                 (unsigned long long)art.inserts,
+                 (unsigned long long)art.insert_errors,
+                 (unsigned long long)art.corrupt,
+                 (unsigned long long)art.bytes_read,
+                 (unsigned long long)art.bytes_written);
+    if (args.json) {
+      // The canonical suite table (stdout/--out) must stay byte-identical
+      // between warm and cold runs, so the stats object goes to stderr.
+      std::fprintf(
+          stderr,
+          "{\"store_stats\":{\"hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
+          "\"insert_errors\":%llu,\"corrupt\":%llu,"
+          "\"artifact\":{\"hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
+          "\"insert_errors\":%llu,\"corrupt\":%llu,\"bytes_read\":%llu,"
+          "\"bytes_written\":%llu}}}\n",
+          (unsigned long long)stats.hits, (unsigned long long)stats.misses,
+          (unsigned long long)stats.inserts,
+          (unsigned long long)stats.insert_errors,
+          (unsigned long long)stats.corrupt, (unsigned long long)art.hits,
+          (unsigned long long)art.misses, (unsigned long long)art.inserts,
+          (unsigned long long)art.insert_errors,
+          (unsigned long long)art.corrupt,
+          (unsigned long long)art.bytes_read,
+          (unsigned long long)art.bytes_written);
+    }
   }
   return rc;
 }
