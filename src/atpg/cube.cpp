@@ -100,6 +100,8 @@ std::vector<Cube> MintermsToCubes(const std::vector<uint64_t>& minterms,
     size_t best_count = 0;
     for (size_t i = 0; i < primes.size(); ++i) {
       size_t count = 0;
+      // lint:ordered-reduction counts set membership into a scalar; the
+      // winner is picked by lowest prime index, never by visit order
       for (uint64_t m : uncovered) {
         if (primes[i].Covers(m)) ++count;
       }
@@ -111,6 +113,8 @@ std::vector<Cube> MintermsToCubes(const std::vector<uint64_t>& minterms,
     // Every uncovered minterm is itself a prime or covered by one.
     if (best_count == 0) break;
     cover.push_back(primes[best_i]);
+    // lint:ordered-reduction unconditional erase filter; the surviving set
+    // is the same whatever order elements are visited in
     for (auto it = uncovered.begin(); it != uncovered.end();) {
       it = primes[best_i].Covers(*it) ? uncovered.erase(it) : ++it;
     }

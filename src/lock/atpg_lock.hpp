@@ -49,6 +49,8 @@ struct AtpgLockOptions {
   uint64_t seed = 1;
 };
 
+// lint:result-schema(v3) encoded by store/artifact_io (flow artifact) — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct InjectedFault {
   std::string net_name;
   bool stuck_value = false;
@@ -58,6 +60,8 @@ struct InjectedFault {
   double cone_area_removed = 0.0;
 };
 
+// lint:result-schema(v3) encoded by store/artifact_io (flow artifact) — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct AtpgLockResult {
   Netlist locked;
   std::vector<uint8_t> key;  // correct key, KeyInputs() order

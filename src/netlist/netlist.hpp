@@ -67,6 +67,8 @@ inline constexpr uint16_t kFlagKeyGate = 1u << 1;    // consumes a key bit
 inline constexpr uint16_t kFlagRestore = 1u << 2;    // part of restore logic
 inline constexpr uint16_t kFlagTie = 1u << 3;        // TIE cell instance
 
+// lint:result-schema(v3) encoded by store/artifact_io EncodeNetlist — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct Gate {
   GateOp op = GateOp::kDeleted;
   std::vector<NetId> fanins;
@@ -79,6 +81,8 @@ struct Gate {
 };
 
 // A (gate, fanin-index) pair identifying one input pin connection.
+// lint:result-schema(v3) encoded by store/artifact_io (net sinks, route
+// sink pins) — a result-affecting change here needs a version bump.
 struct Pin {
   GateId gate = kNullId;
   uint32_t index = 0;
@@ -88,6 +92,8 @@ struct Pin {
   }
 };
 
+// lint:result-schema(v3) encoded by store/artifact_io EncodeNetlist — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct Net {
   std::string name;
   GateId driver = kNullId;
@@ -97,6 +103,9 @@ struct Net {
 // Mutable gate-level netlist. Gates and nets are referenced by dense ids;
 // deleting a gate marks it kDeleted (ids stay stable) and Compacted() builds
 // a renumbered copy.
+// lint:result-schema(v3) encoded by store/artifact_io EncodeNetlist /
+// rebuilt by FromRawParts — a result-affecting change (ids, ordering,
+// serialized fields) needs a kResultSchemaVersion bump.
 class Netlist {
  public:
   Netlist() = default;

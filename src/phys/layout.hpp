@@ -24,6 +24,8 @@
 namespace splitlock::phys {
 
 // One axis-aligned wire piece on a metal layer.
+// lint:result-schema(v3) encoded by store/artifact_io EncodeLayout — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct Segment {
   int layer = 1;  // 1-based metal index
   Point a;
@@ -33,6 +35,8 @@ struct Segment {
 };
 
 // A vertical stack of vias at one point, spanning [from_layer, to_layer].
+// lint:result-schema(v3) encoded by store/artifact_io EncodeLayout — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct ViaStack {
   Point at;
   int from_layer = 1;
@@ -43,6 +47,8 @@ struct ViaStack {
 
 // Route of a single driver-to-sink connection. Segments are ordered from
 // the driver pin toward the sink pin.
+// lint:result-schema(v3) encoded by store/artifact_io EncodeNetRoute — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct ConnRoute {
   Pin sink;
   std::vector<Segment> segments;
@@ -58,6 +64,8 @@ struct ConnRoute {
   int MaxLayer() const;
 };
 
+// lint:result-schema(v3) encoded by store/artifact_io EncodeNetRoute — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct NetRoute {
   std::vector<ConnRoute> conns;
   bool routed = false;
@@ -66,6 +74,10 @@ struct NetRoute {
   double TotalLength() const;
 };
 
+// lint:result-schema(v3) encoded by store/artifact_io EncodeLayout (die,
+// rows, positions, flags, routes; tech/netlist pointers are rebound on
+// decode) — a result-affecting change here needs a kResultSchemaVersion
+// bump.
 struct Layout {
   const Netlist* netlist = nullptr;
   Tech tech;

@@ -87,6 +87,8 @@ uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
 
 // Summary of one attack-engine run inside a job (subset of
 // attack::AttackReport that is serializable and small).
+// lint:result-schema(v3) persisted in the canonical record JSON — a
+// result-affecting change here needs a kResultSchemaVersion bump.
 struct AttackRecord {
   std::string engine;
   std::string config;
@@ -100,6 +102,8 @@ struct AttackRecord {
 
 // The deterministic summary of one campaign job, plus (non-canonical)
 // timings from the run that produced it.
+// lint:result-schema(v3) the canonical record layout itself — any change
+// to serialized fields IS the schema; bump kResultSchemaVersion.
 struct CampaignRecord {
   std::string name;
   bool ok = false;

@@ -1,0 +1,502 @@
+// Tests for tools/lint — the determinism & concurrency linter.
+//
+// Each rule is driven over inline fixture snippets: a positive hit, a
+// negative near-miss, a pragma-suppressed hit, and a malformed pragma.
+// The last test smoke-runs the linter over the real tree and asserts the
+// acceptance contract: zero unsuppressed violations, and every
+// suppression carries a reason.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace splitlock::lint {
+namespace {
+
+// Count violations of `rule`; suppressed ones only when `suppressed`.
+size_t Count(const LintResult& r, const std::string& rule,
+             bool suppressed = false) {
+  size_t k = 0;
+  for (const Violation& v : r.violations) {
+    if (v.rule == rule && v.suppressed == suppressed) ++k;
+  }
+  return k;
+}
+
+LintResult RunLint(const std::string& path, const std::string& src,
+               int schema_version = -1) {
+  LintOptions opts;
+  opts.expected_schema_version = schema_version;
+  return LintSource(path, src, opts);
+}
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokensCommentsAndLiterals) {
+  const auto lex = Lex(
+      "int a = 42; // note\n"
+      "const char* s = \"rand() inside string\";\n"
+      "/* block\n   comment */ a += 0x1p3;\n");
+  // No identifier token leaks out of the string literal.
+  for (const Token& t : lex.tokens) {
+    EXPECT_FALSE(t.kind == TokKind::kIdent && t.text == "rand") << t.text;
+  }
+  ASSERT_EQ(lex.comments.size(), 2u);
+  EXPECT_EQ(lex.comments[0].text, " note");
+  EXPECT_EQ(lex.comments[1].line, 3);
+  // += survives as one punct token.
+  EXPECT_NE(std::find_if(lex.tokens.begin(), lex.tokens.end(),
+                         [](const Token& t) { return t.text == "+="; }),
+            lex.tokens.end());
+}
+
+TEST(Lexer, RawStringsDoNotLeakTokens) {
+  const auto lex = Lex("auto s = R\"(rand() system_clock)\"; int x;");
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "system_clock");
+  }
+}
+
+TEST(Lexer, AdjacentLineCommentsMerge) {
+  const auto lex = Lex("// first\n// second\nint x;\n// detached\n");
+  ASSERT_EQ(lex.comments.size(), 2u);
+  EXPECT_EQ(lex.comments[0].text, " first second");
+  EXPECT_EQ(lex.comments[0].end_line, 2);
+}
+
+// --- raw-random -------------------------------------------------------------
+
+TEST(RawRandom, FlagsStdlibPrimitives) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "int x = rand();"), "raw-random"), 1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "std::mt19937_64 eng(7);"), "raw-random"),
+            1u);
+  EXPECT_EQ(
+      Count(RunLint("src/a.cpp", "std::uniform_int_distribution<int> d(0, 9);"),
+            "raw-random"),
+      1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "std::random_device rd;"), "raw-random"),
+            1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "#include <random>\n"), "raw-random"),
+            1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "std::shuffle(v.begin(), v.end(), g);"),
+                  "raw-random"),
+            1u);
+}
+
+TEST(RawRandom, NegativeMisses) {
+  // The repo's own portable draws are fine.
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "rng.NextUint(7); stream.NextWord();"),
+                  "raw-random"),
+            0u);
+  // Member access named rand is not ::rand.
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "cfg.rand(); obj->rand();"),
+                  "raw-random"),
+            0u);
+  // The repo's capitalized Shuffle is not std::shuffle.
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "rng.Shuffle(v);"), "raw-random"), 0u);
+  // Words inside strings/comments don't count.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "const char* s = \"rand()\"; // rand() here\n"),
+                  "raw-random"),
+            0u);
+}
+
+TEST(RawRandom, RngHomesAreAllowlisted) {
+  const std::string src = "std::mt19937_64 engine_; int r = rand();";
+  EXPECT_EQ(Count(RunLint("src/util/rng.hpp", src), "raw-random"), 0u);
+  EXPECT_EQ(Count(RunLint("src/exec/stream_rng.hpp", src), "raw-random"), 0u);
+  EXPECT_EQ(Count(RunLint("src/phys/placer.cpp", src), "raw-random"), 2u);
+}
+
+TEST(RawRandom, PragmaSuppressesWithReason) {
+  const auto r = RunLint("src/a.cpp",
+                     "// lint:allow(raw-random) seeding an external "
+                     "library's reproducible self-test\n"
+                     "std::mt19937_64 eng(7);\n");
+  EXPECT_EQ(Count(r, "raw-random", /*suppressed=*/false), 0u);
+  ASSERT_EQ(Count(r, "raw-random", /*suppressed=*/true), 1u);
+  for (const Violation& v : r.violations) {
+    if (v.suppressed) EXPECT_FALSE(v.reason.empty());
+  }
+}
+
+// --- wall-clock -------------------------------------------------------------
+
+TEST(WallClock, FlagsWallClockSources) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "auto t = std::chrono::system_clock::now();"),
+                  "wall-clock"),
+            1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "time_t t = time(nullptr);"),
+                  "wall-clock"),
+            1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "auto t = std::time(nullptr);"),
+                  "wall-clock"),
+            1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "gettimeofday(&tv, nullptr);"),
+                  "wall-clock"),
+            1u);
+}
+
+TEST(WallClock, SteadyClockAndDeclarationsPass) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "auto t = std::chrono::steady_clock::now();"),
+                  "wall-clock"),
+            0u);
+  // A function *named* time is a declaration, not a call of ::time.
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "double time(int x) { return 0; }"),
+                  "wall-clock"),
+            0u);
+  // Member .time() is not ::time().
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "double t = report.time();"),
+                  "wall-clock"),
+            0u);
+  // The telemetry shim is allowlisted.
+  EXPECT_EQ(Count(RunLint("src/util/stopwatch.hpp",
+                      "auto t = std::chrono::system_clock::now();"),
+                  "wall-clock"),
+            0u);
+}
+
+TEST(WallClock, AllowFilePragma) {
+  const auto r = RunLint("src/a.cpp",
+                     "// lint:allow-file(wall-clock) profiler tool whose "
+                     "output IS wall time\n"
+                     "auto a = std::chrono::system_clock::now();\n"
+                     "auto b = time(nullptr);\n");
+  EXPECT_EQ(Count(r, "wall-clock", false), 0u);
+  EXPECT_EQ(Count(r, "wall-clock", true), 2u);
+}
+
+// --- unordered-iter ---------------------------------------------------------
+
+TEST(UnorderedIter, FlagsRangeForAndIteratorWalks) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::unordered_set<int> s;\n"
+                      "for (int x : s) out.push_back(x);\n"),
+                  "unordered-iter"),
+            1u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::unordered_map<int, int> m;\n"
+                      "for (auto it = m.begin(); it != m.end(); ++it) {}\n"),
+                  "unordered-iter"),
+            1u);
+  // Member containers count too.
+  EXPECT_EQ(Count(RunLint("src/a.hpp",
+                      "struct S {\n"
+                      "  std::unordered_map<int, int> cache_;\n"
+                      "  void Dump() { for (auto& kv : cache_) Emit(kv); }\n"
+                      "};\n"),
+                  "unordered-iter"),
+            1u);
+}
+
+TEST(UnorderedIter, MembershipAndOrderedContainersPass) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::unordered_set<int> s;\n"
+                      "if (s.count(3) != 0) s.insert(4);\n"
+                      "auto it = s.find(5);\n"),
+                  "unordered-iter"),
+            0u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::set<int> s;\n"
+                      "for (int x : s) out.push_back(x);\n"),
+                  "unordered-iter"),
+            0u);
+  // Same-named iteration without an unordered declaration in scope.
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "for (int x : values) Use(x);\n"),
+                  "unordered-iter"),
+            0u);
+}
+
+TEST(UnorderedIter, OrderedReductionAnnotation) {
+  const auto r = RunLint("src/a.cpp",
+                     "std::unordered_set<int> s;\n"
+                     "int sum = 0;\n"
+                     "// lint:ordered-reduction summing into a scalar is "
+                     "order-insensitive\n"
+                     "for (int x : s) sum += x;\n");
+  EXPECT_EQ(Count(r, "unordered-iter", false), 0u);
+  EXPECT_EQ(Count(r, "unordered-iter", true), 1u);
+}
+
+TEST(UnorderedIter, AnnotationWithoutReasonIsRejected) {
+  const auto r = RunLint("src/a.cpp",
+                     "std::unordered_set<int> s;\n"
+                     "// lint:ordered-reduction\n"
+                     "for (int x : s) Use(x);\n");
+  // The hit stays unsuppressed AND the empty pragma is flagged.
+  EXPECT_EQ(Count(r, "unordered-iter", false), 1u);
+  EXPECT_EQ(Count(r, "bad-pragma", false), 1u);
+}
+
+// --- pointer-sort -----------------------------------------------------------
+
+TEST(PointerSort, FlagsAddressComparison) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::sort(v.begin(), v.end(),\n"
+                      "          [](const Gate* a, const Gate* b) {\n"
+                      "            return a < b;\n"
+                      "          });\n"),
+                  "pointer-sort"),
+            1u);
+}
+
+TEST(PointerSort, DereferencedAndFieldComparisonsPass) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::sort(v.begin(), v.end(),\n"
+                      "          [](const Gate* a, const Gate* b) {\n"
+                      "            return *a < *b;\n"
+                      "          });\n"),
+                  "pointer-sort"),
+            0u);
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::sort(v.begin(), v.end(),\n"
+                      "          [](const Gate* a, const Gate* b) {\n"
+                      "            return a->id < b->id;\n"
+                      "          });\n"),
+                  "pointer-sort"),
+            0u);
+  // Value comparators are fine.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::sort(v.begin(), v.end(),\n"
+                      "          [](int a, int b) { return a < b; });\n"),
+                  "pointer-sort"),
+            0u);
+}
+
+TEST(PointerSort, PragmaSuppressed) {
+  const auto r = RunLint(
+      "src/a.cpp",
+      "std::sort(v.begin(), v.end(),\n"
+      "          // lint:allow(pointer-sort) arena-allocated, address order "
+      "is creation order here\n"
+      "          [](const T* a, const T* b) { return a < b; });\n");
+  EXPECT_EQ(Count(r, "pointer-sort", false), 0u);
+}
+
+// --- shared-capture ---------------------------------------------------------
+
+TEST(SharedCapture, FlagsUnsubscriptedSharedWrites) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "double sum = 0.0;\n"
+                      "exec::ParallelFor(n, 1, [&](size_t lo, size_t hi) {\n"
+                      "  for (size_t i = lo; i < hi; ++i) sum += f(i);\n"
+                      "});\n"),
+                  "shared-capture"),
+            1u);
+  // Mutating member call on a shared container.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "std::vector<int> out;\n"
+                      "exec::ParallelFor(n, 1, [&](size_t lo, size_t hi) {\n"
+                      "  out.push_back(static_cast<int>(lo));\n"
+                      "});\n"),
+                  "shared-capture"),
+            1u);
+  // Named by-reference capture is just as shared.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "uint64_t count = 0;\n"
+                      "exec::ParallelFor(n, 1,\n"
+                      "    [&count](size_t lo, size_t hi) { ++count; });\n"),
+                  "shared-capture"),
+            1u);
+}
+
+TEST(SharedCapture, DisjointAndLocalWritesPass) {
+  // The repo idiom: subscripted writes into preallocated slots.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "exec::ParallelFor(n, 1, [&](size_t lo, size_t hi) {\n"
+                      "  for (size_t i = lo; i < hi; ++i) out[i] = f(i);\n"
+                      "});\n"),
+                  "shared-capture"),
+            0u);
+  // Locals declared inside the lambda, including template-heavy ones.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "exec::ParallelReduce<std::set<std::vector<int>>>(\n"
+                      "    n, 1, {}, [&](size_t lo, size_t hi) {\n"
+                      "      std::set<std::vector<int>> local;\n"
+                      "      local.insert(make(lo));\n"
+                      "      int acc = 0;\n"
+                      "      acc += static_cast<int>(hi);\n"
+                      "      return local;\n"
+                      "    },\n"
+                      "    [](auto x, auto y) { x.merge(y); return x; });\n"),
+                  "shared-capture"),
+            0u);
+  // Writes through nested chains ending in a subscript are disjoint.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "exec::ParallelFor(n, 1, [&](size_t lo, size_t hi) {\n"
+                      "  state.rows[lo].value = f(lo);\n"
+                      "});\n"),
+                  "shared-capture"),
+            0u);
+  // By-value captures cannot write shared state.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "exec::ParallelFor(n, 1, [=](size_t, size_t) mutable "
+                      "{ acc += 1; });\n"),
+                  "shared-capture"),
+            0u);
+}
+
+TEST(SharedCapture, DeclarationsAreNotCalls) {
+  // The exec library's own declarations/definitions must not trip the rule.
+  EXPECT_EQ(Count(RunLint("src/exec/parallel.hpp",
+                      "void ParallelFor(size_t n, size_t grain,\n"
+                      "    const std::function<void(size_t, size_t)>& "
+                      "body);\n"),
+                  "shared-capture"),
+            0u);
+}
+
+TEST(SharedCapture, PragmaSuppressed) {
+  const auto r = RunLint(
+      "src/a.cpp",
+      "std::vector<int> out;\n"
+      "exec::ParallelFor(n, 1, [&](size_t lo, size_t hi) {\n"
+      "  // lint:allow(shared-capture) guarded by per-chunk mutex, order "
+      "resolved serially after the join\n"
+      "  out.push_back(static_cast<int>(lo));\n"
+      "});\n");
+  EXPECT_EQ(Count(r, "shared-capture", false), 0u);
+  EXPECT_EQ(Count(r, "shared-capture", true), 1u);
+}
+
+// --- schema-version ---------------------------------------------------------
+
+TEST(SchemaVersion, MissingAndStaleAnnotations) {
+  const std::string def =
+      "struct CampaignRecord {\n  int x = 0;\n};\n";
+  EXPECT_EQ(Count(RunLint("src/store/result_store.hpp", def, 3),
+                  "schema-version"),
+            1u);
+  const std::string stale =
+      "// lint:result-schema(v2) canonical record\n"
+      "struct CampaignRecord {\n  int x = 0;\n};\n";
+  const auto r = RunLint("src/store/result_store.hpp", stale, 3);
+  ASSERT_EQ(Count(r, "schema-version"), 1u);
+  EXPECT_NE(r.violations[0].message.find("stale"), std::string::npos);
+}
+
+TEST(SchemaVersion, CurrentAnnotationAndUnwatchedStructsPass) {
+  EXPECT_EQ(Count(RunLint("src/store/result_store.hpp",
+                      "// lint:result-schema(v3) canonical record\n"
+                      "struct CampaignRecord {\n  int x = 0;\n};\n",
+                      3),
+                  "schema-version"),
+            0u);
+  // Unwatched structs need no annotation.
+  EXPECT_EQ(Count(RunLint("src/a.hpp", "struct Options {\n  int x;\n};\n", 3),
+                  "schema-version"),
+            0u);
+  // Forward declarations and pointer uses are not definitions.
+  EXPECT_EQ(Count(RunLint("src/a.hpp",
+                      "struct Layout;\nvoid f(const struct Layout* l);\n",
+                      3),
+                  "schema-version"),
+            0u);
+  // Rule disabled in fixture mode without a version.
+  EXPECT_EQ(Count(RunLint("src/store/result_store.hpp",
+                      "struct CampaignRecord {\n  int x = 0;\n};\n"),
+                  "schema-version"),
+            0u);
+}
+
+TEST(SchemaVersion, ParseSchemaVersionReadsConstant) {
+  EXPECT_EQ(ParseSchemaVersion(
+                "inline constexpr int kResultSchemaVersion = 3;"),
+            std::optional<int>(3));
+  EXPECT_EQ(ParseSchemaVersion("int unrelated = 7;"), std::nullopt);
+}
+
+// --- pragmas ----------------------------------------------------------------
+
+TEST(Pragmas, MalformedPragmasAreRejected) {
+  // Unknown rule.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "// lint:allow(no-such-rule) whatever\nint x;\n"),
+                  "bad-pragma"),
+            1u);
+  // Missing reason.
+  EXPECT_EQ(
+      Count(RunLint("src/a.cpp", "// lint:allow(raw-random)\nint x;\n"),
+            "bad-pragma"),
+      1u);
+  // Unknown directive.
+  EXPECT_EQ(
+      Count(RunLint("src/a.cpp", "// lint:alow(raw-random) typo\nint x;\n"),
+            "bad-pragma"),
+      1u);
+  // bad-pragma itself is not suppressible.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "// lint:allow(bad-pragma) nice try\nint x;\n"),
+                  "bad-pragma"),
+            1u);
+  // Malformed result-schema annotation.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "// lint:result-schema(vNaN) nope\nint x;\n"),
+                  "bad-pragma"),
+            1u);
+}
+
+TEST(Pragmas, ProseMentionsAreNotDirectives) {
+  // Namespace-qualified and quoted mentions must not parse as pragmas.
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "// end namespace splitlock::lint::internal\n"
+                      "// the string \"lint:\" is how directives start\n"
+                      "// `lint:allow(...)` is the grammar\n"
+                      "int x;\n"),
+                  "bad-pragma"),
+            0u);
+}
+
+TEST(Pragmas, SuppressionWindowIsTight) {
+  // A pragma two code lines above the violation does not suppress it.
+  const auto r = RunLint("src/a.cpp",
+                     "// lint:allow(raw-random) only covers the next line\n"
+                     "int y = 0;\n"
+                     "int x = rand();\n");
+  EXPECT_EQ(Count(r, "raw-random", false), 1u);
+}
+
+// --- reports ----------------------------------------------------------------
+
+TEST(Report, JsonShape) {
+  const auto r = RunLint("src/a.cpp", "int x = rand();");
+  const std::string json = ToJson(r);
+  EXPECT_NE(json.find("\"tool\":\"splitlock_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"raw-random\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/a.cpp\""), std::string::npos);
+}
+
+TEST(Report, RuleFilterRestrictsRules) {
+  LintOptions opts;
+  opts.rules = {"wall-clock"};
+  const auto r = LintSource(
+      "src/a.cpp", "int x = rand(); auto t = time(nullptr);", opts);
+  EXPECT_EQ(Count(r, "raw-random"), 0u);
+  EXPECT_EQ(Count(r, "wall-clock"), 1u);
+}
+
+// --- the real tree ----------------------------------------------------------
+
+TEST(Tree, RepoIsCleanAndSuppressionsCarryReasons) {
+  const LintResult r = LintTree(SPLITLOCK_SOURCE_DIR);
+  ASSERT_GT(r.files_scanned, 100u);  // the scan actually found the tree
+  for (const Violation& v : r.violations) {
+    EXPECT_TRUE(v.suppressed) << v.file << ":" << v.line << " [" << v.rule
+                              << "] " << v.message;
+    if (v.suppressed) {
+      EXPECT_FALSE(v.reason.empty())
+          << v.file << ":" << v.line << " suppression without a reason";
+    }
+  }
+  EXPECT_EQ(r.UnsuppressedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace splitlock::lint

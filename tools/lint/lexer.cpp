@@ -1,0 +1,188 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace splitlock::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first so maximal munch is a plain
+// prefix scan.
+constexpr std::array<std::string_view, 24> kOperators = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "^=",  "|="};
+
+}  // namespace
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  size_t i = 0;
+  int line = 1;
+  bool last_was_line_comment = false;
+  const size_t n = src.size();
+
+  auto peek = [&](size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment. Consecutive-line `//` runs merge into one logical
+    // comment so a pragma whose reason wraps onto the next line keeps its
+    // full reason and its full suppression window.
+    if (c == '/' && peek(1) == '/') {
+      size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      std::string text(src.substr(i + 2, j - i - 2));
+      if (!out.comments.empty() && last_was_line_comment &&
+          out.comments.back().end_line == line - 1) {
+        if (!text.empty() && text[0] != ' ') out.comments.back().text += " ";
+        out.comments.back().text += text;
+        out.comments.back().end_line = line;
+      } else {
+        out.comments.push_back({line, line, std::move(text)});
+      }
+      last_was_line_comment = true;
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const size_t end = j + 1 < n ? j : n;
+      out.comments.push_back(
+          {start_line, line, std::string(src.substr(i + 2, end - i - 2))});
+      last_was_line_comment = false;
+      i = j + 1 < n ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim". Must be checked before the
+    // identifier path eats the R.
+    if (c == 'R' && peek(1) == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' &&
+             j - (i + 2) < 16) {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      if (j < n && src[j] == '(') {
+        const std::string close = ")" + delim + "\"";
+        const size_t body = j + 1;
+        const size_t endpos = src.find(close, body);
+        const size_t stop = endpos == std::string_view::npos ? n : endpos;
+        const int start_line = line;
+        for (size_t k = i; k < stop; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        out.tokens.push_back({TokKind::kString,
+                              std::string(src.substr(body, stop - body)),
+                              start_line});
+        i = endpos == std::string_view::npos ? n : endpos + close.size();
+        continue;
+      }
+      // Not actually a raw string (e.g. `R"` at EOF); fall through as ident.
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text.push_back(src[j]);
+          text.push_back(src[j + 1]);
+          if (src[j + 1] == '\n') ++line;
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line count honest
+        text.push_back(src[j]);
+        ++j;
+      }
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            std::move(text), start_line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Number (handles 0x1.8p3, 1'000'000, 1e-9f — we only need to not split
+    // them into spurious idents/puncts).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i &&
+            (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+             src[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuation: maximal munch over the multi-char operator table.
+    std::string_view rest = src.substr(i);
+    std::string_view matched;
+    for (std::string_view op : kOperators) {
+      if (rest.substr(0, op.size()) == op) {
+        matched = op;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      out.tokens.push_back({TokKind::kPunct, std::string(matched), line});
+      i += matched.size();
+    } else {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace splitlock::lint

@@ -1,0 +1,51 @@
+// Minimal C++ lexer for splitlock_lint.
+//
+// The linter's rules are lexical: they match identifier/punctuation shapes
+// (a `rand` call, a range-for over a name declared as an unordered
+// container, a `[&]` capture inside a ParallelFor argument). That needs a
+// tokenizer that is *exactly right* about what is code and what is not —
+// comments, string/char literals, raw strings — and nothing more. No
+// preprocessing, no name lookup, no libclang: the scanner must run on any
+// machine the repo builds on.
+//
+// Comments are not discarded: they carry the lint pragmas
+// (`lint:allow(...)`) and the schema annotations (`lint:result-schema`),
+// so they are returned alongside the token stream with line numbers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splitlock::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. hex/float/suffixes)
+  kString,  // "..." and R"(...)" contents (text excludes quotes)
+  kChar,    // '...'
+  kPunct,   // operators/punctuation, maximal-munch over the C++ set
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;       // 1-based line the comment starts on
+  int end_line = 0;   // last line (block comments span several)
+  std::string text;   // contents without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes C++ source. Never throws: malformed input (unterminated
+// literal/comment) terminates the current token at end of input.
+LexResult Lex(std::string_view src);
+
+}  // namespace splitlock::lint

@@ -1,0 +1,344 @@
+// Lint driver: file discovery, pragma parsing/suppression, report output.
+// The rules themselves live in rules.cpp.
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "lint/lexer.hpp"
+#include "lint/rules_internal.hpp"
+
+namespace splitlock::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Pragma {
+  std::string rule;    // rule it suppresses
+  std::string reason;
+  int line = 0;        // first line of the carrying comment
+  int end_line = 0;    // suppression covers [line, end_line + 1]
+  bool whole_file = false;
+};
+
+struct PragmaScan {
+  std::vector<Pragma> pragmas;
+  std::vector<Violation> bad;  // bad-pragma violations
+};
+
+bool KnownRule(const std::string& name) {
+  for (const std::string& r : RuleNames()) {
+    if (r == name) return true;
+  }
+  return false;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Parses every lint directive in the file's comments. Directives are
+// "lint:" immediately followed by a keyword; stray "lint:" prefixes that
+// do not parse become bad-pragma violations so typos fail loudly instead
+// of silently not suppressing.
+PragmaScan ScanPragmas(const std::string& path,
+                       const std::vector<Comment>& comments) {
+  PragmaScan out;
+  for (const Comment& c : comments) {
+    size_t pos = 0;
+    while ((pos = c.text.find("lint:", pos)) != std::string::npos) {
+      // A directive must start a word ("lint:" at the comment start or
+      // after whitespace) and be followed by a keyword character. That
+      // keeps prose mentions — `splitlock::lint::internal`, quoted or
+      // backticked "lint:..." strings — from parsing as pragmas.
+      const bool word_start =
+          pos == 0 ||
+          std::isspace(static_cast<unsigned char>(c.text[pos - 1]));
+      const std::string_view rest =
+          std::string_view(c.text).substr(pos + 5);
+      pos += 5;
+      if (!word_start || rest.empty() ||
+          !std::islower(static_cast<unsigned char>(rest[0]))) {
+        continue;
+      }
+
+      auto bad = [&](const std::string& why) {
+        out.bad.push_back({"bad-pragma", path, c.line,
+                           "malformed lint pragma: " + why, false, ""});
+      };
+
+      auto parse_allow = [&](std::string_view keyword, bool whole_file) {
+        const std::string_view args = rest.substr(keyword.size());
+        if (args.empty() || args[0] != '(') {
+          bad(std::string(keyword) + " requires a (rule-name)");
+          return;
+        }
+        const size_t close = args.find(')');
+        if (close == std::string_view::npos) {
+          bad(std::string(keyword) + " missing closing parenthesis");
+          return;
+        }
+        const std::string rule = Trim(args.substr(1, close - 1));
+        const std::string reason = Trim(args.substr(close + 1));
+        if (!KnownRule(rule)) {
+          bad("unknown rule '" + rule + "'");
+          return;
+        }
+        if (rule == "bad-pragma") {
+          bad("bad-pragma is not suppressible");
+          return;
+        }
+        if (reason.empty()) {
+          bad("suppression of '" + rule +
+              "' carries no reason — say why the invariant holds");
+          return;
+        }
+        out.pragmas.push_back(
+            {rule, reason, c.line, c.end_line, whole_file});
+      };
+
+      if (rest.rfind("allow-file", 0) == 0) {
+        parse_allow("allow-file", /*whole_file=*/true);
+      } else if (rest.rfind("allow", 0) == 0) {
+        parse_allow("allow", /*whole_file=*/false);
+      } else if (rest.rfind("ordered-reduction", 0) == 0) {
+        const std::string reason =
+            Trim(rest.substr(std::string_view("ordered-reduction").size()));
+        if (reason.empty()) {
+          bad("ordered-reduction carries no reason — say why iteration "
+              "order cannot leak into results");
+        } else {
+          out.pragmas.push_back(
+              {"unordered-iter", reason, c.line, c.end_line, false});
+        }
+      } else if (rest.rfind("result-schema", 0) == 0) {
+        // Consumed by the schema-version rule; validate the shape here.
+        const std::string_view args =
+            rest.substr(std::string_view("result-schema").size());
+        bool ok = args.size() >= 4 && args[0] == '(' && args[1] == 'v';
+        if (ok) {
+          size_t k = 2;
+          while (k < args.size() && std::isdigit(static_cast<unsigned char>(
+                                        args[k])))
+            ++k;
+          ok = k > 2 && k < args.size() && args[k] == ')';
+        }
+        if (!ok) bad("result-schema requires (vN) with a numeric N");
+      } else {
+        bad("unknown directive 'lint:" +
+            Trim(rest.substr(0, rest.find_first_of(" \t("))) + "'");
+      }
+    }
+  }
+  return out;
+}
+
+void ApplySuppressions(const PragmaScan& scan,
+                       std::vector<Violation>* violations) {
+  for (Violation& v : *violations) {
+    for (const Pragma& p : scan.pragmas) {
+      if (p.rule != v.rule) continue;
+      if (!p.whole_file && (v.line < p.line || v.line > p.end_line + 1))
+        continue;
+      v.suppressed = true;
+      v.reason = p.reason;
+      break;
+    }
+  }
+}
+
+void SortAndDedup(std::vector<Violation>* violations) {
+  auto key = [](const Violation& v) {
+    return std::tie(v.file, v.line, v.rule, v.message);
+  };
+  std::sort(violations->begin(), violations->end(),
+            [&](const Violation& a, const Violation& b) {
+              return key(a) < key(b);
+            });
+  violations->erase(
+      std::unique(violations->begin(), violations->end(),
+                  [&](const Violation& a, const Violation& b) {
+                    return key(a) == key(b);
+                  }),
+      violations->end());
+}
+
+void LintOne(const std::string& path, std::string_view content,
+             const LintOptions& opts, LintResult* result) {
+  const LexResult lex = Lex(content);
+  const PragmaScan scan = ScanPragmas(path, lex.comments);
+
+  std::vector<Violation> file_violations;
+  internal::RuleContext ctx{path, lex, opts.expected_schema_version};
+  internal::RunRules(ctx, opts.rules, &file_violations);
+  ApplySuppressions(scan, &file_violations);
+
+  const bool bad_pragma_enabled =
+      opts.rules.empty() ||
+      std::find(opts.rules.begin(), opts.rules.end(), "bad-pragma") !=
+          opts.rules.end();
+  if (bad_pragma_enabled) {
+    file_violations.insert(file_violations.end(), scan.bad.begin(),
+                           scan.bad.end());
+  }
+  SortAndDedup(&file_violations);
+  result->violations.insert(result->violations.end(),
+                            file_violations.begin(), file_violations.end());
+  result->files_scanned += 1;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  return {"raw-random",   "wall-clock",     "unordered-iter", "pointer-sort",
+          "shared-capture", "schema-version", "bad-pragma"};
+}
+
+std::optional<int> ParseSchemaVersion(std::string_view header_text) {
+  const LexResult lex = Lex(header_text);
+  const auto& t = lex.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent &&
+        t[i].text == "kResultSchemaVersion" &&
+        t[i + 1].kind == TokKind::kPunct && t[i + 1].text == "=" &&
+        t[i + 2].kind == TokKind::kNumber) {
+      return std::stoi(t[i + 2].text);
+    }
+  }
+  return std::nullopt;
+}
+
+LintResult LintSource(const std::string& path, std::string_view content,
+                      const LintOptions& opts) {
+  LintResult result;
+  LintOne(path, content, opts, &result);
+  return result;
+}
+
+LintResult LintTree(const std::string& root, const LintOptions& opts) {
+  LintResult result;
+  LintOptions effective = opts;
+
+  if (effective.expected_schema_version < 0) {
+    const fs::path store_hpp =
+        fs::path(root) / "src" / "store" / "result_store.hpp";
+    std::ifstream in(store_hpp);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      if (auto v = ParseSchemaVersion(ss.str())) {
+        effective.expected_schema_version = *v;
+      }
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "bench", "tests"}) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (name == "build" || (!name.empty() && name[0] == '.')) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::error_code ec;
+    fs::path rel = fs::relative(f, root, ec);
+    const std::string label =
+        ec ? f.generic_string() : rel.generic_string();
+    LintOne(label, ss.str(), effective, &result);
+  }
+  return result;
+}
+
+std::string ToJson(const LintResult& result) {
+  std::string out = "{\"tool\":\"splitlock_lint\",\"files_scanned\":" +
+                    std::to_string(result.files_scanned) +
+                    ",\"unsuppressed\":" +
+                    std::to_string(result.UnsuppressedCount()) +
+                    ",\"suppressed\":" +
+                    std::to_string(result.violations.size() -
+                                   result.UnsuppressedCount()) +
+                    ",\"violations\":[";
+  bool first = true;
+  for (const Violation& v : result.violations) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"rule\":\"" + JsonEscape(v.rule) + "\",\"file\":\"" +
+           JsonEscape(v.file) + "\",\"line\":" + std::to_string(v.line) +
+           ",\"suppressed\":" + (v.suppressed ? "true" : "false") +
+           ",\"reason\":\"" + JsonEscape(v.reason) + "\",\"message\":\"" +
+           JsonEscape(v.message) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToText(const LintResult& result, bool verbose) {
+  std::string out;
+  size_t suppressed = 0;
+  for (const Violation& v : result.violations) {
+    if (v.suppressed) {
+      ++suppressed;
+      if (!verbose) continue;
+    }
+    out += v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+           v.message;
+    if (v.suppressed) out += "  (suppressed: " + v.reason + ")";
+    out += "\n";
+  }
+  out += std::to_string(result.files_scanned) + " files scanned, " +
+         std::to_string(result.UnsuppressedCount()) + " violations, " +
+         std::to_string(suppressed) + " suppressed\n";
+  return out;
+}
+
+}  // namespace splitlock::lint

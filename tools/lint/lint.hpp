@@ -1,0 +1,108 @@
+// splitlock_lint — the repo's determinism & concurrency linter.
+//
+// Every performance PR in this codebase rests on one contract: results are
+// bit-identical at any thread count, shard count, and store temperature.
+// This linter encodes the source-level invariants behind that contract as
+// named, individually-suppressible rules, so a violation is a build-time
+// failure instead of a flaky-test archaeology session:
+//
+//   raw-random      std::uniform_* / rand() / random_device / raw engines
+//                   outside util/rng.hpp and exec/stream_rng.hpp. Draw
+//                   *shapes* must be the repo's portable ones — stdlib
+//                   distributions are implementation-defined.
+//   wall-clock      system_clock / time() / gettimeofday in result-
+//                   affecting code. steady_clock is fine (telemetry only
+//                   by convention); wall clocks are not, because two
+//                   processes computing the same store key must agree.
+//   unordered-iter  iteration over an unordered_{map,set} — hash-order is
+//                   unspecified, so anything it feeds is too. Requires an
+//                   ordered-reduction annotation stating why order cannot
+//                   leak into results.
+//   pointer-sort    sort predicates comparing pointer *values* — address
+//                   order differs run to run.
+//   shared-capture  writes through a by-reference-captured name inside a
+//                   ParallelFor / ParallelForChunked / ParallelReduce
+//                   lambda that are not subscripted (the disjoint
+//                   `out[i] = ...` idiom) and not local to the lambda.
+//   schema-version  result-affecting serialized structs must carry an
+//                   up-to-date result-schema annotation (grammar below),
+//                   whose version N == store::kResultSchemaVersion.
+//                   Bumping the version constant stales every annotation
+//                   at once, forcing a visit to each serialized struct.
+//   bad-pragma      malformed lint pragmas (unknown rule, missing reason).
+//                   Not suppressible.
+//
+// Pragma grammar — the directive is "lint:" immediately followed by a
+// keyword; reasons are mandatory (a suppression without a why is itself a
+// violation). Concrete examples, using real rule names:
+//   // lint:allow(unordered-iter) order-insensitive count reduction
+//       suppresses that rule on this line and the next source line
+//   // lint:allow-file(wall-clock) profiler tool, timings are the output
+//       suppresses that rule for the whole file
+//   // lint:ordered-reduction summed into a scalar, order cannot leak
+//       sugar for allow(unordered-iter)
+//   // lint:result-schema(v3) serialized by store/artifact_io
+//       schema annotation checked against kResultSchemaVersion (the v3
+//       here is an example; the rule demands the current constant)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splitlock::lint {
+
+struct Violation {
+  std::string rule;
+  std::string file;  // path as reported (relative to root for tree scans)
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string reason;  // the pragma's reason when suppressed
+};
+
+struct LintOptions {
+  // Rules to run; empty means all.
+  std::vector<std::string> rules;
+  // Expected result-schema version for the schema-version rule. -1 means
+  // "read kResultSchemaVersion from <root>/src/store/result_store.hpp";
+  // when that fails the rule is skipped (fixture mode).
+  int expected_schema_version = -1;
+};
+
+struct LintResult {
+  std::vector<Violation> violations;  // file order, then line order
+  size_t files_scanned = 0;
+
+  size_t UnsuppressedCount() const {
+    size_t k = 0;
+    for (const Violation& v : violations) k += v.suppressed ? 0 : 1;
+    return k;
+  }
+};
+
+// Returns the names of all rules, in report order.
+std::vector<std::string> RuleNames();
+
+// Lints one in-memory source. `path` determines per-file allowlists (e.g.
+// util/rng.hpp may name raw engines) and is echoed into violations.
+LintResult LintSource(const std::string& path, std::string_view content,
+                      const LintOptions& opts = {});
+
+// Lints the repo tree rooted at `root`: every .cpp/.hpp/.h under src/,
+// tools/, bench/, tests/ (skipping build dirs). Violations carry
+// root-relative paths and are sorted by (file, line, rule).
+LintResult LintTree(const std::string& root, const LintOptions& opts = {});
+
+// Machine-readable report (one JSON object, stable field order).
+std::string ToJson(const LintResult& result);
+// Human-readable report ("file:line: [rule] message"), suppressed
+// violations included when `verbose`.
+std::string ToText(const LintResult& result, bool verbose);
+
+// Parses `kResultSchemaVersion = N` from a header's text. nullopt when the
+// constant is absent.
+std::optional<int> ParseSchemaVersion(std::string_view header_text);
+
+}  // namespace splitlock::lint

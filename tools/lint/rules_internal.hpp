@@ -1,0 +1,25 @@
+// Internal interface between the lint driver (lint.cpp) and the rule
+// implementations (rules.cpp). Not part of the public lint API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace splitlock::lint::internal {
+
+struct RuleContext {
+  const std::string& path;       // as reported in violations
+  const LexResult& lex;          // tokens + comments of the file
+  int expected_schema_version;   // -1 = schema rule disabled
+};
+
+// Appends raw (pre-suppression) violations for every rule in `rules`
+// (empty = all) to `out`. bad-pragma violations are NOT produced here —
+// the driver owns pragma parsing.
+void RunRules(const RuleContext& ctx, const std::vector<std::string>& rules,
+              std::vector<Violation>* out);
+
+}  // namespace splitlock::lint::internal

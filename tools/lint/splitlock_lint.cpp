@@ -1,0 +1,107 @@
+// splitlock_lint CLI — see lint.hpp for the rule catalogue and pragma
+// grammar.
+//
+//   splitlock_lint [--root DIR] [--json[=FILE]] [--rule NAME]...
+//                  [--schema-version N] [--verbose] [--list-rules]
+//
+// Exit status: 0 when the tree is clean (suppressed violations are fine —
+// they carry reasons), 1 on unsuppressed violations, 2 on usage or I/O
+// errors. CI treats the JSON report as an artifact either way.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: splitlock_lint [--root DIR] [--json[=FILE]] [--rule NAME]\n"
+         "                      [--schema-version N] [--verbose] "
+         "[--list-rules]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using splitlock::lint::LintOptions;
+  using splitlock::lint::LintResult;
+
+  std::string root = ".";
+  bool json = false;
+  bool verbose = false;
+  std::string json_path;
+  LintOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--rule" && i + 1 < argc) {
+      opts.rules.push_back(argv[++i]);
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      opts.rules.push_back(arg.substr(7));
+    } else if (arg == "--schema-version" && i + 1 < argc) {
+      opts.expected_schema_version = std::atoi(argv[++i]);
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : splitlock::lint::RuleNames()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else {
+      std::cerr << "splitlock_lint: unknown argument '" << arg << "'\n";
+      return Usage();
+    }
+  }
+
+  for (const std::string& r : opts.rules) {
+    bool known = false;
+    for (const std::string& k : splitlock::lint::RuleNames()) {
+      known = known || k == r;
+    }
+    if (!known) {
+      std::cerr << "splitlock_lint: unknown rule '" << r
+                << "' (--list-rules)\n";
+      return 2;
+    }
+  }
+
+  const LintResult result = splitlock::lint::LintTree(root, opts);
+  if (result.files_scanned == 0) {
+    std::cerr << "splitlock_lint: no sources found under '" << root
+              << "' (expected src/, tools/, bench/, tests/)\n";
+    return 2;
+  }
+
+  if (json) {
+    const std::string doc = splitlock::lint::ToJson(result);
+    if (json_path.empty()) {
+      std::cout << doc << "\n";
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "splitlock_lint: cannot write '" << json_path << "'\n";
+        return 2;
+      }
+      out << doc << "\n";
+      // Humans still get the text summary on stderr.
+      std::cerr << splitlock::lint::ToText(result, verbose);
+    }
+  } else {
+    std::cout << splitlock::lint::ToText(result, verbose);
+  }
+  return result.UnsuppressedCount() == 0 ? 0 : 1;
+}
