@@ -31,7 +31,6 @@
 // it builds everywhere; `--smoke` (or BENCH_KERNELS_SMOKE=1) shrinks the
 // workload to a compile-and-run sanity check for CI.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +45,7 @@
 #include "circuits/suites.hpp"
 #include "core/flow.hpp"
 #include "lock/epic.hpp"
+#include "obs/metrics.hpp"
 #include "phys/timing.hpp"
 #include "sat/solver.hpp"
 #include "sat/tseitin.hpp"
@@ -53,14 +53,15 @@
 #include "store/result_store.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace splitlock::bench {
 namespace {
 
+// Monotonic seconds since first call; every consumer takes differences.
 double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  static const Stopwatch epoch;
+  return epoch.Seconds();
 }
 
 struct KernelRecord {
@@ -472,7 +473,11 @@ std::string ToJson(const std::vector<KernelRecord>& records, bool smoke) {
         r.StaSpeedup(), r.sta_mismatches);
     json += buf;
   }
-  json += "]}";
+  json += "],\"metrics\":";
+  // Process-wide metrics snapshot (counts + histograms only: times are
+  // wall-clock and would churn the record diff run to run).
+  json += obs::Registry::Instance().Snapshot().CountsJson();
+  json += '}';
   return json;
 }
 

@@ -20,7 +20,6 @@
 // Like bench_kernels this binary avoids google-benchmark so it builds
 // everywhere; `--smoke` (or BENCH_PHYS_SMOKE=1) shrinks the workload for
 // CI, and the JSON record goes to stdout (and --json=PATH / $BENCH_PHYS_JSON).
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,18 +31,20 @@
 #include "exec/thread_pool.hpp"
 #include "lock/atpg_lock.hpp"
 #include "lock/key.hpp"
+#include "obs/metrics.hpp"
 #include "phys/placer.hpp"
 #include "phys/router.hpp"
 #include "store/result_store.hpp"
 #include "util/env.hpp"
+#include "util/stopwatch.hpp"
 
 namespace splitlock::bench {
 namespace {
 
+// Monotonic seconds since first call; every consumer takes differences.
 double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  static const Stopwatch epoch;
+  return epoch.Seconds();
 }
 
 struct PhysRecord {
@@ -174,7 +175,11 @@ std::string ToJson(const std::vector<PhysRecord>& records, bool smoke,
         r.place_mismatches, r.route_mismatches);
     json += buf;
   }
-  json += "]}";
+  json += "],\"metrics\":";
+  // Process-wide metrics snapshot (counts + histograms only: times are
+  // wall-clock and would churn the record diff run to run).
+  json += obs::Registry::Instance().Snapshot().CountsJson();
+  json += '}';
   return json;
 }
 

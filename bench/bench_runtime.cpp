@@ -8,11 +8,10 @@
 // suite-level random-pattern fault-coverage sweep timed single-threaded and
 // at full pool width, with the determinism contract asserted (identical
 // coverage at every width).
-#include <chrono>
-
 #include "atpg/fault.hpp"
 #include "atpg/fault_sim.hpp"
 #include "exec/thread_pool.hpp"
+#include "util/stopwatch.hpp"
 
 #include "bench_common.hpp"
 
@@ -70,16 +69,14 @@ double TimedSuiteFaultSweep(const std::vector<FaultSweepInput>& inputs,
                             std::vector<double>* coverages) {
   using exec::ThreadPool;
   ThreadPool::SetDefaultThreadCount(threads);
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch timer;
   coverages->clear();
   for (const FaultSweepInput& input : inputs) {
     const atpg::CoverageResult cov =
         atpg::FaultCoverage(input.netlist, input.faults, patterns, 2019);
     coverages->push_back(cov.CoveragePercent());
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double elapsed = timer.Seconds();
   ThreadPool::SetDefaultThreadCount(0);  // restore the configured default
   return elapsed;
 }

@@ -6,6 +6,8 @@
 
 #include "exec/parallel.hpp"
 #include "exec/stream_rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/lanes.hpp"
 
 namespace splitlock::atpg {
@@ -537,6 +539,15 @@ namespace {
 constexpr size_t kFaultsPerBlock = 256;
 constexpr size_t kWordsPerShard = 16;
 
+// Shared across every ShardedFaultSweep instantiation — the registration
+// must live outside the template or each instantiation would re-register
+// the name (a hard error by the obs duplicate-name contract).
+obs::Counter* SweepTileCounter() {
+  static obs::Counter* c =
+      obs::Registry::Instance().RegisterCounter("atpg.sweep.tiles");
+  return c;
+}
+
 // Runs `tile(partial, sim, f_lo, f_hi, lane_masks)` for every (fault-block,
 // word-group) cell of the grid, sharded across the pool. Words are loaded
 // in groups of up to kMaxSweepWords via LoadPatternsWide, so one
@@ -560,9 +571,13 @@ void ShardedFaultSweep(const Netlist& nl, const std::vector<Fault>& faults,
   const size_t word_shards =
       exec::NumChunks(static_cast<size_t>(words), kWordsPerShard);
   const size_t tiles = fault_blocks * word_shards;
+  // Tile count is a pure function of (faults, patterns) — NumChunks
+  // ignores the worker count — so the counter is count-class.
+  SweepTileCounter()->Add(tiles);
   std::vector<Partial> partials(tiles);
   exec::ParallelFor(tiles, 1, [&](size_t lo, size_t hi) {
     for (size_t t = lo; t < hi; ++t) {
+      obs::Span tile_span("atpg.sweep.tile", t);
       const size_t fb = t / word_shards;
       const size_t ws = t % word_shards;
       const size_t f_lo = fb * kFaultsPerBlock;

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/stopwatch.hpp"
 
@@ -274,6 +276,10 @@ std::vector<std::string> EngineRegistry::Names() const {
 // --- RunAttack --------------------------------------------------------------
 
 AttackReport RunAttack(const AttackContext& ctx, const AttackConfig& config) {
+  static obs::Counter* runs =
+      obs::Registry::Instance().RegisterCounter("attack.engine.runs");
+  runs->Add(1);
+  obs::Span span("attack.engine");
   AttackReport report;
   report.engine = config.engine;
   report.config = config.ToString();

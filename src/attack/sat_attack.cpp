@@ -4,13 +4,14 @@
 #include <array>
 #include <atomic>
 #include <cassert>
-#include <chrono>
 #include <memory>
 #include <optional>
 #include <set>
 
 #include "exec/parallel.hpp"
 #include "exec/stream_rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 #include "util/lanes.hpp"
 #include "sat/tseitin.hpp"
@@ -21,6 +22,34 @@
 
 namespace splitlock::attack {
 namespace {
+
+// SAT-attack observability. All four counters are count-class: rounds,
+// DIPs and oracle queries are pure functions of the instance + options,
+// and conflicts are deterministic by the solver contract (the portfolio
+// adopts the lowest-index completing clone, whose trajectory does not
+// depend on the interleaving). The dip_batch histogram buckets the
+// per-round DIP batch widths the wide-oracle batching produces.
+struct SatMetrics {
+  obs::Counter* rounds;
+  obs::Counter* dips;
+  obs::Counter* oracle_queries;
+  obs::Counter* conflicts;
+  obs::Histogram* dip_batch;
+};
+
+SatMetrics& Metrics() {
+  static SatMetrics m = [] {
+    obs::Registry& r = obs::Registry::Instance();
+    return SatMetrics{
+        r.RegisterCounter("attack.sat.rounds"),
+        r.RegisterCounter("attack.sat.dips"),
+        r.RegisterCounter("attack.sat.oracle_queries"),
+        r.RegisterCounter("attack.sat.conflicts"),
+        r.RegisterHistogram("attack.sat.dip_batch", obs::Pow2Edges(1, 1024)),
+    };
+  }();
+  return m;
+}
 
 // Shared scaffolding of the oracle-guided attack: the two-copy miter over
 // the locked netlist, the batched oracle frontend and the per-round DIP
@@ -98,13 +127,18 @@ class MiterAttack {
   // entry's oracle/encode timings and batch width.
   void ConstrainWithOracle(std::span<const std::vector<uint8_t>> dips,
                            SatRoundTelemetry* round) {
+    Metrics().oracle_queries->Add(dips.size());
+    Metrics().dip_batch->Observe(dips.size());
     const Stopwatch oracle_sw;
     std::vector<size_t> queries;
     queries.reserve(dips.size());
-    for (const std::vector<uint8_t>& dip : dips) {
-      queries.push_back(oracle_sim_.Enqueue(dip));
+    {
+      obs::Span span("attack.sat.oracle", dips.size());
+      for (const std::vector<uint8_t>& dip : dips) {
+        queries.push_back(oracle_sim_.Enqueue(dip));
+      }
+      oracle_sim_.Flush();
     }
-    oracle_sim_.Flush();
     round->oracle_ms = oracle_sw.Ms();
     round->dip_batch = dips.size();
 
@@ -112,6 +146,7 @@ class MiterAttack {
     // key-dependent cone produces CNF. The two paths below emit
     // bit-identical clause streams (see IncrementalDipEncoder); the
     // incremental one skips the per-round full-netlist walks.
+    obs::Span encode_span("attack.sat.encode", dips.size());
     const Stopwatch encode_sw;
     std::vector<sat::Lit> const_in;
     for (size_t d = 0; d < dips.size(); ++d) {
@@ -142,6 +177,7 @@ class MiterAttack {
   // All DIPs exhausted: any key satisfying the accumulated IO constraints
   // is functionally correct. Solve once more without the miter assumption.
   void ExtractKey(uint64_t conflict_limit, SatAttackResult* result) {
+    obs::Span span("attack.sat.extract_key");
     const Stopwatch final_sw;
     const sat::SolveResult final_sr = solver_.Solve({}, conflict_limit);
     result->telemetry.final_solve_ms = final_sw.Ms();
@@ -231,13 +267,19 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
       break;  // advisory wall budget blown; report as unfinished
     }
     SatRoundTelemetry tel;
+    obs::Span round_span("attack.sat.round", result.telemetry.rounds.size());
+    Metrics().rounds->Add(1);
     const Stopwatch solve_sw;
     const uint64_t conflicts_before = solver.conflicts();
-    const sat::SolveResult sr =
-        solver.Solve(assumptions, options.conflict_limit_per_solve);
+    sat::SolveResult sr;
+    {
+      obs::Span span("attack.sat.solve");
+      sr = solver.Solve(assumptions, options.conflict_limit_per_solve);
+    }
     if (sr == sat::SolveResult::kUnknown) {  // budget blown
       tel.solve_ms = solve_sw.Ms();
       tel.conflicts = solver.conflicts() - conflicts_before;
+      Metrics().conflicts->Add(tel.conflicts);
       result.telemetry.rounds.push_back(tel);
       result.telemetry.total_conflicts = solver.conflicts();
       result.telemetry.total_ms = total_sw.Ms();
@@ -246,6 +288,7 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
     if (sr == sat::SolveResult::kUnsat) {
       tel.solve_ms = solve_sw.Ms();
       tel.conflicts = solver.conflicts() - conflicts_before;
+      Metrics().conflicts->Add(tel.conflicts);
       result.telemetry.rounds.push_back(tel);
       result.finished = true;
       break;
@@ -268,8 +311,10 @@ SatAttackResult RunSatAttack(const Netlist& locked, const Netlist& oracle,
     }
     tel.solve_ms = solve_sw.Ms();
     tel.conflicts = solver.conflicts() - conflicts_before;
+    Metrics().conflicts->Add(tel.conflicts);
     result.telemetry.rounds.push_back(tel);
     result.dips_used += dips.size();
+    Metrics().dips->Add(dips.size());
     result.telemetry.oracle_queries += dips.size();
     miter.ConstrainWithOracle(dips, &result.telemetry.rounds.back());
   }
@@ -343,6 +388,8 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
       break;  // advisory wall budget blown; report as unfinished
     }
     SatRoundTelemetry tel;
+    obs::Span round_span("attack.sat.round", result.telemetry.rounds.size());
+    Metrics().rounds->Add(1);
     const Stopwatch solve_sw;
     const uint64_t conflicts_before = master.conflicts();
 
@@ -351,8 +398,12 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
     // sequential attack pays; the diversified race below is reserved for
     // rounds where the baseline stalls.
     master.SetConfig(PortfolioMemberConfig(options.seed, round, 0));
-    sat::SolveResult sr = master.Solve(
-        assumptions, master.conflicts() + options.conflicts_per_round);
+    sat::SolveResult sr;
+    {
+      obs::Span span("attack.sat.solve");
+      sr = master.Solve(assumptions,
+                        master.conflicts() + options.conflicts_per_round);
+    }
     if (sr != sat::SolveResult::kUnknown) tel.winner = 0;
 
     if (sr == sat::SolveResult::kUnknown && num_configs > 1) {
@@ -409,6 +460,7 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
     if (sr == sat::SolveResult::kUnknown) {  // no configuration completed
       tel.solve_ms = solve_sw.Ms();
       tel.conflicts = master.conflicts() - conflicts_before;
+      Metrics().conflicts->Add(tel.conflicts);
       result.telemetry.rounds.push_back(tel);
       result.telemetry.total_conflicts = master.conflicts();
       result.telemetry.total_ms = total_sw.Ms();
@@ -418,6 +470,7 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
     if (sr == sat::SolveResult::kUnsat) {
       tel.solve_ms = solve_sw.Ms();
       tel.conflicts = master.conflicts() - conflicts_before;
+      Metrics().conflicts->Add(tel.conflicts);
       result.telemetry.rounds.push_back(tel);
       result.finished = true;
       break;
@@ -441,8 +494,10 @@ PortfolioSatResult RunPortfolioSatAttack(const Netlist& locked,
     }
     tel.solve_ms = solve_sw.Ms();
     tel.conflicts = master.conflicts() - conflicts_before;
+    Metrics().conflicts->Add(tel.conflicts);
     result.telemetry.rounds.push_back(tel);
     result.dips_used += dips.size();
+    Metrics().dips->Add(dips.size());
     result.telemetry.oracle_queries += dips.size();
     miter.ConstrainWithOracle(dips, &result.telemetry.rounds.back());
     ++round;

@@ -1,20 +1,32 @@
 #include "core/flow.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "lock/key.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phys/placer.hpp"
 #include "sim/simulator.hpp"
 #include "util/hash.hpp"
+#include "util/stopwatch.hpp"
 
 namespace splitlock::core {
 namespace {
 
-double SecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+// Flow-level run counts (deterministic: one per top-level call). The
+// per-stage seconds live in StageTimes, which campaign.cpp mirrors into
+// the obs time metrics once per job.
+obs::Counter* FlowRunCounter() {
+  static obs::Counter* c =
+      obs::Registry::Instance().RegisterCounter("core.flow.runs");
+  return c;
+}
+
+obs::Counter* FlowReplayCounter() {
+  static obs::Counter* c =
+      obs::Registry::Instance().RegisterCounter("core.flow.replays");
+  return c;
 }
 
 LayoutCost MeasureCost(const PhysicalBundle& bundle) {
@@ -32,15 +44,21 @@ LayoutCost MeasureCost(const PhysicalBundle& bundle) {
 // the flow that produced them.
 void AnalyzePhysicalBundle(PhysicalBundle& bundle,
                            const FlowOptions& options) {
-  const auto t_sta = std::chrono::steady_clock::now();
-  bundle.timing = phys::RunSta(*bundle.layout);
-  bundle.times.sta_s = SecondsSince(t_sta);
+  {
+    obs::Span span("flow.sta");
+    const Stopwatch t_sta;
+    bundle.timing = phys::RunSta(*bundle.layout);
+    bundle.times.sta_s = t_sta.Seconds();
+  }
 
-  const auto t_analyze = std::chrono::steady_clock::now();
-  const std::vector<double> toggles = EstimateToggleRates(
-      *bundle.netlist, options.power_patterns, options.seed ^ 0x777);
-  bundle.power = phys::EstimatePower(*bundle.layout, toggles);
-  bundle.times.analyze_s = SecondsSince(t_analyze);
+  {
+    obs::Span span("flow.analyze");
+    const Stopwatch t_analyze;
+    const std::vector<double> toggles = EstimateToggleRates(
+        *bundle.netlist, options.power_patterns, options.seed ^ 0x777);
+    bundle.power = phys::EstimatePower(*bundle.layout, toggles);
+    bundle.times.analyze_s = t_analyze.Seconds();
+  }
   bundle.cost = MeasureCost(bundle);
 }
 
@@ -95,6 +113,7 @@ CostDelta CompareCost(const LayoutCost& base, const LayoutCost& ours) {
 
 PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
                              const FlowOptions& options) {
+  const Stopwatch t_total;
   PhysicalBundle bundle;
   bundle.netlist = std::make_unique<Netlist>(physical_netlist.Compacted());
 
@@ -104,17 +123,23 @@ PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
   placer.moves_per_cell = options.placer_moves_per_cell;
   placer.randomize_tie_cells = options.randomize_tie_placement;
   placer.key_inputs_as_pads = options.package_mode;
-  const auto t_place = std::chrono::steady_clock::now();
-  bundle.layout = std::make_unique<phys::Layout>(phys::PlaceDesign(
-      *bundle.netlist, phys::Tech::Nangate45Like(), placer));
-  bundle.times.place_s = SecondsSince(t_place);
+  {
+    obs::Span span("flow.place");
+    const Stopwatch t_place;
+    bundle.layout = std::make_unique<phys::Layout>(phys::PlaceDesign(
+        *bundle.netlist, phys::Tech::Nangate45Like(), placer));
+    bundle.times.place_s = t_place.Seconds();
+  }
 
   phys::RouterOptions router;
   router.seed = options.seed ^ 0x51ed2701;
   router.route_key_nets_as_regular = !options.lift_key_nets;
-  const auto t_route = std::chrono::steady_clock::now();
-  phys::RouteDesign(*bundle.layout, router);
-  bundle.times.route_s = SecondsSince(t_route);
+  {
+    obs::Span span("flow.route");
+    const Stopwatch t_route;
+    phys::RouteDesign(*bundle.layout, router);
+    bundle.times.route_s = t_route.Seconds();
+  }
 
   if (options.lift_key_nets) {
     // Package mode routes the key-nets on the top metal pair out to the
@@ -123,25 +148,32 @@ PhysicalBundle BuildPhysical(const Netlist& physical_netlist,
         options.package_mode
             ? bundle.layout->tech.NumLayers() - 1
             : options.EffectiveLiftLayer();
-    const auto t_lift = std::chrono::steady_clock::now();
+    obs::Span span("flow.lift");
+    const Stopwatch t_lift;
     bundle.lift = phys::LiftKeyNets(*bundle.layout, *bundle.netlist,
                                     lift_layer, options.seed ^ 0x1f2e3d4c);
-    bundle.times.lift_s = SecondsSince(t_lift);
+    bundle.times.lift_s = t_lift.Seconds();
   }
 
   AnalyzePhysicalBundle(bundle, options);
+  bundle.times.total_s = t_total.Seconds();
   return bundle;
 }
 
 FlowResult RunSecureFlow(const Netlist& original, const FlowOptions& options) {
+  FlowRunCounter()->Add(1);
+  const Stopwatch t_total;
   FlowResult result;
-  const auto t_lock = std::chrono::steady_clock::now();
 
-  lock::AtpgLockOptions lock_opts = options.lock;
-  lock_opts.key_bits = options.key_bits;
-  lock_opts.seed = options.seed;
-  result.lock = lock::LockWithAtpg(original, lock_opts);
-  result.times.lock_s = SecondsSince(t_lock);
+  {
+    obs::Span span("flow.lock");
+    const Stopwatch t_lock;
+    lock::AtpgLockOptions lock_opts = options.lock;
+    lock_opts.key_bits = options.key_bits;
+    lock_opts.seed = options.seed;
+    result.lock = lock::LockWithAtpg(original, lock_opts);
+    result.times.lock_s = t_lock.Seconds();
+  }
 
   // Package mode keeps the kKeyIn sources as pads; otherwise the key is
   // realized as on-die TIE cells.
@@ -159,6 +191,7 @@ FlowResult RunSecureFlow(const Netlist& original, const FlowOptions& options) {
 
   result.feol =
       split::SplitLayout(*result.physical.layout, options.split_layer);
+  result.times.total_s = t_total.Seconds();
   return result;
 }
 
@@ -167,6 +200,9 @@ FlowResult ReplayFlowFromArtifacts(lock::AtpgLockResult lock_result,
                                    std::unique_ptr<phys::Layout> layout,
                                    const phys::LiftStats& lift,
                                    const FlowOptions& options) {
+  FlowReplayCounter()->Add(1);
+  obs::Span span("flow.replay");
+  const Stopwatch t_total;
   FlowResult result;
   result.lock = std::move(lock_result);
   result.physical.netlist = std::move(physical_netlist);
@@ -180,6 +216,7 @@ FlowResult ReplayFlowFromArtifacts(lock::AtpgLockResult lock_result,
 
   result.feol =
       split::SplitLayout(*result.physical.layout, options.split_layer);
+  result.times.total_s = t_total.Seconds();
   return result;
 }
 

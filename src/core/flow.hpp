@@ -57,12 +57,27 @@ struct StageTimes {
 
   // Artifact-tier I/O (store/artifact_io): zero on a computed flow without
   // a store; a warm flow has artifact_load_s > 0 and place/route/lift == 0.
+  // Measures lookup + decode only — the replayed analysis stages report
+  // under sta_s/analyze_s, never here, so the stage fields are pairwise
+  // non-overlapping intervals.
   double artifact_load_s = 0.0;
   double artifact_save_s = 0.0;
+
+  // End-to-end wall clock of the call that produced this result (flow,
+  // replay, or whole campaign job). Because every stage field above is a
+  // non-overlapping sub-interval of it, StageSumS() <= total_s (up to
+  // clock resolution) — tests assert this on both cold and warm runs.
+  double total_s = 0.0;
 
   // Everything BuildPhysical spends (lock_s is the synthesis stage).
   double LayoutTotalS() const {
     return place_s + route_s + lift_s + sta_s + analyze_s;
+  }
+
+  // Sum of all stage intervals, for the total_s consistency check.
+  double StageSumS() const {
+    return lock_s + place_s + route_s + lift_s + sta_s + analyze_s +
+           artifact_load_s + artifact_save_s;
   }
 };
 

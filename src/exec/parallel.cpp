@@ -27,6 +27,7 @@ void TaskGroup::Wait() {
     if (pool_.TryRunOneTask()) continue;
     std::unique_lock<std::mutex> lock(mutex_);
     if (pending_.load(std::memory_order_acquire) == 0) break;
+    // lint:allow(wall-clock) bounded sleep between drain attempts, not a measurement
     done_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
   std::exception_ptr err;

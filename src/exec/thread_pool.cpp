@@ -4,7 +4,58 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
 namespace splitlock::exec {
+
+namespace {
+
+// Pool observability. tasks_run is count-class: every submitted task runs
+// exactly once and task counts come from exec::NumChunks / explicit
+// Submit sites, which are pure of the worker count. Steals and the
+// queue-depth high-water are facts about the interleaving (sched-class);
+// busy/idle are wall clocks. Per-worker attribution deliberately comes
+// from trace spans (track per worker), not per-worker metric names —
+// SetDefaultThreadCount would re-register those on every pool rebuild.
+struct PoolMetrics {
+  obs::Counter* tasks_run;
+  obs::Counter* steals;
+  obs::Gauge* queue_depth_hwm;
+  obs::TimeMetric* busy_s;
+  obs::TimeMetric* idle_s;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = [] {
+    obs::Registry& r = obs::Registry::Instance();
+    return PoolMetrics{
+        r.RegisterCounter("exec.pool.tasks_run"),
+        r.RegisterCounter("exec.pool.steals", obs::MetricClass::kSched),
+        r.RegisterGauge("exec.pool.queue_depth_hwm"),
+        r.RegisterTime("exec.pool.busy_s"),
+        r.RegisterTime("exec.pool.idle_s"),
+    };
+  }();
+  return m;
+}
+
+void RunInstrumented(std::function<void()>& task) {
+  PoolMetrics& m = Metrics();
+  const Stopwatch timer;
+  {
+    obs::Span span("exec.task");
+    task();
+  }
+  // tasks_run is counted at Submit time, not here: TaskGroup's pending
+  // counter decrements inside the task body, so a waiter can observe the
+  // group as done — and snapshot the registry — microseconds before this
+  // epilogue runs. Submit-side counting is synchronous with the caller.
+  m.busy_s->AddSeconds(timer.Seconds());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = DefaultThreadCount();
@@ -29,12 +80,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Every submitted task runs exactly once, so counting here keeps
+  // tasks_run count-class: submission sites (exec::NumChunks fan-outs,
+  // explicit Submits) are pure of the worker count, and the increment is
+  // synchronous with the submitting thread — a snapshot taken after a
+  // parallel region returns always includes the region's full task count.
+  Metrics().tasks_run->Add(1);
   const size_t q =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mutex);
     queues_[q]->tasks.push_back(std::move(task));
+    depth = queues_[q]->tasks.size();
   }
+  Metrics().queue_depth_hwm->Set(depth);
   sleep_cv_.notify_one();
 }
 
@@ -56,6 +116,7 @@ bool ThreadPool::PopOrSteal(size_t worker_index, std::function<void()>& task) {
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      Metrics().steals->Add(1);
       return true;
     }
   }
@@ -66,15 +127,17 @@ bool ThreadPool::TryRunOneTask() {
   // External threads have no own deque; steal round-robin from slot 0.
   std::function<void()> task;
   if (!PopOrSteal(0, task)) return false;
-  task();
+  RunInstrumented(task);
   return true;
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
+  obs::Tracer::Instance().RegisterCurrentThread(
+      "exec.worker." + std::to_string(worker_index));
   std::function<void()> task;
   for (;;) {
     if (PopOrSteal(worker_index, task)) {
-      task();
+      RunInstrumented(task);
       task = nullptr;
       continue;
     }
@@ -91,7 +154,10 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       }
     }
     if (any) continue;
+    const Stopwatch idle;
+    // lint:allow(wall-clock) bounded sleep between wakeups, not a measurement
     sleep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    Metrics().idle_s->AddSeconds(idle.Seconds());
     if (stop_.load(std::memory_order_relaxed)) return;
   }
 }

@@ -1,0 +1,31 @@
+// Monotonic timestamp shim for the observability layer.
+//
+// The determinism contract routes all *duration* measurement through
+// util/stopwatch.hpp; trace spans additionally need absolute monotonic
+// timestamps (Chrome trace events are (ts, dur) pairs on a shared
+// timeline, not isolated durations). This header is the only other file
+// allowed to touch <chrono> directly — the splitlock_lint wall-clock
+// rule allowlists exactly util/stopwatch.hpp and this shim.
+//
+// Timestamps are non-canonical by construction: nothing derived from
+// MonotonicMicros() may reach a result, a canonical record, or a
+// count-class metric. They exist solely for trace export.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace splitlock::obs {
+
+// Microseconds on the steady (monotonic) clock. The epoch is arbitrary
+// but fixed for the process lifetime, so differences between two calls
+// are real elapsed time and events from different threads share one
+// timeline.
+inline uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace splitlock::obs

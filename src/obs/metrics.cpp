@@ -1,0 +1,276 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace splitlock::obs {
+
+namespace {
+
+std::string U64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Round-trip-exact double formatting, matching store::CanonicalDouble
+// (inlined: obs must not depend on store — store depends on obs).
+std::string Dbl(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Quoted(const std::string& s) {
+  // Metric names are `layer.subsystem.metric` identifiers; nothing to
+  // escape, but keep the quoting in one place.
+  return "\"" + s + "\"";
+}
+
+void AppendHistogram(std::string* out, const HistogramSnapshot& h) {
+  *out += "{\"edges\":[";
+  for (size_t i = 0; i < h.edges.size(); ++i) {
+    if (i) *out += ',';
+    *out += U64(h.edges[i]);
+  }
+  *out += "],\"buckets\":[";
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i) *out += ',';
+    *out += U64(h.buckets[i]);
+  }
+  *out += "],\"total\":" + U64(h.total) + ",\"sum\":" + U64(h.sum) + "}";
+}
+
+}  // namespace
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> edges) : edges_(std::move(edges)) {
+  if (edges_.empty()) {
+    throw std::logic_error("obs: histogram needs at least one bucket edge");
+  }
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i] <= edges_[i - 1]) {
+      throw std::logic_error("obs: histogram edges must strictly increase");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(edges_.size() + 1);
+  for (size_t i = 0; i <= edges_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(uint64_t v) { ObserveN(v, 1); }
+
+void Histogram::ObserveN(uint64_t v, uint64_t n) {
+  if (n == 0) return;
+  size_t i = 0;
+  while (i < edges_.size() && v > edges_[i]) ++i;
+  buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  total_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * n, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(edges_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+void Registry::CheckFresh(const std::string& name) const {
+  if (entries_.count(name)) {
+    throw std::logic_error("obs: metric '" + name + "' registered twice");
+  }
+}
+
+Counter* Registry::RegisterCounter(const std::string& name, MetricClass cls) {
+  if (cls == MetricClass::kTime) {
+    throw std::logic_error("obs: counter '" + name +
+                           "' cannot be time-class; use RegisterTime");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckFresh(name);
+  Entry& e = entries_[name];
+  e.kind = Kind::kCounter;
+  e.cls = cls;
+  e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* Registry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckFresh(name);
+  Entry& e = entries_[name];
+  e.kind = Kind::kGauge;
+  e.cls = MetricClass::kSched;
+  e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* Registry::RegisterHistogram(const std::string& name,
+                                       std::vector<uint64_t> edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckFresh(name);
+  Entry& e = entries_[name];
+  e.kind = Kind::kHistogram;
+  e.cls = MetricClass::kCount;
+  e.histogram = std::make_unique<Histogram>(std::move(edges));
+  return e.histogram.get();
+}
+
+TimeMetric* Registry::RegisterTime(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckFresh(name);
+  Entry& e = entries_[name];
+  e.kind = Kind::kTime;
+  e.cls = MetricClass::kTime;
+  e.time = std::make_unique<TimeMetric>();
+  return e.time.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        (e.cls == MetricClass::kCount ? snap.counts : snap.sched)[name] =
+            e.counter->Value();
+        break;
+      case Kind::kGauge:
+        snap.sched[name] = e.gauge->HighWater();
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.edges = e.histogram->edges();
+        h.buckets = e.histogram->BucketCounts();
+        h.total = e.histogram->Total();
+        h.sum = e.histogram->Sum();
+        snap.histograms[name] = std::move(h);
+        break;
+      }
+      case Kind::kTime:
+        snap.times[name] = e.time->Seconds();
+        break;
+    }
+  }
+  return snap;
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+std::string MetricsSnapshot::CountsJson() const {
+  std::string out = "{\"counts\":{";
+  bool first = true;
+  for (const auto& [name, v] : counts) {
+    if (!first) out += ',';
+    first = false;
+    out += Quoted(name) + ":" + U64(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += Quoted(name) + ":";
+    AppendHistogram(&out, h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  // Reuse CountsJson for the deterministic half so the two emitters can
+  // never drift, then splice the sched/times sections in.
+  std::string out = CountsJson();
+  out.pop_back();  // trailing '}'
+  out += ",\"sched\":{";
+  bool first = true;
+  for (const auto& [name, v] : sched) {
+    if (!first) out += ',';
+    first = false;
+    out += Quoted(name) + ":" + U64(v);
+  }
+  out += "},\"times\":{";
+  first = true;
+  for (const auto& [name, v] : times) {
+    if (!first) out += ',';
+    first = false;
+    out += Quoted(name) + ":" + Dbl(v);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::FlatCountsJson(const std::string& prefix) const {
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& name, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += Quoted(name) + ":" + value;
+  };
+  for (const auto& [name, v] : counts) {
+    if (name.rfind(prefix, 0) == 0) append(name, U64(v));
+  }
+  for (const auto& [name, h] : histograms) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    append(name + ".total", U64(h.total));
+    append(name + ".sum", U64(h.sum));
+  }
+  out += '}';
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot d;
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  for (const auto& [name, v] : after.counts) {
+    auto it = before.counts.find(name);
+    d.counts[name] = sub(v, it == before.counts.end() ? 0 : it->second);
+  }
+  for (const auto& [name, v] : after.sched) {
+    auto it = before.sched.find(name);
+    d.sched[name] = sub(v, it == before.sched.end() ? 0 : it->second);
+  }
+  for (const auto& [name, v] : after.times) {
+    auto it = before.times.find(name);
+    d.times[name] = v - (it == before.times.end() ? 0.0 : it->second);
+  }
+  for (const auto& [name, h] : after.histograms) {
+    HistogramSnapshot dh = h;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end() && it->second.edges == h.edges) {
+      for (size_t i = 0; i < dh.buckets.size(); ++i) {
+        dh.buckets[i] = sub(dh.buckets[i], it->second.buckets[i]);
+      }
+      dh.total = sub(dh.total, it->second.total);
+      dh.sum = sub(dh.sum, it->second.sum);
+    }
+    d.histograms[name] = std::move(dh);
+  }
+  return d;
+}
+
+std::vector<uint64_t> Pow2Edges(uint64_t lo, uint64_t hi) {
+  if (lo == 0 || lo > hi) {
+    throw std::logic_error("obs: Pow2Edges needs 0 < lo <= hi");
+  }
+  std::vector<uint64_t> edges;
+  for (uint64_t e = lo;; e *= 2) {
+    edges.push_back(e);
+    if (e >= hi || e > hi / 2) break;  // e*2 would overflow or pass hi
+  }
+  if (edges.back() < hi) edges.push_back(hi);
+  return edges;
+}
+
+}  // namespace splitlock::obs

@@ -1,0 +1,209 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace splitlock::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_us;
+  uint64_t dur_us;
+  uint64_t arg;
+  bool has_arg;
+};
+
+// One per recording thread. Owned (shared_ptr) by the global registry
+// below and referenced by a thread_local, so events survive the thread:
+// exec::SetDefaultThreadCount replaces pool workers mid-process, and a
+// trace spanning that still exports the dead workers' events.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint64_t tid = 0;
+  std::string name;
+  uint64_t epoch = 0;  // Start() generation the events belong to
+  std::vector<TraceEvent> events;
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint64_t next_tid = 1;
+  uint64_t epoch = 0;  // bumped by Start(); stale-epoch events are dropped
+};
+
+BufferRegistry& Buffers() {
+  static BufferRegistry* r = new BufferRegistry();  // never destroyed
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local = [] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = Buffers();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buf->tid = reg.next_tid++;
+    buf->name = "thread." + std::to_string(buf->tid);
+    buf->epoch = reg.epoch;
+    reg.buffers.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Tracer::Start(std::string path) {
+  BufferRegistry& reg = Buffers();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    ++reg.epoch;
+    for (auto& buf : reg.buffers) {
+      std::lock_guard<std::mutex> blk(buf->mu);
+      buf->events.clear();
+      buf->epoch = reg.epoch;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(path_mu_);
+    path_ = std::move(path);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+bool Tracer::ExportAndStop() {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  enabled_.store(false, std::memory_order_relaxed);
+
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(path_mu_);
+    path = path_;
+  }
+
+  // Snapshot every buffer under its own lock. Spans still open at this
+  // point will append to buffers after the snapshot; they belong to no
+  // export and are discarded by the next Start().
+  struct Track {
+    uint64_t tid;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Track> tracks;
+  uint64_t epoch = 0;
+  {
+    BufferRegistry& reg = Buffers();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    epoch = reg.epoch;
+    for (auto& buf : reg.buffers) {
+      std::lock_guard<std::mutex> blk(buf->mu);
+      if (buf->epoch != epoch) continue;
+      tracks.push_back({buf->tid, buf->name, buf->events});
+      buf->events.clear();
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const Track& t : tracks) {
+    if (!first) out += ',';
+    first = false;
+    // Metadata event naming the thread track.
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendJsonString(&out, t.name);
+    out += "}}";
+    for (const TraceEvent& e : t.events) {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%llu,"
+                    "\"dur\":%llu,\"name\":",
+                    static_cast<unsigned long long>(t.tid),
+                    static_cast<unsigned long long>(e.start_us),
+                    static_cast<unsigned long long>(e.dur_us));
+      out += buf;
+      AppendJsonString(&out, e.name);
+      if (e.has_arg) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"v\":%llu}",
+                      static_cast<unsigned long long>(e.arg));
+        out += buf;
+      }
+      out += '}';
+    }
+  }
+  out += "]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return (std::fclose(f) == 0) && wrote;
+}
+
+void Tracer::InitFromEnv() {
+  const char* path = std::getenv("SPLITLOCK_TRACE");
+  if (path && *path) Start(path);
+}
+
+void Tracer::RegisterCurrentThread(std::string name) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.name = std::move(name);
+}
+
+Tracer& Tracer::Instance() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+// --- Span -------------------------------------------------------------------
+
+Span::Span(const char* name) {
+  if (!Tracer::Instance().enabled()) return;
+  name_ = name;
+  start_us_ = MonotonicMicros();
+}
+
+Span::Span(const char* name, uint64_t arg) : Span(name) {
+  if (name_) {
+    arg_ = arg;
+    has_arg_ = true;
+  }
+}
+
+Span::~Span() {
+  if (!name_) return;
+  const uint64_t end_us = MonotonicMicros();
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(
+      {name_, start_us_, end_us - start_us_, arg_, has_arg_});
+}
+
+}  // namespace splitlock::obs

@@ -1,0 +1,89 @@
+// Scoped trace spans with per-thread buffers, exported as Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto).
+//
+// Design constraints, in order:
+//   1. Near-zero cost when disabled. Span's constructor reads one
+//      relaxed atomic flag and does nothing else; no allocation, no
+//      clock read, no branch in the destructor beyond a null check.
+//      Tracing is off unless `--trace FILE` / SPLITLOCK_TRACE enables
+//      it, so the canonical paths pay one load per candidate span.
+//   2. Never perturb results. Spans observe; they carry no data into
+//      the computation. tests/test_obs.cpp asserts canonical campaign
+//      records are byte-identical with tracing on vs. off.
+//   3. Survive pool reconfiguration. Buffers are owned by a global
+//      registry via shared_ptr and merely *referenced* thread-locally,
+//      so events recorded by a worker are still exportable after
+//      exec::SetDefaultThreadCount tears that worker down mid-trace.
+//
+// Span names must be string literals (or otherwise outlive the trace):
+// buffers store the pointer, not a copy — recording a span is a clock
+// read plus a vector push under an uncontended per-thread mutex.
+//
+// Nesting needs no explicit bookkeeping: Chrome "complete" events
+// (ph:"X") nest by (ts, dur) containment per thread track, so a Span
+// inside a Span renders as a child slice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace splitlock::obs {
+
+// Process-wide trace collector. All methods are thread-safe.
+class Tracer {
+ public:
+  // Begins collecting into fresh buffers; the export path is remembered
+  // until ExportAndStop. Re-Start discards any un-exported events.
+  void Start(std::string path);
+  // Stops collection, writes the Chrome trace-event JSON to the path
+  // given to Start, clears the buffers. False on I/O failure or when
+  // tracing was never started.
+  bool ExportAndStop();
+  // Honors SPLITLOCK_TRACE=<file>: equivalent to Start(file) when the
+  // variable is set and non-empty.
+  void InitFromEnv();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Names the calling thread's track in the export (e.g. "main",
+  // "exec.worker.3"). Threads that record spans without registering get
+  // an automatic "thread.N" name. Safe to call repeatedly; the latest
+  // name wins. Cheap enough to call unconditionally at thread start.
+  void RegisterCurrentThread(std::string name);
+
+  static Tracer& Instance();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  // Buffer bookkeeping lives in trace.cpp (file-local registry); the
+  // Tracer object itself only carries the flag and the export path.
+  friend class Span;
+  std::string path_;
+  std::mutex path_mu_;
+};
+
+// RAII trace span: records [construction, destruction) as one complete
+// event on the calling thread's track. When tracing is disabled at
+// construction the span is inert (name_ stays null) — a span that
+// straddles ExportAndStop records into the dead buffer and is dropped
+// with it, never torn.
+class Span {
+ public:
+  explicit Span(const char* name);
+  // With one integer argument, exported as args:{"v":arg} — round
+  // indices, tile ids, batch widths.
+  Span(const char* name, uint64_t arg);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null => disabled at construction
+  uint64_t start_us_ = 0;
+  uint64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace splitlock::obs

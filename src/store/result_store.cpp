@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "attack/engine.hpp"  // JsonEscape
+#include "obs/metrics.hpp"
 #include "store/artifact_io.hpp"  // ArtifactWriter/Reader for blob envelopes
 #include "util/hash.hpp"
 
@@ -47,6 +48,46 @@ uint64_t GetU64(const util::JsonValue& v, const std::string& key) {
 // First four bytes of every artifact blob ("SLAR" little-endian), so a
 // record JSON accidentally renamed to .art fails at byte 0.
 constexpr uint32_t kArtifactMagic = 0x52414c53u;
+
+// Process-wide mirrors of the per-instance stats, one set per tier
+// (store.record.* / store.artifact.*). All count-class: what a store
+// serves is a function of the workload and the disk state, never of the
+// thread count. The byte histograms bucket per-operation sizes; their
+// sums are the per-tier byte totals `--store-stats` reports.
+struct TierMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* inserts;
+  obs::Counter* insert_errors;
+  obs::Counter* corrupt;
+  obs::Histogram* bytes_read;
+  obs::Histogram* bytes_written;
+};
+
+TierMetrics MakeTierMetrics(const std::string& prefix) {
+  obs::Registry& r = obs::Registry::Instance();
+  return TierMetrics{
+      r.RegisterCounter(prefix + ".hits"),
+      r.RegisterCounter(prefix + ".misses"),
+      r.RegisterCounter(prefix + ".inserts"),
+      r.RegisterCounter(prefix + ".insert_errors"),
+      r.RegisterCounter(prefix + ".corrupt"),
+      r.RegisterHistogram(prefix + ".bytes_read",
+                          obs::Pow2Edges(64, 1ULL << 30)),
+      r.RegisterHistogram(prefix + ".bytes_written",
+                          obs::Pow2Edges(64, 1ULL << 30)),
+  };
+}
+
+TierMetrics& RecordTier() {
+  static TierMetrics m = MakeTierMetrics("store.record");
+  return m;
+}
+
+TierMetrics& ArtifactTier() {
+  static TierMetrics m = MakeTierMetrics("store.artifact");
+  return m;
+}
 
 }  // namespace
 
@@ -255,6 +296,7 @@ std::optional<CampaignRecord> ResultStore::Lookup(const StoreKey& key) {
   {
     std::FILE* f = std::fopen(PathFor(key).c_str(), "rb");
     if (!f) {
+      RecordTier().misses->Add(1);
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.misses;
       return std::nullopt;
@@ -266,6 +308,8 @@ std::optional<CampaignRecord> ResultStore::Lookup(const StoreKey& key) {
   }
 
   const auto corrupt_miss = [&]() -> std::optional<CampaignRecord> {
+    RecordTier().misses->Add(1);
+    RecordTier().corrupt->Add(1);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
     ++stats_.corrupt;
@@ -293,8 +337,11 @@ std::optional<CampaignRecord> ResultStore::Lookup(const StoreKey& key) {
   std::optional<CampaignRecord> record = CampaignRecord::FromJson(*rec);
   if (!record) return corrupt_miss();
 
+  RecordTier().hits->Add(1);
+  RecordTier().bytes_read->Observe(text.size());
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.hits;
+  stats_.bytes_read += text.size();
   return record;
 }
 
@@ -317,6 +364,7 @@ bool ResultStore::Insert(const StoreKey& key, const CampaignRecord& record) {
 
   const auto fail = [&]() {
     std::remove(tmp.c_str());
+    RecordTier().insert_errors->Add(1);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.insert_errors;
     return false;
@@ -329,8 +377,11 @@ bool ResultStore::Insert(const StoreKey& key, const CampaignRecord& record) {
   if (!wrote || !closed) return fail();
   if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
 
+  RecordTier().inserts->Add(1);
+  RecordTier().bytes_written->Observe(doc.size());
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.inserts;
+  stats_.bytes_written += doc.size();
   return true;
 }
 
@@ -345,6 +396,7 @@ std::optional<std::string> ResultStore::LookupArtifact(const StoreKey& key) {
   {
     std::FILE* f = std::fopen(ArtifactPathFor(key).c_str(), "rb");
     if (!f) {
+      ArtifactTier().misses->Add(1);
       std::lock_guard<std::mutex> lock(mu_);
       ++artifact_stats_.misses;
       return std::nullopt;
@@ -356,6 +408,8 @@ std::optional<std::string> ResultStore::LookupArtifact(const StoreKey& key) {
   }
 
   const auto corrupt_miss = [&]() -> std::optional<std::string> {
+    ArtifactTier().misses->Add(1);
+    ArtifactTier().corrupt->Add(1);
     std::lock_guard<std::mutex> lock(mu_);
     ++artifact_stats_.misses;
     ++artifact_stats_.corrupt;
@@ -382,6 +436,8 @@ std::optional<std::string> ResultStore::LookupArtifact(const StoreKey& key) {
     return corrupt_miss();
   }
 
+  ArtifactTier().hits->Add(1);
+  ArtifactTier().bytes_read->Observe(blob.size());
   std::lock_guard<std::mutex> lock(mu_);
   ++artifact_stats_.hits;
   artifact_stats_.bytes_read += blob.size();
@@ -409,6 +465,7 @@ bool ResultStore::InsertArtifact(const StoreKey& key,
 
   const auto fail = [&]() {
     std::remove(tmp.c_str());
+    ArtifactTier().insert_errors->Add(1);
     std::lock_guard<std::mutex> lock(mu_);
     ++artifact_stats_.insert_errors;
     return false;
@@ -421,6 +478,8 @@ bool ResultStore::InsertArtifact(const StoreKey& key,
   if (!wrote || !closed) return fail();
   if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
 
+  ArtifactTier().inserts->Add(1);
+  ArtifactTier().bytes_written->Observe(doc.size());
   std::lock_guard<std::mutex> lock(mu_);
   ++artifact_stats_.inserts;
   artifact_stats_.bytes_written += doc.size();
@@ -428,6 +487,11 @@ bool ResultStore::InsertArtifact(const StoreKey& key,
 }
 
 void ResultStore::NoteArtifactCorrupt() {
+  // obs mirror: the reclassification adds a corrupt miss; the envelope-
+  // level obs hit from LookupArtifact is monotonic and stays (see the
+  // Stats() contract in the header).
+  ArtifactTier().misses->Add(1);
+  ArtifactTier().corrupt->Add(1);
   std::lock_guard<std::mutex> lock(mu_);
   // The lookup already counted a hit for the envelope; the payload turned
   // out to be undecodable, so reclassify it.

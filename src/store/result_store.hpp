@@ -159,6 +159,12 @@ struct StoreStats {
   uint64_t inserts = 0;
   uint64_t insert_errors = 0;
   uint64_t corrupt = 0;  // present-but-unusable files (counted as misses too)
+  // Byte totals, mirroring the artifact tier so `--store-stats` reports
+  // the same shape for both cache populations: bytes_read counts
+  // validated records returned to callers (hits), bytes_written counts
+  // published record files.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
 };
 
 // Counters for the artifact tier, kept separate from the summary-record
@@ -200,6 +206,14 @@ class ResultStore {
   // blob is reclassified from hit to corrupt miss.
   void NoteArtifactCorrupt();
 
+  // Per-instance counters. Every update site also mirrors into the
+  // process-wide obs registry (store.record.* / store.artifact.*), which
+  // is what `--store-stats` and bench records export. One deliberate
+  // divergence: the obs store.artifact.hits counter is envelope-level
+  // (monotonic), so a NoteArtifactCorrupt reclassification — which
+  // decrements ArtifactStats::hits — leaves the obs hit count one higher
+  // than ArtifactStats reports; the obs corrupt/miss counters still
+  // record the reclassification.
   StoreStats Stats() const;
   ArtifactStats ArtifactTierStats() const;
   const std::string& dir() const { return dir_; }

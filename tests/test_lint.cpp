@@ -127,10 +127,11 @@ TEST(RawRandom, PragmaSuppressesWithReason) {
 // --- wall-clock -------------------------------------------------------------
 
 TEST(WallClock, FlagsWallClockSources) {
+  // Both the `chrono` mention and the wall-clock type trip the rule.
   EXPECT_EQ(Count(RunLint("src/a.cpp",
                       "auto t = std::chrono::system_clock::now();"),
                   "wall-clock"),
-            1u);
+            2u);
   EXPECT_EQ(Count(RunLint("src/a.cpp", "time_t t = time(nullptr);"),
                   "wall-clock"),
             1u);
@@ -142,11 +143,29 @@ TEST(WallClock, FlagsWallClockSources) {
             1u);
 }
 
-TEST(WallClock, SteadyClockAndDeclarationsPass) {
+TEST(WallClock, ChronoIsConfinedToClockHomes) {
+  // Any mention of chrono outside the clock homes is a violation — even
+  // steady_clock, which must be reached through Stopwatch/MonotonicMicros.
+  EXPECT_EQ(Count(RunLint("src/a.cpp", "#include <chrono>\n"), "wall-clock"),
+            1u);
   EXPECT_EQ(Count(RunLint("src/a.cpp",
                       "auto t = std::chrono::steady_clock::now();"),
                   "wall-clock"),
+            1u);
+  // The two clock homes may use chrono freely.
+  EXPECT_EQ(Count(RunLint("src/util/stopwatch.hpp",
+                      "#include <chrono>\n"
+                      "auto t = std::chrono::steady_clock::now();"),
+                  "wall-clock"),
             0u);
+  EXPECT_EQ(Count(RunLint("src/obs/clock.hpp",
+                      "#include <chrono>\n"
+                      "auto t = std::chrono::steady_clock::now();"),
+                  "wall-clock"),
+            0u);
+}
+
+TEST(WallClock, SteadyClockAndDeclarationsPass) {
   // A function *named* time is a declaration, not a call of ::time.
   EXPECT_EQ(Count(RunLint("src/a.cpp", "double time(int x) { return 0; }"),
                   "wall-clock"),
@@ -169,7 +188,8 @@ TEST(WallClock, AllowFilePragma) {
                      "auto a = std::chrono::system_clock::now();\n"
                      "auto b = time(nullptr);\n");
   EXPECT_EQ(Count(r, "wall-clock", false), 0u);
-  EXPECT_EQ(Count(r, "wall-clock", true), 2u);
+  // Line 2 yields two suppressed hits (chrono + system_clock), line 3 one.
+  EXPECT_EQ(Count(r, "wall-clock", true), 3u);
 }
 
 // --- unordered-iter ---------------------------------------------------------
@@ -410,6 +430,48 @@ TEST(SchemaVersion, ParseSchemaVersionReadsConstant) {
                 "inline constexpr int kResultSchemaVersion = 3;"),
             std::optional<int>(3));
   EXPECT_EQ(ParseSchemaVersion("int unrelated = 7;"), std::nullopt);
+}
+
+// --- obs-metric-once --------------------------------------------------------
+
+TEST(ObsMetricOnce, DuplicateLiteralRegistrationFlagged) {
+  const auto r = RunLint(
+      "src/a.cpp",
+      "obs::Registry::Instance().RegisterCounter(\"exec.test.dup\");\n"
+      "obs::Registry::Instance().RegisterCounter(\"exec.test.dup\");\n");
+  ASSERT_EQ(Count(r, "obs-metric-once"), 1u);
+  // The second site is the violation; it points back at the first.
+  const Violation& v = r.violations[0];
+  EXPECT_EQ(v.line, 2);
+  EXPECT_NE(v.message.find("src/a.cpp:1"), std::string::npos) << v.message;
+}
+
+TEST(ObsMetricOnce, DistinctAndComputedNamesPass) {
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "r.RegisterCounter(\"exec.test.a\");\n"
+                      "r.RegisterGauge(\"exec.test.b\");\n"
+                      "r.RegisterHistogram(\"exec.test.c\", {4});\n"
+                      "r.RegisterTime(\"exec.test.d\");\n"),
+                  "obs-metric-once"),
+            0u);
+  // Computed names are invisible to the lexical audit (documented gap:
+  // the registry itself still throws on a live duplicate).
+  EXPECT_EQ(Count(RunLint("src/a.cpp",
+                      "r.RegisterCounter(prefix + \".hits\");\n"
+                      "r.RegisterCounter(prefix + \".hits\");\n"),
+                  "obs-metric-once"),
+            0u);
+}
+
+TEST(ObsMetricOnce, PragmaSuppressesSecondSite) {
+  const auto r = RunLint(
+      "src/a.cpp",
+      "r.RegisterHistogram(\"test.obs.h\", {4});\n"
+      "// lint:allow(obs-metric-once) exercising the duplicate-throw path "
+      "against a local registry\n"
+      "r.RegisterHistogram(\"test.obs.h\", {4});\n");
+  EXPECT_EQ(Count(r, "obs-metric-once", false), 0u);
+  EXPECT_EQ(Count(r, "obs-metric-once", true), 1u);
 }
 
 // --- pragmas ----------------------------------------------------------------

@@ -171,8 +171,26 @@ void SortAndDedup(std::vector<Violation>* violations) {
       violations->end());
 }
 
+bool RuleEnabled(const LintOptions& opts, std::string_view rule) {
+  if (opts.rules.empty()) return true;
+  return std::find(opts.rules.begin(), opts.rules.end(), rule) !=
+         opts.rules.end();
+}
+
+// One Register*("literal") site with its suppression state resolved from
+// the owning file's pragmas. Collected per file, judged across files:
+// duplicate names are only visible once every file has been scanned.
+struct ObsRegSite {
+  std::string file;
+  int line = 0;
+  std::string name;
+  bool suppressed = false;
+  std::string reason;
+};
+
 void LintOne(const std::string& path, std::string_view content,
-             const LintOptions& opts, LintResult* result) {
+             const LintOptions& opts, LintResult* result,
+             std::vector<ObsRegSite>* obs_sites) {
   const LexResult lex = Lex(content);
   const PragmaScan scan = ScanPragmas(path, lex.comments);
 
@@ -180,6 +198,25 @@ void LintOne(const std::string& path, std::string_view content,
   internal::RuleContext ctx{path, lex, opts.expected_schema_version};
   internal::RunRules(ctx, opts.rules, &file_violations);
   ApplySuppressions(scan, &file_violations);
+
+  if (obs_sites != nullptr && RuleEnabled(opts, "obs-metric-once")) {
+    std::vector<internal::ObsRegistration> regs;
+    internal::CollectObsRegistrations(lex, &regs);
+    for (const internal::ObsRegistration& reg : regs) {
+      ObsRegSite site{path, reg.line, reg.name, false, ""};
+      for (const Pragma& p : scan.pragmas) {
+        if (p.rule != "obs-metric-once") continue;
+        if (!p.whole_file &&
+            (reg.line < p.line || reg.line > p.end_line + 1)) {
+          continue;
+        }
+        site.suppressed = true;
+        site.reason = p.reason;
+        break;
+      }
+      obs_sites->push_back(std::move(site));
+    }
+  }
 
   const bool bad_pragma_enabled =
       opts.rules.empty() ||
@@ -193,6 +230,35 @@ void LintOne(const std::string& path, std::string_view content,
   result->violations.insert(result->violations.end(),
                             file_violations.begin(), file_violations.end());
   result->files_scanned += 1;
+}
+
+// Cross-file half of obs-metric-once: every metric-name literal may have
+// at most one Register* site in the tree (the process-wide registry throws
+// on the second registration at runtime). Each site beyond the first —
+// in (file, line) order, so reports are stable — becomes a violation
+// pointing back at the canonical first site.
+void FinalizeObsMetricOnce(std::vector<ObsRegSite> sites,
+                           LintResult* result) {
+  std::sort(sites.begin(), sites.end(),
+            [](const ObsRegSite& a, const ObsRegSite& b) {
+              return std::tie(a.name, a.file, a.line) <
+                     std::tie(b.name, b.file, b.line);
+            });
+  for (size_t i = 0; i < sites.size();) {
+    size_t j = i + 1;
+    while (j < sites.size() && sites[j].name == sites[i].name) ++j;
+    for (size_t k = i + 1; k < j; ++k) {
+      const ObsRegSite& s = sites[k];
+      result->violations.push_back(
+          {"obs-metric-once", s.file, s.line,
+           "obs metric '" + s.name + "' also registered at " +
+               sites[i].file + ":" + std::to_string(sites[i].line) +
+               " — the process-wide registry throws on the second "
+               "registration; share one registration helper instead",
+           s.suppressed, s.reason});
+    }
+    i = j;
+  }
 }
 
 std::string JsonEscape(std::string_view s) {
@@ -221,8 +287,9 @@ std::string JsonEscape(std::string_view s) {
 }  // namespace
 
 std::vector<std::string> RuleNames() {
-  return {"raw-random",   "wall-clock",     "unordered-iter", "pointer-sort",
-          "shared-capture", "schema-version", "bad-pragma"};
+  return {"raw-random",     "wall-clock",     "unordered-iter",
+          "pointer-sort",   "shared-capture", "schema-version",
+          "obs-metric-once", "bad-pragma"};
 }
 
 std::optional<int> ParseSchemaVersion(std::string_view header_text) {
@@ -242,7 +309,10 @@ std::optional<int> ParseSchemaVersion(std::string_view header_text) {
 LintResult LintSource(const std::string& path, std::string_view content,
                       const LintOptions& opts) {
   LintResult result;
-  LintOne(path, content, opts, &result);
+  std::vector<ObsRegSite> obs_sites;
+  LintOne(path, content, opts, &result, &obs_sites);
+  FinalizeObsMetricOnce(std::move(obs_sites), &result);
+  SortAndDedup(&result.violations);
   return result;
 }
 
@@ -285,6 +355,7 @@ LintResult LintTree(const std::string& root, const LintOptions& opts) {
   }
   std::sort(files.begin(), files.end());
 
+  std::vector<ObsRegSite> obs_sites;
   for (const fs::path& f : files) {
     std::ifstream in(f, std::ios::binary);
     if (!in) continue;
@@ -294,8 +365,10 @@ LintResult LintTree(const std::string& root, const LintOptions& opts) {
     fs::path rel = fs::relative(f, root, ec);
     const std::string label =
         ec ? f.generic_string() : rel.generic_string();
-    LintOne(label, ss.str(), effective, &result);
+    LintOne(label, ss.str(), effective, &result, &obs_sites);
   }
+  FinalizeObsMetricOnce(std::move(obs_sites), &result);
+  SortAndDedup(&result.violations);
   return result;
 }
 

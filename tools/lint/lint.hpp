@@ -11,9 +11,13 @@
 //                   *shapes* must be the repo's portable ones — stdlib
 //                   distributions are implementation-defined.
 //   wall-clock      system_clock / time() / gettimeofday in result-
-//                   affecting code. steady_clock is fine (telemetry only
-//                   by convention); wall clocks are not, because two
-//                   processes computing the same store key must agree.
+//                   affecting code, and any direct <chrono> use outside
+//                   the two clock homes (util/stopwatch.hpp for
+//                   durations, obs/clock.hpp for trace timestamps).
+//                   Wall clocks are banned because two processes
+//                   computing the same store key must agree; confining
+//                   chrono itself keeps new clock call sites from
+//                   appearing outside the audited shims.
 //   unordered-iter  iteration over an unordered_{map,set} — hash-order is
 //                   unspecified, so anything it feeds is too. Requires an
 //                   ordered-reduction annotation stating why order cannot
@@ -29,6 +33,15 @@
 //                   whose version N == store::kResultSchemaVersion.
 //                   Bumping the version constant stales every annotation
 //                   at once, forcing a visit to each serialized struct.
+//   obs-metric-once a metric-name string literal passed to
+//                   obs::Registry::Register{Counter,Gauge,Histogram,Time}
+//                   may appear at only one call site in the tree. The
+//                   registry throws on a second registration at runtime
+//                   (the function-local-static idiom runs once per SITE,
+//                   not once per process), so a pasted helper or a static
+//                   hoisted into a template is a landmine this rule
+//                   defuses at lint time. Cross-file: judged after every
+//                   file is scanned.
 //   bad-pragma      malformed lint pragmas (unknown rule, missing reason).
 //                   Not suppressible.
 //

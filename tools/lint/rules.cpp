@@ -131,10 +131,14 @@ void RuleRawRandom(const RuleContext& ctx, std::vector<Violation>* out) {
 
 // --- wall-clock -------------------------------------------------------------
 
-// util/stopwatch.hpp is the designated telemetry shim; it is allowlisted so
-// the rule's contract reads "all timing goes through Stopwatch or the
-// steady_clock it wraps".
-constexpr std::string_view kClockHomes[] = {"util/stopwatch.hpp"};
+// util/stopwatch.hpp is the designated telemetry shim and obs/clock.hpp
+// the trace-timestamp shim; they are allowlisted so the rule's contract
+// reads "all timing goes through Stopwatch / MonotonicMicros or the
+// steady_clock they wrap". Everywhere else even naming `chrono` is a
+// violation: a third clock home is a new place for wall-clock time to
+// leak into results.
+constexpr std::string_view kClockHomes[] = {"util/stopwatch.hpp",
+                                            "obs/clock.hpp"};
 
 constexpr std::string_view kWallClockTypes[] = {
     "system_clock", "high_resolution_clock",  // h_r_c may alias system_clock
@@ -153,6 +157,16 @@ void RuleWallClock(const RuleContext& ctx, std::vector<Violation>* out) {
                                   IsPunct(t, i - 1, "->"));
     if (member) continue;
 
+    // Any appearance of `chrono` — `#include <chrono>`, std::chrono::...
+    // — outside the clock homes. String literals do not lex as
+    // identifiers, so prose/test fixtures stay quiet.
+    if (id == "chrono") {
+      Add(out, ctx, "wall-clock", t[i].line,
+          "direct <chrono> use outside util/stopwatch.hpp / obs/clock.hpp "
+          "— time through util::Stopwatch (durations) or "
+          "obs::MonotonicMicros (trace timestamps)");
+      continue;
+    }
     bool hit = false;
     for (std::string_view name : kWallClockTypes) {
       if (id == name) {
@@ -771,6 +785,42 @@ void RuleSchemaVersion(const RuleContext& ctx, std::vector<Violation>* out) {
 }
 
 }  // namespace
+
+// --- obs-metric-once (collection half; aggregation lives in the driver) -----
+
+// The function-local-static registration idiom
+// (`static obs::Counter* c = Registry::Instance().RegisterCounter("name")`)
+// runs once per *call site*, so two sites sharing a literal name — say the
+// same helper pasted into two translation units, or a static hoisted into
+// a template — throw std::logic_error the first time the second site runs.
+// That is a runtime landmine on whichever code path registers second;
+// this collector finds the literals so the driver can cross-check the
+// whole tree at lint time instead.
+void CollectObsRegistrations(const LexResult& lex,
+                             std::vector<ObsRegistration>* out) {
+  constexpr std::string_view kRegisterCalls[] = {
+      "RegisterCounter", "RegisterGauge", "RegisterHistogram",
+      "RegisterTime"};
+  const TokList& t = lex.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    bool is_register = false;
+    for (std::string_view name : kRegisterCalls) {
+      if (t[i].text == name) {
+        is_register = true;
+        break;
+      }
+    }
+    // Call shape with a literal first argument. Computed names (the store
+    // tiers build "prefix.metric" strings) are invisible to a lexical
+    // pass and stay the caller's responsibility.
+    if (!is_register || !IsPunct(t, i + 1, "(") ||
+        t[i + 2].kind != TokKind::kString) {
+      continue;
+    }
+    out->push_back({t[i + 2].text, t[i].line});
+  }
+}
 
 void RunRules(const RuleContext& ctx, const std::vector<std::string>& rules,
               std::vector<Violation>* out) {

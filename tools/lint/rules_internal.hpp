@@ -17,9 +17,21 @@ struct RuleContext {
 };
 
 // Appends raw (pre-suppression) violations for every rule in `rules`
-// (empty = all) to `out`. bad-pragma violations are NOT produced here —
-// the driver owns pragma parsing.
+// (empty = all) to `out`. bad-pragma and obs-metric-once violations are
+// NOT produced here — the driver owns pragma parsing, and obs-metric-once
+// is a cross-file aggregation over CollectObsRegistrations output.
 void RunRules(const RuleContext& ctx, const std::vector<std::string>& rules,
               std::vector<Violation>* out);
+
+// One obs::Registry::Register*("literal") call site in a file.
+struct ObsRegistration {
+  std::string name;  // the metric-name string literal
+  int line = 0;
+};
+
+// Appends every Register{Counter,Gauge,Histogram,Time}("literal") call
+// site to `out`. Computed (non-literal) names are not collected.
+void CollectObsRegistrations(const LexResult& lex,
+                             std::vector<ObsRegistration>* out);
 
 }  // namespace splitlock::lint::internal

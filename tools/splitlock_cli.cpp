@@ -67,6 +67,8 @@
 #include "exec/thread_pool.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/libcell.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/result_store.hpp"
 #include "util/env.hpp"
 
@@ -92,6 +94,12 @@ struct Args {
   bool store_stats = false;
   std::string out_path;              // shard/merged table file
   std::vector<std::string> inputs;   // merge: all shard table files
+  // Observability (src/obs): --trace FILE exports a Chrome trace-event
+  // JSON of the run; --metrics[=FILE] dumps the ordered metrics snapshot
+  // to stderr (or FILE). Both leave canonical stdout untouched.
+  std::string trace_path;
+  bool metrics = false;
+  std::string metrics_path;  // empty = stderr
 };
 
 int Usage() {
@@ -104,7 +112,9 @@ int Usage() {
       "[--seed S] [--threads T] [--engine E]... [--shards N] "
       "[--shard-index I] [--store DIR] [--store-stats] [--json] [--out F]\n"
       "       splitlock_cli merge <shard.json>... [--json] [--out F]\n"
-      "       --engine list   print the attack-engine registry\n");
+      "       --engine list   print the attack-engine registry\n"
+      "       --trace FILE    export a Chrome trace-event JSON of the run\n"
+      "       --metrics[=F]   dump the metrics snapshot to stderr (or F)\n");
   return 2;
 }
 
@@ -499,12 +509,15 @@ int CmdSuite(const Args& args) {
     const store::ArtifactStats art = result_store->ArtifactTierStats();
     std::fprintf(stderr,
                  "store-stats: hits=%llu misses=%llu inserts=%llu "
-                 "insert_errors=%llu corrupt=%llu\n",
+                 "insert_errors=%llu corrupt=%llu bytes_read=%llu "
+                 "bytes_written=%llu\n",
                  (unsigned long long)stats.hits,
                  (unsigned long long)stats.misses,
                  (unsigned long long)stats.inserts,
                  (unsigned long long)stats.insert_errors,
-                 (unsigned long long)stats.corrupt);
+                 (unsigned long long)stats.corrupt,
+                 (unsigned long long)stats.bytes_read,
+                 (unsigned long long)stats.bytes_written);
     std::fprintf(stderr,
                  "store-stats: artifact_hits=%llu artifact_misses=%llu "
                  "artifact_inserts=%llu artifact_insert_errors=%llu "
@@ -519,22 +532,13 @@ int CmdSuite(const Args& args) {
     if (args.json) {
       // The canonical suite table (stdout/--out) must stay byte-identical
       // between warm and cold runs, so the stats object goes to stderr.
-      std::fprintf(
-          stderr,
-          "{\"store_stats\":{\"hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
-          "\"insert_errors\":%llu,\"corrupt\":%llu,"
-          "\"artifact\":{\"hits\":%llu,\"misses\":%llu,\"inserts\":%llu,"
-          "\"insert_errors\":%llu,\"corrupt\":%llu,\"bytes_read\":%llu,"
-          "\"bytes_written\":%llu}}}\n",
-          (unsigned long long)stats.hits, (unsigned long long)stats.misses,
-          (unsigned long long)stats.inserts,
-          (unsigned long long)stats.insert_errors,
-          (unsigned long long)stats.corrupt, (unsigned long long)art.hits,
-          (unsigned long long)art.misses, (unsigned long long)art.inserts,
-          (unsigned long long)art.insert_errors,
-          (unsigned long long)art.corrupt,
-          (unsigned long long)art.bytes_read,
-          (unsigned long long)art.bytes_written);
+      // Sourced from the process-wide metrics snapshot (the per-instance
+      // counters above mirror into it), so the JSON shape is the registry's
+      // flat "store.<tier>.<metric>" naming with histogram-style byte
+      // totals per tier — the same object bench records embed.
+      const std::string json =
+          obs::Registry::Instance().Snapshot().FlatCountsJson("store.");
+      std::fprintf(stderr, "{\"store_stats\":%s}\n", json.c_str());
     }
   }
   return rc;
@@ -646,6 +650,17 @@ int main(int argc, char** argv) {
       args.store_dir = v;
     } else if (a == "--store-stats") {
       args.store_stats = true;
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.trace_path = v;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args.trace_path = a.substr(8);
+    } else if (a == "--metrics") {
+      args.metrics = true;
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      args.metrics = true;
+      args.metrics_path = a.substr(10);
     } else if (a == "--out") {
       const char* v = next();
       if (!v) return Usage();
@@ -662,17 +677,48 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+  // Observability prologue: name the main track and arm the tracer before
+  // any command work so every span of the run is captured. --trace wins
+  // over the SPLITLOCK_TRACE environment variable.
+  obs::Tracer::Instance().RegisterCurrentThread("main");
+  if (!args.trace_path.empty()) {
+    obs::Tracer::Instance().Start(args.trace_path);
+  } else {
+    obs::Tracer::Instance().InitFromEnv();
+  }
+  int rc = 0;
+  bool known_command = true;
   try {
-    if (args.command == "stats") return CmdStats(args);
-    if (args.command == "lock") return CmdLock(args);
-    if (args.command == "flow") return CmdFlow(args);
-    if (args.command == "attack") return CmdAttack(args);
-    if (args.command == "report") return CmdReport(args);
-    if (args.command == "suite") return CmdSuite(args);
-    if (args.command == "merge") return CmdMerge(args);
+    if (args.command == "stats") rc = CmdStats(args);
+    else if (args.command == "lock") rc = CmdLock(args);
+    else if (args.command == "flow") rc = CmdFlow(args);
+    else if (args.command == "attack") rc = CmdAttack(args);
+    else if (args.command == "report") rc = CmdReport(args);
+    else if (args.command == "suite") rc = CmdSuite(args);
+    else if (args.command == "merge") rc = CmdMerge(args);
+    else known_command = false;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return Usage();
+  // Epilogue runs even when the command failed: a trace of a failing run
+  // is exactly what the flag was passed for. Export failure only flips a
+  // successful exit code — it never masks the command's own failure.
+  const bool tracing = obs::Tracer::Instance().enabled();
+  if (tracing && !obs::Tracer::Instance().ExportAndStop()) {
+    std::fprintf(stderr, "error: cannot write trace file\n");
+    if (rc == 0) rc = 1;
+  }
+  if (args.metrics) {
+    const std::string json = obs::Registry::Instance().Snapshot().ToJson();
+    if (args.metrics_path.empty()) {
+      std::fprintf(stderr, "%s\n", json.c_str());
+    } else if (!WriteFile(args.metrics_path, json + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.metrics_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!known_command) return Usage();
+  return rc;
 }
