@@ -28,6 +28,7 @@
 #include "core/flow.hpp"
 #include "store/result_store.hpp"
 #include "util/env.hpp"
+#include "util/json.hpp"
 
 namespace splitlock::bench {
 
@@ -93,17 +94,21 @@ inline std::mutex& FlowCacheMu() {
   return mu;
 }
 
-inline std::map<std::pair<std::string, int>, std::unique_ptr<FlowEntry>>&
-FlowCache() {
-  static std::map<std::pair<std::string, int>, std::unique_ptr<FlowEntry>>
-      cache;
+// Both in-process memo maps are keyed the way the persistent store is:
+// the flow cache by the flow-level store stem (suite/scale/flow-options
+// hash), the record cache by that stem plus the portfolio identity. The
+// two-level split matters for the same reason it does on disk — harnesses
+// running different attack portfolios over one flow share the
+// single-flight FlowEntry (the expensive part) while memoizing their
+// records separately.
+inline std::map<std::string, std::unique_ptr<FlowEntry>>& FlowCache() {
+  static std::map<std::string, std::unique_ptr<FlowEntry>> cache;
   return cache;
 }
 
-inline FlowEntry& FlowEntryFor(const std::string& name, int split_layer) {
+inline FlowEntry& FlowEntryFor(const std::string& flow_key) {
   std::lock_guard<std::mutex> lock(FlowCacheMu());
-  std::unique_ptr<FlowEntry>& slot =
-      FlowCache()[std::make_pair(name, split_layer)];
+  std::unique_ptr<FlowEntry>& slot = FlowCache()[flow_key];
   if (!slot) slot = std::make_unique<FlowEntry>();
   return *slot;
 }
@@ -113,9 +118,8 @@ inline FlowEntry& FlowEntryFor(const std::string& name, int split_layer) {
 // emplace, never overwritten — so the const references RunItcRecordCached
 // hands out stay valid and race-free while other keys are inserted
 // (std::map never invalidates node references).
-inline std::map<std::pair<std::string, int>, store::CampaignRecord>&
-RecordCache() {
-  static std::map<std::pair<std::string, int>, store::CampaignRecord> cache;
+inline std::map<std::string, store::CampaignRecord>& RecordCache() {
+  static std::map<std::string, store::CampaignRecord> cache;
   return cache;
 }
 
@@ -136,6 +140,26 @@ inline core::CampaignJob ItcJob(const std::string& name, int split_layer,
   job.cache_scale = store::CanonicalDouble(ReproScale());
   job.force_compute = force_compute;
   return job;
+}
+
+// The flow-level memo key for `job`: exactly the persistent store's stem,
+// so the in-process and on-disk caches partition identically.
+inline std::string ItcFlowKey(const core::CampaignJob& job) {
+  return ItcCampaignRunner().KeyFor(job).Stem();
+}
+
+// The record-level memo key: flow stem + portfolio identity (the same
+// PortfolioHash shard tables carry). force_compute does not participate —
+// it changes where a record comes from, never what it contains.
+inline std::string ItcRecordKey(const core::CampaignJob& job) {
+  std::vector<std::string> configs;
+  configs.reserve(job.attacks.size());
+  for (const attack::AttackConfig& config : job.attacks) {
+    configs.push_back(config.ToString());
+  }
+  return ItcFlowKey(job) + "-p" +
+         util::HexU64(store::PortfolioHash(configs, ReproPatterns(),
+                                           /*run_attack=*/true));
 }
 
 inline FlowScore OutcomeToFlowScore(core::CampaignOutcome&& outcome) {
@@ -164,11 +188,14 @@ inline void WarmItcSuiteCache(int split_layer) {
   // the duration of the campaign and released with the results filled.
   std::vector<std::pair<internal::FlowEntry*, std::unique_lock<std::mutex>>>
       claimed;
+  std::vector<std::string> record_keys;
   for (core::CampaignJob& job :
        core::Itc99CampaignJobs(options, ReproScale())) {
-    internal::FlowEntry& entry = internal::FlowEntryFor(job.name, split_layer);
+    internal::FlowEntry& entry =
+        internal::FlowEntryFor(internal::ItcFlowKey(job));
     std::unique_lock<std::mutex> entry_lock(entry.mu, std::try_to_lock);
     if (!entry_lock.owns_lock() || entry.ready) continue;
+    record_keys.push_back(internal::ItcRecordKey(job));
     jobs.push_back(std::move(job));
     claimed.emplace_back(&entry, std::move(entry_lock));
   }
@@ -182,8 +209,7 @@ inline void WarmItcSuiteCache(int split_layer) {
     }
     {
       std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
-      internal::RecordCache().emplace(
-          std::make_pair(outcome.name, split_layer), outcome.record);
+      internal::RecordCache().emplace(record_keys[i], outcome.record);
     }
     if (!outcome.from_store) {
       internal::FlowEntry& entry = *claimed[i].first;
@@ -207,15 +233,18 @@ inline void WarmItcSuiteCache(int split_layer) {
 // consumers.
 inline const FlowScore& RunItcFlowCached(const std::string& name,
                                          int split_layer) {
-  internal::FlowEntry& entry = internal::FlowEntryFor(name, split_layer);
+  const core::CampaignJob job =
+      internal::ItcJob(name, split_layer, /*force_compute=*/true);
+  internal::FlowEntry& entry =
+      internal::FlowEntryFor(internal::ItcFlowKey(job));
   std::lock_guard<std::mutex> entry_lock(entry.mu);
   if (entry.ready) return entry.score;
-  entry.score = internal::OutcomeToFlowScore(internal::ItcCampaignRunner().RunOne(
-      internal::ItcJob(name, split_layer, /*force_compute=*/true)));
+  entry.score =
+      internal::OutcomeToFlowScore(internal::ItcCampaignRunner().RunOne(job));
   entry.ready = true;
   {
     std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
-    internal::RecordCache().emplace(std::make_pair(name, split_layer),
+    internal::RecordCache().emplace(internal::ItcRecordKey(job),
                                     entry.score.record);
   }
   return entry.score;
@@ -229,21 +258,21 @@ inline const FlowScore& RunItcFlowCached(const std::string& name,
 // must not deep-copy the record per iteration.
 inline const store::CampaignRecord& RunItcRecordCached(const std::string& name,
                                                        int split_layer) {
-  const auto key = std::make_pair(name, split_layer);
+  const core::CampaignJob job =
+      internal::ItcJob(name, split_layer, /*force_compute=*/false);
+  const std::string key = internal::ItcRecordKey(job);
   {
     std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
     auto it = internal::RecordCache().find(key);
     if (it != internal::RecordCache().end()) return it->second;
   }
-  core::CampaignRunner runner = internal::ItcCampaignRunner();
-  if (store::ResultStore* persistent = internal::PersistentStore()) {
-    const core::CampaignJob job =
-        internal::ItcJob(name, split_layer, /*force_compute=*/false);
+  if (internal::PersistentStore()) {
+    // Two-level assembly: flow record + one record per portfolio attack.
+    // Rejects assembled failures (only a foreign/stale store can contain
+    // one) so zeroed table rows are never served; fall through and
+    // recompute, which throws loudly on failure like the cold path.
     std::optional<store::CampaignRecord> record =
-        persistent->Lookup(runner.KeyFor(job));
-    // A failed record (only a foreign/stale store can contain one) must
-    // not serve zeroed table rows; fall through and recompute, which
-    // throws loudly on failure like the cold path always has.
+        internal::ItcCampaignRunner().LookupAssembled(job);
     if (record && record->ok) {
       std::lock_guard<std::mutex> lock(internal::FlowCacheMu());
       return internal::RecordCache()

@@ -82,19 +82,15 @@ store::StoreKey CampaignRunner::KeyFor(const CampaignJob& job) const {
   key.suite = job.cache_id;
   key.scale = job.cache_scale;
   key.flow_hash = FlowOptionsHash(job.flow);
-  std::vector<std::string> configs;
-  configs.reserve(job.attacks.size());
-  for (const attack::AttackConfig& config : job.attacks) {
-    configs.push_back(config.ToString());
-  }
-  key.attack_hash = store::PortfolioHash(configs, options_.score_patterns,
-                                         options_.run_attack);
   return key;
 }
 
-store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
-                                         uint64_t score_patterns) {
-  store::CampaignRecord r;
+uint64_t CampaignRunner::AttackKeyFor(const attack::AttackConfig& config) const {
+  return store::AttackKeyHash(config.ToString(), options_.score_patterns);
+}
+
+store::FlowRecord MakeFlowRecord(const CampaignOutcome& outcome) {
+  store::FlowRecord r;
   r.name = outcome.name;
   r.ok = outcome.ok;
   r.error = outcome.error;
@@ -106,26 +102,6 @@ store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
   r.die_area_um2 = outcome.flow.physical.cost.die_area_um2;
   r.power_uw = outcome.flow.physical.cost.power_uw;
   r.critical_path_ps = outcome.flow.physical.cost.critical_path_ps;
-  r.regular_ccr_percent = outcome.score.ccr.regular_ccr_percent;
-  r.key_logical_ccr_percent = outcome.score.ccr.key_logical_ccr_percent;
-  r.key_physical_ccr_percent = outcome.score.ccr.key_physical_ccr_percent;
-  r.pnr_percent = outcome.score.pnr_percent;
-  r.hd_percent = outcome.score.functional.hd_percent;
-  r.oer_percent = outcome.score.functional.oer_percent;
-  r.score_patterns =
-      outcome.score.functional.patterns > 0 ? score_patterns : 0;
-  for (const attack::AttackReport& report : outcome.attacks) {
-    store::AttackRecord a;
-    a.engine = report.engine;
-    a.config = report.config;
-    a.ok = report.ok;
-    a.error = report.error;
-    a.key_found = report.key_found;
-    a.functionally_correct = report.functionally_correct;
-    a.counters = report.counters;
-    a.elapsed_s = report.elapsed_s;
-    r.attacks.push_back(std::move(a));
-  }
   r.lock_s = outcome.flow.times.lock_s;
   r.place_s = outcome.flow.times.place_s;
   r.route_s = outcome.flow.times.route_s;
@@ -140,8 +116,9 @@ store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
 
 namespace {
 
-// Surfaces a stored record's scorecard through the legacy outcome fields,
-// so record-oblivious consumers read the same numbers either way.
+// Surfaces a record's scorecard through the legacy outcome fields, so
+// record-oblivious consumers read the same numbers whether the winning
+// score was computed this run or served from a cached attack record.
 void ScoreFromRecord(const store::CampaignRecord& r, attack::AttackScore* s) {
   s->ccr.regular_ccr_percent = r.regular_ccr_percent;
   s->ccr.key_logical_ccr_percent = r.key_logical_ccr_percent;
@@ -152,7 +129,41 @@ void ScoreFromRecord(const store::CampaignRecord& r, attack::AttackScore* s) {
   s->functional.patterns = r.score_patterns;
 }
 
+store::AttackRecord MakeAttackRecord(const attack::AttackReport& report) {
+  store::AttackRecord a;
+  a.engine = report.engine;
+  a.config = report.config;
+  a.ok = report.ok;
+  a.error = report.error;
+  a.key_found = report.key_found;
+  a.functionally_correct = report.functionally_correct;
+  a.counters = report.counters;
+  a.elapsed_s = report.elapsed_s;
+  return a;
+}
+
 }  // namespace
+
+std::optional<store::CampaignRecord> CampaignRunner::LookupAssembled(
+    const CampaignJob& job) const {
+  if (!options_.store || job.cache_id.empty()) return std::nullopt;
+  const store::StoreKey key = KeyFor(job);
+  std::optional<store::FlowRecord> flow = options_.store->LookupFlow(key);
+  // Failed records are never inserted, but a foreign or stale store could
+  // still hold one; an assembled failure is worthless to every caller.
+  if (!flow || !flow->ok) return std::nullopt;
+  std::vector<store::AttackRecord> attacks;
+  if (options_.run_attack) {
+    attacks.reserve(job.attacks.size());
+    for (const attack::AttackConfig& config : job.attacks) {
+      std::optional<store::AttackRecord> a =
+          options_.store->LookupAttack(key, AttackKeyFor(config));
+      if (!a) return std::nullopt;
+      attacks.push_back(std::move(*a));
+    }
+  }
+  return store::ComposeCampaignRecord(*flow, attacks);
+}
 
 CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
   Metrics().jobs->Add(1);
@@ -161,22 +172,69 @@ CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
   outcome.name = job.name;
   const Stopwatch start;
   const bool store_addressable = options_.store && !job.cache_id.empty();
+  const store::StoreKey key =
+      store_addressable ? KeyFor(job) : store::StoreKey{};
+
+  // One slot per portfolio position, in canonical order. Warm slots carry
+  // their cached record through to the compose step; cold slots run their
+  // engine on the compute path and publish afterwards.
+  struct AttackSlot {
+    const attack::AttackConfig* config;
+    uint64_t hash;
+    std::optional<store::AttackRecord> cached;
+  };
+  std::vector<AttackSlot> slots;
+  if (options_.run_attack) {
+    slots.reserve(job.attacks.size());
+    for (const attack::AttackConfig& config : job.attacks) {
+      slots.push_back(AttackSlot{&config, AttackKeyFor(config), std::nullopt});
+    }
+  }
+
+  bool flow_from_store = false;
   if (store_addressable && !job.force_compute) {
-    std::optional<store::CampaignRecord> record =
-        options_.store->Lookup(KeyFor(job));
+    std::optional<store::FlowRecord> flow_record =
+        options_.store->LookupFlow(key);
     // Failed records are never inserted (below), but a foreign or stale
     // store could still contain one; retrying the computation beats
     // replaying a failure forever.
-    if (record && record->ok) {
-      outcome.record = std::move(*record);
-      outcome.from_store = true;
-      outcome.ok = outcome.record.ok;
-      outcome.error = outcome.record.error;
-      ScoreFromRecord(outcome.record, &outcome.score);
-      outcome.elapsed_s = start.Seconds();
-      return outcome;
+    if (flow_record && flow_record->ok) {
+      flow_from_store = true;
+      bool all_cached = true;
+      for (AttackSlot& slot : slots) {
+        slot.cached = options_.store->LookupAttack(key, slot.hash);
+        if (!slot.cached) all_cached = false;
+      }
+      if (all_cached) {
+        // Full hit: every piece is on disk. Assemble without touching the
+        // flow, the netlist builder, or any engine.
+        std::vector<store::AttackRecord> attacks;
+        attacks.reserve(slots.size());
+        for (AttackSlot& slot : slots) {
+          attacks.push_back(std::move(*slot.cached));
+        }
+        outcome.record = store::ComposeCampaignRecord(*flow_record, attacks);
+        outcome.from_store = true;
+        outcome.ok = outcome.record.ok;
+        outcome.error = outcome.record.error;
+        ScoreFromRecord(outcome.record, &outcome.score);
+        outcome.elapsed_s = start.Seconds();
+        return outcome;
+      }
+      // Partial hit: fall through to the compute path with the warm slots
+      // pinned. The flow replays from the artifact tier (or recomputes
+      // when the blob was evicted — which re-publishes it), only the cold
+      // engines run, and only their records are published.
     }
   }
+
+  // Per-attack records in portfolio order, cached and fresh interleaved;
+  // what ComposeCampaignRecord merges below. Slots scored *this run* also
+  // keep the full in-memory AttackScore: the serialized scorecard is only
+  // the headline numbers, and callers of a computed run expect the rich
+  // struct (sample counts, per-net CCR breakdowns) the record can't carry.
+  std::vector<store::AttackRecord> attack_records;
+  std::vector<std::optional<attack::AttackScore>> full_scores;
   try {
     // The oracle netlist is only needed when attacks run; a warm artifact
     // hit otherwise never calls make_netlist at all.
@@ -184,10 +242,9 @@ CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
     bool from_artifact = false;
     if (store_addressable) {
       // Artifact consult happens on the compute path too (including
-      // force_compute, which skips only the *summary* shortcut above):
+      // force_compute, which skips only the *record* shortcut above):
       // replayed artifacts reproduce the computed flow bit-exactly, so
       // skipping place/route/lift is a pure optimization.
-      const store::StoreKey key = KeyFor(job);
       // artifact_load_s covers exactly lookup + decode. The replay that
       // follows reports under sta_s/analyze_s; timing it here too used to
       // double-report the warm window and broke StageSumS() <= total_s.
@@ -221,33 +278,66 @@ CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
         obs::Span span("flow.artifact_save");
         const Stopwatch t_save;
         options_.store->InsertArtifact(
-            KeyFor(job),
-            store::EncodeFlowArtifact(outcome.flow.lock,
-                                      *outcome.flow.physical.netlist,
-                                      *outcome.flow.physical.layout,
-                                      outcome.flow.physical.lift));
+            key, store::EncodeFlowArtifact(outcome.flow.lock,
+                                           *outcome.flow.physical.netlist,
+                                           *outcome.flow.physical.layout,
+                                           outcome.flow.physical.lift));
         outcome.flow.times.artifact_save_s = t_save.Seconds();
       }
     }
     if (options_.run_attack) {
-      if (!original) original.emplace(job.make_netlist());
+      bool any_cold = false;
+      for (const AttackSlot& slot : slots) {
+        if (!slot.cached) any_cold = true;
+      }
       // Everything the engines may see. The oracle (the original function)
       // and the designer key are available for the threat-model-violating
       // and scoring-only engines; layout engines only read the FEOL view.
+      // Built only when an engine actually runs: a partial hit whose cold
+      // set is empty (run_attack toggled portfolios) skips the oracle too.
       attack::AttackContext ctx;
-      ctx.feol = &outcome.flow.feol;
-      ctx.locked = &outcome.flow.lock.locked;
-      ctx.oracle = &*original;
-      ctx.correct_key = outcome.flow.lock.key;
-      ctx.seed = job.flow.seed;
-      outcome.attacks.reserve(job.attacks.size());
-      for (const attack::AttackConfig& config : job.attacks) {
-        outcome.attacks.push_back(attack::RunAttack(ctx, config));
+      if (any_cold) {
+        if (!original) original.emplace(job.make_netlist());
+        ctx.feol = &outcome.flow.feol;
+        ctx.locked = &outcome.flow.lock.locked;
+        ctx.oracle = &*original;
+        ctx.correct_key = outcome.flow.lock.key;
+        ctx.seed = job.flow.seed;
       }
-      if (const attack::AttackReport* report = outcome.AssignmentReport()) {
-        outcome.score =
-            attack::ScoreAttack(outcome.flow.feol, report->assignment,
-                                options_.score_patterns, job.flow.seed);
+      attack_records.reserve(slots.size());
+      full_scores.resize(slots.size());
+      for (AttackSlot& slot : slots) {
+        if (slot.cached) {
+          attack_records.push_back(std::move(*slot.cached));
+          continue;
+        }
+        attack::AttackReport report = attack::RunAttack(ctx, *slot.config);
+        store::AttackRecord rec = MakeAttackRecord(report);
+        // Per-attack scorecard, under the same completeness rule
+        // AssignmentReport applies: the empty-stub guard keeps key-only
+        // engines (whose assignment is legitimately empty) from being
+        // mistaken for a layout recovery when the split broke nothing.
+        // Scoring every assignment-carrying attack (not just the
+        // portfolio's first) makes each record self-contained, so any
+        // future portfolio can reproduce its campaign score from cache.
+        if (!outcome.flow.feol.sink_stubs.empty() && report.ok &&
+            report.assignment.size() == outcome.flow.feol.sink_stubs.size()) {
+          const attack::AttackScore score =
+              attack::ScoreAttack(outcome.flow.feol, report.assignment,
+                                  options_.score_patterns, job.flow.seed);
+          rec.has_score = true;
+          rec.regular_ccr_percent = score.ccr.regular_ccr_percent;
+          rec.key_logical_ccr_percent = score.ccr.key_logical_ccr_percent;
+          rec.key_physical_ccr_percent = score.ccr.key_physical_ccr_percent;
+          rec.pnr_percent = score.pnr_percent;
+          rec.hd_percent = score.functional.hd_percent;
+          rec.oer_percent = score.functional.oer_percent;
+          rec.score_patterns =
+              score.functional.patterns > 0 ? options_.score_patterns : 0;
+          full_scores[attack_records.size()] = score;
+        }
+        outcome.attacks.push_back(std::move(report));
+        attack_records.push_back(std::move(rec));
       }
     }
     outcome.ok = true;
@@ -262,13 +352,31 @@ CampaignOutcome CampaignRunner::RunOne(const CampaignJob& job) const {
   // inner flow/replay windows) is a sub-interval of it.
   outcome.flow.times.total_s = outcome.elapsed_s;
   MirrorStageTimes(outcome.flow.times);
-  outcome.record = MakeCampaignRecord(
-      outcome, options_.run_attack ? options_.score_patterns : 0);
+  const store::FlowRecord flow_record = MakeFlowRecord(outcome);
+  outcome.record = store::ComposeCampaignRecord(flow_record, attack_records);
+  // The campaign score is the portfolio's first scorecard. When this run
+  // computed it, hand the caller the full in-memory AttackScore; when a
+  // cached record supplied it, the serialized headline numbers are all
+  // there is (they round-trip bit-exactly via CanonicalDouble).
+  ScoreFromRecord(outcome.record, &outcome.score);
+  for (size_t i = 0; i < attack_records.size(); ++i) {
+    if (!attack_records[i].has_score) continue;
+    if (full_scores[i]) outcome.score = *full_scores[i];
+    break;
+  }
   // Only completed jobs are persisted: a transient failure (OOM, an
   // interrupted run) must degrade to recomputation next time, never
-  // poison the cache for its key.
+  // poison the cache for its key. Publish only what this run computed:
+  // cold attack records always, the flow record only when the store
+  // didn't already serve it.
   if (store_addressable && outcome.ok) {
-    options_.store->Insert(KeyFor(job), outcome.record);
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].cached.has_value()) continue;
+      options_.store->InsertAttack(key, slots[i].hash, attack_records[i]);
+    }
+    if (!flow_from_store) {
+      options_.store->InsertFlow(key, flow_record);
+    }
   }
   return outcome;
 }

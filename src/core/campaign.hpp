@@ -48,9 +48,10 @@ struct CampaignJob {
 
   // Persistent-store identity of the benchmark this job evaluates
   // (e.g. "itc/b14") and the canonical scale string; empty cache_id means
-  // the job is not store-addressable (ad-hoc netlists). The full
-  // store::StoreKey additionally hashes the flow options and the attack
-  // portfolio — see CampaignRunner::KeyFor.
+  // the job is not store-addressable (ad-hoc netlists). The flow-level
+  // store::StoreKey additionally hashes the flow options
+  // (CampaignRunner::KeyFor); each attack in the portfolio is addressed
+  // separately under that key (CampaignRunner::AttackKeyFor).
   std::string cache_id;
   std::string cache_scale;
   // Skip the store lookup (still inserts after computing). Consumers that
@@ -64,14 +65,18 @@ struct CampaignOutcome {
   bool ok = false;
   std::string error;  // exception text when !ok
   FlowResult flow;
-  // One report per configured attack, in job order. A failed engine run
-  // (unknown name, missing context) yields a !ok report; it does not fail
-  // the job.
+  // One report per attack this run actually executed, in job order. A
+  // failed engine run (unknown name, missing context) yields a !ok
+  // report; it does not fail the job. On a partial store hit, attacks the
+  // store already held do NOT reappear here — only in `record.attacks`.
   std::vector<attack::AttackReport> attacks;
-  attack::AttackScore score;  // from the first assignment-carrying report
+  attack::AttackScore score;  // the record's campaign-level scorecard
   double elapsed_s = 0.0;
 
-  // Serializable summary of this outcome — always filled. On a store hit
+  // Serializable summary of this outcome — always filled, assembled by
+  // store::ComposeCampaignRecord from the flow summary and the per-attack
+  // records (cached or fresh) in canonical portfolio order, so it is
+  // byte-identical however the pieces were obtained. On a full store hit
   // it IS the result (from_store=true) and `flow`/`attacks` stay empty;
   // consumers that only read numbers (the CLI suite table, shard tables,
   // the table benches) use the record and never notice the difference.
@@ -99,22 +104,40 @@ class CampaignRunner {
   // Runs every job, concurrently, and returns outcomes in job order.
   std::vector<CampaignOutcome> Run(const std::vector<CampaignJob>& jobs) const;
 
-  // Runs a single job on the calling thread.
+  // Runs a single job on the calling thread. Store-addressable jobs
+  // resolve in three temperatures: a *full hit* assembles the record from
+  // the flow + every per-attack record without computing anything; a
+  // *partial hit* (flow record present, some attacks missing) replays the
+  // flow from the artifact tier (or recomputes it when the blob was
+  // evicted), runs only the missing engines, and publishes only their
+  // records; a *cold* job computes and publishes everything.
   CampaignOutcome RunOne(const CampaignJob& job) const;
 
-  // The persistent-store address of `job` under this runner's options:
-  // (cache_id, cache_scale, FlowOptionsHash(job.flow),
-  //  PortfolioHash(job.attacks, score_patterns, run_attack)).
+  // The flow-level persistent-store address of `job`:
+  // (cache_id, cache_scale, FlowOptionsHash(job.flow)). Shared by every
+  // attack portfolio over the same flow.
   store::StoreKey KeyFor(const CampaignJob& job) const;
+
+  // The per-attack record address under KeyFor(job):
+  // store::AttackKeyHash over the config's canonical string and this
+  // runner's score-pattern count.
+  uint64_t AttackKeyFor(const attack::AttackConfig& config) const;
+
+  // Store-only assembly: the RunOne full-hit path without the compute
+  // fallback. nullopt unless the flow record is present and ok and every
+  // attack record exists. Record-only consumers (bench table harnesses)
+  // use this instead of reimplementing two-level lookups.
+  std::optional<store::CampaignRecord> LookupAssembled(
+      const CampaignJob& job) const;
 
  private:
   CampaignOptions options_;
 };
 
-// The runner's record-building rule, exposed for tests and for consumers
-// that assemble outcomes themselves.
-store::CampaignRecord MakeCampaignRecord(const CampaignOutcome& outcome,
-                                         uint64_t score_patterns);
+// The runner's flow-summary rule, exposed for tests and for consumers
+// that assemble outcomes themselves; the job-level record is then
+// store::ComposeCampaignRecord(MakeFlowRecord(outcome), attack records).
+store::FlowRecord MakeFlowRecord(const CampaignOutcome& outcome);
 
 // Suite helpers: one job per benchmark, named after it. `scale` follows
 // circuits::MakeItc99's REPRO_SCALE semantics.

@@ -57,6 +57,11 @@ struct ShardEntry {
 struct ShardTable {
   std::string suite;  // campaign id, e.g. "itc"
   std::string scale;  // store::CanonicalDouble of the scale in effect
+  // Campaign identity for merge validation only. flow_hash is the shared
+  // FlowOptionsHash; attack_hash is store::PortfolioHash over the whole
+  // attack portfolio. Neither addresses store files — records live under
+  // per-attack keys (store::AttackKeyHash) since the two-level split —
+  // but two shards may only merge when they agree on both.
   uint64_t flow_hash = 0;
   uint64_t attack_hash = 0;
   uint64_t job_count = 0;  // total jobs in the campaign, across all shards

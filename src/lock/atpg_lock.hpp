@@ -49,7 +49,7 @@ struct AtpgLockOptions {
   uint64_t seed = 1;
 };
 
-// lint:result-schema(v3) encoded by store/artifact_io (flow artifact) — a
+// lint:result-schema(v4) encoded by store/artifact_io (flow artifact) — a
 // result-affecting change here needs a kResultSchemaVersion bump.
 struct InjectedFault {
   std::string net_name;
@@ -60,7 +60,7 @@ struct InjectedFault {
   double cone_area_removed = 0.0;
 };
 
-// lint:result-schema(v3) encoded by store/artifact_io (flow artifact) — a
+// lint:result-schema(v4) encoded by store/artifact_io (flow artifact) — a
 // result-affecting change here needs a kResultSchemaVersion bump.
 struct AtpgLockResult {
   Netlist locked;

@@ -61,9 +61,17 @@ enum class MetricClass {
 
 // Monotonic integer counter. Relaxed atomics: metric totals need no
 // ordering with respect to the work they count.
+//
+// Sub() is the one sanctioned exception to monotonicity: it exists so an
+// already-counted event can be *reclassified* after the fact (the store's
+// NoteArtifactCorrupt moves an envelope-level artifact hit to corrupt-miss
+// once the payload fails to decode), keeping the obs mirror equal to the
+// per-instance stats it shadows. Callers may only subtract events they
+// previously added on the same counter, so totals never go negative.
 class Counter {
  public:
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(uint64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

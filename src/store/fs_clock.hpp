@@ -1,0 +1,41 @@
+// The one sanctioned filesystem-clock read in the repo.
+//
+// The artifact-tier GC policy (ResultStore::CollectArtifactGarbage) orders
+// eviction candidates by file modification time, oldest first — mtimes are
+// the only signal for "least recently produced" that survives process
+// restarts and multi-process stores. That is a wall-clock input by nature,
+// which the determinism contract otherwise bans from product code: the
+// chrono-confinement lint rule (tools/lint/rules.cpp, kClockHomes) rejects
+// any `std::chrono` use outside the clock homes, and this header is
+// allowlisted there for exactly this purpose.
+//
+// Why the exception is sound: GC never participates in canonical results.
+// Evicting a blob only changes *where* a flow is rebuilt from (artifact
+// replay vs recompute) — both produce bit-identical flows — so eviction
+// order can depend on clocks without weakening any byte-identity contract.
+// Do not read clocks here (or anywhere) for a value that feeds a record.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+
+namespace splitlock::store {
+
+// Modification time of `path` in nanoseconds of file_time_type's native
+// epoch. Only ordering is meaningful — the epoch is implementation-
+// defined — which is all GC needs. Stat failures return INT64_MIN so an
+// unreadable blob sorts oldest and is evicted first.
+inline int64_t FileMtimeNanos(const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::filesystem::file_time_type t =
+      std::filesystem::last_write_time(path, ec);
+  if (ec) return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+}  // namespace splitlock::store

@@ -1,5 +1,6 @@
 #include "store/result_store.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -8,6 +9,7 @@
 #include "attack/engine.hpp"  // JsonEscape
 #include "obs/metrics.hpp"
 #include "store/artifact_io.hpp"  // ArtifactWriter/Reader for blob envelopes
+#include "store/fs_clock.hpp"     // eviction ordering needs file mtimes
 #include "util/hash.hpp"
 
 #ifdef _WIN32
@@ -89,6 +91,61 @@ TierMetrics& ArtifactTier() {
   return m;
 }
 
+// GC activity is artifact-tier only, so it lives outside TierMetrics.
+// Count-class like the rest of the store: evictions are a function of the
+// disk state and the budget, never of thread count.
+struct GcMetrics {
+  obs::Counter* evictions;
+  obs::Counter* evicted_bytes;
+};
+
+GcMetrics& ArtifactGc() {
+  static GcMetrics m = [] {
+    obs::Registry& r = obs::Registry::Instance();
+    return GcMetrics{
+        r.RegisterCounter("store.artifact.evictions"),
+        r.RegisterCounter("store.artifact.evicted_bytes"),
+    };
+  }();
+  return m;
+}
+
+// Shared envelope validation for both record kinds: schema version, kind
+// marker, and the key echo — a record must describe the key it is filed
+// under, so a filename collision or a copied/tampered file reads as
+// corrupt, not as a wrong answer. `attack_hash` is checked only for
+// attack records (null for flow records).
+bool EnvelopeMatches(const util::JsonValue& doc, const char* kind,
+                     const StoreKey& key, const uint64_t* attack_hash) {
+  if (static_cast<int>(doc.GetNumber("schema_version", -1.0)) !=
+      kResultSchemaVersion) {
+    return false;
+  }
+  if (doc.GetString("kind", "") != kind) return false;
+  const util::JsonValue* k = doc.Get("key");
+  if (!k || !k->IsObject() || k->GetString("suite", "") != key.suite ||
+      k->GetString("scale", "") != key.scale ||
+      util::ParseHexU64(k->GetString("flow_hash", "")) != key.flow_hash) {
+    return false;
+  }
+  if (attack_hash &&
+      util::ParseHexU64(k->GetString("attack_hash", "")) != *attack_hash) {
+    return false;
+  }
+  return true;
+}
+
+std::string KeyEchoJson(const StoreKey& key, const uint64_t* attack_hash) {
+  std::string out = "{\"suite\":" + Quoted(key.suite) +
+                    ",\"scale\":" + Quoted(key.scale) +
+                    ",\"flow_hash\":" + Quoted(util::HexU64(key.flow_hash));
+  if (attack_hash) {
+    out += ",\"attack_hash\":" + Quoted(util::HexU64(*attack_hash));
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string CanonicalDouble(double value) {
@@ -97,7 +154,7 @@ std::string CanonicalDouble(double value) {
   return buf;
 }
 
-std::string StoreKey::Filename() const {
+std::string StoreKey::Stem() const {
   std::string suite_part = suite;
   for (char& c : suite_part) {
     const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -108,16 +165,27 @@ std::string StoreKey::Filename() const {
   for (char& c : scale_part) {
     if (!((c >= '0' && c <= '9') || c == '.')) c = '_';
   }
-  return suite_part + "-s" + scale_part + "-f" + util::HexU64(flow_hash) +
-         "-a" + util::HexU64(attack_hash) + ".json";
+  return suite_part + "-s" + scale_part + "-f" + util::HexU64(flow_hash);
 }
 
-std::string StoreKey::ArtifactFilename() const {
-  // Reuse Filename()'s sanitization, then drop the attack-hash component:
-  // artifacts are keyed by (suite, scale, flow) only.
-  const std::string record = Filename();
-  const size_t attack_pos = record.rfind("-a");
-  return record.substr(0, attack_pos) + ".art";
+std::string StoreKey::FlowFilename() const { return Stem() + ".flow.json"; }
+
+std::string StoreKey::AttackFilename(uint64_t attack_hash) const {
+  return Stem() + "-a" + util::HexU64(attack_hash) + ".json";
+}
+
+std::string StoreKey::ArtifactFilename() const { return Stem() + ".art"; }
+
+uint64_t AttackKeyHash(const std::string& config_string,
+                       uint64_t score_patterns) {
+  // The per-attack scorecard (HD/OER over random patterns) depends on the
+  // pattern count, so it is part of the attack identity: the same config
+  // scored under a different pattern budget is a different record.
+  std::string canonical = "v1;patterns=";
+  canonical += U64(score_patterns);
+  canonical += ';';
+  canonical += config_string;
+  return util::Fnv1a(canonical);
 }
 
 uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
@@ -131,6 +199,150 @@ uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
     canonical += config;
   }
   return util::Fnv1a(canonical);
+}
+
+// --- AttackRecord -----------------------------------------------------------
+
+std::string AttackRecord::ToJson(bool include_timings) const {
+  std::string out = "{";
+  bool first = true;
+  AppendKv(&out, "engine", Quoted(engine), &first);
+  AppendKv(&out, "config", Quoted(config), &first);
+  AppendKv(&out, "ok", ok ? "true" : "false", &first);
+  AppendKv(&out, "error", Quoted(error), &first);
+  AppendKv(&out, "key_found", key_found ? "true" : "false", &first);
+  AppendKv(&out, "functionally_correct",
+           functionally_correct ? "true" : "false", &first);
+  std::string counters_json = "{";
+  bool fc = true;
+  for (const auto& [cname, cvalue] : counters) {
+    if (!fc) counters_json += ',';
+    fc = false;
+    counters_json += Quoted(cname) + ":" + CanonicalDouble(cvalue);
+  }
+  counters_json += '}';
+  AppendKv(&out, "counters", counters_json, &first);
+  AppendKv(&out, "has_score", has_score ? "true" : "false", &first);
+  if (has_score) {
+    std::string score =
+        "{\"regular_ccr_percent\":" + CanonicalDouble(regular_ccr_percent) +
+        ",\"key_logical_ccr_percent\":" +
+        CanonicalDouble(key_logical_ccr_percent) +
+        ",\"key_physical_ccr_percent\":" +
+        CanonicalDouble(key_physical_ccr_percent) +
+        ",\"pnr_percent\":" + CanonicalDouble(pnr_percent) +
+        ",\"hd_percent\":" + CanonicalDouble(hd_percent) +
+        ",\"oer_percent\":" + CanonicalDouble(oer_percent) +
+        ",\"score_patterns\":" + U64(score_patterns) + "}";
+    AppendKv(&out, "score", score, &first);
+  }
+  if (include_timings) {
+    AppendKv(&out, "elapsed_s", CanonicalDouble(elapsed_s), &first);
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<AttackRecord> AttackRecord::FromJson(const util::JsonValue& v) {
+  if (!v.IsObject()) return std::nullopt;
+  const util::JsonValue* engine = v.Get("engine");
+  const util::JsonValue* ok = v.Get("ok");
+  if (!engine || !engine->IsString() || !ok || !ok->IsBool()) {
+    return std::nullopt;
+  }
+  AttackRecord a;
+  a.engine = engine->string;
+  a.config = v.GetString("config", "");
+  a.ok = ok->boolean;
+  a.error = v.GetString("error", "");
+  a.key_found = v.GetBool("key_found", false);
+  a.functionally_correct = v.GetBool("functionally_correct", false);
+  if (const util::JsonValue* counters = v.Get("counters");
+      counters && counters->IsObject()) {
+    for (const auto& [cname, cvalue] : counters->object) {
+      if (cvalue.IsNumber()) a.counters[cname] = cvalue.number;
+    }
+  }
+  a.has_score = v.GetBool("has_score", false);
+  if (const util::JsonValue* score = v.Get("score");
+      score && score->IsObject()) {
+    a.regular_ccr_percent = score->GetNumber("regular_ccr_percent", 0.0);
+    a.key_logical_ccr_percent =
+        score->GetNumber("key_logical_ccr_percent", 0.0);
+    a.key_physical_ccr_percent =
+        score->GetNumber("key_physical_ccr_percent", 0.0);
+    a.pnr_percent = score->GetNumber("pnr_percent", 0.0);
+    a.hd_percent = score->GetNumber("hd_percent", 0.0);
+    a.oer_percent = score->GetNumber("oer_percent", 0.0);
+    a.score_patterns = GetU64(*score, "score_patterns");
+  }
+  a.elapsed_s = v.GetNumber("elapsed_s", 0.0);
+  return a;
+}
+
+// --- FlowRecord -------------------------------------------------------------
+
+std::string FlowRecord::ToJson(bool include_timings) const {
+  std::string out = "{";
+  bool first = true;
+  AppendKv(&out, "name", Quoted(name), &first);
+  AppendKv(&out, "ok", ok ? "true" : "false", &first);
+  AppendKv(&out, "error", Quoted(error), &first);
+  AppendKv(&out, "broken_connections", U64(broken_connections), &first);
+  AppendKv(&out, "key_bits", U64(key_bits), &first);
+  AppendKv(&out, "logic_gates", U64(logic_gates), &first);
+  std::string cost = "{\"die_area_um2\":" + CanonicalDouble(die_area_um2) +
+                     ",\"power_uw\":" + CanonicalDouble(power_uw) +
+                     ",\"critical_path_ps\":" +
+                     CanonicalDouble(critical_path_ps) + "}";
+  AppendKv(&out, "cost", cost, &first);
+  if (include_timings) {
+    std::string times = "{\"lock_s\":" + CanonicalDouble(lock_s) +
+                        ",\"place_s\":" + CanonicalDouble(place_s) +
+                        ",\"route_s\":" + CanonicalDouble(route_s) +
+                        ",\"lift_s\":" + CanonicalDouble(lift_s) +
+                        ",\"sta_s\":" + CanonicalDouble(sta_s) +
+                        ",\"analyze_s\":" + CanonicalDouble(analyze_s) +
+                        ",\"artifact_load_s\":" + CanonicalDouble(artifact_load_s) +
+                        ",\"artifact_save_s\":" + CanonicalDouble(artifact_save_s) +
+                        "}";
+    AppendKv(&out, "times", times, &first);
+    AppendKv(&out, "elapsed_s", CanonicalDouble(elapsed_s), &first);
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<FlowRecord> FlowRecord::FromJson(const util::JsonValue& v) {
+  if (!v.IsObject()) return std::nullopt;
+  const util::JsonValue* name = v.Get("name");
+  const util::JsonValue* ok = v.Get("ok");
+  if (!name || !name->IsString() || !ok || !ok->IsBool()) return std::nullopt;
+  FlowRecord r;
+  r.name = name->string;
+  r.ok = ok->boolean;
+  r.error = v.GetString("error", "");
+  r.broken_connections = GetU64(v, "broken_connections");
+  r.key_bits = GetU64(v, "key_bits");
+  r.logic_gates = GetU64(v, "logic_gates");
+  if (const util::JsonValue* cost = v.Get("cost"); cost && cost->IsObject()) {
+    r.die_area_um2 = cost->GetNumber("die_area_um2", 0.0);
+    r.power_uw = cost->GetNumber("power_uw", 0.0);
+    r.critical_path_ps = cost->GetNumber("critical_path_ps", 0.0);
+  }
+  if (const util::JsonValue* times = v.Get("times");
+      times && times->IsObject()) {
+    r.lock_s = times->GetNumber("lock_s", 0.0);
+    r.place_s = times->GetNumber("place_s", 0.0);
+    r.route_s = times->GetNumber("route_s", 0.0);
+    r.lift_s = times->GetNumber("lift_s", 0.0);
+    r.sta_s = times->GetNumber("sta_s", 0.0);
+    r.analyze_s = times->GetNumber("analyze_s", 0.0);
+    r.artifact_load_s = times->GetNumber("artifact_load_s", 0.0);
+    r.artifact_save_s = times->GetNumber("artifact_save_s", 0.0);
+  }
+  r.elapsed_s = v.GetNumber("elapsed_s", 0.0);
+  return r;
 }
 
 // --- CampaignRecord ---------------------------------------------------------
@@ -166,28 +378,9 @@ std::string CampaignRecord::ToJson(bool include_timings) const {
   for (const AttackRecord& a : attacks) {
     if (!first_attack) attacks_json += ',';
     first_attack = false;
-    attacks_json += "{";
-    bool fa = true;
-    AppendKv(&attacks_json, "engine", Quoted(a.engine), &fa);
-    AppendKv(&attacks_json, "config", Quoted(a.config), &fa);
-    AppendKv(&attacks_json, "ok", a.ok ? "true" : "false", &fa);
-    AppendKv(&attacks_json, "error", Quoted(a.error), &fa);
-    AppendKv(&attacks_json, "key_found", a.key_found ? "true" : "false", &fa);
-    AppendKv(&attacks_json, "functionally_correct",
-             a.functionally_correct ? "true" : "false", &fa);
-    std::string counters = "{";
-    bool fc = true;
-    for (const auto& [cname, cvalue] : a.counters) {
-      if (!fc) counters += ',';
-      fc = false;
-      counters += Quoted(cname) + ":" + CanonicalDouble(cvalue);
-    }
-    counters += '}';
-    AppendKv(&attacks_json, "counters", counters, &fa);
-    if (include_timings) {
-      AppendKv(&attacks_json, "elapsed_s", CanonicalDouble(a.elapsed_s), &fa);
-    }
-    attacks_json += '}';
+    // One serializer for attack entries everywhere: the composed record's
+    // attacks array is byte-for-byte the per-attack record files' bodies.
+    attacks_json += a.ToJson(include_timings);
   }
   attacks_json += ']';
   AppendKv(&out, "attacks", attacks_json, &first);
@@ -244,22 +437,9 @@ std::optional<CampaignRecord> CampaignRecord::FromJson(
   if (const util::JsonValue* attacks = v.Get("attacks");
       attacks && attacks->IsArray()) {
     for (const util::JsonValue& av : attacks->array) {
-      if (!av.IsObject()) return std::nullopt;
-      AttackRecord a;
-      a.engine = av.GetString("engine", "");
-      a.config = av.GetString("config", "");
-      a.ok = av.GetBool("ok", false);
-      a.error = av.GetString("error", "");
-      a.key_found = av.GetBool("key_found", false);
-      a.functionally_correct = av.GetBool("functionally_correct", false);
-      if (const util::JsonValue* counters = av.Get("counters");
-          counters && counters->IsObject()) {
-        for (const auto& [cname, cvalue] : counters->object) {
-          if (cvalue.IsNumber()) a.counters[cname] = cvalue.number;
-        }
-      }
-      a.elapsed_s = av.GetNumber("elapsed_s", 0.0);
-      r.attacks.push_back(std::move(a));
+      std::optional<AttackRecord> a = AttackRecord::FromJson(av);
+      if (!a) return std::nullopt;
+      r.attacks.push_back(std::move(*a));
     }
   }
   if (const util::JsonValue* times = v.Get("times");
@@ -277,6 +457,45 @@ std::optional<CampaignRecord> CampaignRecord::FromJson(
   return r;
 }
 
+CampaignRecord ComposeCampaignRecord(const FlowRecord& flow,
+                                     const std::vector<AttackRecord>& attacks) {
+  CampaignRecord r;
+  r.name = flow.name;
+  r.ok = flow.ok;
+  r.error = flow.error;
+  r.broken_connections = flow.broken_connections;
+  r.key_bits = flow.key_bits;
+  r.logic_gates = flow.logic_gates;
+  r.die_area_um2 = flow.die_area_um2;
+  r.power_uw = flow.power_uw;
+  r.critical_path_ps = flow.critical_path_ps;
+  // Campaign score: the first attack in portfolio order carrying a
+  // scorecard — the same "first complete assignment wins" rule the
+  // compute path has always applied, now reproducible from cached pieces.
+  for (const AttackRecord& a : attacks) {
+    if (!a.has_score) continue;
+    r.regular_ccr_percent = a.regular_ccr_percent;
+    r.key_logical_ccr_percent = a.key_logical_ccr_percent;
+    r.key_physical_ccr_percent = a.key_physical_ccr_percent;
+    r.pnr_percent = a.pnr_percent;
+    r.hd_percent = a.hd_percent;
+    r.oer_percent = a.oer_percent;
+    r.score_patterns = a.score_patterns;
+    break;
+  }
+  r.attacks = attacks;
+  r.lock_s = flow.lock_s;
+  r.place_s = flow.place_s;
+  r.route_s = flow.route_s;
+  r.lift_s = flow.lift_s;
+  r.sta_s = flow.sta_s;
+  r.analyze_s = flow.analyze_s;
+  r.artifact_load_s = flow.artifact_load_s;
+  r.artifact_save_s = flow.artifact_save_s;
+  r.elapsed_s = flow.elapsed_s;
+  return r;
+}
+
 // --- ResultStore ------------------------------------------------------------
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
@@ -287,18 +506,32 @@ ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
   }
 }
 
-std::string ResultStore::PathFor(const StoreKey& key) const {
-  return dir_ + "/" + key.Filename();
+void ResultStore::CountRecordMiss(bool corrupt) {
+  RecordTier().misses->Add(1);
+  if (corrupt) RecordTier().corrupt->Add(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (corrupt) ++stats_.corrupt;
 }
 
-std::optional<CampaignRecord> ResultStore::Lookup(const StoreKey& key) {
+void ResultStore::CountRecordHit(size_t bytes) {
+  RecordTier().hits->Add(1);
+  RecordTier().bytes_read->Observe(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  stats_.bytes_read += bytes;
+}
+
+// Reads and parses one record file. Counts the miss (absent file) or
+// corrupt miss (unparseable) itself; on success the caller finishes
+// validation and counts exactly one hit or corrupt miss.
+std::optional<util::JsonValue> ResultStore::ReadRecordDoc(
+    const std::string& path, size_t* bytes) {
   std::string text;
   {
-    std::FILE* f = std::fopen(PathFor(key).c_str(), "rb");
+    std::FILE* f = std::fopen(path.c_str(), "rb");
     if (!f) {
-      RecordTier().misses->Add(1);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.misses;
+      CountRecordMiss(/*corrupt=*/false);
       return std::nullopt;
     }
     char buf[4096];
@@ -306,67 +539,89 @@ std::optional<CampaignRecord> ResultStore::Lookup(const StoreKey& key) {
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
     std::fclose(f);
   }
-
-  const auto corrupt_miss = [&]() -> std::optional<CampaignRecord> {
-    RecordTier().misses->Add(1);
-    RecordTier().corrupt->Add(1);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
-    ++stats_.corrupt;
+  *bytes = text.size();
+  std::optional<util::JsonValue> doc = util::ParseJson(text);
+  if (!doc || !doc->IsObject()) {
+    CountRecordMiss(/*corrupt=*/true);
     return std::nullopt;
-  };
-
-  const std::optional<util::JsonValue> doc = util::ParseJson(text);
-  if (!doc || !doc->IsObject()) return corrupt_miss();
-  if (static_cast<int>(doc->GetNumber("schema_version", -1.0)) !=
-      kResultSchemaVersion) {
-    return corrupt_miss();
   }
-  // Key echo: a record must describe the key it is filed under, so a
-  // filename collision or a copied/tampered file reads as corrupt, not as
-  // a wrong answer.
-  const util::JsonValue* k = doc->Get("key");
-  if (!k || !k->IsObject() || k->GetString("suite", "") != key.suite ||
-      k->GetString("scale", "") != key.scale ||
-      util::ParseHexU64(k->GetString("flow_hash", "")) != key.flow_hash ||
-      util::ParseHexU64(k->GetString("attack_hash", "")) != key.attack_hash) {
-    return corrupt_miss();
-  }
-  const util::JsonValue* rec = doc->Get("record");
-  if (!rec) return corrupt_miss();
-  std::optional<CampaignRecord> record = CampaignRecord::FromJson(*rec);
-  if (!record) return corrupt_miss();
+  return doc;
+}
 
-  RecordTier().hits->Add(1);
-  RecordTier().bytes_read->Observe(text.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.hits;
-  stats_.bytes_read += text.size();
+std::optional<FlowRecord> ResultStore::LookupFlow(const StoreKey& key) {
+  size_t bytes = 0;
+  std::optional<util::JsonValue> doc =
+      ReadRecordDoc(dir_ + "/" + key.FlowFilename(), &bytes);
+  if (!doc) return std::nullopt;
+  std::optional<FlowRecord> record;
+  if (EnvelopeMatches(*doc, "flow", key, /*attack_hash=*/nullptr)) {
+    if (const util::JsonValue* rec = doc->Get("record")) {
+      record = FlowRecord::FromJson(*rec);
+    }
+  }
+  if (!record) {
+    CountRecordMiss(/*corrupt=*/true);
+    return std::nullopt;
+  }
+  CountRecordHit(bytes);
   return record;
 }
 
-bool ResultStore::Insert(const StoreKey& key, const CampaignRecord& record) {
-  std::string doc = "{\"schema_version\":" + std::to_string(kResultSchemaVersion) +
-                    ",\"key\":{\"suite\":" + Quoted(key.suite) +
-                    ",\"scale\":" + Quoted(key.scale) +
-                    ",\"flow_hash\":" + Quoted(util::HexU64(key.flow_hash)) +
-                    ",\"attack_hash\":" + Quoted(util::HexU64(key.attack_hash)) +
-                    "},\"record\":" + record.ToJson(/*include_timings=*/true) +
-                    "}\n";
+bool ResultStore::InsertFlow(const StoreKey& key, const FlowRecord& record) {
+  const std::string doc =
+      "{\"schema_version\":" + std::to_string(kResultSchemaVersion) +
+      ",\"kind\":\"flow\",\"key\":" + KeyEchoJson(key, nullptr) +
+      ",\"record\":" + record.ToJson(/*include_timings=*/true) + "}\n";
+  return PublishFile(dir_ + "/" + key.FlowFilename(), doc,
+                     /*record_tier=*/true);
+}
 
-  // Unique temp name in the same directory (rename must not cross
-  // filesystems), then atomic publish.
+std::optional<AttackRecord> ResultStore::LookupAttack(const StoreKey& key,
+                                                      uint64_t attack_hash) {
+  size_t bytes = 0;
+  std::optional<util::JsonValue> doc =
+      ReadRecordDoc(dir_ + "/" + key.AttackFilename(attack_hash), &bytes);
+  if (!doc) return std::nullopt;
+  std::optional<AttackRecord> record;
+  if (EnvelopeMatches(*doc, "attack", key, &attack_hash)) {
+    if (const util::JsonValue* rec = doc->Get("record")) {
+      record = AttackRecord::FromJson(*rec);
+    }
+  }
+  if (!record) {
+    CountRecordMiss(/*corrupt=*/true);
+    return std::nullopt;
+  }
+  CountRecordHit(bytes);
+  return record;
+}
+
+bool ResultStore::InsertAttack(const StoreKey& key, uint64_t attack_hash,
+                               const AttackRecord& record) {
+  const std::string doc =
+      "{\"schema_version\":" + std::to_string(kResultSchemaVersion) +
+      ",\"kind\":\"attack\",\"key\":" + KeyEchoJson(key, &attack_hash) +
+      ",\"record\":" + record.ToJson(/*include_timings=*/true) + "}\n";
+  return PublishFile(dir_ + "/" + key.AttackFilename(attack_hash), doc,
+                     /*record_tier=*/true);
+}
+
+// Unique temp name in the same directory (rename must not cross
+// filesystems), then atomic publish. Shared by both tiers; only the
+// stats they count differ.
+bool ResultStore::PublishFile(const std::string& path, const std::string& doc,
+                              bool record_tier) {
   static std::atomic<uint64_t> counter{0};
-  const std::string path = PathFor(key);
   const std::string tmp = path + ".tmp." +
                           std::to_string(SPLITLOCK_GETPID()) + "." +
                           std::to_string(counter.fetch_add(1));
+  TierMetrics& tier = record_tier ? RecordTier() : ArtifactTier();
 
   const auto fail = [&]() {
     std::remove(tmp.c_str());
-    RecordTier().insert_errors->Add(1);
+    tier.insert_errors->Add(1);
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.insert_errors;
+    ++(record_tier ? stats_.insert_errors : artifact_stats_.insert_errors);
     return false;
   };
 
@@ -377,11 +632,16 @@ bool ResultStore::Insert(const StoreKey& key, const CampaignRecord& record) {
   if (!wrote || !closed) return fail();
   if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
 
-  RecordTier().inserts->Add(1);
-  RecordTier().bytes_written->Observe(doc.size());
+  tier.inserts->Add(1);
+  tier.bytes_written->Observe(doc.size());
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.inserts;
-  stats_.bytes_written += doc.size();
+  if (record_tier) {
+    ++stats_.inserts;
+    stats_.bytes_written += doc.size();
+  } else {
+    ++artifact_stats_.inserts;
+    artifact_stats_.bytes_written += doc.size();
+  }
   return true;
 }
 
@@ -455,49 +715,93 @@ bool ResultStore::InsertArtifact(const StoreKey& key,
   w.U64(payload.size());
   w.U64(util::Fnv1a(payload));
   w.Str(payload);
-  const std::string& doc = w.bytes();
 
-  static std::atomic<uint64_t> counter{0};
-  const std::string path = ArtifactPathFor(key);
-  const std::string tmp = path + ".tmp." +
-                          std::to_string(SPLITLOCK_GETPID()) + "." +
-                          std::to_string(counter.fetch_add(1));
-
-  const auto fail = [&]() {
-    std::remove(tmp.c_str());
-    ArtifactTier().insert_errors->Add(1);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++artifact_stats_.insert_errors;
-    return false;
-  };
-
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return fail();
-  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) return fail();
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) return fail();
-
-  ArtifactTier().inserts->Add(1);
-  ArtifactTier().bytes_written->Observe(doc.size());
-  std::lock_guard<std::mutex> lock(mu_);
-  ++artifact_stats_.inserts;
-  artifact_stats_.bytes_written += doc.size();
-  return true;
+  const bool published =
+      PublishFile(ArtifactPathFor(key), w.bytes(), /*record_tier=*/false);
+  // Auto-GC: keep the tier under budget as it grows. Running after the
+  // publish means the budget is enforced on the state that includes the
+  // new blob — which may itself be evicted when it is the best candidate.
+  if (published && artifact_budget_ > 0) {
+    CollectArtifactGarbage(artifact_budget_);
+  }
+  return published;
 }
 
 void ResultStore::NoteArtifactCorrupt() {
-  // obs mirror: the reclassification adds a corrupt miss; the envelope-
-  // level obs hit from LookupArtifact is monotonic and stays (see the
-  // Stats() contract in the header).
+  // The lookup counted an envelope-level hit; the payload turned out to be
+  // undecodable, so reclassify it as a corrupt miss — in the per-instance
+  // stats and the obs mirror alike (Counter::Sub exists for exactly this
+  // path), so the two never disagree.
+  ArtifactTier().hits->Sub(1);
   ArtifactTier().misses->Add(1);
   ArtifactTier().corrupt->Add(1);
   std::lock_guard<std::mutex> lock(mu_);
-  // The lookup already counted a hit for the envelope; the payload turned
-  // out to be undecodable, so reclassify it.
   if (artifact_stats_.hits > 0) --artifact_stats_.hits;
   ++artifact_stats_.misses;
   ++artifact_stats_.corrupt;
+}
+
+GcResult ResultStore::CollectArtifactGarbage(uint64_t budget_bytes) {
+  namespace fs = std::filesystem;
+  struct Blob {
+    std::string name;
+    uint64_t size;
+    int64_t mtime_ns;
+  };
+  std::vector<Blob> blobs;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || fec) continue;
+    std::string name = it->path().filename().string();
+    // Only sealed blobs: records (.json) are never GC candidates, and
+    // in-flight ".art.tmp.<pid>.<n>" temp files don't match the suffix.
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".art") != 0) {
+      continue;
+    }
+    const uint64_t size = static_cast<uint64_t>(it->file_size(fec));
+    if (fec) continue;
+    const int64_t mtime = FileMtimeNanos(it->path());
+    total += size;
+    blobs.push_back(Blob{std::move(name), size, mtime});
+  }
+
+  GcResult out;
+  out.scanned_blobs = blobs.size();
+  out.scanned_bytes = total;
+  if (total <= budget_bytes) return out;
+
+  // Eviction order: oldest first (a cold blob's flow is the least likely
+  // to be replayed again), largest first among equal mtimes (fewest
+  // evictions to fit the budget), filename as the final deterministic
+  // tiebreak so same-second bulk fills evict identically everywhere.
+  std::sort(blobs.begin(), blobs.end(), [](const Blob& a, const Blob& b) {
+    if (a.mtime_ns != b.mtime_ns) return a.mtime_ns < b.mtime_ns;
+    if (a.size != b.size) return a.size > b.size;
+    return a.name < b.name;
+  });
+
+  for (const Blob& blob : blobs) {
+    if (total <= budget_bytes) break;
+    if (std::remove((dir_ + "/" + blob.name).c_str()) != 0) {
+      ++out.errors;
+      continue;
+    }
+    total -= blob.size;
+    ++out.evicted_blobs;
+    out.evicted_bytes += blob.size;
+  }
+
+  if (out.evicted_blobs > 0) {
+    ArtifactGc().evictions->Add(out.evicted_blobs);
+    ArtifactGc().evicted_bytes->Add(out.evicted_bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    artifact_stats_.evictions += out.evicted_blobs;
+    artifact_stats_.evicted_bytes += out.evicted_bytes;
+  }
+  return out;
 }
 
 StoreStats ResultStore::Stats() const {

@@ -3,18 +3,30 @@
 // The paper's tables are suite-scale sweeps; every bench/CI run used to
 // recompute identical lock -> place/route -> split -> attack pipelines
 // because the only cache was an in-process map. This store persists the
-// *deterministic summary* of one campaign job — the scorecard, layout
-// cost, broken-connection count, per-attack verdicts — as one JSON file
-// per key in a cache directory, so repeated runs (and the shards of a
-// distributed run, see dist/shard.hpp) skip straight to the answer.
+// *deterministic summary* of one campaign job as JSON files in a cache
+// directory, so repeated runs (and the shards of a distributed run, see
+// dist/shard.hpp) skip straight to the answer.
 //
-// Keying. A record is addressed by the quadruple the determinism contract
-// guarantees results are a pure function of:
-//     (suite member, scale, flow-options hash, attack-portfolio hash)
+// Two-level keying. Results are cached at the granularity they are
+// actually shared, not at the granularity a job happens to batch them:
+//
+//   FlowRecord    one file per (suite member, scale, flow-options hash) —
+//                 the flow summary every attack portfolio over the same
+//                 FEOL shares: layout cost, broken-connection count,
+//                 key/gate counts.
+//   AttackRecord  one file per (flow key, attack hash) — one engine's
+//                 verdict, counters and (when it recovered a complete
+//                 assignment) its scorecard.
+//
+// A campaign job's CampaignRecord is *assembled* from those pieces
+// (ComposeCampaignRecord), so a `{sat, proximity}` run reuses the
+// AttackRecord a `{sat}` run already paid for and computes only the
+// proximity engine — the partial-hit path in core::CampaignRunner::RunOne.
 // The hashes are FNV-1a over canonical strings (core::FlowOptionsHash,
-// attack::AttackConfig::Hash composed by PortfolioHash), stable across
-// processes and pinned by golden tests — a silent hash change would
-// repartition the cache, so tests fail loudly instead.
+// AttackKeyHash over AttackConfig::ToString; PortfolioHash identifies a
+// whole portfolio for shard tables), stable across processes and pinned
+// by golden tests — a silent hash change would repartition the cache, so
+// tests fail loudly instead.
 //
 // Durability. Writes go to a unique temp file in the same directory and
 // are published with rename(2), so readers only ever observe absent or
@@ -26,14 +38,22 @@
 //
 // The JSON records deliberately do NOT contain netlists or layouts — those
 // live in the *artifact tier*: per-flow binary blobs (store/artifact_io)
-// filed next to the records under the same suite/scale/flow-hash key (the
-// attack hash is excluded — artifacts capture the flow output, which every
-// attack portfolio over the same FEOL shares). Consumers that need the
-// physical state back (`force_compute` recomputes, ablation benches,
-// report portfolios) deserialize instead of re-running place/route/lift;
+// filed next to the records under the same flow key (attack identities are
+// excluded — artifacts capture the flow output, which every attack
+// portfolio over the same FEOL shares). Consumers that need the physical
+// state back (`force_compute` recomputes, ablation benches, the
+// partial-hit replay) deserialize instead of re-running place/route/lift;
 // consumers that need numbers are served from the JSON records. Artifact
 // blobs ride the same temp-file + rename publish path and the same
 // corruption-tolerance policy: a damaged blob is a miss, never a crash.
+//
+// Artifact GC. Blobs are orders of magnitude larger than records, so the
+// artifact tier is bounded: CollectArtifactGarbage(budget) evicts blobs —
+// oldest mtime first, largest first among equals — until the tier fits the
+// byte budget. Records are never touched, so eviction only downgrades a
+// warm replay to a recompute (which re-publishes the blob); canonical
+// output is unaffected. A concurrent reader of an evicted blob sees an
+// ordinary miss.
 #pragma once
 
 #include <cstdint>
@@ -57,37 +77,58 @@ namespace splitlock::store {
 // StreamRng draws and floorplan sizing to a chunked parallel reduction,
 // changing every seed-dependent placement; stage timings gained sta_s /
 // artifact_load_s / artifact_save_s and the artifact tier was introduced.
-inline constexpr int kResultSchemaVersion = 3;
+// v4: the record tier split into two levels — per-flow FlowRecord files
+// plus one AttackRecord file per (flow, attack) with per-attack
+// scorecards — replacing the single per-(flow, portfolio) record, and
+// campaign records are now assembled from those pieces.
+inline constexpr int kResultSchemaVersion = 4;
 
 // Canonical double formatting for record JSON: round-trip exact (%.17g),
 // so re-serializing a parsed record is bit-identical.
 std::string CanonicalDouble(double value);
 
-// Address of one campaign-job result.
+// Flow-level address: everything under one key describes the same flow
+// output (FlowRecord, the artifact blob) or hangs attack identities off
+// it (AttackRecord files).
 struct StoreKey {
   std::string suite;   // suite member id, e.g. "itc/b14"
   std::string scale;   // CanonicalDouble of the REPRO_SCALE in effect
-  uint64_t flow_hash = 0;    // core::FlowOptionsHash
-  uint64_t attack_hash = 0;  // PortfolioHash over the job's attack configs
+  uint64_t flow_hash = 0;  // core::FlowOptionsHash
 
-  // Filesystem-safe record filename ('/' in suite ids becomes '_').
-  std::string Filename() const;
-  // Artifact-blob filename for the same key. Deliberately omits the attack
-  // hash: the blob captures the flow output, which is shared by every
-  // attack portfolio over the same (suite, scale, flow) triple.
-  std::string ArtifactFilename() const;
+  // Filesystem-safe filename stem "<suite>-s<scale>-f<hex>" ('/' in suite
+  // ids becomes '_'). Every file under this key starts with it.
+  std::string Stem() const;
+  std::string FlowFilename() const;  // Stem() + ".flow.json"
+  // One record file per attack identity under this flow.
+  std::string AttackFilename(uint64_t attack_hash) const;  // -a<hex>.json
+  // Artifact-blob filename. Deliberately carries no attack identity: the
+  // blob captures the flow output, which is shared by every attack
+  // portfolio over the same (suite, scale, flow) triple.
+  std::string ArtifactFilename() const;  // Stem() + ".art"
   bool operator==(const StoreKey&) const = default;
 };
 
-// Hash of one attack portfolio + its scoring parameters. Composes each
-// config's canonical string with the score-pattern count (scores depend on
-// it) so any change to what would be computed changes the key.
+// Address of one attack's record under a flow key: one engine config plus
+// the scoring parameters its per-attack scorecard depends on. Anything
+// that changes what would be computed changes the hash.
+uint64_t AttackKeyHash(const std::string& config_string,
+                       uint64_t score_patterns);
+
+// Hash of one whole attack portfolio + its scoring parameters: the
+// *campaign* identity shard tables carry (dist/shard.hpp) and merge
+// validation compares. Record files are no longer addressed by it — the
+// per-attack AttackKeyHash is — but two shard tables still refuse to
+// merge unless they ran the same portfolio.
 uint64_t PortfolioHash(const std::vector<std::string>& config_strings,
                        uint64_t score_patterns, bool run_attack);
 
-// Summary of one attack-engine run inside a job (subset of
-// attack::AttackReport that is serializable and small).
-// lint:result-schema(v3) persisted in the canonical record JSON — a
+// Summary of one attack-engine run (subset of attack::AttackReport that
+// is serializable and small), stored one file per (flow key, attack
+// hash). When the engine recovered a complete assignment the record also
+// carries the scorecard computed from it, so a later portfolio containing
+// this attack can reproduce the campaign-level score without re-running
+// anything.
+// lint:result-schema(v4) persisted in the canonical record JSON — a
 // result-affecting change here needs a kResultSchemaVersion bump.
 struct AttackRecord {
   std::string engine;
@@ -97,14 +138,32 @@ struct AttackRecord {
   bool key_found = false;
   bool functionally_correct = false;
   std::map<std::string, double> counters;  // deterministic
-  double elapsed_s = 0.0;                  // timing: non-canonical
+
+  // Scorecard from this attack's recovered assignment (attack::AttackScore
+  // fields). has_score is false for engines that recover keys but no
+  // layout assignment (e.g. sat) and when the split broke nothing.
+  bool has_score = false;
+  double regular_ccr_percent = 0.0;
+  double key_logical_ccr_percent = 0.0;
+  double key_physical_ccr_percent = 0.0;
+  double pnr_percent = 0.0;
+  double hd_percent = 0.0;
+  double oer_percent = 0.0;
+  uint64_t score_patterns = 0;  // 0 when !has_score
+
+  double elapsed_s = 0.0;  // timing: non-canonical
+
+  // Canonical form omits elapsed_s; the store persists the full form.
+  std::string ToJson(bool include_timings) const;
+  // nullopt when `v` is not an attack-record object.
+  static std::optional<AttackRecord> FromJson(const util::JsonValue& v);
 };
 
-// The deterministic summary of one campaign job, plus (non-canonical)
-// timings from the run that produced it.
-// lint:result-schema(v3) the canonical record layout itself — any change
-// to serialized fields IS the schema; bump kResultSchemaVersion.
-struct CampaignRecord {
+// The deterministic per-flow summary every portfolio over the same FEOL
+// shares, plus (non-canonical) timings from the run that produced it.
+// lint:result-schema(v4) persisted in the canonical record JSON — a
+// result-affecting change here needs a kResultSchemaVersion bump.
+struct FlowRecord {
   std::string name;
   bool ok = false;
   std::string error;
@@ -119,17 +178,6 @@ struct CampaignRecord {
   double power_uw = 0.0;
   double critical_path_ps = 0.0;
 
-  // Attack scorecard (attack::AttackScore fields).
-  double regular_ccr_percent = 0.0;
-  double key_logical_ccr_percent = 0.0;
-  double key_physical_ccr_percent = 0.0;
-  double pnr_percent = 0.0;
-  double hd_percent = 0.0;
-  double oer_percent = 0.0;
-  uint64_t score_patterns = 0;
-
-  std::vector<AttackRecord> attacks;
-
   // Timings from the producing run (excluded from canonical JSON: two
   // processes computing the same key agree on everything above, never on
   // wall clocks).
@@ -141,19 +189,76 @@ struct CampaignRecord {
   double analyze_s = 0.0;  // toggle-rate + power estimation
   double artifact_load_s = 0.0;  // artifact-tier deserialize (warm path)
   double artifact_save_s = 0.0;  // artifact-tier serialize + publish
+  double elapsed_s = 0.0;        // the producing job's whole duration
+
+  std::string ToJson(bool include_timings) const;
+  static std::optional<FlowRecord> FromJson(const util::JsonValue& v);
+};
+
+// The deterministic summary of one campaign job. No longer persisted as
+// one file: it is assembled (ComposeCampaignRecord) from a FlowRecord and
+// the job's AttackRecords, and what shard tables / the CLI serialize.
+// lint:result-schema(v4) the canonical record layout itself — any change
+// to serialized fields IS the schema; bump kResultSchemaVersion.
+struct CampaignRecord {
+  std::string name;
+  bool ok = false;
+  std::string error;
+
+  uint64_t broken_connections = 0;
+  uint64_t key_bits = 0;
+  uint64_t logic_gates = 0;
+
+  // Layout cost (core::LayoutCost fields).
+  double die_area_um2 = 0.0;
+  double power_uw = 0.0;
+  double critical_path_ps = 0.0;
+
+  // Campaign-level attack scorecard: the first attack in portfolio order
+  // that carries one (AttackRecord::has_score).
+  double regular_ccr_percent = 0.0;
+  double key_logical_ccr_percent = 0.0;
+  double key_physical_ccr_percent = 0.0;
+  double pnr_percent = 0.0;
+  double hd_percent = 0.0;
+  double oer_percent = 0.0;
+  uint64_t score_patterns = 0;
+
+  std::vector<AttackRecord> attacks;
+
+  // Timings from the producing run (excluded from canonical JSON).
+  double lock_s = 0.0;
+  double place_s = 0.0;
+  double route_s = 0.0;
+  double lift_s = 0.0;
+  double sta_s = 0.0;
+  double analyze_s = 0.0;
+  double artifact_load_s = 0.0;
+  double artifact_save_s = 0.0;
   double elapsed_s = 0.0;
 
   // One JSON object. Canonical form omits every timing field and is
-  // bit-identical across processes/thread counts for the same key — the
-  // merge determinism contract builds on it. The full form (what the
-  // store persists) appends the timings.
+  // bit-identical across processes/thread counts/store temperatures for
+  // the same key — the merge determinism contract builds on it. The full
+  // form appends the timings.
   std::string ToJson(bool include_timings) const;
   // nullopt when `v` is not a record object. Absent timing fields read
   // as 0 (canonical-form input is valid).
   static std::optional<CampaignRecord> FromJson(const util::JsonValue& v);
 };
 
+// Assembles the job-level record from its two-level pieces. `attacks`
+// must be in canonical portfolio order — the composed record (and
+// therefore suite stdout and merge output) is byte-identical whether the
+// pieces came from the store or were just computed, which is the
+// partial-hit path's whole contract. Campaign score = the first attack
+// carrying one. Timings (including elapsed_s) are copied from `flow`.
+CampaignRecord ComposeCampaignRecord(const FlowRecord& flow,
+                                     const std::vector<AttackRecord>& attacks);
+
 struct StoreStats {
+  // One count per record *file* operation: a job touches one flow record
+  // plus one record per attack in its portfolio.
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t inserts = 0;
@@ -177,6 +282,18 @@ struct ArtifactStats {
   uint64_t corrupt = 0;  // envelope- or payload-level failures (misses too)
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  // GC activity (CollectArtifactGarbage, including auto-GC on insert).
+  uint64_t evictions = 0;
+  uint64_t evicted_bytes = 0;
+};
+
+// One CollectArtifactGarbage pass, summarized.
+struct GcResult {
+  uint64_t scanned_blobs = 0;
+  uint64_t scanned_bytes = 0;  // artifact-tier size before the pass
+  uint64_t evicted_blobs = 0;
+  uint64_t evicted_bytes = 0;
+  uint64_t errors = 0;  // blobs that could not be removed
 };
 
 // The on-disk store. Thread-safe: campaign workers look up and insert
@@ -188,9 +305,16 @@ class ResultStore {
   // the directory cannot be created.
   explicit ResultStore(std::string dir);
 
-  std::optional<CampaignRecord> Lookup(const StoreKey& key);
+  // --- Record tier --------------------------------------------------------
+
+  std::optional<FlowRecord> LookupFlow(const StoreKey& key);
   // False on I/O failure (counted in stats, never throws).
-  bool Insert(const StoreKey& key, const CampaignRecord& record);
+  bool InsertFlow(const StoreKey& key, const FlowRecord& record);
+
+  std::optional<AttackRecord> LookupAttack(const StoreKey& key,
+                                           uint64_t attack_hash);
+  bool InsertAttack(const StoreKey& key, uint64_t attack_hash,
+                    const AttackRecord& record);
 
   // --- Artifact tier ------------------------------------------------------
   // Blobs are opaque payloads (store/artifact_io encodings) wrapped in an
@@ -199,30 +323,50 @@ class ResultStore {
   // returning the payload; anything malformed is a corrupt miss.
 
   std::optional<std::string> LookupArtifact(const StoreKey& key);
-  // False on I/O failure (counted in stats, never throws).
+  // False on I/O failure (counted in stats, never throws). When an
+  // artifact budget is set (set_artifact_budget), a successful publish
+  // triggers an auto-GC pass over the tier.
   bool InsertArtifact(const StoreKey& key, std::string_view payload);
   // Callers that fail to *decode* a payload the envelope vouched for (e.g.
   // a format-version mismatch inside artifact_io) report it here so the
-  // blob is reclassified from hit to corrupt miss.
+  // blob is reclassified from hit to corrupt miss — in the per-instance
+  // stats AND the obs mirror, which stay in agreement.
   void NoteArtifactCorrupt();
+
+  // Evicts artifact blobs until the tier's byte total fits `budget_bytes`.
+  // Deterministic eviction order: oldest mtime first, then largest first,
+  // then lexicographic filename — so equal-mtime ties (same-second bulk
+  // fills) still evict identically everywhere. Summary records are never
+  // touched. Safe against concurrent readers: an evicted blob simply
+  // reads as a miss and the flow recomputes (then re-warms the blob).
+  GcResult CollectArtifactGarbage(uint64_t budget_bytes);
+
+  // Auto-GC budget for InsertArtifact; 0 (the default) disables auto-GC.
+  void set_artifact_budget(uint64_t budget_bytes) {
+    artifact_budget_ = budget_bytes;
+  }
+  uint64_t artifact_budget() const { return artifact_budget_; }
 
   // Per-instance counters. Every update site also mirrors into the
   // process-wide obs registry (store.record.* / store.artifact.*), which
-  // is what `--store-stats` and bench records export. One deliberate
-  // divergence: the obs store.artifact.hits counter is envelope-level
-  // (monotonic), so a NoteArtifactCorrupt reclassification — which
-  // decrements ArtifactStats::hits — leaves the obs hit count one higher
-  // than ArtifactStats reports; the obs corrupt/miss counters still
-  // record the reclassification.
+  // is what `--store-stats` and bench records export; the two always
+  // agree (NoteArtifactCorrupt reclassifies in both).
   StoreStats Stats() const;
   ArtifactStats ArtifactTierStats() const;
   const std::string& dir() const { return dir_; }
 
  private:
-  std::string PathFor(const StoreKey& key) const;
+  std::optional<util::JsonValue> ReadRecordDoc(const std::string& path,
+                                               size_t* bytes);
+  bool PublishFile(const std::string& path, const std::string& doc,
+                   bool record_tier);
+  void CountRecordMiss(bool corrupt);
+  void CountRecordHit(size_t bytes);
+
   std::string ArtifactPathFor(const StoreKey& key) const;
 
   std::string dir_;
+  uint64_t artifact_budget_ = 0;
   mutable std::mutex mu_;
   StoreStats stats_;
   ArtifactStats artifact_stats_;

@@ -64,7 +64,6 @@ StoreKey SampleKey() {
   key.suite = "test/toy";
   key.scale = CanonicalDouble(1.0);
   key.flow_hash = 0x0123456789abcdefULL;
-  key.attack_hash = 0xfedcba9876543210ULL;
   return key;
 }
 
@@ -246,13 +245,9 @@ TEST_F(ArtifactStoreTest, InsertThenLookupRoundTrips) {
   ResultStore reopened(dir_);
   EXPECT_TRUE(reopened.LookupArtifact(key).has_value());
 
-  // The artifact address excludes the attack hash: a different portfolio
-  // over the same (suite, scale, flow) shares the blob.
-  StoreKey other_portfolio = key;
-  other_portfolio.attack_hash ^= 0xabcdef;
-  EXPECT_TRUE(store.LookupArtifact(other_portfolio).has_value());
-
-  // The flow hash does partition it.
+  // The flow hash partitions the tier. (Attack identities don't exist at
+  // the flow-level key at all since the two-level split — every portfolio
+  // over the same (suite, scale, flow) shares this blob structurally.)
   StoreKey other_flow = key;
   other_flow.flow_hash ^= 1;
   EXPECT_FALSE(store.LookupArtifact(other_flow).has_value());
@@ -326,6 +321,115 @@ TEST_F(ArtifactStoreTest, NoteArtifactCorruptReclassifiesHit) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.corrupt, 1u);
+}
+
+// --- Artifact GC ------------------------------------------------------------
+
+TEST_F(ArtifactStoreTest, GcRespectsBudgetAndNeverTouchesRecords) {
+  ResultStore store(dir_);
+  StoreKey key = SampleKey();
+  // Four blobs of ~equal size plus a record file that must survive.
+  for (uint64_t i = 0; i < 4; ++i) {
+    key.flow_hash = i;
+    EXPECT_TRUE(store.InsertArtifact(key, std::string(1000, 'a' + static_cast<char>(i))));
+  }
+  FlowRecord record;
+  record.name = "toy";
+  record.ok = true;
+  EXPECT_TRUE(store.InsertFlow(key, record));
+
+  uint64_t blob_bytes = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".art") {
+      blob_bytes += static_cast<uint64_t>(entry.file_size());
+    }
+  }
+  const uint64_t per_blob = blob_bytes / 4;
+
+  // Budget for two blobs: exactly two must go.
+  const GcResult gc = store.CollectArtifactGarbage(2 * per_blob);
+  EXPECT_EQ(gc.scanned_blobs, 4u);
+  EXPECT_EQ(gc.scanned_bytes, blob_bytes);
+  EXPECT_EQ(gc.evicted_blobs, 2u);
+  EXPECT_EQ(gc.evicted_bytes, 2 * per_blob);
+  EXPECT_EQ(gc.errors, 0u);
+
+  size_t art = 0, json = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".art") ++art;
+    if (entry.path().extension() == ".json") ++json;
+  }
+  EXPECT_EQ(art, 2u);
+  EXPECT_EQ(json, 1u);  // records are never GC candidates
+  EXPECT_TRUE(store.LookupFlow(key).has_value());
+
+  const ArtifactStats stats = store.ArtifactTierStats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.evicted_bytes, 2 * per_blob);
+
+  // Already under budget: a second pass is a no-op.
+  const GcResult again = store.CollectArtifactGarbage(2 * per_blob);
+  EXPECT_EQ(again.evicted_blobs, 0u);
+  EXPECT_EQ(again.scanned_blobs, 2u);
+}
+
+TEST_F(ArtifactStoreTest, GcEvictionOrderIsDeterministicForEqualMtimes) {
+  ResultStore store(dir_);
+  StoreKey key = SampleKey();
+  // Blobs with distinct sizes; force identical mtimes by copying one
+  // file's timestamp onto the others, simulating a same-second bulk fill.
+  std::vector<std::string> paths;
+  for (uint64_t i = 0; i < 3; ++i) {
+    key.flow_hash = i;
+    EXPECT_TRUE(store.InsertArtifact(
+        key, std::string(100 * (i + 1), static_cast<char>('a' + i))));
+    paths.push_back(ArtifactPath(key));
+  }
+  const auto stamp = fs::last_write_time(paths[0]);
+  for (const std::string& p : paths) fs::last_write_time(p, stamp);
+
+  // Budget below total: equal mtimes fall through to size (largest first),
+  // so the i=2 blob (largest) must be the one evicted.
+  uint64_t total = 0;
+  for (const std::string& p : paths) {
+    total += static_cast<uint64_t>(fs::file_size(p));
+  }
+  const uint64_t largest = static_cast<uint64_t>(fs::file_size(paths[2]));
+  const GcResult gc = store.CollectArtifactGarbage(total - 1);
+  EXPECT_EQ(gc.evicted_blobs, 1u);
+  EXPECT_EQ(gc.evicted_bytes, largest);
+  EXPECT_FALSE(fs::exists(paths[2]));
+  EXPECT_TRUE(fs::exists(paths[0]));
+  EXPECT_TRUE(fs::exists(paths[1]));
+}
+
+TEST_F(ArtifactStoreTest, AutoGcOnInsertKeepsTierUnderBudget) {
+  ResultStore store(dir_);
+  StoreKey key = SampleKey();
+  key.flow_hash = 0;
+  EXPECT_TRUE(store.InsertArtifact(key, std::string(1000, 'x')));
+  const uint64_t per_blob = [&] {
+    uint64_t b = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".art") {
+        b = static_cast<uint64_t>(entry.file_size());
+      }
+    }
+    return b;
+  }();
+
+  // Budget for one blob; each further insert must evict down to one.
+  store.set_artifact_budget(per_blob);
+  for (uint64_t i = 1; i < 4; ++i) {
+    key.flow_hash = i;
+    EXPECT_TRUE(store.InsertArtifact(key, std::string(1000, 'x')));
+    size_t art = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".art") ++art;
+    }
+    EXPECT_EQ(art, 1u) << "after insert " << i;
+  }
+  EXPECT_GE(store.ArtifactTierStats().evictions, 3u);
 }
 
 // --- Campaign warm start ----------------------------------------------------
@@ -439,6 +543,37 @@ TEST_F(ArtifactStoreTest, UndecodablePayloadRecomputes) {
   ASSERT_TRUE(warm.ok) << warm.error;
   EXPECT_EQ(warm.flow.times.place_s, 0.0);
   EXPECT_EQ(warm.record.ToJson(false), outcome.record.ToJson(false));
+}
+
+TEST_F(ArtifactStoreTest, EvictedArtifactDegradesToRecomputeThenRewarms) {
+  ResultStore store(dir_);
+  const core::CampaignRunner runner(ToyCampaignOptions(&store));
+  const core::CampaignJob job = ToyJob();
+  const StoreKey key = runner.KeyFor(job);
+
+  const core::CampaignOutcome cold = runner.RunOne(job);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_TRUE(fs::exists(ArtifactPath(key)));
+
+  // GC under a zero budget: the blob is evicted, records stay.
+  const GcResult gc = store.CollectArtifactGarbage(0);
+  EXPECT_EQ(gc.evicted_blobs, 1u);
+  EXPECT_FALSE(fs::exists(ArtifactPath(key)));
+  EXPECT_TRUE(store.LookupFlow(key).has_value());
+  EXPECT_EQ(store.ArtifactTierStats().evictions, 1u);
+
+  // An eviction is an ordinary miss: the flow recomputes, byte-identically.
+  const core::CampaignOutcome recomputed = runner.RunOne(job);
+  ASSERT_TRUE(recomputed.ok) << recomputed.error;
+  EXPECT_GT(recomputed.flow.times.place_s, 0.0);
+  EXPECT_EQ(recomputed.record.ToJson(false), cold.record.ToJson(false));
+
+  // ...and re-publishes the blob, so the tier re-warms itself.
+  ASSERT_TRUE(fs::exists(ArtifactPath(key)));
+  const core::CampaignOutcome warm = runner.RunOne(job);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.flow.times.place_s, 0.0);
+  EXPECT_GT(warm.flow.times.artifact_load_s, 0.0);
 }
 
 }  // namespace

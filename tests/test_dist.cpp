@@ -8,15 +8,28 @@
 #include <string>
 #include <vector>
 
+#include "attack/engine.hpp"
 #include "circuits/random_circuit.hpp"
 #include "core/campaign.hpp"
 #include "dist/shard.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "store/result_store.hpp"
 
 namespace splitlock::dist {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Restores the configured default pool width when a test exits.
+struct PoolWidthGuard {
+  ~PoolWidthGuard() { exec::ThreadPool::SetDefaultThreadCount(0); }
+};
+
+uint64_t Count(const obs::MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.counts.find(name);
+  return it == snap.counts.end() ? 0 : it->second;
+}
 
 // --- ShardPlan --------------------------------------------------------------
 
@@ -206,16 +219,17 @@ TEST(ShardedCampaign, MergedShardsBitIdenticalToSingleProcessRun) {
     store::ResultStore store(dir);
     const ShardTable seeded = RunShard(jobs, ShardPlan{1, 0}, &store);
     EXPECT_EQ(MergeShards({seeded}).ToJson(), golden);
-    EXPECT_EQ(store.Stats().inserts, jobs.size());
+    // One flow record plus one attack record per job.
+    EXPECT_EQ(store.Stats().inserts, 2 * jobs.size());
     EXPECT_EQ(store.Stats().hits, 0u);
   }
   {
     store::ResultStore store(dir);
     const ShardTable warm = RunShard(jobs, ShardPlan{1, 0}, &store);
     EXPECT_EQ(MergeShards({warm}).ToJson(), golden);
-    EXPECT_EQ(store.Stats().hits, jobs.size());   // 100% store hits
+    EXPECT_EQ(store.Stats().hits, 2 * jobs.size());  // 100% store hits
     EXPECT_EQ(store.Stats().misses, 0u);
-    EXPECT_EQ(store.Stats().inserts, 0u);         // zero recomputation
+    EXPECT_EQ(store.Stats().inserts, 0u);            // zero recomputation
 
     std::vector<ShardTable> quarters;
     for (uint64_t i = 0; i < 4; ++i) {
@@ -276,20 +290,79 @@ TEST(ShardedCampaign, FailedOutcomesAreNeverPersistedOrServed) {
   EXPECT_FALSE(failed.ok);
   EXPECT_EQ(store.Stats().inserts, 0u);
 
-  // A failed record planted by a foreign/stale store is retried, not
+  // A failed flow record planted by a foreign/stale store is retried, not
   // replayed — and the successful recompute overwrites it.
   const core::CampaignJob good = TestJob(0);
-  store::CampaignRecord poison;
+  store::FlowRecord poison;
   poison.name = good.name;
   poison.ok = false;
   poison.error = "stale failure";
-  ASSERT_TRUE(store.Insert(runner.KeyFor(good), poison));
+  ASSERT_TRUE(store.InsertFlow(runner.KeyFor(good), poison));
   const core::CampaignOutcome recomputed = runner.RunOne(good);
   EXPECT_TRUE(recomputed.ok) << recomputed.error;
   EXPECT_FALSE(recomputed.from_store);
-  const auto healed = store.Lookup(runner.KeyFor(good));
+  const auto healed = store.LookupFlow(runner.KeyFor(good));
   ASSERT_TRUE(healed.has_value());
   EXPECT_TRUE(healed->ok);
+  fs::remove_all(dir);
+}
+
+TEST(ShardedCampaign, PartialHitRunsOnlyMissingEnginesBitExactly) {
+  PoolWidthGuard guard;
+
+  // Cold, storeless reference for the superset portfolio.
+  core::CampaignJob superset = TestJob(0);
+  superset.attacks = {attack::AttackConfig{.engine = "sat"},
+                      attack::AttackConfig{.engine = "proximity"}};
+  const core::CampaignOutcome golden =
+      core::CampaignRunner(TestCampaignOptions(nullptr)).RunOne(superset);
+  ASSERT_TRUE(golden.ok) << golden.error;
+
+  const std::string dir =
+      (fs::temp_directory_path() / "splitlock_dist_partial_store").string();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    exec::ThreadPool::SetDefaultThreadCount(threads);
+    fs::remove_all(dir);
+    store::ResultStore store(dir);
+    const core::CampaignRunner runner(TestCampaignOptions(&store));
+
+    // Warm the subset portfolio: the flow record, the flow artifact, and
+    // the sat attack record land in the store.
+    core::CampaignJob subset = TestJob(0);
+    subset.attacks = {attack::AttackConfig{.engine = "sat"}};
+    const core::CampaignOutcome warm = runner.RunOne(subset);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(store.Stats().inserts, 2u);  // flow + sat
+
+    // Superset run: flow and sat records hit; only proximity is cold.
+    const obs::MetricsSnapshot before = obs::Registry::Instance().Snapshot();
+    const core::CampaignOutcome partial = runner.RunOne(superset);
+    const obs::MetricsSnapshot delta = obs::MetricsSnapshot::Delta(
+        before, obs::Registry::Instance().Snapshot());
+    ASSERT_TRUE(partial.ok) << partial.error;
+    EXPECT_FALSE(partial.from_store);  // one cold engine ⇒ computed path
+
+    EXPECT_EQ(Count(delta, "store.record.hits"), 2u)
+        << "flow + sat records should both hit";
+    EXPECT_EQ(Count(delta, "store.record.misses"), 1u);   // proximity
+    EXPECT_EQ(Count(delta, "store.record.inserts"), 1u);  // proximity only
+    EXPECT_EQ(Count(delta, "attack.engine.runs"), 1u)
+        << "only the missing engine may run";
+    EXPECT_EQ(Count(delta, "attack.sat.rounds"), 0u);  // sat never re-ran
+    EXPECT_EQ(partial.flow.times.place_s, 0.0);  // flow replayed, not re-run
+    ASSERT_EQ(partial.attacks.size(), 1u);  // only the fresh engine's report
+    EXPECT_EQ(partial.attacks[0].engine, "proximity");
+
+    // The assembled record is byte-identical to the cold superset run.
+    EXPECT_EQ(partial.record.ToJson(false), golden.record.ToJson(false));
+
+    // And the partial run published the missing piece: the next superset
+    // run is a pure full hit with the same bytes.
+    const core::CampaignOutcome full = runner.RunOne(superset);
+    ASSERT_TRUE(full.ok) << full.error;
+    EXPECT_TRUE(full.from_store);
+    EXPECT_EQ(full.record.ToJson(false), golden.record.ToJson(false));
+  }
   fs::remove_all(dir);
 }
 

@@ -152,7 +152,7 @@ TEST(WallClock, ChronoIsConfinedToClockHomes) {
                       "auto t = std::chrono::steady_clock::now();"),
                   "wall-clock"),
             1u);
-  // The two clock homes may use chrono freely.
+  // The clock homes may use chrono freely.
   EXPECT_EQ(Count(RunLint("src/util/stopwatch.hpp",
                       "#include <chrono>\n"
                       "auto t = std::chrono::steady_clock::now();"),
@@ -163,6 +163,18 @@ TEST(WallClock, ChronoIsConfinedToClockHomes) {
                       "auto t = std::chrono::steady_clock::now();"),
                   "wall-clock"),
             0u);
+  // The GC mtime shim is a clock home too: file mtimes are wall-clock by
+  // nature but only order artifact evictions, never feed a record.
+  EXPECT_EQ(Count(RunLint("src/store/fs_clock.hpp",
+                      "#include <chrono>\n"
+                      "auto n = std::chrono::nanoseconds(0);"),
+                  "wall-clock"),
+            0u);
+  // A neighbor in the same directory gets no exemption.
+  EXPECT_EQ(Count(RunLint("src/store/result_store.cpp",
+                      "#include <chrono>\n"),
+                  "wall-clock"),
+            1u);
 }
 
 TEST(WallClock, SteadyClockAndDeclarationsPass) {
@@ -399,6 +411,12 @@ TEST(SchemaVersion, MissingAndStaleAnnotations) {
   const auto r = RunLint("src/store/result_store.hpp", stale, 3);
   ASSERT_EQ(Count(r, "schema-version"), 1u);
   EXPECT_NE(r.violations[0].message.find("stale"), std::string::npos);
+  // The two-level split's flow summary is watched like the records it
+  // composes into.
+  EXPECT_EQ(Count(RunLint("src/store/result_store.hpp",
+                      "struct FlowRecord {\n  int x = 0;\n};\n", 4),
+                  "schema-version"),
+            1u);
 }
 
 TEST(SchemaVersion, CurrentAnnotationAndUnwatchedStructsPass) {

@@ -68,8 +68,44 @@ StoreKey SampleKey() {
   key.suite = "itc/b14";
   key.scale = CanonicalDouble(0.25);
   key.flow_hash = 0x0123456789abcdefULL;
-  key.attack_hash = 0xfedcba9876543210ULL;
   return key;
+}
+
+// An attack identity to file records under SampleKey().
+constexpr uint64_t kSampleAttackHash = 0xfedcba9876543210ULL;
+
+FlowRecord SampleFlowRecord() {
+  FlowRecord r;
+  r.name = "b14";
+  r.ok = true;
+  r.broken_connections = 123;
+  r.key_bits = 128;
+  r.logic_gates = 2456;
+  r.die_area_um2 = 1234.5;
+  r.power_uw = 88.25;
+  r.critical_path_ps = 901.0 / 3.0;  // not exactly representable in decimal
+  r.lock_s = 2.25;
+  r.place_s = 3.5;
+  r.elapsed_s = 9.75;
+  return r;
+}
+
+AttackRecord SampleAttackRecord() {
+  AttackRecord a;
+  a.engine = "proximity";
+  a.config = "proximity";
+  a.ok = true;
+  a.counters["candidates"] = 17;
+  a.has_score = true;
+  a.regular_ccr_percent = 14.5;
+  a.key_logical_ccr_percent = 51.2;
+  a.key_physical_ccr_percent = 0.5;
+  a.pnr_percent = 7.0;
+  a.hd_percent = 49.5;
+  a.oer_percent = 100.0;
+  a.score_patterns = 4096;
+  a.elapsed_s = 1.5;
+  return a;
 }
 
 // --- JSON parser ------------------------------------------------------------
@@ -144,14 +180,14 @@ TEST(CampaignRecord, CanonicalJsonExcludesTimings) {
 
 // --- Store ------------------------------------------------------------------
 
-TEST_F(StoreTest, InsertThenLookupRoundTrips) {
+TEST_F(StoreTest, FlowInsertThenLookupRoundTrips) {
   ResultStore store(dir_);
   const StoreKey key = SampleKey();
-  EXPECT_FALSE(store.Lookup(key).has_value());  // cold
-  EXPECT_TRUE(store.Insert(key, SampleRecord()));
-  const auto hit = store.Lookup(key);
+  EXPECT_FALSE(store.LookupFlow(key).has_value());  // cold
+  EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
+  const auto hit = store.LookupFlow(key);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->ToJson(true), SampleRecord().ToJson(true));
+  EXPECT_EQ(hit->ToJson(true), SampleFlowRecord().ToJson(true));
 
   const StoreStats stats = store.Stats();
   EXPECT_EQ(stats.misses, 1u);
@@ -161,43 +197,64 @@ TEST_F(StoreTest, InsertThenLookupRoundTrips) {
 
   // A second store over the same directory sees the record (persistence).
   ResultStore reopened(dir_);
-  EXPECT_TRUE(reopened.Lookup(key).has_value());
+  EXPECT_TRUE(reopened.LookupFlow(key).has_value());
+}
+
+TEST_F(StoreTest, AttackInsertThenLookupRoundTrips) {
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  EXPECT_FALSE(store.LookupAttack(key, kSampleAttackHash).has_value());
+  EXPECT_TRUE(store.InsertAttack(key, kSampleAttackHash,
+                                 SampleAttackRecord()));
+  const auto hit = store.LookupAttack(key, kSampleAttackHash);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ToJson(true), SampleAttackRecord().ToJson(true));
+  EXPECT_TRUE(hit->has_score);
+  EXPECT_DOUBLE_EQ(hit->hd_percent, 49.5);
+  EXPECT_EQ(hit->score_patterns, 4096u);
 }
 
 TEST_F(StoreTest, DistinctKeysDistinctFiles) {
   ResultStore store(dir_);
-  StoreKey key = SampleKey();
-  EXPECT_TRUE(store.Insert(key, SampleRecord()));
-  StoreKey other = key;
-  other.attack_hash ^= 1;
-  EXPECT_FALSE(store.Lookup(other).has_value());
-  CampaignRecord different = SampleRecord();
+  const StoreKey key = SampleKey();
+  // Two attack identities under one flow key are separate records...
+  EXPECT_TRUE(store.InsertAttack(key, kSampleAttackHash,
+                                 SampleAttackRecord()));
+  EXPECT_FALSE(store.LookupAttack(key, kSampleAttackHash ^ 1).has_value());
+  AttackRecord different = SampleAttackRecord();
   different.hd_percent = 1.0;
-  EXPECT_TRUE(store.Insert(other, different));
-  EXPECT_DOUBLE_EQ(store.Lookup(key)->hd_percent, 49.5);
-  EXPECT_DOUBLE_EQ(store.Lookup(other)->hd_percent, 1.0);
+  EXPECT_TRUE(store.InsertAttack(key, kSampleAttackHash ^ 1, different));
+  EXPECT_DOUBLE_EQ(store.LookupAttack(key, kSampleAttackHash)->hd_percent,
+                   49.5);
+  EXPECT_DOUBLE_EQ(store.LookupAttack(key, kSampleAttackHash ^ 1)->hd_percent,
+                   1.0);
+  // ...and a different flow key shares nothing.
+  StoreKey other = key;
+  other.flow_hash ^= 1;
+  EXPECT_FALSE(store.LookupFlow(other).has_value());
+  EXPECT_FALSE(store.LookupAttack(other, kSampleAttackHash).has_value());
 }
 
 TEST_F(StoreTest, CorruptFileReadsAsMiss) {
   ResultStore store(dir_);
   const StoreKey key = SampleKey();
-  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
   {  // truncate the record mid-file, as a crashed non-atomic writer would
-    std::ofstream f(dir_ + "/" + key.Filename(), std::ios::binary);
+    std::ofstream f(dir_ + "/" + key.FlowFilename(), std::ios::binary);
     f << "{\"schema_version\":1,\"key\":{\"suite\":\"itc/b14\"";
   }
-  EXPECT_FALSE(store.Lookup(key).has_value());
+  EXPECT_FALSE(store.LookupFlow(key).has_value());
   EXPECT_EQ(store.Stats().corrupt, 1u);
   // The store recovers by overwriting.
-  EXPECT_TRUE(store.Insert(key, SampleRecord()));
-  EXPECT_TRUE(store.Lookup(key).has_value());
+  EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
+  EXPECT_TRUE(store.LookupFlow(key).has_value());
 }
 
 TEST_F(StoreTest, SchemaVersionMismatchReadsAsMiss) {
   ResultStore store(dir_);
   const StoreKey key = SampleKey();
-  EXPECT_TRUE(store.Insert(key, SampleRecord()));
-  const std::string path = dir_ + "/" + key.Filename();
+  EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
+  const std::string path = dir_ + "/" + key.FlowFilename();
   std::ifstream in(path, std::ios::binary);
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
@@ -208,19 +265,33 @@ TEST_F(StoreTest, SchemaVersionMismatchReadsAsMiss) {
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, needle.size(), "\"schema_version\":0");
   std::ofstream(path, std::ios::binary) << text;
-  EXPECT_FALSE(store.Lookup(key).has_value());
+  EXPECT_FALSE(store.LookupFlow(key).has_value());
   EXPECT_EQ(store.Stats().corrupt, 1u);
 }
 
 TEST_F(StoreTest, KeyEchoMismatchReadsAsCorrupt) {
   ResultStore store(dir_);
   const StoreKey key = SampleKey();
-  EXPECT_TRUE(store.Insert(key, SampleRecord()));
+  EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
   // File copied/renamed under a different key: must not be served.
   StoreKey other = key;
   other.flow_hash ^= 0xff;
-  fs::copy_file(dir_ + "/" + key.Filename(), dir_ + "/" + other.Filename());
-  EXPECT_FALSE(store.Lookup(other).has_value());
+  fs::copy_file(dir_ + "/" + key.FlowFilename(),
+                dir_ + "/" + other.FlowFilename());
+  EXPECT_FALSE(store.LookupFlow(other).has_value());
+  EXPECT_EQ(store.Stats().corrupt, 1u);
+}
+
+TEST_F(StoreTest, KindConfusionReadsAsCorrupt) {
+  // A flow record copied over an attack filename (or vice versa) must not
+  // parse as the other kind — the envelope's kind marker catches it even
+  // when the key echo would match.
+  ResultStore store(dir_);
+  const StoreKey key = SampleKey();
+  EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
+  fs::copy_file(dir_ + "/" + key.FlowFilename(),
+                dir_ + "/" + key.AttackFilename(kSampleAttackHash));
+  EXPECT_FALSE(store.LookupAttack(key, kSampleAttackHash).has_value());
   EXPECT_EQ(store.Stats().corrupt, 1u);
 }
 
@@ -229,14 +300,16 @@ TEST_F(StoreTest, InsertLeavesNoTempFiles) {
   StoreKey key = SampleKey();
   for (int i = 0; i < 4; ++i) {
     key.flow_hash = static_cast<uint64_t>(i);
-    EXPECT_TRUE(store.Insert(key, SampleRecord()));
+    EXPECT_TRUE(store.InsertFlow(key, SampleFlowRecord()));
+    EXPECT_TRUE(store.InsertAttack(key, kSampleAttackHash,
+                                   SampleAttackRecord()));
   }
   size_t files = 0;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
     ++files;
   }
-  EXPECT_EQ(files, 4u);
+  EXPECT_EQ(files, 8u);
 }
 
 TEST_F(StoreTest, ConcurrentSameKeyInsertsAndLookupsAreSafe) {
@@ -245,28 +318,98 @@ TEST_F(StoreTest, ConcurrentSameKeyInsertsAndLookupsAreSafe) {
   // complete record — never a torn one.
   ResultStore store(dir_);
   const StoreKey key = SampleKey();
-  const CampaignRecord record = SampleRecord();
+  const FlowRecord flow = SampleFlowRecord();
+  const AttackRecord attack = SampleAttackRecord();
   exec::ParallelFor(64, 1, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      if (i % 2 == 0) {
-        EXPECT_TRUE(store.Insert(key, record));
-      } else if (const auto hit = store.Lookup(key)) {
-        EXPECT_EQ(hit->ToJson(true), record.ToJson(true));
+      switch (i % 4) {
+        case 0:
+          EXPECT_TRUE(store.InsertFlow(key, flow));
+          break;
+        case 1:
+          EXPECT_TRUE(store.InsertAttack(key, kSampleAttackHash, attack));
+          break;
+        case 2:
+          if (const auto hit = store.LookupFlow(key)) {
+            EXPECT_EQ(hit->ToJson(true), flow.ToJson(true));
+          }
+          break;
+        default:
+          if (const auto hit = store.LookupAttack(key, kSampleAttackHash)) {
+            EXPECT_EQ(hit->ToJson(true), attack.ToJson(true));
+          }
       }
     }
   });
   EXPECT_EQ(store.Stats().corrupt, 0u);
   EXPECT_EQ(store.Stats().insert_errors, 0u);
-  ASSERT_TRUE(store.Lookup(key).has_value());
+  ASSERT_TRUE(store.LookupFlow(key).has_value());
+  ASSERT_TRUE(store.LookupAttack(key, kSampleAttackHash).has_value());
 }
 
-TEST(StoreKeyTest, FilenameSanitizesAndDisambiguates) {
+TEST(StoreKeyTest, FilenamesSanitizeAndDisambiguate) {
   StoreKey key = SampleKey();
-  const std::string name = key.Filename();
-  EXPECT_EQ(name.find('/'), std::string::npos);
+  for (const std::string& name :
+       {key.FlowFilename(), key.AttackFilename(kSampleAttackHash),
+        key.ArtifactFilename()}) {
+    EXPECT_EQ(name.find('/'), std::string::npos) << name;
+  }
+  // The three file kinds under one key never collide.
+  EXPECT_NE(key.FlowFilename(), key.AttackFilename(kSampleAttackHash));
+  EXPECT_NE(key.FlowFilename(), key.ArtifactFilename());
   StoreKey other = key;
   other.scale = CanonicalDouble(0.5);
-  EXPECT_NE(other.Filename(), name);
+  EXPECT_NE(other.FlowFilename(), key.FlowFilename());
+  EXPECT_NE(other.AttackFilename(kSampleAttackHash),
+            key.AttackFilename(kSampleAttackHash));
+}
+
+// --- Composition ------------------------------------------------------------
+
+TEST(Compose, AssemblesCampaignRecordFromPieces) {
+  const FlowRecord flow = SampleFlowRecord();
+  AttackRecord scoreless = SampleAttackRecord();
+  scoreless.engine = "sat";
+  scoreless.config = "sat";
+  scoreless.has_score = false;
+  const AttackRecord scored = SampleAttackRecord();
+  const CampaignRecord r = ComposeCampaignRecord(flow, {scoreless, scored});
+  EXPECT_EQ(r.name, "b14");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.broken_connections, 123u);
+  EXPECT_DOUBLE_EQ(r.die_area_um2, 1234.5);
+  // Campaign score = the first attack carrying one, skipping scoreless
+  // engines (key-only engines like sat produce no assignment).
+  EXPECT_DOUBLE_EQ(r.hd_percent, 49.5);
+  EXPECT_EQ(r.score_patterns, 4096u);
+  ASSERT_EQ(r.attacks.size(), 2u);
+  EXPECT_EQ(r.attacks[0].engine, "sat");
+  // Timings (including elapsed_s) come from the flow's producing run.
+  EXPECT_DOUBLE_EQ(r.lock_s, 2.25);
+  EXPECT_DOUBLE_EQ(r.elapsed_s, 9.75);
+}
+
+TEST(Compose, RoundTripThroughStoreIsByteIdentical) {
+  // The partial-hit contract in one invariant: composing from records that
+  // went through ToJson -> FromJson yields the same canonical bytes as
+  // composing from the originals (CanonicalDouble is round-trip exact).
+  const FlowRecord flow = SampleFlowRecord();
+  const std::vector<AttackRecord> attacks = {SampleAttackRecord()};
+  const CampaignRecord direct = ComposeCampaignRecord(flow, attacks);
+
+  const auto flow_doc = util::ParseJson(flow.ToJson(true));
+  ASSERT_TRUE(flow_doc.has_value());
+  const auto flow_back = FlowRecord::FromJson(*flow_doc);
+  ASSERT_TRUE(flow_back.has_value());
+  const auto attack_doc = util::ParseJson(attacks[0].ToJson(true));
+  ASSERT_TRUE(attack_doc.has_value());
+  const auto attack_back = AttackRecord::FromJson(*attack_doc);
+  ASSERT_TRUE(attack_back.has_value());
+
+  const CampaignRecord assembled =
+      ComposeCampaignRecord(*flow_back, {*attack_back});
+  EXPECT_EQ(assembled.ToJson(false), direct.ToJson(false));
+  EXPECT_EQ(assembled.ToJson(true), direct.ToJson(true));
 }
 
 // --- Golden store-key hashes ------------------------------------------------
@@ -310,6 +453,15 @@ TEST(GoldenHashes, FlowOptionsHashIsPinned) {
   synced.lock.key_bits = 7;
   synced.lock.seed = 99;
   EXPECT_EQ(core::FlowOptionsHash(synced), core::FlowOptionsHash(defaults));
+}
+
+TEST(GoldenHashes, AttackKeyHashIsPinned) {
+  // The per-attack record address introduced by the two-level split (v4).
+  EXPECT_EQ(AttackKeyHash("proximity", 4096), 1514545893005242316ULL);
+  // Both components participate: the same config scored under a different
+  // pattern budget is a different record.
+  EXPECT_NE(AttackKeyHash("proximity", 4096), AttackKeyHash("proximity", 2048));
+  EXPECT_NE(AttackKeyHash("proximity", 4096), AttackKeyHash("ml", 4096));
 }
 
 TEST(GoldenHashes, PortfolioHashIsPinned) {

@@ -137,8 +137,14 @@ void RuleRawRandom(const RuleContext& ctx, std::vector<Violation>* out) {
 // steady_clock they wrap". Everywhere else even naming `chrono` is a
 // violation: a third clock home is a new place for wall-clock time to
 // leak into results.
+// store/fs_clock.hpp is the filesystem-clock shim: artifact-tier GC
+// orders evictions by file mtime, which is inherently wall-clock but
+// never feeds a canonical result (evicting a blob only changes whether a
+// flow replays or recomputes — both are bit-identical). See the header's
+// own comment for the full argument.
 constexpr std::string_view kClockHomes[] = {"util/stopwatch.hpp",
-                                            "obs/clock.hpp"};
+                                            "obs/clock.hpp",
+                                            "store/fs_clock.hpp"};
 
 constexpr std::string_view kWallClockTypes[] = {
     "system_clock", "high_resolution_clock",  // h_r_c may alias system_clock
@@ -715,7 +721,7 @@ constexpr std::string_view kSerializedStructs[] = {
     "Netlist",        "Gate",       "Pin",       "Net",
     "Segment",        "ViaStack",   "ConnRoute", "NetRoute",
     "Layout",         "AtpgLockResult", "InjectedFault", "LiftStats",
-    "CampaignRecord", "AttackRecord"};
+    "CampaignRecord", "AttackRecord",   "FlowRecord"};
 
 void RuleSchemaVersion(const RuleContext& ctx, std::vector<Violation>* out) {
   if (ctx.expected_schema_version < 0) return;

@@ -41,6 +41,13 @@
 //       single-process `suite --json` run emits. Refuses tables from
 //       different campaigns (suite/scale/option-hash mismatch) or with
 //       missing/duplicate jobs.
+//   store gc  --store DIR --budget-bytes N [--json]
+//       Artifact-tier garbage collection: evicts flow artifacts (*.art)
+//       oldest-first (then largest-first) until the tier fits the byte
+//       budget. Summary records are never touched, so warm lookups keep
+//       hitting; an evicted flow degrades to recomputation on its next
+//       compute-path run, which re-publishes the blob. Prints the scan and
+//       eviction totals; exits 1 if any eviction failed.
 //
 // Engines are attack::AttackConfig specs: a registry name, optionally with
 // key=value params — e.g. --engine proximity --engine "sat-portfolio:configs=8".
@@ -92,6 +99,8 @@ struct Args {
   uint64_t shard_index = 0;
   std::string store_dir;
   bool store_stats = false;
+  uint64_t budget_bytes = 0;  // store gc: artifact-tier byte budget
+  bool budget_set = false;
   std::string out_path;              // shard/merged table file
   std::vector<std::string> inputs;   // merge: all shard table files
   // Observability (src/obs): --trace FILE exports a Chrome trace-event
@@ -112,6 +121,7 @@ int Usage() {
       "[--seed S] [--threads T] [--engine E]... [--shards N] "
       "[--shard-index I] [--store DIR] [--store-stats] [--json] [--out F]\n"
       "       splitlock_cli merge <shard.json>... [--json] [--out F]\n"
+      "       splitlock_cli store gc --store DIR --budget-bytes N [--json]\n"
       "       --engine list   print the attack-engine registry\n"
       "       --trace FILE    export a Chrome trace-event JSON of the run\n"
       "       --metrics[=F]   dump the metrics snapshot to stderr (or F)\n");
@@ -544,6 +554,56 @@ int CmdSuite(const Args& args) {
   return rc;
 }
 
+// `store gc` — offline artifact-tier garbage collection. Safe to run
+// while other processes read the store: a reader that loses a blob
+// mid-lookup sees an ordinary miss and recomputes (the corruption-
+// tolerance contract already covers torn reads).
+int CmdStoreGc(const Args& args) {
+  if (args.store_dir.empty()) {
+    std::fprintf(stderr, "store gc: --store DIR is required\n");
+    return 2;
+  }
+  if (!args.budget_set) {
+    std::fprintf(stderr, "store gc: --budget-bytes N is required\n");
+    return 2;
+  }
+  store::ResultStore result_store(args.store_dir);
+  const store::GcResult gc =
+      result_store.CollectArtifactGarbage(args.budget_bytes);
+  if (args.json) {
+    std::printf("{\"command\":\"store-gc\",\"schema_version\":%d,"
+                "\"budget_bytes\":%llu,\"scanned_blobs\":%llu,"
+                "\"scanned_bytes\":%llu,\"evicted_blobs\":%llu,"
+                "\"evicted_bytes\":%llu,\"errors\":%llu}\n",
+                store::kResultSchemaVersion,
+                static_cast<unsigned long long>(args.budget_bytes),
+                static_cast<unsigned long long>(gc.scanned_blobs),
+                static_cast<unsigned long long>(gc.scanned_bytes),
+                static_cast<unsigned long long>(gc.evicted_blobs),
+                static_cast<unsigned long long>(gc.evicted_bytes),
+                static_cast<unsigned long long>(gc.errors));
+  } else {
+    std::printf("store gc: %llu blob(s) / %llu bytes scanned, "
+                "%llu evicted / %llu bytes freed (budget %llu bytes)\n",
+                static_cast<unsigned long long>(gc.scanned_blobs),
+                static_cast<unsigned long long>(gc.scanned_bytes),
+                static_cast<unsigned long long>(gc.evicted_blobs),
+                static_cast<unsigned long long>(gc.evicted_bytes),
+                static_cast<unsigned long long>(args.budget_bytes));
+    if (gc.errors > 0) {
+      std::fprintf(stderr, "store gc: %llu eviction error(s)\n",
+                   static_cast<unsigned long long>(gc.errors));
+    }
+  }
+  return gc.errors > 0 ? 1 : 0;
+}
+
+int CmdStore(const Args& args) {
+  // The store verb carries its own sub-verbs; `gc` is the only one so far.
+  if (args.input == "gc") return CmdStoreGc(args);
+  return Usage();
+}
+
 int CmdMerge(const Args& args) {
   if (args.inputs.empty()) return Usage();
   std::vector<dist::ShardTable> shards;
@@ -650,6 +710,11 @@ int main(int argc, char** argv) {
       args.store_dir = v;
     } else if (a == "--store-stats") {
       args.store_stats = true;
+    } else if (a == "--budget-bytes") {
+      const char* v = next();
+      if (!v) return Usage();
+      args.budget_bytes = std::strtoull(v, nullptr, 10);
+      args.budget_set = true;
     } else if (a == "--trace") {
       const char* v = next();
       if (!v) return Usage();
@@ -696,6 +761,7 @@ int main(int argc, char** argv) {
     else if (args.command == "report") rc = CmdReport(args);
     else if (args.command == "suite") rc = CmdSuite(args);
     else if (args.command == "merge") rc = CmdMerge(args);
+    else if (args.command == "store") rc = CmdStore(args);
     else known_command = false;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
